@@ -1,0 +1,389 @@
+(* The PLR command-line compiler: parses a recurrence signature, and either
+   emits CUDA (like the paper's tool), runs the recurrence on the modeled
+   GPU or the multicore CPU backend with validation, or reports the
+   compilation plan.
+
+     plr compile '(1: 2, -1)' -o order2.cu
+     plr run '(0.2: 0.8)' -n 1000000 --backend sim
+     plr info '(1: 0, 1)'
+*)
+
+module Scalar = Plr_util.Scalar
+module Spec = Plr_gpusim.Spec
+
+let spec = Spec.titan_x
+
+(* Dispatch between the integer and floating-point pipelines based on the
+   signature's coefficients, like the paper's PLR does. *)
+type domain = Auto | Force_int | Force_float
+
+let resolve_domain domain s =
+  match domain with
+  | Force_float -> `Float
+  | Force_int -> (
+      match Parse.to_int_signature s with
+      | Some is -> `Int is
+      | None -> failwith "signature has non-integral coefficients; use --float")
+  | Auto -> (
+      match Parse.to_int_signature s with Some is -> `Int is | None -> `Float)
+
+let parse_signature text =
+  match Parse.signature text with
+  | Ok s -> s
+  | Error e -> failwith (Format.asprintf "%a" Parse.pp_error e)
+
+(* ------------------------------------------------------------- compile *)
+
+module Emit_int = Plr_codegen.Emit.Make (Scalar.Int)
+module Emit_f32 = Plr_codegen.Emit.Make (Scalar.F32)
+module Plan_int = Emit_int.P
+module Plan_f32 = Emit_f32.P
+
+let cmd_compile text output domain n quiet =
+  let s = parse_signature text in
+  let cuda, summary =
+    match resolve_domain domain s with
+    | `Int is ->
+        let plan = Plan_int.compile ~spec ~n is in
+        (Emit_int.cuda plan, Emit_int.specialization_summary plan)
+    | `Float ->
+        let fs = Signature.map Plr_util.F32.round s in
+        let plan = Plan_f32.compile ~spec ~n fs in
+        (Emit_f32.cuda plan, Emit_f32.specialization_summary plan)
+  in
+  (match output with
+  | None -> print_string cuda
+  | Some path ->
+      let oc = open_out path in
+      output_string oc cuda;
+      close_out oc;
+      if not quiet then Printf.printf "wrote %s (%d bytes)\n" path (String.length cuda));
+  if not quiet && output <> None then
+    List.iter (fun line -> Printf.printf "  %s\n" line) summary
+
+(* ----------------------------------------------------------------- run *)
+
+module Engine_int = Plr_core.Engine.Make (Scalar.Int)
+module Engine_f32 = Plr_core.Engine.Make (Scalar.F32)
+module Serial_int = Plr_serial.Serial.Make (Scalar.Int)
+module Serial_f32 = Plr_serial.Serial.Make (Scalar.F32)
+module Multi_int = Plr_multicore.Multicore.Make (Scalar.Int)
+module Multi_f32 = Plr_multicore.Multicore.Make (Scalar.F32)
+
+type backend = Sim | Cpu | Serial_backend
+
+let random_int_input n =
+  let gen = Plr_util.Splitmix.create 1234 in
+  Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-100) ~hi:100)
+
+let random_f32_input n =
+  let gen = Plr_util.Splitmix.create 1234 in
+  Array.init n (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0)
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let cmd_run text n backend domain opts_off =
+  let s = parse_signature text in
+  let opts = if opts_off then Plr_core.Opts.all_off else Plr_core.Opts.all_on in
+  let report_sim ~kind_label ~throughput ~time_s ~valid =
+    Printf.printf "backend: modeled GPU (%s)\n" spec.Spec.name;
+    Printf.printf "domain: %s, n = %d\n" kind_label n;
+    Printf.printf "modeled kernel time: %.3f ms\n" (time_s *. 1e3);
+    Printf.printf "modeled throughput: %.2f G words/s\n" (throughput /. 1e9);
+    Printf.printf "validation vs serial: %s\n"
+      (match valid with Ok () -> "PASSED" | Error m -> "FAILED — " ^ m)
+  in
+  match (resolve_domain domain s, backend) with
+  | `Int is, Sim ->
+      let input = random_int_input n in
+      let r = Engine_int.run ~opts ~spec is input in
+      let expected = Serial_int.full is input in
+      report_sim ~kind_label:"int32" ~throughput:r.Engine_int.throughput
+        ~time_s:r.Engine_int.time_s
+        ~valid:(Serial_int.validate ~expected r.Engine_int.output)
+  | `Float, Sim ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let input = random_f32_input n in
+      let r = Engine_f32.run ~opts ~spec fs input in
+      let expected = Serial_f32.full fs input in
+      report_sim ~kind_label:"float32" ~throughput:r.Engine_f32.throughput
+        ~time_s:r.Engine_f32.time_s
+        ~valid:(Serial_f32.validate ~expected r.Engine_f32.output)
+  | `Int is, Cpu ->
+      let input = random_int_input n in
+      let output, dt = time_wall (fun () -> Multi_int.run is input) in
+      let expected, st = time_wall (fun () -> Serial_int.full is input) in
+      Printf.printf "backend: multicore CPU (%d domains)\n"
+        (Domain.recommended_domain_count ());
+      Printf.printf "parallel: %.3f ms, serial: %.3f ms, speedup %.2fx\n"
+        (dt *. 1e3) (st *. 1e3) (st /. dt);
+      Printf.printf "validation: %s\n"
+        (match Serial_int.validate ~expected output with
+        | Ok () -> "PASSED"
+        | Error m -> "FAILED — " ^ m)
+  | `Float, Cpu ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let input = random_f32_input n in
+      let output, dt = time_wall (fun () -> Multi_f32.run fs input) in
+      let expected, st = time_wall (fun () -> Serial_f32.full fs input) in
+      Printf.printf "backend: multicore CPU (%d domains)\n"
+        (Domain.recommended_domain_count ());
+      Printf.printf "parallel: %.3f ms, serial: %.3f ms, speedup %.2fx\n"
+        (dt *. 1e3) (st *. 1e3) (st /. dt);
+      Printf.printf "validation: %s\n"
+        (match Serial_f32.validate ~expected output with
+        | Ok () -> "PASSED"
+        | Error m -> "FAILED — " ^ m)
+  | `Int is, Serial_backend ->
+      let input = random_int_input n in
+      let _, st = time_wall (fun () -> Serial_int.full is input) in
+      Printf.printf "serial: %.3f ms (%.2f M words/s)\n" (st *. 1e3)
+        (float_of_int n /. st /. 1e6)
+  | `Float, Serial_backend ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let input = random_f32_input n in
+      let _, st = time_wall (fun () -> Serial_f32.full fs input) in
+      Printf.printf "serial: %.3f ms (%.2f M words/s)\n" (st *. 1e3)
+        (float_of_int n /. st /. 1e6)
+
+(* ---------------------------------------------------------------- info *)
+
+let cmd_info text n domain =
+  let s = parse_signature text in
+  Printf.printf "signature: %s\n"
+    (Signature.to_string (Printf.sprintf "%g") s);
+  Printf.printf "classification: %s\n" (Classify.to_string (Classify.classify s));
+  Printf.printf "order k = %d, feed-forward taps = %d\n" (Signature.order s)
+    (Signature.fir_taps s);
+  (match Classify.classify s with
+  | Classify.Recursive_filter ->
+      Printf.printf "stable: %b\n" (Plr_filters.Response.is_stable s);
+      (match Plr_filters.Response.decay_length s ~n:65536 with
+      | Some z -> Printf.printf "impulse response decays below float32 at index %d\n" z
+      | None -> Printf.printf "impulse response does not decay within 65536 samples\n")
+  | _ -> ());
+  match resolve_domain domain s with
+  | `Int is ->
+      let plan = Plan_int.compile ~spec ~n is in
+      Format.printf "%a@." Plan_int.pp_summary plan;
+      List.iter (Printf.printf "  %s\n") (Emit_int.specialization_summary plan)
+  | `Float ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let plan = Plan_f32.compile ~spec ~n fs in
+      Format.printf "%a@." Plan_f32.pp_summary plan;
+      List.iter (Printf.printf "  %s\n") (Emit_f32.specialization_summary plan)
+
+(* ------------------------------------------------------------- execute *)
+
+module Kg_int = Plr_codegen.Kernelgen.Make (Scalar.Int)
+module Kg_f32 = Plr_codegen.Kernelgen.Make (Scalar.F32)
+
+let cmd_execute text n domain threads x sched trace_path =
+  let s = parse_signature text in
+  let sched =
+    match sched with
+    | "rr" -> Plr_vm.Interp.Round_robin
+    | "reversed" -> Plr_vm.Interp.Reversed
+    | other -> (
+        match int_of_string_opt other with
+        | Some seed -> Plr_vm.Interp.Random seed
+        | None -> failwith "--sched expects rr, reversed, or a random seed")
+  in
+  let describe plan_threads plan_x blocks =
+    Printf.printf
+      "executing the generated kernel on the SIMT interpreter:\n\
+      \  %d blocks x %d threads, %d values/thread, n = %d\n"
+      blocks plan_threads plan_x n
+  in
+  match resolve_domain domain s with
+  | `Int is ->
+      let input = random_int_input n in
+      let plan =
+        match (threads, x) with
+        | Some t, Some xv -> Kg_int.P.compile_with ~spec ~n ~threads_per_block:t ~x:xv is
+        | _ -> Kg_int.P.compile ~spec ~n is
+      in
+      describe plan.Kg_int.P.threads_per_block plan.Kg_int.P.x (Kg_int.P.num_chunks plan);
+      let trace = Option.map (fun _ -> ref []) trace_path in
+      let output, dt = time_wall (fun () -> Kg_int.run ~sched ?trace ~spec plan input) in
+      (match (trace_path, trace) with
+      | Some path, Some events ->
+          Plr_vm.Trace.write ~path !events;
+          Printf.printf "wrote scheduler trace to %s (load at chrome://tracing)\n" path
+      | _ -> ());
+      let expected = Serial_int.full is input in
+      Printf.printf "interpreted in %.1f ms (wall clock)\n" (dt *. 1e3);
+      Printf.printf "validation vs serial: %s\n"
+        (match Serial_int.validate ~expected output with
+        | Ok () -> "PASSED"
+        | Error m -> "FAILED — " ^ m)
+  | `Float ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let input = random_f32_input n in
+      let plan =
+        match (threads, x) with
+        | Some t, Some xv -> Kg_f32.P.compile_with ~spec ~n ~threads_per_block:t ~x:xv fs
+        | _ -> Kg_f32.P.compile ~spec ~n fs
+      in
+      describe plan.Kg_f32.P.threads_per_block plan.Kg_f32.P.x (Kg_f32.P.num_chunks plan);
+      let trace = Option.map (fun _ -> ref []) trace_path in
+      let output, dt = time_wall (fun () -> Kg_f32.run ~sched ?trace ~spec plan input) in
+      (match (trace_path, trace) with
+      | Some path, Some events ->
+          Plr_vm.Trace.write ~path !events;
+          Printf.printf "wrote scheduler trace to %s (load at chrome://tracing)\n" path
+      | _ -> ());
+      let expected = Serial_f32.full fs input in
+      Printf.printf "interpreted in %.1f ms (wall clock)\n" (dt *. 1e3);
+      Printf.printf "validation vs serial: %s\n"
+        (match Serial_f32.validate ~tol:1e-3 ~expected output with
+        | Ok () -> "PASSED"
+        | Error m -> "FAILED — " ^ m)
+
+(* ---------------------------------------------------------------- tune *)
+
+module Tune_int = Plr_core.Tune.Make (Scalar.Int)
+module Tune_f32 = Plr_core.Tune.Make (Scalar.F32)
+
+let cmd_tune text n domain top =
+  let s = parse_signature text in
+  let print_int_candidates cands default =
+    Printf.printf "%-8s %-4s %-8s %12s %12s\n" "threads" "x" "budget" "G words/s" "vs default";
+    let show (c : Tune_int.candidate) =
+      Printf.printf "%-8d %-4d %-8d %12.2f %11.2fx\n" c.Tune_int.threads_per_block
+        c.Tune_int.x c.Tune_int.cache_budget
+        (c.Tune_int.predicted_throughput /. 1e9)
+        (c.Tune_int.predicted_throughput /. default.Tune_int.predicted_throughput)
+    in
+    List.iteri (fun i c -> if i < top then show c) cands;
+    Printf.printf "default heuristics (paper §3): threads=%d x=%d budget=%d → %.2f G words/s\n"
+      default.Tune_int.threads_per_block default.Tune_int.x
+      default.Tune_int.cache_budget
+      (default.Tune_int.predicted_throughput /. 1e9)
+  in
+  let print_f32_candidates cands default =
+    Printf.printf "%-8s %-4s %-8s %12s %12s\n" "threads" "x" "budget" "G words/s" "vs default";
+    let show (c : Tune_f32.candidate) =
+      Printf.printf "%-8d %-4d %-8d %12.2f %11.2fx\n" c.Tune_f32.threads_per_block
+        c.Tune_f32.x c.Tune_f32.cache_budget
+        (c.Tune_f32.predicted_throughput /. 1e9)
+        (c.Tune_f32.predicted_throughput /. default.Tune_f32.predicted_throughput)
+    in
+    List.iteri (fun i c -> if i < top then show c) cands;
+    Printf.printf "default heuristics (paper §3): threads=%d x=%d budget=%d → %.2f G words/s\n"
+      default.Tune_f32.threads_per_block default.Tune_f32.x
+      default.Tune_f32.cache_budget
+      (default.Tune_f32.predicted_throughput /. 1e9)
+  in
+  match resolve_domain domain s with
+  | `Int is ->
+      print_int_candidates
+        (Tune_int.candidates ~spec ~n is)
+        (Tune_int.default_candidate ~spec ~n is)
+  | `Float ->
+      let fs = Signature.map Plr_util.F32.round s in
+      print_f32_candidates
+        (Tune_f32.candidates ~spec ~n fs)
+        (Tune_f32.default_candidate ~spec ~n fs)
+
+(* ------------------------------------------------------------ cmdliner *)
+
+open Cmdliner
+
+let signature_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SIGNATURE"
+         ~doc:"Recurrence signature, e.g. '(1: 2, -1)'.")
+
+let domain_arg =
+  let flags =
+    [ (Force_int, Arg.info [ "int" ] ~doc:"Force the integer pipeline.");
+      (Force_float, Arg.info [ "float" ] ~doc:"Force the float32 pipeline.") ]
+  in
+  Arg.(value & vflag Auto flags)
+
+let n_arg =
+  Arg.(value & opt int (1 lsl 20) & info [ "n" ] ~docv:"N"
+         ~doc:"Input length the plan/run targets.")
+
+let wrap f = try `Ok (f ()) with Failure m -> `Error (false, m)
+
+let compile_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the CUDA program to $(docv) instead of stdout.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary output.") in
+  let run text output domain n quiet =
+    wrap (fun () -> cmd_compile text output domain n quiet)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Translate a signature into CUDA code")
+    Term.(ret (const run $ signature_arg $ output $ domain_arg $ n_arg $ quiet))
+
+let run_cmd =
+  let backend =
+    Arg.(value
+         & opt (enum [ ("sim", Sim); ("cpu", Cpu); ("serial", Serial_backend) ]) Sim
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Execution backend: modeled GPU (sim), multicore CPU, or serial.")
+  in
+  let opts_off =
+    Arg.(value & flag & info [ "no-opts" ]
+           ~doc:"Disable the correction-factor optimizations (Figure 10's baseline).")
+  in
+  let run text n backend domain opts_off =
+    wrap (fun () -> cmd_run text n backend domain opts_off)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compute a recurrence and validate against the serial code")
+    Term.(ret (const run $ signature_arg $ n_arg $ backend $ domain_arg $ opts_off))
+
+let info_cmd =
+  let run text n domain = wrap (fun () -> cmd_info text n domain) in
+  Cmd.v (Cmd.info "info" ~doc:"Show classification, plan, and specializations")
+    Term.(ret (const run $ signature_arg $ n_arg $ domain_arg))
+
+let tune_cmd =
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
+           ~doc:"Show the $(docv) best configurations.")
+  in
+  let run text n domain top = wrap (fun () -> cmd_tune text n domain top) in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Auto-tune the launch shape against the paper's default heuristics")
+    Term.(ret (const run $ signature_arg $ n_arg $ domain_arg $ top))
+
+let execute_cmd =
+  let threads =
+    Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"T"
+           ~doc:"Override the threads-per-block heuristic (power of two).")
+  in
+  let x =
+    Arg.(value & opt (some int) None & info [ "x" ] ~docv:"X"
+           ~doc:"Override the values-per-thread heuristic.")
+  in
+  let sched =
+    Arg.(value & opt string "rr" & info [ "sched" ] ~docv:"POLICY"
+           ~doc:"Warp scheduling policy: rr, reversed, or a random seed.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome-trace JSON of the warp scheduling to $(docv).")
+  in
+  let run text n domain threads x sched trace_path =
+    wrap (fun () -> cmd_execute text n domain threads x sched trace_path)
+  in
+  Cmd.v
+    (Cmd.info "execute"
+       ~doc:"Interpret the generated kernel on the SIMT VM and validate it")
+    Term.(
+      ret (const run $ signature_arg $ n_arg $ domain_arg $ threads $ x $ sched $ trace))
+
+let () =
+  let doc = "PLR — automatic hierarchical parallelization of linear recurrences" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "plr" ~doc)
+          [ compile_cmd; run_cmd; info_cmd; tune_cmd; execute_cmd ]))

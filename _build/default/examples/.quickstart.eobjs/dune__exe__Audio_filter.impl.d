@@ -1,0 +1,1 @@
+examples/audio_filter.ml: Array Plr_core Plr_filters Plr_gpusim Plr_serial Plr_util Printf Signature

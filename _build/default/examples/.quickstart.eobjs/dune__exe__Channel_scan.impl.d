@@ -1,0 +1,1 @@
+examples/channel_scan.ml: Array Classify Parse Plr_core Plr_gpusim Plr_multicore Plr_serial Plr_util Printf Signature

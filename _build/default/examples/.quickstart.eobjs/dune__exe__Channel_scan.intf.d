@@ -1,0 +1,1 @@
+examples/channel_scan.mli:

@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: Array Filename List Parse Plr_codegen Plr_gpusim Plr_serial Plr_util Printf Signature String Sys Table1 Unix

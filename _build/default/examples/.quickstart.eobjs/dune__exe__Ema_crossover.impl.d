@@ -1,0 +1,1 @@
+examples/ema_crossover.ml: Array Float List Plr_filters Plr_multicore Plr_serial Plr_util Printf Signature

@@ -1,0 +1,1 @@
+examples/ema_crossover.mli:

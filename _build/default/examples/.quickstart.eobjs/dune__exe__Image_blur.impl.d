@@ -1,0 +1,1 @@
+examples/image_blur.ml: List Plr_image Plr_util Printf Unix

@@ -1,0 +1,1 @@
+examples/peak_envelope.ml: Array Plr_core Plr_gpusim Plr_multicore Plr_nnacci Plr_serial Plr_util Printf Signature String

@@ -1,0 +1,1 @@
+examples/peak_envelope.mli:

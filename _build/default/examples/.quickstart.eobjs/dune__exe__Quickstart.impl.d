@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Classify List Parse Plr_codegen Plr_core Plr_gpusim Plr_serial Plr_util Printf Signature String

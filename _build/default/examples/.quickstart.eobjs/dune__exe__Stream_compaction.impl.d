@@ -1,0 +1,1 @@
+examples/stream_compaction.ml: Array List Plr_codegen Plr_core Plr_gpusim Plr_serial Plr_util Printf Signature

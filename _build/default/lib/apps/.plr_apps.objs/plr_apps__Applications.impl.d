@@ -1,0 +1,1 @@
+lib/apps/applications.ml: Array List Plr_multicore Plr_util Scan Signature

@@ -1,0 +1,1 @@
+lib/apps/scan.ml: Array Plr_multicore Plr_util Signature

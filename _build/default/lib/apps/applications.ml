@@ -1,0 +1,116 @@
+let compact ~keep values =
+  let flags = Array.map (fun v -> if keep v then 1 else 0) values in
+  let pos = Scan.exclusive flags in
+  let n_out = Scan.total flags in
+  if n_out = 0 then [||]
+  else begin
+    let out = Array.make n_out values.(0) in
+    Array.iteri (fun i v -> if flags.(i) = 1 then out.(pos.(i)) <- v) values;
+    out
+  end
+
+let split ~flags values =
+  let n = Array.length values in
+  if Array.length flags <> n then invalid_arg "split: length mismatch";
+  if n = 0 then ([||], 0)
+  else begin
+    let f0 = Array.map (fun f -> if f then 0 else 1) flags in
+    let pos_false = Scan.exclusive f0 in
+    let n_false = Scan.total f0 in
+    let f1 = Array.map (fun f -> if f then 1 else 0) flags in
+    let pos_true = Scan.exclusive f1 in
+    let out = Array.make n values.(0) in
+    Array.iteri
+      (fun i v ->
+        let dst = if flags.(i) then n_false + pos_true.(i) else pos_false.(i) in
+        out.(dst) <- v)
+      values;
+    (out, n_false)
+  end
+
+let bits_needed values =
+  let m = Array.fold_left max 0 values in
+  let rec go b = if m lsr b = 0 then b else go (b + 1) in
+  max 1 (go 0)
+
+let radix_sort ?bits values =
+  if Array.exists (fun v -> v < 0) values then
+    invalid_arg "radix_sort: negative values unsupported";
+  let bits = match bits with Some b -> b | None -> bits_needed values in
+  let rec pass arr b =
+    if b >= bits then arr
+    else begin
+      let flags = Array.map (fun v -> (v lsr b) land 1 = 1) arr in
+      let arr, _ = split ~flags arr in
+      pass arr (b + 1)
+    end
+  in
+  pass (Array.copy values) 0
+
+let histogram ~buckets values =
+  if buckets <= 0 then invalid_arg "histogram: need at least one bucket";
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= buckets then invalid_arg "histogram: value out of range";
+      counts.(v) <- counts.(v) + 1)
+    values;
+  counts
+
+let bucket_offsets ~counts = Scan.exclusive counts
+
+let counting_sort ~buckets values =
+  let counts = histogram ~buckets values in
+  let offsets = Array.copy (bucket_offsets ~counts) in
+  let out = Array.make (Array.length values) 0 in
+  Array.iter
+    (fun v ->
+      out.(offsets.(v)) <- v;
+      offsets.(v) <- offsets.(v) + 1)
+    values;
+  out
+
+let run_length_encode values =
+  let n = Array.length values in
+  if n = 0 then []
+  else begin
+    (* change flags → scan gives a run index per element *)
+    let flags =
+      Array.init n (fun i -> if i = 0 || values.(i) <> values.(i - 1) then 1 else 0)
+    in
+    let run_idx = Scan.inclusive flags in
+    let runs = run_idx.(n - 1) in
+    let starts = Array.make runs 0 in
+    Array.iteri (fun i f -> if f = 1 then starts.(run_idx.(i) - 1) <- i) flags;
+    List.init runs (fun r ->
+        let s = starts.(r) in
+        let e = if r + 1 < runs then starts.(r + 1) else n in
+        (values.(s), e - s))
+  end
+
+let run_length_decode runs =
+  Array.concat (List.map (fun (v, len) -> Array.make len v) runs)
+
+module Multicore_f = Plr_multicore.Multicore.Make (Plr_util.Scalar.F64)
+module Multicore_i = Plr_multicore.Multicore.Make (Plr_util.Scalar.Int)
+
+let polynomial_eval ~z coeffs =
+  let n = Array.length coeffs in
+  if n = 0 then 0.0
+  else if z = 0.0 then coeffs.(n - 1) (* (1 : 0) is a map, not a recurrence *)
+  else begin
+    let s =
+      Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:[| 1.0 |] ~feedback:[| z |]
+    in
+    (Multicore_f.run s coeffs).(n - 1)
+  end
+
+let lcg_sequence ~a ~c ~seed n =
+  if n <= 0 then [||]
+  else begin
+    (* x(1) = a·seed + c; x(i) = c + a·x(i-1): the (1 : a) recurrence over
+       the stream (a·seed + c, c, c, …) *)
+    let s = Signature.create ~is_zero:(fun v -> v = 0) ~forward:[| 1 |] ~feedback:[| a |] in
+    let input = Array.init n (fun i -> if i = 0 then (a * seed) + c else c) in
+    Multicore_i.run s input
+  end

@@ -1,0 +1,45 @@
+(** Prefix-sum applications (paper §1): stream compaction, split/radix
+    sorting, histograms, and run-length encoding, each parallelized through
+    the scan primitive. *)
+
+val compact : keep:('a -> bool) -> 'a array -> 'a array
+(** Stable filter: scan of 0/1 flags computes output positions. *)
+
+val split : flags:bool array -> 'a array -> 'a array * int
+(** Blelloch's split: stable partition by flag (false-elements first);
+    returns the partitioned array and the number of false elements. *)
+
+val radix_sort : ?bits:int -> int array -> int array
+(** LSD radix sort of non-negative integers using one {!split} per bit
+    (default [bits] = enough for the maximum value).  O(bits) scans. *)
+
+val histogram : buckets:int -> int array -> int array
+(** Counts per bucket for values in [\[0, buckets)].
+    @raise Invalid_argument on out-of-range values. *)
+
+val bucket_offsets : counts:int array -> int array
+(** Exclusive scan of bucket counts — the starting offset of each bucket in
+    a sorted layout (counting sort's second phase). *)
+
+val counting_sort : buckets:int -> int array -> int array
+(** Stable counting sort via {!histogram} + {!bucket_offsets} + scatter. *)
+
+val run_length_encode : int array -> (int * int) list
+(** Maximal runs as (value, length) pairs; run boundaries are found with a
+    scan over change flags. *)
+
+val run_length_decode : (int * int) list -> int array
+
+val polynomial_eval : z:float -> float array -> float
+(** Horner's rule as a linear recurrence: with coefficients highest degree
+    first, [y(i) = c(i) + z·y(i-1)] — the signature [(1 : z)] — evaluates
+    the polynomial at [z] (paper §1 lists polynomial evaluation among the
+    prefix-sum applications).  The whole Horner chain is computed by the
+    parallel backend. *)
+
+val lcg_sequence : a:int -> c:int -> seed:int -> int -> int array
+(** The first [n] outputs of the linear congruential generator
+    [x(i+1) = a·x(i) + c] (wrapping native-int arithmetic, as GPU integer
+    code wraps) — the inhomogeneous first-order recurrence expressed as
+    [(1 : a)] over a constant input stream (paper §1 lists pseudo
+    random-number generation among the application domains). *)

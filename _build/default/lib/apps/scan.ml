@@ -1,0 +1,12 @@
+module Multicore = Plr_multicore.Multicore.Make (Plr_util.Scalar.Int)
+
+let prefix_sum_signature =
+  Signature.create ~is_zero:(fun c -> c = 0) ~forward:[| 1 |] ~feedback:[| 1 |]
+
+let inclusive x = Multicore.run prefix_sum_signature x
+
+let exclusive x =
+  let inc = inclusive x in
+  Array.init (Array.length x) (fun i -> if i = 0 then 0 else inc.(i - 1))
+
+let total x = if Array.length x = 0 then 0 else (inclusive x).(Array.length x - 1)

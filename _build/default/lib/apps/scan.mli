@@ -1,0 +1,15 @@
+(** Scan primitives over integers, computed with the PLR recurrence
+    machinery (multicore backend).  These are the building blocks for the
+    applications the paper's introduction motivates: "prefix sums are a key
+    primitive that can be used to parallelize computations such as sorting,
+    stream compaction, polynomial evaluation, histograms, and lexical
+    analysis" (§1, citing Blelloch). *)
+
+val inclusive : int array -> int array
+(** [y(i) = Σ_{j≤i} x(j)] — the (1 : 1) recurrence. *)
+
+val exclusive : int array -> int array
+(** [y(i) = Σ_{j<i} x(j)]; same length, [y(0) = 0]. *)
+
+val total : int array -> int
+(** Sum of all elements (last element of the inclusive scan). *)

@@ -1,0 +1,1 @@
+lib/baselines/alg3.ml: Array Calibrate Grid2d Plr_gpusim Plr_util Signature

@@ -1,0 +1,1 @@
+lib/baselines/alg3.mli: Plr_gpusim Plr_util Signature

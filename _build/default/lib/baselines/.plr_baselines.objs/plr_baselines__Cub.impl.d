@@ -1,0 +1,1 @@
+lib/baselines/cub.ml: Array Calibrate Classify Plr_gpusim Plr_util

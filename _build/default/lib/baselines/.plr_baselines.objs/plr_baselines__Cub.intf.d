@@ -1,0 +1,1 @@
+lib/baselines/cub.mli: Classify Plr_gpusim Plr_util

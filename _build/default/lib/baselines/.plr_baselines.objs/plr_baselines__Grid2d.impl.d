@@ -1,0 +1,1 @@
+lib/baselines/grid2d.ml: Array List Plr_serial Plr_util Signature

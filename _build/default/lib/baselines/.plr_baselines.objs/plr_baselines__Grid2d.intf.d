@@ -1,0 +1,1 @@
+lib/baselines/grid2d.mli: Plr_util Signature

@@ -1,0 +1,1 @@
+lib/baselines/memcpy.ml: Array Plr_gpusim Plr_util

@@ -1,0 +1,1 @@
+lib/baselines/memcpy.mli: Plr_gpusim Plr_util

@@ -1,0 +1,1 @@
+lib/baselines/rec_filter.ml: Array Calibrate Grid2d Plr_gpusim Plr_util Signature

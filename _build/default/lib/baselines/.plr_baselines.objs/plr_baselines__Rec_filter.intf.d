@@ -1,0 +1,1 @@
+lib/baselines/rec_filter.mli: Plr_gpusim Plr_util Signature

@@ -1,0 +1,1 @@
+lib/baselines/sam.ml: Array Calibrate Classify List Plr_gpusim Plr_util

@@ -1,0 +1,1 @@
+lib/baselines/sam.mli: Classify Plr_gpusim Plr_util

@@ -1,0 +1,1 @@
+lib/baselines/scan.ml: Array Plr_gpusim Plr_serial Plr_util Signature

@@ -1,0 +1,1 @@
+lib/baselines/scan.mli: Plr_gpusim Plr_util Signature

@@ -1,0 +1,124 @@
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+let name = "Alg3"
+
+exception Unsupported of string
+
+let supports (s : float Signature.t) = Signature.fir_taps s = 1
+
+let max_n = 512 * 1024 * 1024 (* 2 GB of 4-byte words *)
+
+let tile_w = 32
+let mib = 1024.0 *. 1024.0
+let words_2_26 = float_of_int (1 lsl 26)
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Buf = Plr_gpusim.Buffer.Make (S)
+  module G = Grid2d.Make (S)
+
+  type result = {
+    output : S.t array;
+    width : int;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Device.t;
+  }
+
+  let reference s ~w image =
+    G.filter_rows_anticausal s ~w (G.filter_rows s ~w image)
+
+  (* Border-carry traffic scales with the order and the tile count; the
+     constants reproduce the paper's Table 3 rows at 2^26 words. *)
+  let border_read_bytes ~n ~order =
+    ((40.5 *. float_of_int order) -. 2.0) *. mib *. (float_of_int n /. words_2_26)
+
+  let workload ~spec ~n ~order =
+    let input_bytes = float_of_int (n * S.bytes) in
+    let fits_l2 = n * S.bytes <= spec.Spec.l2_bytes * 9 / 10 in
+    let second_read_dram = if fits_l2 then 0.0 else input_bytes in
+    let second_read_l2 = if fits_l2 then input_bytes else 0.0 in
+    let w, h = Grid2d.dims ~n in
+    let tiles = (w / tile_w) * (h / tile_w) in
+    let k = order in
+    {
+      Cost.zero_workload with
+      (* read input twice; write the intermediate and the final image *)
+      Cost.dram_read_bytes =
+        input_bytes +. second_read_dram +. border_read_bytes ~n ~order;
+      dram_write_bytes = 2.0 *. input_bytes;
+      l2_extra_bytes = second_read_l2;
+      (* two filter directions: 2·(mul+add per order) per pixel *)
+      compute_slots = float_of_int (2 * 2 * (k + 1) * n);
+      shared_ops = float_of_int (2 * n);
+      aux_ops = float_of_int (4 * k * tiles);
+      atomic_ops = 0.0;
+      launches = 2;
+      blocks = max 1 tiles;
+      threads_per_block = 256;
+      regs_per_thread = 32 + (8 * k);
+      (* carries chain across the tiles of a row; rows run in parallel *)
+      chain_hops = max 1 (w / tile_w);
+      bw_derate = Calibrate.alg3_derate k;
+    }
+
+  let predict ~spec ~n ~order = workload ~spec ~n ~order
+
+  let predicted_throughput ~spec ~n ~order =
+    Cost.throughput ~n ~time_s:(Cost.time spec (predict ~spec ~n ~order))
+
+  let run ?(with_l2 = false) ~spec (s : S.t Signature.t) input =
+    if Array.length s.Signature.forward <> 1 then
+      raise (Unsupported "Alg3 supports a single non-recursive coefficient");
+    let w, h = Grid2d.dims ~n:(Array.length input) in
+    let n = w * h in
+    let image = Array.sub input 0 n in
+    let k = Signature.order s in
+    let dev = Device.create ~with_l2 spec in
+    Device.launch dev;
+    let src = Buf.of_array dev Device.Main image in
+    let inter = Buf.alloc dev Device.Main n in
+    let dst = Buf.alloc dev Device.Main n in
+    ignore (Device.alloc dev Device.Aux ~bytes:(4 * k * (n / tile_w) * S.bytes));
+    (* Pass 1: read the input, collect block borders (modeled), write the
+       causal intermediate. *)
+    let causal = G.filter_rows s ~w image in
+    for i = 0 to n - 1 do
+      ignore (Buf.get src i);
+      Device.ops dev ~adds:(k + 1) ~muls:(k + 1);
+      Buf.set inter i causal.(i)
+    done;
+    Device.launch dev;
+    (* Pass 2: re-read the input/intermediate, apply the anticausal
+       direction, write the final image. *)
+    let final = G.filter_rows_anticausal s ~w causal in
+    for i = 0 to n - 1 do
+      ignore (Buf.get inter i);
+      Device.ops dev ~adds:(k + 1) ~muls:(k + 1);
+      Buf.set dst i final.(i)
+    done;
+    let wl = workload ~spec ~n ~order:k in
+    let time_s = Cost.time spec wl in
+    {
+      output = Buf.to_array dst;
+      width = w;
+      counters = Device.counters dev;
+      workload = wl;
+      time_s;
+      throughput = Cost.throughput ~n ~time_s;
+      device = dev;
+    }
+
+  let memory_usage_bytes ~n ~order =
+    (* input + output + full-size intermediate + border arrays *)
+    (2 * n * S.bytes) + (n * S.bytes)
+    + int_of_float
+        ((2.3 +. (16.0 *. float_of_int order)) *. mib *. (float_of_int n /. words_2_26))
+
+  let l2_read_miss_bytes ~n ~order =
+    (2.0 *. float_of_int (n * S.bytes)) +. border_read_bytes ~n ~order
+end

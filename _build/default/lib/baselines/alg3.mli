@@ -1,0 +1,50 @@
+(** The Alg3 baseline (Nehab et al., SIGGRAPH Asia'11): overlapped
+    block-parallel 2D recursive filtering.
+
+    Alg3 fuses the causal and anticausal row passes, but still filters in
+    both horizontal directions (the paper could not disable the second
+    direction, §5) and reads the input image twice — once to collect
+    block-border carries and once to produce the final result — which is
+    why it stops scaling once the image exceeds the L2 cache (§6.5).
+    It only supports filters with a single non-recursive coefficient. *)
+
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+val name : string
+
+exception Unsupported of string
+
+val supports : float Signature.t -> bool
+(** True for signatures with exactly one feed-forward coefficient. *)
+
+val max_n : int
+(** 2 GB of 4-byte words (§6.2.1). *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type result = {
+    output : S.t array;       (** causal+anticausal row-filtered image *)
+    width : int;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Plr_gpusim.Device.t;
+  }
+
+  val reference : S.t Signature.t -> w:int -> S.t array -> S.t array
+  (** The serial result of Alg3's computation (both directions, row-wise)
+      — the validation target. *)
+
+  val run : ?with_l2:bool -> spec:Spec.t -> S.t Signature.t -> S.t array -> result
+  (** Input length must be a perfect [w×h] per {!Grid2d.dims}; extra
+      elements are ignored (the paper sizes its 2D inputs similarly).
+      @raise Unsupported for multi-tap filters. *)
+
+  val predict : spec:Spec.t -> n:int -> order:int -> Cost.workload
+  val predicted_throughput : spec:Spec.t -> n:int -> order:int -> float
+
+  val memory_usage_bytes : n:int -> order:int -> int
+  val l2_read_miss_bytes : n:int -> order:int -> float
+end

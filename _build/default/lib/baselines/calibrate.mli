@@ -1,0 +1,33 @@
+(** Calibrated efficiency constants for the baseline codes.
+
+    Like {!Plr_core.Derate} for PLR, these fold the microarchitectural
+    effects the counter model cannot derive into per-code bandwidth
+    factors, pinned once against the ratios reported in the paper's §6 and
+    documented in EXPERIMENTS.md.  Everything structural — bytes moved,
+    passes over the data, state sizes, L2 fit — comes from the codes
+    themselves. *)
+
+val cub_tuple_derate : int -> float
+(** Vector-typed loads and CUB's shared code base cost efficiency that
+    grows with the tuple size (§6.1.2). *)
+
+val cub_pass_derate : int -> float
+(** Efficiency of CUB's r-fold whole-scan repetition for order-r prefix
+    sums, beyond the structural r-fold traffic. *)
+
+val sam_tuple_derate : int -> float
+(** SAM's interleaved scalar scans stride the sequence by the tuple
+    size. *)
+
+val sam_order_derate : int -> float
+(** SAM repeats the computation r times in registers (§6.1.3: its lead
+    over PLR shrinks 50% → 38% → 33% for orders 2/3/4). *)
+
+val sam_small_input_boost : float
+(** Reserved; SAM's small-input advantage is modeled by its auto-tuner. *)
+
+val rec_derate : int -> float
+(** Rec's fused 2D tiles (order-dependent, weaker than PLR's: §6.2.1). *)
+
+val alg3_derate : int -> float
+(** Alg3's overlapped causal+anticausal passes. *)

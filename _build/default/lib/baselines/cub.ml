@@ -1,0 +1,125 @@
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+let name = "CUB"
+
+exception Unsupported of string
+
+let supports = function
+  | Classify.Prefix_sum | Classify.Tuple_prefix _ | Classify.Higher_order_prefix _ ->
+      true
+  | Classify.Recursive_filter -> false
+
+let threads_per_block = 256
+let grain = 12
+let tile_items = threads_per_block * grain
+let lookback_window = 32
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Buf = Plr_gpusim.Buffer.Make (S)
+
+  type result = {
+    output : S.t array;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Device.t;
+  }
+
+  let strategy ~kind =
+    (* passes over the data, vector stride, per-pass bandwidth derate *)
+    match kind with
+    | Classify.Prefix_sum -> (1, 1, 1.0)
+    | Classify.Tuple_prefix s -> (1, s, Calibrate.cub_tuple_derate s)
+    | Classify.Higher_order_prefix r -> (r, 1, Calibrate.cub_pass_derate r)
+    | Classify.Recursive_filter ->
+        raise (Unsupported "CUB only supports carry factors of 1 (prefix sums)")
+
+  let workload ~spec ~n ~kind =
+    let passes, _stride, derate = strategy ~kind in
+    let tiles = (n + tile_items - 1) / tile_items in
+    let bytes = float_of_int (passes * n * S.bytes) in
+    let resident =
+      Spec.resident_blocks spec ~threads_per_block ~regs_per_thread:32
+    in
+    let window = min lookback_window resident in
+    {
+      Cost.zero_workload with
+      Cost.dram_read_bytes = bytes;
+      dram_write_bytes = bytes;
+      (* raking upsweep + downsweep: ~2 adds per item per pass *)
+      compute_slots = float_of_int (2 * passes * n);
+      shared_ops = float_of_int (passes * n / 8);
+      shuffle_ops = float_of_int (passes * n / grain);
+      aux_ops = float_of_int (passes * tiles * 4);
+      atomic_ops = float_of_int (passes * tiles);
+      launches = passes;
+      blocks = tiles;
+      threads_per_block;
+      regs_per_thread = 32;
+      chain_hops = passes * ((tiles + window - 1) / window);
+      bw_derate = derate;
+    }
+
+  let predict ~spec ~n ~kind = workload ~spec ~n ~kind
+
+  let predicted_throughput ~spec ~n ~kind =
+    Cost.throughput ~n ~time_s:(Cost.time spec (predict ~spec ~n ~kind))
+
+  (* One tiled chained-scan pass computing y(i) = x(i) + y(i-stride); the
+     running vector of the last [stride] values crosses tiles the way the
+     decoupled look-back hands carries forward. *)
+  let scan_pass dev ~stride src dst =
+    let n = Buf.length src in
+    let carry = Array.make stride S.zero in
+    let tiles = (n + tile_items - 1) / tile_items in
+    for tile = 0 to tiles - 1 do
+      Device.atomic dev;
+      let lo = tile * tile_items in
+      let hi = min n (lo + tile_items) in
+      for i = lo to hi - 1 do
+        let v = S.add (Buf.get src i) carry.(i mod stride) in
+        carry.(i mod stride) <- v;
+        Buf.set dst i v;
+        Device.add_op dev
+      done
+    done
+
+  let run ?(with_l2 = false) ~spec ~kind input =
+    let passes, stride, _ = strategy ~kind in
+    let n = Array.length input in
+    let dev = Device.create ~with_l2 spec in
+    let a = Buf.of_array dev Device.Main input in
+    let b = Buf.alloc dev Device.Main n in
+    let src = ref a and dst = ref b in
+    for pass = 1 to passes do
+      Device.launch dev;
+      scan_pass dev ~stride !src !dst;
+      if pass < passes then begin
+        let t = !src in
+        src := !dst;
+        dst := t
+      end
+    done;
+    let w = workload ~spec ~n ~kind in
+    let time_s = Cost.time spec w in
+    {
+      output = Buf.to_array !dst;
+      counters = Device.counters dev;
+      workload = w;
+      time_s;
+      throughput = Cost.throughput ~n ~time_s;
+      device = dev;
+    }
+
+  (* Table 2: CUB's footprint is the two buffers plus ~2 MB of kernel
+     specializations and tile descriptors, independent of the order. *)
+  let memory_usage_bytes ~n ~order:_ = (2 * n * S.bytes) + (2 * 1024 * 1024)
+
+  (* Table 3 (measured on the k-order tuple family, whose scan is a single
+     pass): cold misses of one read of the input. *)
+  let l2_read_miss_bytes ~n ~order:_ = float_of_int (n * S.bytes)
+end

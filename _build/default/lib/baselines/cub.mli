@@ -1,0 +1,50 @@
+(** The CUB baseline (Merrill's library, v1.5.1 in the paper): single-pass
+    work-efficient prefix scan with decoupled look-back and 2n data
+    movement.
+
+    Strategy per recurrence family (§6.1):
+    - standard prefix sum: one chained tiled scan;
+    - s-tuple prefix sums: one scan over s-element vectors;
+    - order-r prefix sums: the entire scan repeated r times (r-fold
+      traffic — the structural reason CUB loses to SAM and PLR here);
+    - recursive filters: unsupported (CUB only handles carry factors of 1).  *)
+
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+val name : string
+
+exception Unsupported of string
+
+val supports : Classify.kind -> bool
+
+val tile_items : int
+(** Items per tile (256 threads × 12-item grain). *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type result = {
+    output : S.t array;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Plr_gpusim.Device.t;
+  }
+
+  val run : ?with_l2:bool -> spec:Spec.t -> kind:Classify.kind -> S.t array -> result
+  (** @raise Unsupported for recursive filters. *)
+
+  val predict : spec:Spec.t -> n:int -> kind:Classify.kind -> Cost.workload
+  val predicted_throughput : spec:Spec.t -> n:int -> kind:Classify.kind -> float
+
+  val memory_usage_bytes : n:int -> order:int -> int
+  (** Buffers + the ~2 MB of kernel specializations (Table 2: CUB's usage
+      is order-independent). *)
+
+  val l2_read_miss_bytes : n:int -> order:int -> float
+  (** One cold pass over the input per scan pass would show r× misses for
+      higher orders, but the paper's Table 3 measures the 2²⁶-word input
+      where CUB is reported per recurrence order with ~256 MiB — the final
+      pass dominates reporting; see the function body. *)
+end

@@ -1,0 +1,43 @@
+(** Shared 2D-image plumbing for the Alg3 and Rec baselines.
+
+    Both codes are 2D image filters; the paper runs them on square inputs of
+    a similar total size as the 1D sequences, with side lengths that are
+    multiples of 32 (the warp size).  Rows are filtered independently, so
+    the serial reference for these codes is a per-row filter. *)
+
+let side ~n =
+  (* Largest multiple of 32 whose square does not exceed n (at least 32). *)
+  let s = int_of_float (sqrt (float_of_int n)) in
+  max 32 (s - (s mod 32))
+
+let dims ~n =
+  let w = side ~n in
+  (w, w)
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Serial = Plr_serial.Serial.Make (S)
+
+  (* Row-wise causal filter of a w×h image stored row-major. *)
+  let filter_rows (s : S.t Signature.t) ~w image =
+    let h = Array.length image / w in
+    let out = Array.make (w * h) S.zero in
+    for row = 0 to h - 1 do
+      let slice = Array.sub image (row * w) w in
+      Array.blit (Serial.full s slice) 0 out (row * w) w
+    done;
+    out
+
+  (* Row-wise anticausal (right-to-left) filter. *)
+  let filter_rows_anticausal (s : S.t Signature.t) ~w image =
+    let h = Array.length image / w in
+    let out = Array.make (w * h) S.zero in
+    for row = 0 to h - 1 do
+      let slice = Array.sub image (row * w) w in
+      let rev = Array.of_list (List.rev (Array.to_list slice)) in
+      let filt = Serial.full s rev in
+      for i = 0 to w - 1 do
+        out.((row * w) + i) <- filt.(w - 1 - i)
+      done
+    done;
+    out
+end

@@ -1,0 +1,20 @@
+(** Shared 2D-image plumbing for the Alg3 and Rec baselines.
+
+    Both codes are 2D image filters; the paper runs them on square inputs
+    of a similar total size as the 1D sequences, with side lengths that are
+    multiples of 32 (the warp size, §5).  Rows are filtered independently,
+    so the serial reference for these codes is a per-row filter. *)
+
+val side : n:int -> int
+(** Largest multiple of 32 whose square does not exceed [n] (≥ 32). *)
+
+val dims : n:int -> int * int
+(** [(width, height)] of the square image used for an n-word input. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val filter_rows : S.t Signature.t -> w:int -> S.t array -> S.t array
+  (** Row-wise causal filter of a row-major [w × h] image. *)
+
+  val filter_rows_anticausal : S.t Signature.t -> w:int -> S.t array -> S.t array
+  (** Right-to-left row-wise pass. *)
+end

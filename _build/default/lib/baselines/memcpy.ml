@@ -1,0 +1,48 @@
+(** The paper's throughput upper bound: a GPU-to-GPU copy of the sequence.
+    Any code that reads each input once and writes each output once cannot
+    beat it. *)
+
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Cost = Plr_gpusim.Cost
+
+let name = "memcpy"
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Buf = Plr_gpusim.Buffer.Make (S)
+
+  type result = {
+    output : S.t array;
+    counters : Plr_gpusim.Counters.t;
+    time_s : float;
+    throughput : float;
+    device : Device.t;
+  }
+
+  let run ?(with_l2 = false) ~spec input =
+    let n = Array.length input in
+    let dev = Device.create ~with_l2 spec in
+    Device.launch dev;
+    let src = Buf.of_array dev Device.Main input in
+    let dst = Buf.alloc dev Device.Main n in
+    for i = 0 to n - 1 do
+      Buf.set dst i (Buf.get src i)
+    done;
+    let time_s = Cost.time spec (Cost.memcpy_workload spec ~n ~word_bytes:S.bytes) in
+    {
+      output = Buf.to_array dst;
+      counters = Device.counters dev;
+      time_s;
+      throughput = Cost.throughput ~n ~time_s;
+      device = dev;
+    }
+
+  let predict ~spec ~n = Cost.memcpy_workload spec ~n ~word_bytes:S.bytes
+
+  let predicted_throughput ~spec ~n =
+    Cost.throughput ~n ~time_s:(Cost.time spec (predict ~spec ~n))
+
+  (* Input + output buffers only — the 109.5 MB CUDA baseline is added by
+     the caller, like for every other code. *)
+  let memory_usage_bytes ~n = 2 * n * S.bytes
+end

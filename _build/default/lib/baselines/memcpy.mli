@@ -1,0 +1,27 @@
+(** The paper's throughput upper bound: a GPU-to-GPU copy of the sequence.
+    Any code that reads each input value once and writes each output value
+    once cannot beat it (§6.1.1). *)
+
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Cost = Plr_gpusim.Cost
+
+val name : string
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type result = {
+    output : S.t array;
+    counters : Plr_gpusim.Counters.t;
+    time_s : float;
+    throughput : float;
+    device : Device.t;
+  }
+
+  val run : ?with_l2:bool -> spec:Spec.t -> S.t array -> result
+  val predict : spec:Spec.t -> n:int -> Cost.workload
+  val predicted_throughput : spec:Spec.t -> n:int -> float
+
+  val memory_usage_bytes : n:int -> int
+  (** Input + output buffers; the 109.5 MB CUDA baseline is added by the
+      caller, like for every other code. *)
+end

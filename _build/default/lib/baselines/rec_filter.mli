@@ -1,0 +1,43 @@
+(** The Rec baseline (Chaurasia et al., HPG'15): a Halide-based code
+    generator for recursive filters over 2D tiles.
+
+    Per the paper's methodology, filtering is limited to a single horizontal
+    direction.  Rec reads the input twice (tile pass + final pass) and
+    combines tile carries serially; on inputs that fit the L2 cache the
+    second read is free, which is exactly why Rec leads PLR below one
+    million elements and loses beyond it (§6.5).  Like Alg3 it only supports
+    a single non-recursive coefficient. *)
+
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+val name : string
+
+exception Unsupported of string
+
+val supports : float Signature.t -> bool
+
+val max_n : int
+(** 1 GB of 4-byte words (§6.2.1). *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type result = {
+    output : S.t array;
+    width : int;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Plr_gpusim.Device.t;
+  }
+
+  val reference : S.t Signature.t -> w:int -> S.t array -> S.t array
+  (** Serial row-wise causal filter — the validation target. *)
+
+  val run : ?with_l2:bool -> spec:Spec.t -> S.t Signature.t -> S.t array -> result
+  val predict : spec:Spec.t -> n:int -> order:int -> Cost.workload
+  val predicted_throughput : spec:Spec.t -> n:int -> order:int -> float
+  val memory_usage_bytes : n:int -> order:int -> int
+  val l2_read_miss_bytes : n:int -> order:int -> float
+end

@@ -1,0 +1,133 @@
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+let name = "SAM"
+
+exception Unsupported of string
+
+let supports = function
+  | Classify.Prefix_sum | Classify.Tuple_prefix _ | Classify.Higher_order_prefix _ ->
+      true
+  | Classify.Recursive_filter -> false
+
+let threads_per_block = 256
+let lookback_window = 32
+let candidate_grains = [ 1; 2; 3; 4; 6; 8; 12; 16 ]
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Buf = Plr_gpusim.Buffer.Make (S)
+
+  type result = {
+    output : S.t array;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Device.t;
+    grain : int;
+  }
+
+  let family ~kind =
+    (* (order depth r, tuple stride s, derate) *)
+    match kind with
+    | Classify.Prefix_sum -> (1, 1, 1.0)
+    | Classify.Tuple_prefix s -> (1, s, Calibrate.sam_tuple_derate s)
+    | Classify.Higher_order_prefix r -> (r, 1, Calibrate.sam_order_derate r)
+    | Classify.Recursive_filter ->
+        raise (Unsupported "SAM only supports prefix-sum recurrences")
+
+  (* An r-deep accumulator costs registers, which costs occupancy — part of
+     why SAM's advantage over PLR shrinks with the order. *)
+  let regs ~r = 24 + (6 * r)
+
+  let workload_for ~spec ~n ~kind ~grain =
+    let r, _s, derate = family ~kind in
+    let tile = threads_per_block * grain in
+    let tiles = (n + tile - 1) / tile in
+    let regs_per_thread = regs ~r in
+    let resident = Spec.resident_blocks spec ~threads_per_block ~regs_per_thread in
+    let window = min lookback_window resident in
+    let bytes = float_of_int (n * S.bytes) in
+    {
+      Cost.zero_workload with
+      Cost.dram_read_bytes = bytes;
+      dram_write_bytes = bytes;
+      (* the computation repeats r times in registers *)
+      compute_slots = float_of_int (2 * r * n);
+      shared_ops = float_of_int (n / 8);
+      shuffle_ops = float_of_int (n / grain);
+      aux_ops = float_of_int (tiles * 4);
+      atomic_ops = float_of_int tiles;
+      launches = 1;
+      blocks = tiles;
+      threads_per_block;
+      regs_per_thread;
+      chain_hops = (tiles + window - 1) / window;
+      bw_derate = derate;
+    }
+
+  let tune ~spec ~n ~kind =
+    let time grain = Cost.time spec (workload_for ~spec ~n ~kind ~grain) in
+    let best =
+      List.fold_left
+        (fun (bg, bt) g ->
+          let t = time g in
+          if t < bt then (g, t) else (bg, bt))
+        (List.hd candidate_grains, time (List.hd candidate_grains))
+        (List.tl candidate_grains)
+    in
+    fst best
+
+  let predict ~spec ~n ~kind = workload_for ~spec ~n ~kind ~grain:(tune ~spec ~n ~kind)
+
+  let predicted_throughput ~spec ~n ~kind =
+    Cost.throughput ~n ~time_s:(Cost.time spec (predict ~spec ~n ~kind))
+
+  let run ?(with_l2 = false) ~spec ~kind input =
+    let r, s, _ = family ~kind in
+    let n = Array.length input in
+    let grain = tune ~spec ~n ~kind in
+    let dev = Device.create ~with_l2 spec in
+    Device.launch dev;
+    let src = Buf.of_array dev Device.Main input in
+    let dst = Buf.alloc dev Device.Main n in
+    let tile = threads_per_block * grain in
+    let tiles = (n + tile - 1) / tile in
+    (* s interleaved running accumulators, each r deep; everything in one
+       pass over the data. *)
+    let acc = Array.make_matrix s r S.zero in
+    for t = 0 to tiles - 1 do
+      Device.atomic dev;
+      let lo = t * tile in
+      let hi = min n (lo + tile) in
+      for i = lo to hi - 1 do
+        let phase = i mod s in
+        let a = acc.(phase) in
+        let v = ref (Buf.get src i) in
+        for depth = 0 to r - 1 do
+          a.(depth) <- S.add a.(depth) !v;
+          v := a.(depth);
+          Device.add_op dev
+        done;
+        Buf.set dst i !v
+      done
+    done;
+    let w = workload_for ~spec ~n ~kind ~grain in
+    let time_s = Cost.time spec w in
+    {
+      output = Buf.to_array dst;
+      counters = Device.counters dev;
+      workload = w;
+      time_s;
+      throughput = Cost.throughput ~n ~time_s;
+      device = dev;
+      grain;
+    }
+
+  (* Table 2: SAM allocates only ~1 MB beyond the buffers. *)
+  let memory_usage_bytes ~n ~order:_ = (2 * n * S.bytes) + (1024 * 1024)
+
+  let l2_read_miss_bytes ~n ~order:_ = float_of_int (n * S.bytes)
+end

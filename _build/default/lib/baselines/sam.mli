@@ -1,0 +1,49 @@
+(** The SAM baseline (Maleki, Yang & Burtscher, PLDI'16): single-pass
+    work-efficient higher-order/tuple prefix sums with 2n data movement and
+    an installation-time auto-tuner for the per-thread grain.
+
+    Strategy per recurrence family (§6.1):
+    - tuples: s independent interleaved scalar prefix sums in one pass;
+    - order-r: one pass that repeats the computation (an r-deep running
+      accumulator) but not the reading/writing — why it beats CUB there;
+    - recursive filters: unsupported.
+
+    The auto-tuner is reproduced literally: [tune] evaluates the candidate
+    grains under the cost model and picks the fastest, which is what gives
+    SAM its small-input advantage in the figures. *)
+
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+val name : string
+
+exception Unsupported of string
+
+val supports : Classify.kind -> bool
+
+val candidate_grains : int list
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type result = {
+    output : S.t array;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Plr_gpusim.Device.t;
+    grain : int;  (** the auto-tuned items-per-thread *)
+  }
+
+  val tune : spec:Spec.t -> n:int -> kind:Classify.kind -> int
+  (** Best grain for this input size under the cost model. *)
+
+  val run : ?with_l2:bool -> spec:Spec.t -> kind:Classify.kind -> S.t array -> result
+  (** @raise Unsupported for recursive filters. *)
+
+  val predict : spec:Spec.t -> n:int -> kind:Classify.kind -> Cost.workload
+  val predicted_throughput : spec:Spec.t -> n:int -> kind:Classify.kind -> float
+
+  val memory_usage_bytes : n:int -> order:int -> int
+  val l2_read_miss_bytes : n:int -> order:int -> float
+end

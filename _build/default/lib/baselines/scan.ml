@@ -1,0 +1,133 @@
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+let name = "Scan"
+
+let state_words ~order = (order * order) + order
+
+let tile_items = 256 * 12
+
+let max_n ~spec ~order =
+  (* Leave ~1 GB headroom for the driver and code, like a real process. *)
+  let budget = spec.Spec.dram_bytes - (1024 * 1024 * 1024) in
+  let per_item = 2 * state_words ~order * 4 in
+  budget / per_item
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module M = Plr_util.Smat.Make (S)
+  module Serial = Plr_serial.Serial.Make (S)
+
+  type result = {
+    output : S.t array;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Device.t;
+  }
+
+  let mul_slots =
+    match S.kind with
+    | Plr_util.Scalar.Integer -> Cost.int_mul_slots
+    | Plr_util.Scalar.Floating -> Cost.float_mul_slots
+
+  (* State-heavy threads need more registers, hurting occupancy for k ≥ 2
+     ("suffers from correspondingly higher register pressure", §6.1.2). *)
+  let regs_per_thread ~order = min 255 (24 + (8 * state_words ~order))
+
+  let workload ~spec ~n ~order =
+    let words = state_words ~order in
+    let k = order in
+    let bytes = float_of_int (n * words * S.bytes) in
+    let tiles = (n + tile_items - 1) / tile_items in
+    (* Per element: one state combine = k×k·k×k matrix product plus a
+       matrix–vector product and vector add. *)
+    let muls_per_item = float_of_int ((k * k * k) + (k * k)) in
+    let adds_per_item = float_of_int ((k * k * (k - 1)) + (k * k) + k) in
+    let combines = float_of_int (n + (2 * tiles)) in
+    let per_item_slots = (mul_slots *. muls_per_item) +. adds_per_item in
+    let threads_per_block = 256 in
+    let regs = regs_per_thread ~order in
+    let resident = Spec.resident_blocks spec ~threads_per_block ~regs_per_thread:regs in
+    {
+      Cost.zero_workload with
+      Cost.dram_read_bytes = bytes;
+      dram_write_bytes = bytes;
+      compute_slots = per_item_slots *. combines;
+      shared_ops = float_of_int (2 * n);
+      aux_ops = float_of_int (2 * k * tiles);
+      atomic_ops = float_of_int tiles;
+      launches = 1;
+      blocks = tiles;
+      threads_per_block;
+      regs_per_thread = regs;
+      chain_hops = (tiles + (min 32 resident) - 1) / min 32 resident;
+      bw_derate = 1.0;
+    }
+
+  let predict ~spec ~n (s : S.t Signature.t) =
+    workload ~spec ~n ~order:(Signature.order s)
+
+  let predicted_throughput ~spec ~n s =
+    Cost.throughput ~n ~time_s:(Cost.time spec (predict ~spec ~n s))
+
+  let run ?(with_l2 = false) ~spec (s : S.t Signature.t) input =
+    let n = Array.length input in
+    let k = Signature.order s in
+    let words = state_words ~order:k in
+    let dev = Device.create ~with_l2 spec in
+    Device.launch dev;
+    (* The two state arrays (matrix+vector per element). *)
+    let state_in_base = Device.alloc dev Device.Main ~bytes:(n * words * S.bytes) in
+    let state_out_base = Device.alloc dev Device.Main ~bytes:(n * words * S.bytes) in
+    let companion = M.companion s.Signature.feedback in
+    (* Map stage (shared with PLR; the paper's Scan uses the same code for
+       the FIR coefficients). *)
+    let t = Serial.fir ~forward:s.Signature.forward input in
+    let output = Array.make n S.zero in
+    (* Tiled scan: a running k-vector crosses tiles in ticket order; within
+       a tile every element performs one state combine. *)
+    let v = ref (M.zero_vec k) in
+    let tiles = (n + tile_items - 1) / tile_items in
+    for tile = 0 to tiles - 1 do
+      Device.atomic dev;
+      let lo = tile * tile_items in
+      let hi = min n (lo + tile_items) in
+      for i = lo to hi - 1 do
+        (* read the encoded element, combine, write the result state *)
+        for w = 0 to words - 1 do
+          Device.read dev Device.Main
+            ~addr:(state_in_base + (((i * words) + w) * S.bytes))
+            ~bytes:S.bytes;
+          Device.write dev Device.Main
+            ~addr:(state_out_base + (((i * words) + w) * S.bytes))
+            ~bytes:S.bytes
+        done;
+        let next = M.mat_vec companion !v in
+        next.(0) <- S.add next.(0) t.(i);
+        v := next;
+        output.(i) <- next.(0);
+        (* charge the full state combine the scan operator performs *)
+        Device.ops dev
+          ~adds:((k * k * (k - 1)) + (k * k) + k)
+          ~muls:((k * k * k) + (k * k))
+      done
+    done;
+    let counters = Device.counters dev in
+    let w = workload ~spec ~n ~order:k in
+    let time_s = Cost.time spec w in
+    {
+      output;
+      counters;
+      workload = w;
+      time_s;
+      throughput = Cost.throughput ~n ~time_s;
+      device = dev;
+    }
+
+  let memory_usage_bytes ~n ~order = 2 * n * state_words ~order * S.bytes
+
+  let l2_read_miss_bytes ~n ~order = float_of_int (n * state_words ~order * S.bytes)
+end

@@ -1,0 +1,48 @@
+(** The "Scan" baseline: Blelloch's general method for parallelizing any
+    linear recurrence with a prefix scan (paper §5).
+
+    Each sequence element is encoded as a k×k matrix–k-vector pair; the
+    associative combine is [(M2,v2) ∘ (M1,v1) = (M2·M1, M2·v1 + v2)], where
+    the matrix part is the companion matrix of the feedback coefficients.
+    Like the paper's implementation (their operator run under CUB), it is a
+    single-pass tiled scan over the state arrays, which makes its traffic and
+    footprint O(n·(k²+k)) — the source of its poor throughput (Figures 1–9),
+    memory usage (Table 2), and cache misses (Table 3). *)
+
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+val name : string
+
+val state_words : order:int -> int
+(** k² + k: device words per encoded element. *)
+
+val max_n : spec:Spec.t -> order:int -> int
+(** Largest input the state arrays fit in device memory — the paper notes
+    Scan tops out at 2²⁹ words for first-order recurrences. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type result = {
+    output : S.t array;
+    counters : Counters.t;
+    workload : Cost.workload;
+    time_s : float;
+    throughput : float;
+    device : Plr_gpusim.Device.t;
+  }
+
+  val run : ?with_l2:bool -> spec:Spec.t -> S.t Signature.t -> S.t array -> result
+  (** Executes the tiled matrix scan (real arithmetic, validated against the
+      serial code by tests) and charges its structural traffic. *)
+
+  val predict : spec:Spec.t -> n:int -> S.t Signature.t -> Cost.workload
+
+  val predicted_throughput : spec:Spec.t -> n:int -> S.t Signature.t -> float
+
+  val memory_usage_bytes : n:int -> order:int -> int
+  (** Two state arrays of n·(k²+k) words (Table 2). *)
+
+  val l2_read_miss_bytes : n:int -> order:int -> float
+  (** Cold misses of one pass over the state-in array (Table 3). *)
+end

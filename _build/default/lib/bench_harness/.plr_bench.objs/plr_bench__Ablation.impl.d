@@ -1,0 +1,1 @@
+lib/bench_harness/ablation.ml: Array Classify Figures List Option Parse Plr_baselines Plr_core Plr_gpusim Plr_util Printf Series Signature Table1

@@ -1,0 +1,1 @@
+lib/bench_harness/ablation.mli: Classify Plr_gpusim Series

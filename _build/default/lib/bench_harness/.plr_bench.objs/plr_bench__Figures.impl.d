@@ -1,0 +1,1 @@
+lib/bench_harness/figures.ml: Array Classify List Parse Plr_baselines Plr_core Plr_gpusim Plr_util Printf Series Signature Table1

@@ -1,0 +1,1 @@
+lib/bench_harness/figures.mli: Plr_gpusim Series Signature

@@ -1,0 +1,1 @@
+lib/bench_harness/series.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/bench_harness/series.mli: Format

@@ -1,0 +1,1 @@
+lib/bench_harness/tables.ml: Array Classify List Plr_baselines Plr_core Plr_gpusim Plr_util Printf Series Signature

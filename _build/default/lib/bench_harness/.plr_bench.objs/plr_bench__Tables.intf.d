@@ -1,0 +1,1 @@
+lib/bench_harness/tables.mli: Plr_gpusim Series

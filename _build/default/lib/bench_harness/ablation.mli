@@ -1,0 +1,41 @@
+(** Ablation benches for the design choices DESIGN.md calls out, plus the
+    supplementary results the paper mentions in prose but does not plot:
+
+    - 4-tuple prefix sums ("PLR's 4-tuple throughput is slightly higher
+      than its 3-tuple throughput", §6.1.2) and 4th-order prefix sums
+      ("on fourth-order prefix sums it outperforms CUB even more; SAM's
+      advantage shrinks to ~33%", §6.1.3);
+    - the shared-memory factor budget ("buffering more than just the first
+      1024 correction factors might boost PLR's performance", §6.1.3);
+    - the Phase 2 look-back window c (§2.2 fixes c = 32 so one warp can
+      handle the carries);
+    - the PLR parameter auto-tuner (§3 future work) against the paper's
+      default heuristics. *)
+
+module Spec = Plr_gpusim.Spec
+
+val fig_tuple4 : ?sizes:int list -> Spec.t -> Series.figure
+val fig_order4 : ?sizes:int list -> Spec.t -> Series.figure
+
+val cache_budget_sweep : ?n:int -> Spec.t -> Series.table
+(** PLR throughput (G words/s) for the order-2/3 prefix sums and the
+    2-stage low-pass under growing shared-memory factor budgets. *)
+
+val lookback_sweep : ?n:int -> Spec.t -> Series.table
+(** PLR prefix-sum throughput under Phase 2 pipeline depths c ∈ 1…64. *)
+
+val tuner_report : ?n:int -> Spec.t -> Series.table
+(** Default-heuristic vs auto-tuned modeled throughput for representative
+    recurrences. *)
+
+val workload_breakdown : ?n:int -> Spec.t -> Classify.kind -> Series.table
+(** Transparency view for one recurrence family: per code, the structural
+    quantities that drive its modeled throughput — DRAM gigabytes moved,
+    weighted compute giga-slots, auxiliary mega-ops, grid blocks, dependency
+    hops, bandwidth derate, and the resulting G words/s.  Shows *why* a
+    figure's ordering comes out the way it does. *)
+
+val cross_gpu : ?n:int -> unit -> Series.table
+(** PLR and memcpy throughput across GPU generations ({!Spec.all}) — the
+    §7 claim that the hierarchical approach carries to more parallel
+    devices. *)

@@ -1,0 +1,54 @@
+(** Reproductions of the paper's Figures 1–10: each function regenerates
+    one figure's series (throughput vs. sequence length) under the machine
+    model, using each code's predicted workload.
+
+    Correctness of the codes behind these curves is established separately
+    by the test suite (instrumented runs validated against the serial
+    algorithm at feasible sizes, and predicted counters pinned to measured
+    counters). *)
+
+module Spec = Plr_gpusim.Spec
+
+val default_sizes : int list
+(** 2¹⁴ … 2³⁰ in powers of two (§5). *)
+
+val int_family_figure :
+  id:string -> title:string -> ?sizes:int list -> Spec.t ->
+  float Signature.t -> Series.figure
+(** A Figure 1–5 style chart (memcpy, CUB, SAM, Scan, PLR) for any
+    integer prefix-sum-family signature — used for the supplementary
+    4-tuple and order-4 results. *)
+
+val fig1 : ?sizes:int list -> Spec.t -> Series.figure
+(** Prefix-sum throughput: memcpy, CUB, SAM, Scan, PLR. *)
+
+val fig2 : ?sizes:int list -> Spec.t -> Series.figure
+(** Two-tuple prefix sums. *)
+
+val fig3 : ?sizes:int list -> Spec.t -> Series.figure
+(** Three-tuple prefix sums. *)
+
+val fig4 : ?sizes:int list -> Spec.t -> Series.figure
+(** Second-order prefix sums. *)
+
+val fig5 : ?sizes:int list -> Spec.t -> Series.figure
+(** Third-order prefix sums. *)
+
+val fig6 : ?sizes:int list -> Spec.t -> Series.figure
+(** 1-stage low-pass filter: memcpy, Alg3, Rec, Scan, PLR. *)
+
+val fig7 : ?sizes:int list -> Spec.t -> Series.figure
+(** 2-stage low-pass filter. *)
+
+val fig8 : ?sizes:int list -> Spec.t -> Series.figure
+(** 3-stage low-pass filter. *)
+
+val fig9 : ?sizes:int list -> Spec.t -> Series.figure
+(** High-pass filters: memcpy, Scan1, PLR1, PLR2, PLR3. *)
+
+val fig10 : ?n:int -> Spec.t -> Series.table
+(** PLR throughput (G words/s) with and without the §3.1 optimizations on
+    the largest input, for all eleven Table 1 recurrences. *)
+
+val all_figures : ?sizes:int list -> Spec.t -> Series.figure list
+(** Figures 1–9 in order. *)

@@ -1,0 +1,118 @@
+open Bechamel
+open Toolkit
+
+module Scalar = Plr_util.Scalar
+module Spec = Plr_gpusim.Spec
+
+module Si = Plr_serial.Serial.Make (Scalar.Int)
+module Sf = Plr_serial.Serial.Make (Scalar.F32)
+module Mi = Plr_multicore.Multicore.Make (Scalar.Int)
+module Mf = Plr_multicore.Multicore.Make (Scalar.F32)
+module Ei = Plr_core.Engine.Make (Scalar.Int)
+module Scan_i = Plr_baselines.Scan.Make (Scalar.Int)
+module Ni = Plr_nnacci.Nnacci.Make (Scalar.Int)
+module Pi = Plr_core.Plan.Make (Scalar.Int)
+
+let spec = Spec.titan_x
+let n = 1 lsl 18
+
+let int_input =
+  lazy
+    (let gen = Plr_util.Splitmix.create 2024 in
+     Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-100) ~hi:100))
+
+let f32_input =
+  lazy
+    (let gen = Plr_util.Splitmix.create 2025 in
+     Array.init n (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0))
+
+let int_sig fwd fbk =
+  Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~feedback:fbk
+
+let prefix_sum = int_sig [| 1 |] [| 1 |]
+let order2 = int_sig [| 1 |] [| 2; -1 |]
+
+let lp2 =
+  Signature.map Plr_util.F32.round Table1.low_pass2.Table1.signature
+
+module Emit_i = Plr_codegen.Emit.Make (Scalar.Int)
+module Kg_i = Plr_codegen.Kernelgen.Make (Scalar.Int)
+
+let vm_plan =
+  lazy (Kg_i.P.compile_with ~spec ~n:4096 ~threads_per_block:64 ~x:2 order2)
+
+let vm_input =
+  lazy
+    (let g = Plr_util.Splitmix.create 77 in
+     Array.init 4096 (fun _ -> Plr_util.Splitmix.int_in g ~lo:(-9) ~hi:9))
+
+let tests =
+  [
+    (* Figure 1 family: the standard prefix sum. *)
+    Test.make ~name:"fig1/serial-prefix-sum"
+      (Staged.stage (fun () -> Si.full prefix_sum (Lazy.force int_input)));
+    Test.make ~name:"fig1/multicore-prefix-sum"
+      (Staged.stage (fun () -> Mi.run prefix_sum (Lazy.force int_input)));
+    Test.make ~name:"fig1/gpu-model-prefix-sum"
+      (Staged.stage (fun () -> Ei.run ~spec prefix_sum (Lazy.force int_input)));
+    (* Figure 4 family: higher-order prefix sums. *)
+    Test.make ~name:"fig4/serial-order2"
+      (Staged.stage (fun () -> Si.full order2 (Lazy.force int_input)));
+    Test.make ~name:"fig4/multicore-order2"
+      (Staged.stage (fun () -> Mi.run order2 (Lazy.force int_input)));
+    Test.make ~name:"fig4/scan-baseline-order2"
+      (Staged.stage (fun () -> Scan_i.run ~spec order2 (Lazy.force int_input)));
+    (* Figure 7 family: 2-stage low-pass filter (float32 semantics). *)
+    Test.make ~name:"fig7/serial-lp2"
+      (Staged.stage (fun () -> Sf.full lp2 (Lazy.force f32_input)));
+    Test.make ~name:"fig7/multicore-lp2"
+      (Staged.stage (fun () -> Mf.run lp2 (Lazy.force f32_input)));
+    (* Compilation path (the paper reports ~10 ms end-to-end codegen). *)
+    Test.make ~name:"compile/nnacci-factors-k3-m9216"
+      (Staged.stage (fun () ->
+           Ni.factor_lists ~feedback:[| 3; -3; 1 |] ~m:9216 ()));
+    Test.make ~name:"compile/plan-order3"
+      (Staged.stage (fun () ->
+           Pi.compile ~spec ~n:(1 lsl 26) (int_sig [| 1 |] [| 3; -3; 1 |])));
+    Test.make ~name:"compile/emit-cuda-order2"
+      (Staged.stage (fun () ->
+           Emit_i.cuda (Pi.compile ~spec ~n:(1 lsl 26) order2)));
+    (* SIMT interpretation of the generated kernel (small grid). *)
+    Test.make ~name:"vm/interpret-order2-kernel"
+      (Staged.stage (fun () ->
+           Kg_i.run ~spec (Lazy.force vm_plan) (Lazy.force vm_input)));
+  ]
+
+let run fmt =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"plr" ~fmt:"%s %s" tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Format.fprintf fmt "@[<v>measure: %s@," measure;
+      let rows =
+        Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols_result) ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) ->
+              Format.fprintf fmt "%-40s %12.1f ns/run (%8.3f ms)@," name est
+                (est /. 1e6)
+          | Some [] | None -> Format.fprintf fmt "%-40s (no estimate)@," name)
+        rows;
+      Format.fprintf fmt "@]@.")
+    merged

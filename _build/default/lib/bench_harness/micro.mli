@@ -1,0 +1,7 @@
+(** Wall-clock Bechamel benchmarks of the actual OCaml implementations —
+    one group per reproduced experiment family: the serial baseline, the
+    multicore CPU backend, the instrumented GPU-model engine, and the Scan
+    baseline, plus compilation-path costs (n-nacci factor generation and
+    plan compilation, the paper's ~10 ms code-generation claim). *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,100 @@
+type series = {
+  label : string;
+  points : (int * float option) list;
+}
+
+type figure = {
+  id : string;
+  title : string;
+  unit_label : string;
+  sizes : int list;
+  series : series list;
+}
+
+let make_series ~label ~sizes f = { label; points = List.map (fun n -> (n, f n)) sizes }
+
+let value_at s n = match List.assoc_opt n s.points with Some v -> v | None -> None
+
+let pow_label n =
+  let rec log2 v acc = if v <= 1 then acc else log2 (v / 2) (acc + 1) in
+  if n land (n - 1) = 0 then Printf.sprintf "2^%d" (log2 n 0) else string_of_int n
+
+let render fmt fig =
+  Format.fprintf fmt "=== %s: %s ===@." fig.id fig.title;
+  Format.fprintf fmt "throughput in %s@." fig.unit_label;
+  Format.fprintf fmt "%-8s" "n";
+  List.iter (fun s -> Format.fprintf fmt "%12s" s.label) fig.series;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "%-8s" (pow_label n);
+      List.iter
+        (fun s ->
+          match value_at s n with
+          | Some v -> Format.fprintf fmt "%12.2f" (v /. 1e9)
+          | None -> Format.fprintf fmt "%12s" "-")
+        fig.series;
+      Format.fprintf fmt "@.")
+    fig.sizes;
+  Format.fprintf fmt "@."
+
+type table = {
+  tid : string;
+  ttitle : string;
+  row_labels : string list;
+  col_labels : string list;
+  cells : float option array array;
+}
+
+let figure_to_csv fig =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    ("n," ^ String.concat "," (List.map (fun s -> s.label) fig.series) ^ "\n");
+  List.iter
+    (fun n ->
+      Buffer.add_string b (string_of_int n);
+      List.iter
+        (fun s ->
+          Buffer.add_char b ',';
+          match value_at s n with
+          | Some v -> Buffer.add_string b (Printf.sprintf "%.6g" v)
+          | None -> ())
+        fig.series;
+      Buffer.add_char b '\n')
+    fig.sizes;
+  Buffer.contents b
+
+let table_to_csv t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b ("," ^ String.concat "," t.col_labels ^ "\n");
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b r;
+      Array.iter
+        (fun cell ->
+          Buffer.add_char b ',';
+          match cell with
+          | Some v -> Buffer.add_string b (Printf.sprintf "%.6g" v)
+          | None -> ())
+        t.cells.(i);
+      Buffer.add_char b '\n')
+    t.row_labels;
+  Buffer.contents b
+
+let render_table fmt t =
+  Format.fprintf fmt "=== %s: %s ===@." t.tid t.ttitle;
+  Format.fprintf fmt "%-10s" "";
+  List.iter (fun c -> Format.fprintf fmt "%12s" c) t.col_labels;
+  Format.fprintf fmt "@.";
+  List.iteri
+    (fun i r ->
+      Format.fprintf fmt "%-10s" r;
+      Array.iter
+        (fun cell ->
+          match cell with
+          | Some v -> Format.fprintf fmt "%12.1f" v
+          | None -> Format.fprintf fmt "%12s" "-")
+        t.cells.(i);
+      Format.fprintf fmt "@.")
+    t.row_labels;
+  Format.fprintf fmt "@."

@@ -1,0 +1,43 @@
+(** Result containers and text rendering for the reproduced figures and
+    tables. *)
+
+type series = {
+  label : string;
+  points : (int * float option) list;
+      (** (input size, throughput in words/s); [None] where the code does
+          not support the size *)
+}
+
+type figure = {
+  id : string;        (** e.g. "fig1" *)
+  title : string;     (** the paper's caption *)
+  unit_label : string;
+  sizes : int list;
+  series : series list;
+}
+
+val make_series : label:string -> sizes:int list -> (int -> float option) -> series
+
+val value_at : series -> int -> float option
+
+val render : Format.formatter -> figure -> unit
+(** Prints the figure as an aligned table: one row per input size, one
+    column per code, throughput in billions of words per second (the
+    paper's y-axis). *)
+
+type table = {
+  tid : string;
+  ttitle : string;
+  row_labels : string list;      (** e.g. "order 1".."order 3" *)
+  col_labels : string list;      (** code names *)
+  cells : float option array array;  (** MiB values *)
+}
+
+val render_table : Format.formatter -> table -> unit
+
+val figure_to_csv : figure -> string
+(** One header row ([n,<code>,…]) then one row per input size; throughput
+    in raw words/s; empty cells for unsupported sizes. *)
+
+val table_to_csv : table -> string
+

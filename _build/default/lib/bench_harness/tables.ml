@@ -1,0 +1,94 @@
+module Spec = Plr_gpusim.Spec
+module Device = Plr_gpusim.Device
+module Cache = Plr_gpusim.Cache
+module Scalar = Plr_util.Scalar
+
+module Ei = Plr_core.Engine.Make (Scalar.Int)
+module Ef = Plr_core.Engine.Make (Scalar.F32)
+module Cub_i = Plr_baselines.Cub.Make (Scalar.Int)
+module Sam_i = Plr_baselines.Sam.Make (Scalar.Int)
+module Scan_i = Plr_baselines.Scan.Make (Scalar.Int)
+module Alg3_f = Plr_baselines.Alg3.Make (Scalar.F32)
+module Rec_f = Plr_baselines.Rec_filter.Make (Scalar.F32)
+module Memcpy_i = Plr_baselines.Memcpy.Make (Scalar.Int)
+
+let table2_n = 1 lsl 26
+
+let mib = 1024.0 *. 1024.0
+
+(* The paper's Table 2/3 rows depend only on the recurrence order; we use
+   the order-k tuple signatures for the prefix-sum codes and the k-stage
+   low-pass filters for the 2D codes, like the evaluation does. *)
+let order_signature k = Signature.map int_of_float (Classify.tuple_signature k)
+let order_kind k = if k = 1 then Classify.Prefix_sum else Classify.Tuple_prefix k
+
+let orders = [ 1; 2; 3 ]
+
+let table2 ?(n = table2_n) spec =
+  let base = float_of_int Device.baseline_alloc_bytes in
+  let to_mib bytes = (float_of_int bytes +. base) /. mib in
+  let row k =
+    [|
+      Some (to_mib (Ei.memory_usage_bytes ~spec ~n (order_signature k)));
+      Some (to_mib (Cub_i.memory_usage_bytes ~n ~order:k));
+      Some (to_mib (Sam_i.memory_usage_bytes ~n ~order:k));
+      Some (to_mib (Scan_i.memory_usage_bytes ~n ~order:k));
+      Some (to_mib (Alg3_f.memory_usage_bytes ~n ~order:k));
+      Some (to_mib (Rec_f.memory_usage_bytes ~n ~order:k));
+      Some (to_mib (Memcpy_i.memory_usage_bytes ~n));
+    |]
+  in
+  {
+    Series.tid = "tab2";
+    ttitle = Printf.sprintf "Total GPU memory usage in MiB (n = %d words)" n;
+    row_labels = List.map (Printf.sprintf "order %d") orders;
+    col_labels = [ "PLR"; "CUB"; "SAM"; "Scan"; "Alg3"; "Rec"; "memcpy" ];
+    cells = Array.of_list (List.map row orders);
+  }
+
+let table3 ?(n = table2_n) spec =
+  let plr_misses k =
+    (* PLR's read misses are the cold input read plus the factor tables. *)
+    let w = Ei.predict ~spec ~n (order_signature k) in
+    w.Plr_gpusim.Cost.dram_read_bytes /. mib
+  in
+  let row k =
+    [|
+      Some (plr_misses k);
+      Some (Cub_i.l2_read_miss_bytes ~n ~order:k /. mib);
+      Some (Sam_i.l2_read_miss_bytes ~n ~order:k /. mib);
+      Some (Scan_i.l2_read_miss_bytes ~n ~order:k /. mib);
+      Some (Alg3_f.l2_read_miss_bytes ~n ~order:k /. mib);
+      Some (Rec_f.l2_read_miss_bytes ~n ~order:k /. mib);
+    |]
+  in
+  {
+    Series.tid = "tab3";
+    ttitle =
+      Printf.sprintf "L2 cache read misses converted into MiB (n = %d words)" n;
+    row_labels = List.map (Printf.sprintf "order %d") orders;
+    col_labels = [ "PLR"; "CUB"; "SAM"; "Scan"; "Alg3"; "Rec" ];
+    cells = Array.of_list (List.map row orders);
+  }
+
+let measured_l2_read_miss_mib spec ~order ~n ~code =
+  let miss_bytes device =
+    match Device.l2 device with
+    | Some l2 -> float_of_int (Cache.read_miss_bytes l2) /. mib
+    | None -> invalid_arg "device has no L2 simulator"
+  in
+  let gen = Plr_util.Splitmix.create 97 in
+  let input = Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9) in
+  match code with
+  | `Plr ->
+      let r = Ei.run ~with_l2:true ~spec (order_signature order) input in
+      miss_bytes r.Ei.device
+  | `Cub ->
+      let r = Cub_i.run ~with_l2:true ~spec ~kind:(order_kind order) input in
+      miss_bytes r.Cub_i.device
+  | `Sam ->
+      let r = Sam_i.run ~with_l2:true ~spec ~kind:(order_kind order) input in
+      miss_bytes r.Sam_i.device
+  | `Scan ->
+      let r = Scan_i.run ~with_l2:true ~spec (order_signature order) input in
+      miss_bytes r.Scan_i.device

@@ -1,0 +1,21 @@
+(** Reproductions of the paper's Table 2 (total GPU memory usage) and
+    Table 3 (L2 cache read misses) for the 2²⁶-word input. *)
+
+module Spec = Plr_gpusim.Spec
+
+val table2_n : int
+(** 67,108,864 words — the largest input every evaluated code supports. *)
+
+val table2 : ?n:int -> Spec.t -> Series.table
+(** Total GPU memory usage in MiB (including the CUDA baseline allocation),
+    per code, for recurrence orders 1–3. *)
+
+val table3 : ?n:int -> Spec.t -> Series.table
+(** L2 read misses converted into MiB (miss count × 32-byte lines), per
+    code, for orders 1–3. *)
+
+val measured_l2_read_miss_mib :
+  Spec.t -> order:int -> n:int -> code:[ `Plr | `Cub | `Sam | `Scan ] -> float
+(** Actually runs the given code at a (smaller) size with the L2 simulator
+    attached and reports measured read-miss MiB — used by tests to pin the
+    closed-form Table 3 entries to cache-simulated executions. *)

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Kernelgen List Plr_core Plr_nnacci Plr_util Plr_vm Printf Signature Specialize String

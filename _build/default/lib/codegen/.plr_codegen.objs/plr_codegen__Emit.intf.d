@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Plr_core Plr_util

@@ -1,0 +1,1 @@
+lib/codegen/kernelgen.ml: Array Fun List Plr_core Plr_util Plr_vm Printf Signature Specialize

@@ -1,0 +1,1 @@
+lib/codegen/kernelgen.mli: Plr_core Plr_gpusim Plr_util Plr_vm

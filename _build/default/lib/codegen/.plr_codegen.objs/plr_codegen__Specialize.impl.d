@@ -1,0 +1,1 @@
+lib/codegen/specialize.ml: Array Plr_core Plr_nnacci Plr_util

@@ -1,0 +1,36 @@
+(** The PLR CUDA back end: translates a compiled {!Plr_core.Plan} into a
+    complete CUDA program, emitting the eight code sections the paper
+    describes in §3:
+
+    1. constant correction-factor arrays (specialized per factor analysis:
+       all-equal lists become compile-time constants, zero/one lists become
+       conditional-add code, repeating lists store one period, decayed lists
+       are truncated at the zero tail);
+    2. kernel prologue — chunk-ticket acquisition and input loading;
+    3. the map stage for the non-recursive coefficients (suppressed for
+       pure recurrences);
+    4. Phase 1 — per-thread serial solve, then hierarchical merging with
+       warp shuffles and shared memory;
+    5. publication of the local carries (fence + ready flag);
+    6. Phase 2 look-back — variable-distance carry correction and chunk
+       correction;
+    7. result emission;
+    8. a host [main] that runs the kernel, times it, and validates the
+       output against the serial CPU algorithm.
+
+    The emitted text is deterministic for a given plan. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  module P : module type of Plr_core.Plan.Make (S)
+
+  val cuda : P.t -> string
+  (** The complete translation unit. *)
+
+  val factor_initializer : P.t -> int -> string option
+  (** The C array initializer emitted for factor list [j], or [None] when
+      the list is specialized away entirely (exposed for tests). *)
+
+  val specialization_summary : P.t -> string list
+  (** One human-readable line per factor list describing the emitted
+      specialization — what the PLR CLI reports. *)
+end

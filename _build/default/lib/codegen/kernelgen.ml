@@ -1,0 +1,378 @@
+module Ast = Plr_vm.Ast
+module Interp = Plr_vm.Interp
+open Ast
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module P = Plr_core.Plan.Make (S)
+  module Sp = Specialize.Make (S)
+
+  let to_value (x : S.t) =
+    match S.kind with
+    | Plr_util.Scalar.Integer -> VI (S.to_int x)
+    | Plr_util.Scalar.Floating -> VF (S.to_float x)
+
+  let of_value = function VI i -> S.of_int i | VF f -> S.of_float f
+
+  let dlit (x : S.t) =
+    match S.kind with
+    | Plr_util.Scalar.Integer -> Int (S.to_int x)
+    | Plr_util.Scalar.Floating -> Flt (S.to_float x)
+
+  let data_zero =
+    match S.kind with
+    | Plr_util.Scalar.Integer -> Int 0
+    | Plr_util.Scalar.Floating -> Flt 0.0
+
+  (* small expression DSL *)
+  let i_ n = Int n
+  let v n = Var n
+  let ( +: ) a b = Bin (Add, a, b)
+  let ( -: ) a b = Bin (Sub, a, b)
+  let ( *: ) a b = Bin (Mul, a, b)
+  let ( /: ) a b = Bin (Div, a, b)
+  let ( %: ) a b = Bin (Mod, a, b)
+  let ( <: ) a b = Bin (Lt, a, b)
+  let ( >: ) a b = Bin (Gt, a, b)
+  let ( >=: ) a b = Bin (Ge, a, b)
+  let ( =: ) a b = Bin (Eq, a, b)
+  let band a b = Bin (BitAnd, a, b)
+  let shr a b = Bin (Shr, a, b)
+
+  let log2 n =
+    let rec go v acc = if v <= 1 then acc else go (v / 2) (acc + 1) in
+    go n 0
+
+  let factors_name j = Printf.sprintf "factors_%d" j
+  let sh_factors_name j = Printf.sprintf "sh_factors_%d" j
+
+  (* The expression loading factor (j, q), honouring the shared cache. *)
+  let factor_load (plan : P.t) j q =
+    let cached = Sp.cached_elems plan j in
+    if cached > 0 then
+      Ite (q <: i_ cached, Load (sh_factors_name j, q), Load (factors_name j, q))
+    else Load (factors_name j, q)
+
+  (* Statements adding list [j]'s correction term into scalar [acc]:
+     acc += factor(j, q) · carry. *)
+  let correct_stmts (plan : P.t) j ~q ~carry ~acc =
+    match Sp.repr plan j with
+    | Sp.Constant c ->
+        if S.is_zero c then []
+        else if S.is_one c then [ Set (acc, v acc +: carry) ]
+        else [ Set (acc, v acc +: (dlit c *: carry)) ]
+    | Sp.One_hot_period (p, ones) ->
+        let test =
+          match ones with
+          | [] -> i_ 0
+          | o :: rest ->
+              List.fold_left
+                (fun e o' -> Bin (Or, e, q %: i_ p =: i_ o'))
+                (q %: i_ p =: i_ o)
+                rest
+        in
+        [ If (test, [ Set (acc, v acc +: carry) ]) ]
+    | Sp.Periodic_table p ->
+        [ Set (acc, v acc +: (Load (factors_name j, q %: i_ p) *: carry)) ]
+    | Sp.Truncated_table z ->
+        [ If (q <: i_ z, [ Set (acc, v acc +: (factor_load plan j q *: carry)) ]) ]
+    | Sp.Full_table -> [ Set (acc, v acc +: (factor_load plan j q *: carry)) ]
+
+  (* A signature-coefficient term: acc += coeff · value (suppressed when the
+     generator knows the coefficient statically). *)
+  let coeff_stmts c ~value ~acc =
+    if S.is_zero c then []
+    else if S.is_one c then [ Set (acc, v acc +: value) ]
+    else [ Set (acc, v acc +: (dlit c *: value)) ]
+
+  let kernel (plan : P.t) : kernel =
+    if not S.exact_f64_embedding then
+      invalid_arg "Kernelgen: semiring scalars have no CUDA representation";
+    let threads = plan.P.threads_per_block in
+    if threads land (threads - 1) <> 0 then
+      invalid_arg "Kernelgen: threads per block must be a power of two";
+    let x = plan.P.x in
+    let k = plan.P.order in
+    let m = plan.P.m in
+    let chunks = P.num_chunks plan in
+    let levels = log2 threads in
+    let warp_levels = min levels 5 in
+    let tail_n = min k x in
+    let s = plan.P.signature in
+    let taps = Signature.fir_taps s in
+    (* ------------------------------------------------- array declarations *)
+    let global_arrays =
+      [ { arr_name = "chunk_counter"; arr_space = Global; arr_ty = TInt;
+          arr_size = 1; arr_init = Some [| VI 0 |]; arr_volatile = false };
+        { arr_name = "local_carries"; arr_space = Global; arr_ty = TData;
+          arr_size = chunks * k; arr_init = None; arr_volatile = false };
+        { arr_name = "global_carries"; arr_space = Global; arr_ty = TData;
+          arr_size = chunks * k; arr_init = None; arr_volatile = false };
+        { arr_name = "local_ready"; arr_space = Global; arr_ty = TInt;
+          arr_size = chunks; arr_init = None; arr_volatile = true };
+        { arr_name = "global_ready"; arr_space = Global; arr_ty = TInt;
+          arr_size = chunks; arr_init = None; arr_volatile = true } ]
+      @ List.filter_map
+          (fun j ->
+            let elems = Sp.table_elems plan j in
+            if elems = 0 then None
+            else
+              Some
+                { arr_name = factors_name j; arr_space = Global; arr_ty = TData;
+                  arr_size = elems;
+                  arr_init = Some (Array.map to_value (Array.sub plan.P.factors.(j) 0 elems));
+                  arr_volatile = false })
+          (List.init k Fun.id)
+    in
+    let shared_arrays =
+      [ { arr_name = "chunk_shared"; arr_space = Shared; arr_ty = TInt;
+          arr_size = 1; arr_init = None; arr_volatile = false };
+        { arr_name = "g_carry"; arr_space = Shared; arr_ty = TData;
+          arr_size = k; arr_init = None; arr_volatile = false } ]
+      @ (if levels > warp_levels then
+           [ { arr_name = "sh_tail"; arr_space = Shared; arr_ty = TData;
+               arr_size = threads * tail_n; arr_init = None; arr_volatile = false } ]
+         else [])
+      @ List.filter_map
+          (fun j ->
+            let cached = Sp.cached_elems plan j in
+            if cached = 0 then None
+            else
+              Some
+                { arr_name = sh_factors_name j; arr_space = Shared; arr_ty = TData;
+                  arr_size = cached; arr_init = None; arr_volatile = false })
+          (List.init k Fun.id)
+    in
+    (* -------------------------------------------------------- kernel body *)
+    let cache_loads =
+      List.concat_map
+        (fun j ->
+          let cached = Sp.cached_elems plan j in
+          if cached = 0 then []
+          else
+            [ For ("q", Tid, i_ cached, i_ threads,
+                   [ Store (sh_factors_name j, v "q", Load (factors_name j, v "q")) ]) ])
+        (List.init k Fun.id)
+    in
+    let section2 =
+      [ Comment "Section 2: acquire a chunk ticket and load its values";
+        If (Tid =: i_ 0,
+            [ Atomic_add ("ticket", "chunk_counter", i_ 1);
+              Store ("chunk_shared", i_ 0, v "ticket") ]);
+        Sync;
+        Let ("chunk", TInt, Load ("chunk_shared", i_ 0));
+        Let ("base", TInt, v "chunk" *: i_ m);
+        Let_arr ("vals", TData, x);
+        For ("i", i_ 0, i_ x, i_ 1,
+             [ Let ("idx", TInt, v "base" +: (Tid *: i_ x) +: v "i");
+               Store ("vals", v "i",
+                      Ite (v "idx" <: v "n", Load ("input", v "idx"), data_zero)) ]) ]
+    in
+    let section3 =
+      if taps = 1 && S.is_one s.Signature.forward.(0) then
+        [ Comment "Section 3: map stage suppressed (pure recurrence)" ]
+      else
+        [ Comment "Section 3: map stage (non-recursive coefficients)";
+          Let_arr ("tvals", TData, x);
+          For ("i2", i_ 0, i_ x, i_ 1,
+               [ Let ("i", TInt, i_ (x - 1) -: v "i2");
+                 Let ("idx", TInt, v "base" +: (Tid *: i_ x) +: v "i");
+                 Let ("facc", TData, data_zero);
+                 If (v "idx" <: v "n",
+                     List.concat
+                       (List.filteri (fun j _ -> j < taps)
+                          (List.init taps (fun j ->
+                               let c = s.Signature.forward.(j) in
+                               if S.is_zero c then []
+                               else
+                                 [ If (v "idx" >=: i_ j,
+                                       coeff_stmts c
+                                         ~value:
+                                           (Ite (v "i" >=: i_ j,
+                                                 Load ("vals", v "i" -: i_ j),
+                                                 Load ("input", v "idx" -: i_ j)))
+                                         ~acc:"facc") ]))));
+                 Store ("tvals", v "i", v "facc") ]);
+          For ("i", i_ 0, i_ x, i_ 1, [ Store ("vals", v "i", Load ("tvals", v "i")) ]) ]
+    in
+    let serial_solve =
+      [ Comment "Section 4: Phase 1 — per-thread serial solve";
+        For ("i", i_ 1, i_ x, i_ 1,
+             [ Let ("sacc", TData, Load ("vals", v "i")) ]
+             @ List.concat
+                 (List.init k (fun j0 ->
+                      let j = j0 + 1 in
+                      let c = s.Signature.feedback.(j - 1) in
+                      if S.is_zero c then []
+                      else
+                        [ If (v "i" >=: i_ j,
+                              coeff_stmts c ~value:(Load ("vals", v "i" -: i_ j))
+                                ~acc:"sacc") ]))
+             @ [ Store ("vals", v "i", v "sacc") ]) ]
+    in
+    (* warp-level merging *)
+    let warp_level l =
+      let g = 1 lsl l in
+      let carries = List.init k Fun.id |> List.filter (fun j -> j < g * x) in
+      let shuffles =
+        List.map
+          (fun j ->
+            Let (Printf.sprintf "wc%d_%d" l j, TData,
+                 Shfl_up
+                   (Load ("vals", i_ (x - 1 - (j mod x))),
+                    band Tid (i_ (g - 1)) +: i_ (1 + (j / x)))))
+          carries
+      in
+      let correction =
+        If (band (shr Tid (i_ l)) (i_ 1) =: i_ 1,
+            [ For ("i", i_ 0, i_ x, i_ 1,
+                   [ Let ("q", TInt, (band Tid (i_ (g - 1)) *: i_ x) +: v "i");
+                     Let ("cacc", TData, Load ("vals", v "i")) ]
+                   @ List.concat_map
+                       (fun j ->
+                         correct_stmts plan j ~q:(v "q")
+                           ~carry:(v (Printf.sprintf "wc%d_%d" l j)) ~acc:"cacc")
+                       carries
+                   @ [ Store ("vals", v "i", v "cacc") ]) ])
+      in
+      Comment (Printf.sprintf "warp merge level %d (group of %d threads)" l g)
+      :: shuffles
+      @ [ correction ]
+    in
+    (* block-level merging through shared memory *)
+    let block_level l =
+      let g = 1 lsl l in
+      let pair_mask = lnot ((2 * g) - 1) land (threads - 1) in
+      let publish =
+        List.init tail_n (fun j2 ->
+            Store ("sh_tail", (Tid *: i_ tail_n) +: i_ j2,
+                   Load ("vals", i_ (x - 1 - j2))))
+      in
+      let correction =
+        If (band (shr Tid (i_ l)) (i_ 1) =: i_ 1,
+            [ Let ("bp", TInt, band Tid (i_ pair_mask)) ]
+            @ [ For ("i", i_ 0, i_ x, i_ 1,
+                     [ Let ("q", TInt, (band Tid (i_ (g - 1)) *: i_ x) +: v "i");
+                       Let ("cacc", TData, Load ("vals", v "i")) ]
+                     @ List.concat
+                         (List.init k (fun j ->
+                              let src = v "bp" +: i_ (g - 1 - (j / x)) in
+                              correct_stmts plan j ~q:(v "q")
+                                ~carry:
+                                  (Load ("sh_tail",
+                                         (src *: i_ tail_n) +: i_ (j mod x)))
+                                ~acc:"cacc"))
+                     @ [ Store ("vals", v "i", v "cacc") ]) ])
+      in
+      [ Comment (Printf.sprintf "block merge level %d (group of %d threads)" l g) ]
+      @ publish
+      @ [ Sync; correction; Sync ]
+    in
+    let merging =
+      List.concat_map warp_level (List.init warp_levels Fun.id)
+      @ List.concat_map
+          (fun l0 -> block_level (warp_levels + l0))
+          (List.init (levels - warp_levels) Fun.id)
+    in
+    let publish_carries ~array ~flag =
+      List.concat
+        (List.init k (fun j ->
+             let owner = threads - 1 - (j / x) in
+             [ If (Tid =: i_ owner,
+                   [ Store (array, (v "chunk" *: i_ k) +: i_ j,
+                            Load ("vals", i_ (x - 1 - (j mod x)))) ]) ]))
+      @ [ Fence; If (Tid =: i_ (threads - 1), [ Store (flag, v "chunk", i_ 1) ]) ]
+    in
+    let section5 =
+      Comment "Section 5: publish the local carries" :: publish_carries ~array:"local_carries" ~flag:"local_ready"
+    in
+    (* look-back carry combination, executed by thread 0 *)
+    let combine_step =
+      (* gc ← local_carries(t) corrected by gc *)
+      [ Let_arr ("ng", TData, k) ]
+      @ List.concat
+          (List.init k (fun j ->
+               let lacc = Printf.sprintf "lacc%d" j in
+               [ Let (lacc, TData, Load ("local_carries", (v "t" *: i_ k) +: i_ j)) ]
+               @ List.concat
+                   (List.init k (fun j' ->
+                        correct_stmts plan j' ~q:(i_ (m - 1 - j))
+                          ~carry:(Load ("gc", i_ j')) ~acc:lacc))
+               @ [ Store ("ng", i_ j, v lacc) ]))
+      @ List.init k (fun j -> Store ("gc", i_ j, Load ("ng", i_ j)))
+    in
+    let lookback_thread0 =
+      [ Let ("wave", TInt, v "chunk" /: i_ plan.P.lookback_window);
+        Let_arr ("gc", TData, k);
+        Let ("have", TInt, i_ 0);
+        If (v "wave" >: i_ 0,
+            [ Let ("src", TInt, (v "wave" *: i_ plan.P.lookback_window) -: i_ 1);
+              While (Load ("global_ready", v "src") =: i_ 0, [ Yield_hint ]) ]
+            @ List.init k (fun j ->
+                  Store ("gc", i_ j, Load ("global_carries", (v "src" *: i_ k) +: i_ j)))
+            @ [ Set ("have", i_ 1) ]);
+        Let ("t", TInt,
+             Ite (v "wave" >: i_ 0, v "wave" *: i_ plan.P.lookback_window, i_ 0));
+        While (v "t" <: v "chunk",
+               [ While (Load ("local_ready", v "t") =: i_ 0, [ Yield_hint ]);
+                 If_else (v "have" =: i_ 0,
+                          List.init k (fun j ->
+                              Store ("gc", i_ j,
+                                     Load ("local_carries", (v "t" *: i_ k) +: i_ j)))
+                          @ [ Set ("have", i_ 1) ],
+                          combine_step);
+                 Set ("t", v "t" +: i_ 1) ]) ]
+      @ List.init k (fun j -> Store ("g_carry", i_ j, Load ("gc", i_ j)))
+    in
+    let section6 =
+      [ Comment "Section 6: Phase 2 — variable look-back and chunk correction";
+        If (v "chunk" >: i_ 0,
+            [ If (Tid =: i_ 0, lookback_thread0); Sync;
+              For ("i", i_ 0, i_ x, i_ 1,
+                   [ Let ("q", TInt, (Tid *: i_ x) +: v "i");
+                     Let ("cacc", TData, Load ("vals", v "i")) ]
+                   @ List.concat
+                       (List.init k (fun j ->
+                            correct_stmts plan j ~q:(v "q")
+                              ~carry:(Load ("g_carry", i_ j)) ~acc:"cacc"))
+                   @ [ Store ("vals", v "i", v "cacc") ]) ]) ]
+      @ (Comment "publish the global carries"
+         :: publish_carries ~array:"global_carries" ~flag:"global_ready")
+    in
+    let section7 =
+      [ Comment "Section 7: emit the results";
+        For ("i", i_ 0, i_ x, i_ 1,
+             [ Let ("idx", TInt, v "base" +: (Tid *: i_ x) +: v "i");
+               If (v "idx" <: v "n", [ Store ("output", v "idx", Load ("vals", v "i")) ]) ]) ]
+    in
+    let cache_sync = if cache_loads = [] then [] else cache_loads @ [ Sync ] in
+    {
+      kname = "plr_kernel";
+      data_ty_name = S.ctype;
+      data_is_float = (S.kind = Plr_util.Scalar.Floating);
+      params = [ "n" ];
+      arrays = global_arrays @ shared_arrays;
+      threads;
+      body =
+        cache_sync @ section2 @ section3 @ serial_solve
+        @ [ Comment "Section 4: hierarchical merging" ]
+        @ merging @ section5 @ section6 @ section7;
+    }
+
+  let run ?sched ?trace ~spec (plan : P.t) input =
+    ignore spec;
+    let n = Array.length input in
+    if n <> plan.P.n then invalid_arg "Kernelgen.run: input length differs from plan";
+    let k = kernel plan in
+    let blocks = P.num_chunks plan in
+    let inputs = Array.map to_value input in
+    let outputs =
+      Array.make n (Ast.zero_of ~data_is_float:k.data_is_float TData)
+    in
+    let _table, _stats =
+      Interp.run_grid_stats ?sched ?trace ~kernel:k ~blocks
+        ~params:[ ("n", n) ]
+        ~globals:[ ("input", inputs); ("output", outputs) ]
+        ()
+    in
+    Array.map of_value outputs
+end

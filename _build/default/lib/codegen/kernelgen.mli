@@ -1,0 +1,37 @@
+(** Compilation of a PLR plan into an executable {!Plr_vm.Ast} kernel.
+
+    The generated kernel implements the same eight sections as the CUDA
+    emitter — ticket acquisition, chunk load, map stage, Phase 1 (per-thread
+    serial solve, warp-shuffle merging, shared-memory merging), local-carry
+    publication, Phase 2 decoupled look-back, and result emission — with the
+    same §3.1 specializations, chosen by the shared {!Specialize} logic.
+
+    Unlike the paper's fixed 32-deep carry ring, the VM kernel keeps
+    per-chunk carry/flag state (as the CUB implementation does), which makes
+    it correct under every scheduler interleaving {!Plr_vm.Interp} can throw
+    at it; the ring remains part of the machine model's memory accounting.
+
+    {!run} closes the loop: it launches the generated kernel on the SIMT
+    interpreter and returns the output sequence, so tests can validate the
+    compiler's output by execution, not just by inspection. *)
+
+module Ast = Plr_vm.Ast
+module Interp = Plr_vm.Interp
+
+module Make (S : Plr_util.Scalar.S) : sig
+  module P : module type of Plr_core.Plan.Make (S)
+
+  val kernel : P.t -> Ast.kernel
+  (** @raise Invalid_argument for non-numeric scalars (semirings have no
+      CUDA type) or non-power-of-two block sizes. *)
+
+  val to_value : S.t -> Ast.value
+  val of_value : Ast.value -> S.t
+
+  val run :
+    ?sched:Interp.sched -> ?trace:Interp.event list ref ->
+    spec:Plr_gpusim.Spec.t -> P.t -> S.t array -> S.t array
+  (** Interpret the generated kernel over the plan's grid on [input]
+      (length [plan.n]) and return the output.  When [trace] is given, the
+      scheduler's events are accumulated for {!Plr_vm.Trace} export. *)
+end

@@ -1,0 +1,48 @@
+(** Factor-list specialization decisions shared by the CUDA emitter and the
+    VM kernel generator, so both back ends compile the same §3.1 choices. *)
+
+module Analysis = Plr_nnacci.Analysis
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module P = Plr_core.Plan.Make (S)
+
+  module A = Analysis.Make (S)
+
+  let zero_one_period = A.zero_one_period
+  let one_positions = A.one_positions
+
+  (* What section 1 emits for a factor list. *)
+  type factor_repr =
+    | Constant of S.t
+    | One_hot_period of int * int list  (** period, positions of ones *)
+    | Periodic_table of int
+    | Truncated_table of int
+    | Full_table
+
+  let repr (plan : P.t) j =
+    match P.effective_analysis plan j with
+    | Analysis.All_equal c -> Constant c
+    | Analysis.Zero_one -> (
+        let l = plan.P.factors.(j) in
+        match zero_one_period l with
+        | Some p -> One_hot_period (p, one_positions l p)
+        | None -> Full_table)
+    | Analysis.Repeating p -> Periodic_table p
+    | Analysis.Decays_to_zero z -> Truncated_table z
+    | Analysis.General -> Full_table
+
+  (* Elements of list [j] stored in device memory under this repr. *)
+  let table_elems (plan : P.t) j =
+    match repr plan j with
+    | Constant _ | One_hot_period _ -> 0
+    | Periodic_table p -> p
+    | Truncated_table z -> z
+    | Full_table -> plan.P.m
+
+  (* Elements of list [j] buffered in the shared-memory cache. *)
+  let cached_elems (plan : P.t) j =
+    match repr plan j with
+    | Constant _ | One_hot_period _ | Periodic_table _ -> 0
+    | Truncated_table z -> min z plan.P.shared_cache_elems
+    | Full_table -> min plan.P.m plan.P.shared_cache_elems
+end

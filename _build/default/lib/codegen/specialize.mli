@@ -1,0 +1,30 @@
+(** Factor-list specialization decisions (paper §3.1), shared by the CUDA
+    emitter and the VM kernel generator so both back ends compile identical
+    choices. *)
+
+module Analysis = Plr_nnacci.Analysis
+
+module Make (S : Plr_util.Scalar.S) : sig
+  module P : module type of Plr_core.Plan.Make (S)
+
+  val zero_one_period : S.t array -> int option
+  (** Smallest period (≤ 64) of a 0/1 factor list, foldable into a modulo
+      test. *)
+
+  val one_positions : S.t array -> int -> int list
+  (** Indices within one period whose factor is 1. *)
+
+  type factor_repr =
+    | Constant of S.t                   (** all factors equal; array suppressed *)
+    | One_hot_period of int * int list  (** 0/1 with period and one-positions *)
+    | Periodic_table of int             (** store one period *)
+    | Truncated_table of int            (** store the live prefix (FTZ decay) *)
+    | Full_table
+
+  val repr : P.t -> int -> factor_repr
+  val table_elems : P.t -> int -> int
+  (** Factors of list [j] stored in device memory under this repr. *)
+
+  val cached_elems : P.t -> int -> int
+  (** Factors of list [j] buffered in the shared-memory cache. *)
+end

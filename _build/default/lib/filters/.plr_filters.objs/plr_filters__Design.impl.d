@@ -1,0 +1,1 @@
+lib/filters/design.ml: Array Float List Plr_util Signature Stdlib

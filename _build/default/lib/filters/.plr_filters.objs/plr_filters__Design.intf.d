@@ -1,0 +1,1 @@
+lib/filters/design.mli: Plr_util Signature

@@ -1,0 +1,1 @@
+lib/filters/response.ml: Array Complex Float Plr_serial Plr_util Signature

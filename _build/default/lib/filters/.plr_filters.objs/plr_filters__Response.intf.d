@@ -1,0 +1,1 @@
+lib/filters/response.mli: Complex Signature

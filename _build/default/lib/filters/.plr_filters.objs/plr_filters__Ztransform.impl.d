@@ -1,0 +1,1 @@
+lib/filters/ztransform.ml: Array Complex Float List Plr_util Signature

@@ -1,0 +1,1 @@
+lib/filters/ztransform.mli: Complex Plr_util Signature

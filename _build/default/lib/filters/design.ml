@@ -1,0 +1,70 @@
+module Poly = Plr_util.Poly
+
+type stage = { numerator : Poly.t; denominator : Poly.t }
+
+let low_pass_stage ~x =
+  { numerator = Poly.of_coeffs [| 1.0 -. x |];
+    denominator = Poly.of_coeffs [| 1.0; -.x |] }
+
+let high_pass_stage ~x =
+  let g = (1.0 +. x) /. 2.0 in
+  { numerator = Poly.of_coeffs [| g; -.g |];
+    denominator = Poly.of_coeffs [| 1.0; -.x |] }
+
+let cascade = function
+  | [] -> { numerator = Poly.one; denominator = Poly.one }
+  | first :: rest ->
+      List.fold_left
+        (fun acc st ->
+          { numerator = Poly.mul acc.numerator st.numerator;
+            denominator = Poly.mul acc.denominator st.denominator })
+        first rest
+
+let repeat st s = cascade (List.init s (fun _ -> st))
+
+let to_signature st =
+  let den = Poly.coeffs st.denominator in
+  if Array.length den = 0 || Float.abs (den.(0) -. 1.0) > 1e-9 then
+    raise (Signature.Invalid "denominator must have constant term 1");
+  let feedback = Array.init (Array.length den - 1) (fun j -> -.den.(j + 1)) in
+  Signature.create
+    ~is_zero:(fun c -> c = 0.0)
+    ~forward:(Poly.coeffs st.numerator)
+    ~feedback
+
+let low_pass ~x ~stages = to_signature (repeat (low_pass_stage ~x) stages)
+let high_pass ~x ~stages = to_signature (repeat (high_pass_stage ~x) stages)
+
+let pi = 4.0 *. atan 1.0
+
+let decay_of_cutoff ~fc =
+  if fc <= 0.0 || fc >= 0.5 then invalid_arg "cutoff must be in (0, 0.5)";
+  Stdlib.exp (-2.0 *. pi *. fc)
+
+let low_pass_cutoff ~fc ~stages = low_pass ~x:(decay_of_cutoff ~fc) ~stages
+let high_pass_cutoff ~fc ~stages = high_pass ~x:(decay_of_cutoff ~fc) ~stages
+
+(* Smith's two-pole narrow band-pass / notch (DSP guide, ch. 19). *)
+let two_pole_common ~f ~bw =
+  if f <= 0.0 || f >= 0.5 then invalid_arg "centre frequency must be in (0, 0.5)";
+  if bw <= 0.0 || bw >= 0.33 then invalid_arg "bandwidth must be in (0, 0.33)";
+  let r = 1.0 -. (3.0 *. bw) in
+  let c = cos (2.0 *. pi *. f) in
+  let k = (1.0 -. (2.0 *. r *. c) +. (r *. r)) /. (2.0 -. (2.0 *. c)) in
+  (r, c, k)
+
+let band_pass ~f ~bw =
+  let r, c, k = two_pole_common ~f ~bw in
+  Signature.create
+    ~is_zero:(fun v -> v = 0.0)
+    ~forward:[| 1.0 -. k; 2.0 *. (k -. r) *. c; (r *. r) -. k |]
+    ~feedback:[| 2.0 *. r *. c; -.(r *. r) |]
+
+let notch ~f ~bw =
+  let r, c, k = two_pole_common ~f ~bw in
+  Signature.create
+    ~is_zero:(fun v -> v = 0.0)
+    ~forward:[| k; -2.0 *. k *. c; k |]
+    ~feedback:[| 2.0 *. r *. c; -.(r *. r) |]
+
+let dc_gain st = Poly.eval st.numerator 1.0 /. Poly.eval st.denominator 1.0

@@ -1,0 +1,59 @@
+(** Digital-filter design substrate.
+
+    The paper's Table 1 filters are single-pole designs from Smith's
+    "Digital Signal Processing: A Practical Guide" cascaded into multi-stage
+    variants; their signature coefficients are obtained with the z-transform.
+    This module re-derives those signatures from first principles, which both
+    exercises the substrate and pins Table 1's values in tests. *)
+
+type stage = {
+  numerator : Plr_util.Poly.t;   (** feed-forward polynomial in z^-1 *)
+  denominator : Plr_util.Poly.t; (** [1 - b1·z^-1 - …]; constant term 1 *)
+}
+
+val low_pass_stage : x:float -> stage
+(** Smith's single-pole low-pass: [a0 = 1 - x], [b1 = x], where [x = e^{-2π
+    fc}] is the decay constant (the paper's filters use [x = 0.8]). *)
+
+val high_pass_stage : x:float -> stage
+(** Smith's single-pole high-pass: [a0 = (1+x)/2], [a1 = -(1+x)/2],
+    [b1 = x]. *)
+
+val cascade : stage list -> stage
+(** z-domain product of the stage transfer functions. *)
+
+val repeat : stage -> int -> stage
+(** [repeat st s] cascades [s] copies of [st]. *)
+
+val to_signature : stage -> float Signature.t
+(** Converts [H(z) = N(z)/D(z)] with [D(z) = 1 - Σ b_j z^-j] into the
+    signature [(N : b_1, b_2, …)].
+    @raise Signature.Invalid if the numerator is zero or the denominator is
+    trivial (no feedback). *)
+
+val low_pass : x:float -> stages:int -> float Signature.t
+val high_pass : x:float -> stages:int -> float Signature.t
+
+val decay_of_cutoff : fc:float -> float
+(** Smith's relation [x = e^{-2π·fc}] between the single-pole decay constant
+    and the cutoff frequency [fc] (as a fraction of the sampling rate,
+    0 < fc < 0.5). *)
+
+val low_pass_cutoff : fc:float -> stages:int -> float Signature.t
+(** Single-pole low-pass cascade designed by cutoff frequency. *)
+
+val high_pass_cutoff : fc:float -> stages:int -> float Signature.t
+
+val band_pass : f:float -> bw:float -> float Signature.t
+(** Smith's two-pole narrow band-pass centred at [f] with bandwidth [bw]
+    (both as fractions of the sampling rate): poles at [r·e^{±j2πf}] with
+    [r = 1 − 3·bw]; unit gain at the centre frequency.  An order-2
+    recurrence with three feed-forward taps — a signature only PLR and Scan
+    can run in parallel (Alg3 and Rec are single-tap). *)
+
+val notch : f:float -> bw:float -> float Signature.t
+(** Smith's two-pole band-reject (notch) filter: zeros on the unit circle
+    at [e^{±j2πf}], unit gain at DC and Nyquist, a null at [f]. *)
+
+val dc_gain : stage -> float
+(** Transfer-function value at z = 1 (frequency 0). *)

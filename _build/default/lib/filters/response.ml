@@ -1,0 +1,70 @@
+module F64_serial = Plr_serial.Serial.Make (Plr_util.Scalar.F64)
+module F32_serial = Plr_serial.Serial.Make (Plr_util.Scalar.F32)
+
+let impulse n = Array.init n (fun i -> if i = 0 then 1.0 else 0.0)
+let step n = Array.make n 1.0
+
+let impulse_response s ~n = F64_serial.full s (impulse n)
+
+let impulse_response_f32 ?(flush_denormals = false) s ~n =
+  let y = F32_serial.full (Signature.map Plr_util.F32.round s) (impulse n) in
+  if flush_denormals then Array.map Plr_util.F32.flush_denormal y else y
+
+let step_response s ~n = F64_serial.full s (step n)
+
+let is_stable ?(n = 4096) ?(bound = 1e6) s =
+  let h = impulse_response s ~n in
+  let max_abs lo hi =
+    let m = ref 0.0 in
+    for i = lo to hi do
+      m := Float.max !m (Float.abs h.(i))
+    done;
+    !m
+  in
+  let peak = max_abs 0 (n - 1) in
+  let head = max_abs 0 ((n / 2) - 1) in
+  let tail = max_abs (n / 2) (n - 1) in
+  Float.is_finite peak && peak < bound && tail <= Float.max head 1e-300
+
+let frequency_response (s : float Signature.t) ~omega =
+  let open Complex in
+  let at_exp coeffs offset =
+    (* Σ coeffs.(i) · e^{-jω(i+offset)} *)
+    let acc = ref zero in
+    Array.iteri
+      (fun i c ->
+        let phase = -.omega *. float_of_int (i + offset) in
+        acc := add !acc (mul { re = c; im = 0.0 } (exp { re = 0.0; im = phase })))
+      coeffs;
+    !acc
+  in
+  let numerator = at_exp s.Signature.forward 0 in
+  let denominator = sub one (at_exp s.Signature.feedback 1) in
+  div numerator denominator
+
+let magnitude_response s ~omega = Complex.norm (frequency_response s ~omega)
+
+let magnitude_response_db s ~omega =
+  20.0 *. log10 (Float.max 1e-300 (magnitude_response s ~omega))
+
+let measured_gain s ~omega ~n =
+  let x = Array.init n (fun i -> sin (omega *. float_of_int i)) in
+  let y = F64_serial.full s x in
+  let rms a lo =
+    let acc = ref 0.0 in
+    for i = lo to Array.length a - 1 do
+      acc := !acc +. (a.(i) *. a.(i))
+    done;
+    sqrt (!acc /. float_of_int (Array.length a - lo))
+  in
+  rms y (n / 2) /. rms x (n / 2)
+
+let decay_length ?(threshold = Plr_util.F32.smallest_normal) s ~n =
+  let h = impulse_response s ~n in
+  let rec last_loud i =
+    if i < 0 then -1
+    else if Float.abs h.(i) >= threshold then i
+    else last_loud (i - 1)
+  in
+  let z = last_loud (n - 1) + 1 in
+  if z >= n then None else Some z

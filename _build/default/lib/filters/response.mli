@@ -1,0 +1,45 @@
+(** Filter response analysis.
+
+    The paper's most effective optimization exploits the fact that a stable
+    IIR filter's impulse response — and therefore its correction-factor
+    sequences — decays below arithmetic precision after a few hundred
+    elements.  This module measures that behaviour. *)
+
+val impulse_response : float Signature.t -> n:int -> float array
+(** First [n] samples of the filter's response to the unit impulse, in
+    float64. *)
+
+val impulse_response_f32 : ?flush_denormals:bool -> float Signature.t -> n:int -> float array
+(** Same, but every arithmetic operation rounds to binary32, optionally
+    flushing denormal results to zero — the arithmetic the paper's generated
+    CUDA uses. *)
+
+val step_response : float Signature.t -> n:int -> float array
+
+val is_stable : ?n:int -> ?bound:float -> float Signature.t -> bool
+(** Empirical BIBO-stability test: true when the impulse response magnitude
+    stays below [bound] (default [1e6]) over [n] samples (default 4096) and
+    its tail is decreasing.  Recursive filters above roughly order ten tend
+    to fail this (paper §6.2.1). *)
+
+val decay_length : ?threshold:float -> float Signature.t -> n:int -> int option
+(** Smallest index past which every impulse-response sample magnitude stays
+    below [threshold] (default: the smallest normal float32).  [None] if the
+    response never decays within [n] samples. *)
+
+val frequency_response : float Signature.t -> omega:float -> Complex.t
+(** The transfer function evaluated on the unit circle,
+    [H(e^{jω}) = (Σ_j a_j e^{-jωj}) / (1 − Σ_j b_j e^{-jωj})], for
+    [ω ∈ [0, π]] (π = Nyquist). *)
+
+val magnitude_response : float Signature.t -> omega:float -> float
+(** [|H(e^{jω})|]. *)
+
+val magnitude_response_db : float Signature.t -> omega:float -> float
+(** [20·log₁₀ |H|]. *)
+
+val measured_gain : float Signature.t -> omega:float -> n:int -> float
+(** Empirical gain: filter a pure sinusoid of frequency [ω] through the
+    serial algorithm and measure the output/input RMS ratio over the steady
+    -state second half — a from-first-principles cross-check of
+    {!magnitude_response} (tests pin the two together). *)

@@ -1,0 +1,70 @@
+module Poly = Plr_util.Poly
+
+let is_zero c = c = 0.0
+
+let to_transfer (s : float Signature.t) =
+  let a = Poly.of_coeffs s.Signature.forward in
+  let b =
+    Poly.of_coeffs
+      (Array.append [| 1.0 |] (Array.map (fun c -> -.c) s.Signature.feedback))
+  in
+  (a, b)
+
+let of_transfer (a, b) =
+  let bc = Poly.coeffs b in
+  if Array.length bc = 0 || bc.(0) = 0.0 then
+    invalid_arg "denominator must have a nonzero constant term";
+  let scale = 1.0 /. bc.(0) in
+  let a = Poly.coeffs (Poly.scale scale a) in
+  let bc = Poly.coeffs (Poly.scale scale b) in
+  let feedback = Array.init (Array.length bc - 1) (fun j -> -.bc.(j + 1)) in
+  Signature.create ~is_zero ~forward:a ~feedback
+
+let cascade s1 s2 =
+  let a1, b1 = to_transfer s1 and a2, b2 = to_transfer s2 in
+  of_transfer (Poly.mul a1 a2, Poly.mul b1 b2)
+
+let parallel s1 s2 =
+  let a1, b1 = to_transfer s1 and a2, b2 = to_transfer s2 in
+  of_transfer (Poly.add (Poly.mul a1 b2) (Poly.mul a2 b1), Poly.mul b1 b2)
+
+let scale g (s : float Signature.t) =
+  Signature.create ~is_zero
+    ~forward:(Array.map (fun c -> g *. c) s.Signature.forward)
+    ~feedback:s.Signature.feedback
+
+let delay d (s : float Signature.t) =
+  if d < 0 then invalid_arg "delay must be non-negative";
+  Signature.create ~is_zero
+    ~forward:(Array.append (Array.make d 0.0) s.Signature.forward)
+    ~feedback:s.Signature.feedback
+
+let poles (s : float Signature.t) =
+  let _, b = to_transfer s in
+  List.map Complex.inv (Plr_util.Roots.roots b)
+
+let stable ?(margin = 1e-9) s =
+  List.for_all (fun p -> Complex.norm p < 1.0 -. margin) (poles s)
+
+let decompose ?(pair_tolerance = 1e-4) (s : float Signature.t) =
+  let ps = poles s in
+  (* separate real poles from conjugate pairs *)
+  let real, complexes =
+    List.partition (fun (p : Complex.t) -> Float.abs p.Complex.im <= pair_tolerance) ps
+  in
+  let uppers = List.filter (fun (p : Complex.t) -> p.Complex.im > pair_tolerance) complexes in
+  let lowers = List.filter (fun (p : Complex.t) -> p.Complex.im < -.pair_tolerance) complexes in
+  if List.length uppers <> List.length lowers then
+    invalid_arg "decompose: unpaired complex poles (increase pair_tolerance)";
+  let sections =
+    List.map (fun (p : Complex.t) -> [| p.Complex.re |]) real
+    @ List.map
+        (fun (p : Complex.t) ->
+          [| 2.0 *. p.Complex.re; -.Complex.norm2 p |])
+        uppers
+  in
+  match sections with
+  | [] -> invalid_arg "decompose: no feedback part"
+  | first :: rest ->
+      Signature.create ~is_zero ~forward:s.Signature.forward ~feedback:first
+      :: List.map (fun fb -> Signature.create ~is_zero ~forward:[| 1.0 |] ~feedback:fb) rest

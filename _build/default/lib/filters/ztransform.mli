@@ -1,0 +1,55 @@
+(** Offline combination of recurrences in the z-domain.
+
+    The paper notes (§4) that PLR "does not support the automatic
+    combination of filters, which has to be done offline using, for example,
+    the z-transform" — this module is that offline step.  A signature
+    [(a : b)] has transfer function [H(z) = A(z)/B(z)] with
+    [A(z) = Σ a_j z^{-j}] and [B(z) = 1 − Σ b_j z^{-j}]; combining systems
+    is polynomial arithmetic on (A, B), after which a single PLR kernel
+    computes what would otherwise need several dependent passes. *)
+
+val to_transfer : float Signature.t -> Plr_util.Poly.t * Plr_util.Poly.t
+(** [(A, B)] with [B]'s constant term 1. *)
+
+val of_transfer : Plr_util.Poly.t * Plr_util.Poly.t -> float Signature.t
+(** Inverse of {!to_transfer}; normalizes [B] to a unit constant term.
+    @raise Signature.Invalid if the numerator is zero or the denominator
+    has no feedback part.
+    @raise Invalid_argument if [B]'s constant term is zero. *)
+
+val cascade : float Signature.t -> float Signature.t -> float Signature.t
+(** Series composition: running [cascade s1 s2] over an input equals
+    running [s1] then feeding its output to [s2] ([H = H₁·H₂]). *)
+
+val parallel : float Signature.t -> float Signature.t -> float Signature.t
+(** Parallel composition: the sum of the two systems' outputs
+    ([H = H₁ + H₂], common denominator). *)
+
+val scale : float -> float Signature.t -> float Signature.t
+(** Gain adjustment ([H ↦ g·H]). *)
+
+val delay : int -> float Signature.t -> float Signature.t
+(** Pure delay of [d ≥ 0] samples ([H ↦ z^{-d}·H]). *)
+
+val poles : float Signature.t -> Complex.t list
+(** The system's poles: reciprocals of the roots of
+    [B(u) = 1 − Σ b_j u^j].  A causal filter is BIBO-stable iff every pole
+    lies strictly inside the unit circle. *)
+
+val stable : ?margin:float -> float Signature.t -> bool
+(** Analytic stability: all pole magnitudes < 1 − [margin] (default 1e-9).
+    Complements the empirical {!Response.is_stable}. *)
+
+val decompose : ?pair_tolerance:float -> float Signature.t -> float Signature.t list
+(** Factors the recurrence into a cascade of first-order (real pole) and
+    second-order (conjugate pole pair) sections whose product is the
+    original transfer function — the decomposition Nehab et al. exploit
+    (paper §4: applying several lower-order filters can beat one
+    higher-order filter).  The full feed-forward part rides on the first
+    section; later sections are all-pole.  Cascading the result with
+    {!cascade} recovers the original signature up to rounding.
+
+    Repeated poles converge as clusters in the root finder (error
+    ~ε^{1/m} for multiplicity m), so [pair_tolerance] defaults to 1e-4 and
+    reconstruction accuracy for multiple poles is on the order of the
+    paper's own 1e-3 validation bound. *)

@@ -1,0 +1,32 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  type t = {
+    data : S.t array;
+    base : int;
+    cls : Device.buffer_class;
+    dev : Device.t;
+  }
+
+  let alloc dev cls len =
+    let base = Device.alloc dev cls ~bytes:(len * S.bytes) in
+    { data = Array.make len S.zero; base; cls; dev }
+
+  let of_array dev cls arr =
+    let t = alloc dev cls (Array.length arr) in
+    Array.blit arr 0 t.data 0 (Array.length arr);
+    t
+
+  let length t = Array.length t.data
+  let base t = t.base
+
+  let get t i =
+    Device.read t.dev t.cls ~addr:(t.base + (i * S.bytes)) ~bytes:S.bytes;
+    t.data.(i)
+
+  let set t i v =
+    Device.write t.dev t.cls ~addr:(t.base + (i * S.bytes)) ~bytes:S.bytes;
+    t.data.(i) <- v
+
+  let raw t = t.data
+  let to_array t = Array.copy t.data
+  let free t = Device.free t.dev ~bytes:(Array.length t.data * S.bytes)
+end

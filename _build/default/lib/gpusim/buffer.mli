@@ -1,0 +1,30 @@
+(** Typed device buffers: an OCaml array paired with a device address range,
+    whose element accesses are accounted as global-memory traffic.
+
+    [get]/[set] are the instrumented accessors kernels use; [raw] exposes
+    the underlying array for host-side setup and validation (analogous to
+    untimed cudaMemcpy, which the paper excludes from its measurements). *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type t
+
+  val alloc : Device.t -> Device.buffer_class -> int -> t
+  (** [alloc dev cls len] allocates [len] elements. *)
+
+  val of_array : Device.t -> Device.buffer_class -> S.t array -> t
+  (** Allocate and fill (host→device copy; not counted). *)
+
+  val length : t -> int
+
+  val base : t -> int
+  (** Device base address (needed when kernels compute their own element
+      addresses, e.g. boundary re-reads). *)
+
+  val get : t -> int -> S.t
+  val set : t -> int -> S.t -> unit
+  val raw : t -> S.t array
+  val to_array : t -> S.t array
+  (** Copy out (device→host; not counted). *)
+
+  val free : t -> unit
+end

@@ -1,0 +1,76 @@
+type t = {
+  line_bytes : int;
+  ways : int;
+  sets : int;
+  tags : int array;       (* sets × ways; -1 = invalid *)
+  stamps : int array;     (* LRU timestamps, same layout *)
+  mutable clock : int;
+  mutable read_accesses : int;
+  mutable read_misses : int;
+  mutable write_accesses : int;
+  mutable write_misses : int;
+}
+
+let create ~size_bytes ~line_bytes ~ways =
+  let lines = size_bytes / line_bytes in
+  assert (lines mod ways = 0);
+  let sets = lines / ways in
+  {
+    line_bytes;
+    ways;
+    sets;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    read_accesses = 0;
+    read_misses = 0;
+    write_accesses = 0;
+    write_misses = 0;
+  }
+
+(* Returns true on hit; on miss, fills the LRU way.  Either way the touched
+   line becomes most recently used. *)
+let touch t ~addr =
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let base = set * t.ways in
+  t.clock <- t.clock + 1;
+  let rec find w = if w >= t.ways then None else if t.tags.(base + w) = line then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+      t.stamps.(base + w) <- t.clock;
+      true
+  | None ->
+      let victim = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamps.(base + !victim) <- t.clock;
+      false
+
+let read t ~addr =
+  t.read_accesses <- t.read_accesses + 1;
+  if not (touch t ~addr) then t.read_misses <- t.read_misses + 1
+
+let write t ~addr =
+  t.write_accesses <- t.write_accesses + 1;
+  if not (touch t ~addr) then t.write_misses <- t.write_misses + 1
+
+let read_accesses t = t.read_accesses
+let read_misses t = t.read_misses
+let write_accesses t = t.write_accesses
+let write_misses t = t.write_misses
+let read_miss_bytes t = t.read_misses * t.line_bytes
+
+let reset_stats t =
+  t.read_accesses <- 0;
+  t.read_misses <- 0;
+  t.write_accesses <- 0;
+  t.write_misses <- 0
+
+let clear t =
+  reset_stats t;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0

@@ -1,0 +1,29 @@
+(** A set-associative LRU cache simulator used to reproduce the paper's L2
+    read-miss measurements (Table 3: nvprof miss counts × 32-byte lines).
+
+    Addresses are byte addresses in the device's flat global address space;
+    the simulator tracks tags only, no data. *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> ways:int -> t
+(** [size_bytes] must be divisible by [line_bytes × ways]. *)
+
+val read : t -> addr:int -> unit
+val write : t -> addr:int -> unit
+(** Write-allocate: a write miss fills the line like a read miss but is
+    counted separately. *)
+
+val read_accesses : t -> int
+val read_misses : t -> int
+val write_accesses : t -> int
+val write_misses : t -> int
+
+val read_miss_bytes : t -> int
+(** [read_misses × line_bytes] — the quantity Table 3 reports. *)
+
+val reset_stats : t -> unit
+(** Clears counters but keeps cache contents (for warm-up then measure). *)
+
+val clear : t -> unit
+(** Cold cache and cleared counters. *)

@@ -1,0 +1,134 @@
+type workload = {
+  dram_read_bytes : float;
+  dram_write_bytes : float;
+  l2_extra_bytes : float;
+  compute_slots : float;
+  shared_ops : float;
+  shuffle_ops : float;
+  aux_ops : float;
+  atomic_ops : float;
+  launches : int;
+  blocks : int;
+  threads_per_block : int;
+  regs_per_thread : int;
+  chain_hops : int;
+  bw_derate : float;
+}
+
+let zero_workload =
+  {
+    dram_read_bytes = 0.0;
+    dram_write_bytes = 0.0;
+    l2_extra_bytes = 0.0;
+    compute_slots = 0.0;
+    shared_ops = 0.0;
+    shuffle_ops = 0.0;
+    aux_ops = 0.0;
+    atomic_ops = 0.0;
+    launches = 1;
+    blocks = 1;
+    threads_per_block = 1024;
+    regs_per_thread = 32;
+    chain_hops = 0;
+    bw_derate = 1.0;
+  }
+
+type calibration = {
+  dram_efficiency : float;
+  l2_bytes_per_sec : float;
+  slots_per_core_cycle : float;
+  shared_ops_per_sec : float;
+  shuffle_ops_per_sec : float;
+  aux_ops_per_sec : float;
+  atomic_ops_per_sec : float;
+  launch_overhead_s : float;
+  hop_latency_s : float;
+  occupancy_floor : float;
+}
+
+(* Fixed once for the whole evaluation; see EXPERIMENTS.md for how these
+   were pinned (memcpy saturation at ~33 G words/s, ramp shape of Figure 1,
+   L2 bandwidth ≈ 1.5× DRAM on Maxwell). *)
+let titan_x_calibration =
+  {
+    dram_efficiency = 0.79;
+    l2_bytes_per_sec = 500.0e9;
+    slots_per_core_cycle = 1.0;
+    shared_ops_per_sec = 0.85e12;
+    shuffle_ops_per_sec = 1.0e12;
+    aux_ops_per_sec = 0.5e12;
+    atomic_ops_per_sec = 1.0e9;
+    launch_overhead_s = 4.0e-6;
+    hop_latency_s = 0.6e-6;
+    occupancy_floor = 0.45;
+  }
+
+let int_mul_slots = 3.0
+let float_mul_slots = 1.0
+
+let occupancy spec w =
+  let resident =
+    Spec.resident_blocks spec ~threads_per_block:w.threads_per_block
+      ~regs_per_thread:w.regs_per_thread
+  in
+  let resident_threads =
+    float_of_int (min w.blocks resident * w.threads_per_block)
+  in
+  let capacity =
+    float_of_int (spec.Spec.sms * spec.Spec.max_resident_threads_per_sm)
+  in
+  Float.min 1.0 (resident_threads /. capacity)
+
+let time ?(cal = titan_x_calibration) spec w =
+  let resident =
+    Spec.resident_blocks spec ~threads_per_block:w.threads_per_block
+      ~regs_per_thread:w.regs_per_thread
+  in
+  (* How full the machine's thread slots are; poor occupancy hurts both
+     latency hiding (bandwidth) and issue-rate utilization. *)
+  let occ = occupancy spec w in
+  let scale = cal.occupancy_floor +. ((1.0 -. cal.occupancy_floor) *. occ) in
+  (* Ramp-up when the grid is smaller than one full wave of blocks. *)
+  let util =
+    Float.min 1.0 (float_of_int w.blocks /. float_of_int resident)
+  in
+  let ramp = Float.max 0.05 (sqrt util) in
+  let eff = cal.dram_efficiency *. w.bw_derate *. scale *. ramp in
+  let t_dram =
+    (w.dram_read_bytes +. w.dram_write_bytes)
+    /. (spec.Spec.dram_peak_bytes_per_sec *. eff)
+  in
+  let t_l2 = w.l2_extra_bytes /. (cal.l2_bytes_per_sec *. scale *. ramp) in
+  let chip_slots_per_sec =
+    float_of_int (spec.Spec.sms * spec.Spec.cores_per_sm)
+    *. spec.Spec.core_hz *. cal.slots_per_core_cycle
+  in
+  let issue_scale = scale *. ramp in
+  let t_compute =
+    (w.compute_slots /. (chip_slots_per_sec *. issue_scale))
+    +. (w.shared_ops /. (cal.shared_ops_per_sec *. issue_scale))
+    +. (w.shuffle_ops /. (cal.shuffle_ops_per_sec *. issue_scale))
+    +. (w.aux_ops /. (cal.aux_ops_per_sec *. issue_scale))
+    +. (w.atomic_ops /. cal.atomic_ops_per_sec)
+  in
+  let t_exec = Float.max t_dram (Float.max t_l2 t_compute) in
+  (* The carry-dependency chain is a latency lower bound that overlaps
+     with execution (decoupled look-back hides it once the pipeline is
+     full), so it bounds rather than adds. *)
+  let t_chain = float_of_int w.chain_hops *. cal.hop_latency_s in
+  (float_of_int w.launches *. cal.launch_overhead_s) +. Float.max t_exec t_chain
+
+let throughput ~n ~time_s = float_of_int n /. time_s
+
+let memcpy_workload (_spec : Spec.t) ~n ~word_bytes =
+  let bytes = float_of_int (n * word_bytes) in
+  let threads_per_block = 256 in
+  let per_block = threads_per_block * 4 (* words per block: grid-stride *) in
+  {
+    zero_workload with
+    dram_read_bytes = bytes;
+    dram_write_bytes = bytes;
+    blocks = max 1 ((n + per_block - 1) / per_block);
+    threads_per_block;
+    regs_per_thread = 16;
+  }

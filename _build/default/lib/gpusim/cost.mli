@@ -1,0 +1,77 @@
+(** Analytic kernel-time model.
+
+    Converts a {!workload} — the resource demands of one recurrence
+    computation, produced either from instrumented execution counters or
+    from each code's closed-form traffic formulas — into an estimated
+    execution time on a {!Spec.t} device.
+
+    The model captures the first-order effects that decide the paper's
+    comparisons: DRAM bytes moved (the dominant term for all codes at large
+    n), extra L2-served traffic, weighted compute throughput scaled by
+    occupancy, utilization ramp when there are too few blocks to fill the
+    machine, fixed kernel-launch overhead (dominant at small n), and the
+    serialized dependency chain of carry propagation (look-back hops).
+
+    Calibration constants live in {!titan_x_calibration}; they are fixed
+    once, globally — per-code differences must come from the workload. *)
+
+type workload = {
+  dram_read_bytes : float;
+  dram_write_bytes : float;
+  l2_extra_bytes : float;
+      (** re-read traffic served by L2 when the working set fits it *)
+  compute_slots : float;
+      (** ALU work in weighted simple-op issue slots (integer multiplies on
+          Maxwell cost several slots; see {!int_mul_slots}) *)
+  shared_ops : float;
+  shuffle_ops : float;
+  aux_ops : float;   (** L2-resident carry/flag/factor accesses *)
+  atomic_ops : float;
+  launches : int;
+  blocks : int;
+  threads_per_block : int;
+  regs_per_thread : int;
+  chain_hops : int;
+  bw_derate : float;
+      (** access-pattern efficiency in [0,1]; 1.0 = perfectly coalesced *)
+}
+
+val zero_workload : workload
+(** All-zero demands with 1 launch, 1 block of 1024 threads, 32 registers,
+    derate 1.0 — a convenient base for [with]-style construction. *)
+
+type calibration = {
+  dram_efficiency : float;      (** streaming fraction of peak bandwidth *)
+  l2_bytes_per_sec : float;
+  slots_per_core_cycle : float; (** simple-op issue rate per core *)
+  shared_ops_per_sec : float;
+  shuffle_ops_per_sec : float;
+  aux_ops_per_sec : float;
+  atomic_ops_per_sec : float;
+  launch_overhead_s : float;
+  hop_latency_s : float;
+  occupancy_floor : float;
+      (** fraction of peak rates reachable at near-zero occupancy *)
+}
+
+val titan_x_calibration : calibration
+
+val int_mul_slots : float
+(** Issue slots charged per 32-bit integer multiply (Maxwell lacks a
+    single-cycle 32-bit multiplier; XMAD sequences cost ~3 issue slots). *)
+
+val float_mul_slots : float
+(** Slots per fp32 multiply (1.0 — full-rate). *)
+
+val occupancy : Spec.t -> workload -> float
+(** Resident-thread fraction given the block shape and register use. *)
+
+val time : ?cal:calibration -> Spec.t -> workload -> float
+(** Estimated seconds. *)
+
+val throughput : n:int -> time_s:float -> float
+(** Words per second (the paper's y-axis unit, ×10⁹). *)
+
+val memcpy_workload : Spec.t -> n:int -> word_bytes:int -> workload
+(** The paper's upper-bound reference: read each word once, write it once,
+    no computation. *)

@@ -1,0 +1,74 @@
+type t = {
+  mutable main_read_words : int;
+  mutable main_write_words : int;
+  mutable main_read_bytes : int;
+  mutable main_write_bytes : int;
+  mutable aux_read_words : int;
+  mutable aux_write_words : int;
+  mutable shared_reads : int;
+  mutable shared_writes : int;
+  mutable shuffles : int;
+  mutable adds : int;
+  mutable muls : int;
+  mutable selects : int;
+  mutable atomics : int;
+  mutable flag_polls : int;
+  mutable fences : int;
+  mutable kernel_launches : int;
+}
+
+let create () =
+  {
+    main_read_words = 0;
+    main_write_words = 0;
+    main_read_bytes = 0;
+    main_write_bytes = 0;
+    aux_read_words = 0;
+    aux_write_words = 0;
+    shared_reads = 0;
+    shared_writes = 0;
+    shuffles = 0;
+    adds = 0;
+    muls = 0;
+    selects = 0;
+    atomics = 0;
+    flag_polls = 0;
+    fences = 0;
+    kernel_launches = 0;
+  }
+
+let reset t =
+  t.main_read_words <- 0;
+  t.main_write_words <- 0;
+  t.main_read_bytes <- 0;
+  t.main_write_bytes <- 0;
+  t.aux_read_words <- 0;
+  t.aux_write_words <- 0;
+  t.shared_reads <- 0;
+  t.shared_writes <- 0;
+  t.shuffles <- 0;
+  t.adds <- 0;
+  t.muls <- 0;
+  t.selects <- 0;
+  t.atomics <- 0;
+  t.flag_polls <- 0;
+  t.fences <- 0;
+  t.kernel_launches <- 0
+
+let copy t = { t with main_read_words = t.main_read_words }
+
+let alu_ops t = t.adds + t.muls + t.selects
+
+let global_words t =
+  t.main_read_words + t.main_write_words + t.aux_read_words + t.aux_write_words
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>main reads: %d words (%d B)@,main writes: %d words (%d B)@,\
+     aux reads: %d words@,aux writes: %d words@,shared: %d r / %d w@,\
+     shuffles: %d@,alu: %d adds, %d muls, %d selects@,\
+     atomics: %d, polls: %d, fences: %d, launches: %d@]"
+    t.main_read_words t.main_read_bytes t.main_write_words t.main_write_bytes
+    t.aux_read_words t.aux_write_words t.shared_reads t.shared_writes
+    t.shuffles t.adds t.muls t.selects t.atomics t.flag_polls t.fences
+    t.kernel_launches

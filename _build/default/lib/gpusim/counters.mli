@@ -1,0 +1,37 @@
+(** Event counters accumulated by instrumented kernel executions.
+
+    Word counts are in scalar words (4 or 8 bytes depending on the buffer's
+    element size; byte totals are tracked separately).  "Main" traffic is to
+    the large input/output sequences, "aux" traffic to the small auxiliary
+    structures (carries, ready flags, correction-factor tables) that stay
+    L2-resident during a run. *)
+
+type t = {
+  mutable main_read_words : int;
+  mutable main_write_words : int;
+  mutable main_read_bytes : int;
+  mutable main_write_bytes : int;
+  mutable aux_read_words : int;
+  mutable aux_write_words : int;
+  mutable shared_reads : int;
+  mutable shared_writes : int;
+  mutable shuffles : int;
+  mutable adds : int;
+  mutable muls : int;
+  mutable selects : int;  (** conditional adds from the zero-one specialization *)
+  mutable atomics : int;
+  mutable flag_polls : int;
+  mutable fences : int;
+  mutable kernel_launches : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val alu_ops : t -> int
+(** [adds + muls + selects]. *)
+
+val global_words : t -> int
+(** main + aux words, read + written. *)
+
+val pp : Format.formatter -> t -> unit

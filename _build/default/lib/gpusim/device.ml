@@ -1,0 +1,73 @@
+type buffer_class = Main | Aux
+
+type t = {
+  spec : Spec.t;
+  counters : Counters.t;
+  l2 : Cache.t option;
+  mutable next_addr : int;
+  mutable allocated : int;
+  mutable peak : int;
+}
+
+let baseline_alloc_bytes = 109 * 1024 * 1024 + 512 * 1024 (* 109.5 MB *)
+
+let create ?(with_l2 = false) spec =
+  let l2 =
+    if with_l2 then
+      Some
+        (Cache.create ~size_bytes:spec.Spec.l2_bytes
+           ~line_bytes:spec.Spec.l2_line_bytes ~ways:spec.Spec.l2_ways)
+    else None
+  in
+  { spec; counters = Counters.create (); l2; next_addr = 0; allocated = 0; peak = 0 }
+
+let spec t = t.spec
+let counters t = t.counters
+let l2 t = t.l2
+
+let alloc t _class ~bytes =
+  let base = t.next_addr in
+  (* Keep allocations line-aligned so the cache sees realistic layouts. *)
+  let aligned = (bytes + 255) land lnot 255 in
+  t.next_addr <- t.next_addr + aligned;
+  t.allocated <- t.allocated + bytes;
+  t.peak <- max t.peak t.allocated;
+  base
+
+let free t ~bytes = t.allocated <- t.allocated - bytes
+
+let allocated_bytes t = t.allocated
+let peak_bytes t = t.peak + baseline_alloc_bytes
+
+let read t cls ~addr ~bytes =
+  let c = t.counters in
+  (match cls with
+  | Main ->
+      c.main_read_words <- c.main_read_words + 1;
+      c.main_read_bytes <- c.main_read_bytes + bytes
+  | Aux -> c.aux_read_words <- c.aux_read_words + 1);
+  match t.l2 with None -> () | Some l2 -> Cache.read l2 ~addr
+
+let write t cls ~addr ~bytes =
+  let c = t.counters in
+  (match cls with
+  | Main ->
+      c.main_write_words <- c.main_write_words + 1;
+      c.main_write_bytes <- c.main_write_bytes + bytes
+  | Aux -> c.aux_write_words <- c.aux_write_words + 1);
+  match t.l2 with None -> () | Some l2 -> Cache.write l2 ~addr
+
+let shared_read t = t.counters.shared_reads <- t.counters.shared_reads + 1
+let shared_write t = t.counters.shared_writes <- t.counters.shared_writes + 1
+let shuffle t = t.counters.shuffles <- t.counters.shuffles + 1
+let add_op t = t.counters.adds <- t.counters.adds + 1
+let mul_op t = t.counters.muls <- t.counters.muls + 1
+let select_op t = t.counters.selects <- t.counters.selects + 1
+let atomic t = t.counters.atomics <- t.counters.atomics + 1
+let flag_poll t = t.counters.flag_polls <- t.counters.flag_polls + 1
+let fence t = t.counters.fences <- t.counters.fences + 1
+let launch t = t.counters.kernel_launches <- t.counters.kernel_launches + 1
+
+let ops t ~adds ~muls =
+  t.counters.adds <- t.counters.adds + adds;
+  t.counters.muls <- t.counters.muls + muls

@@ -1,0 +1,56 @@
+(** A modeled GPU device: a flat global address space with an allocation
+    tracker (reproducing the paper's NVML memory-usage measurements, Table
+    2), event counters, and an optional L2 simulator fed by global accesses
+    (Table 3).
+
+    The device does not store data — typed storage lives in {!Buffer} —
+    it accounts for the traffic. *)
+
+type buffer_class =
+  | Main  (** large input/output sequences that stream through DRAM *)
+  | Aux   (** small carry/flag/factor structures that stay L2-resident *)
+
+type t
+
+val create : ?with_l2:bool -> Spec.t -> t
+(** [with_l2] (default false) attaches an L2 simulator; instrumented runs
+    are slower with it, so it is only enabled for the cache-miss
+    experiments. *)
+
+val spec : t -> Spec.t
+val counters : t -> Counters.t
+val l2 : t -> Cache.t option
+
+val baseline_alloc_bytes : int
+(** Allocation present in every CUDA process before user buffers (driver
+    context, kernel code, CUDA heap).  The paper's memcpy reference measures
+    109.5 MB on top of its buffers; we adopt that constant. *)
+
+val alloc : t -> buffer_class -> bytes:int -> int
+(** Reserves an address range; returns the base address. *)
+
+val free : t -> bytes:int -> unit
+
+val allocated_bytes : t -> int
+(** Currently allocated user bytes. *)
+
+val peak_bytes : t -> int
+(** High-water mark including {!baseline_alloc_bytes} — the NVML-style
+    total. *)
+
+val read : t -> buffer_class -> addr:int -> bytes:int -> unit
+val write : t -> buffer_class -> addr:int -> bytes:int -> unit
+
+val shared_read : t -> unit
+val shared_write : t -> unit
+val shuffle : t -> unit
+val add_op : t -> unit
+val mul_op : t -> unit
+val select_op : t -> unit
+val atomic : t -> unit
+val flag_poll : t -> unit
+val fence : t -> unit
+val launch : t -> unit
+
+val ops : t -> adds:int -> muls:int -> unit
+(** Bulk-record ALU operations (cheaper than one call per op in hot loops). *)

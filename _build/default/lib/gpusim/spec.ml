@@ -1,0 +1,83 @@
+type t = {
+  name : string;
+  sms : int;
+  cores_per_sm : int;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_resident_threads_per_sm : int;
+  registers_per_sm : int;
+  shared_bytes_per_sm : int;
+  shared_bytes_per_block : int;
+  l2_bytes : int;
+  l2_line_bytes : int;
+  l2_ways : int;
+  dram_bytes : int;
+  dram_peak_bytes_per_sec : float;
+  core_hz : float;
+}
+
+let titan_x =
+  {
+    name = "GeForce GTX Titan X (Maxwell)";
+    sms = 24;
+    cores_per_sm = 128;                     (* 3072 processing elements total *)
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_resident_threads_per_sm = 2048;
+    registers_per_sm = 65536;
+    shared_bytes_per_sm = 96 * 1024;
+    shared_bytes_per_block = 48 * 1024;
+    l2_bytes = 2 * 1024 * 1024;
+    l2_line_bytes = 32;
+    l2_ways = 16;
+    dram_bytes = 12 * 1024 * 1024 * 1024;
+    dram_peak_bytes_per_sec = 336.0e9;
+    core_hz = 1.1e9;
+  }
+
+let tesla_k40 =
+  {
+    name = "Tesla K40 (Kepler)";
+    sms = 15;
+    cores_per_sm = 192;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_resident_threads_per_sm = 2048;
+    registers_per_sm = 65536;
+    shared_bytes_per_sm = 48 * 1024;
+    shared_bytes_per_block = 48 * 1024;
+    l2_bytes = 1536 * 1024;
+    l2_line_bytes = 32;
+    l2_ways = 16;
+    dram_bytes = 12 * 1024 * 1024 * 1024;
+    dram_peak_bytes_per_sec = 288.0e9;
+    core_hz = 0.745e9;
+  }
+
+let titan_x_pascal =
+  {
+    name = "Titan X (Pascal)";
+    sms = 28;
+    cores_per_sm = 128;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_resident_threads_per_sm = 2048;
+    registers_per_sm = 65536;
+    shared_bytes_per_sm = 96 * 1024;
+    shared_bytes_per_block = 48 * 1024;
+    l2_bytes = 3 * 1024 * 1024;
+    l2_line_bytes = 32;
+    l2_ways = 16;
+    dram_bytes = 12 * 1024 * 1024 * 1024;
+    dram_peak_bytes_per_sec = 480.0e9;
+    core_hz = 1.42e9;
+  }
+
+let all =
+  [ ("k40", tesla_k40); ("titan-x", titan_x); ("titan-xp", titan_x_pascal) ]
+
+let resident_blocks t ~threads_per_block ~regs_per_thread =
+  let by_threads = t.max_resident_threads_per_sm / threads_per_block in
+  let by_regs = t.registers_per_sm / (regs_per_thread * threads_per_block) in
+  let per_sm = max 1 (min by_threads by_regs) in
+  per_sm * t.sms

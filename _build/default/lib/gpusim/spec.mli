@@ -1,0 +1,42 @@
+(** Hardware description of the modeled GPU.
+
+    The paper evaluates on a GeForce GTX Titan X (Maxwell, compute
+    capability 5.2); {!titan_x} transcribes the parameters given in §5 plus
+    the architectural constants (registers, resident-thread limits) the PLR
+    heuristics in §3 rely on. *)
+
+type t = {
+  name : string;
+  sms : int;                        (** streaming multiprocessors *)
+  cores_per_sm : int;               (** 32-bit ALUs per SM *)
+  warp_size : int;
+  max_threads_per_block : int;
+  max_resident_threads_per_sm : int;
+  registers_per_sm : int;
+  shared_bytes_per_sm : int;
+  shared_bytes_per_block : int;     (** accessible from a single block *)
+  l2_bytes : int;
+  l2_line_bytes : int;              (** nvprof reports misses in 32 B sectors *)
+  l2_ways : int;
+  dram_bytes : int;
+  dram_peak_bytes_per_sec : float;
+  core_hz : float;
+}
+
+val titan_x : t
+
+val tesla_k40 : t
+(** An older, smaller Kepler part — fewer SMs, less bandwidth. *)
+
+val titan_x_pascal : t
+(** The next generation after the paper's evaluation GPU — more SMs, more
+    bandwidth, bigger L2.  The paper argues (§7) its approach suits future,
+    even more parallel devices; the cross-GPU bench sweeps these specs. *)
+
+val all : (string * t) list
+(** The specs above, oldest first. *)
+
+val resident_blocks : t -> threads_per_block:int -> regs_per_thread:int -> int
+(** How many blocks of the given shape all SMs can hold concurrently —
+    the [T] in the paper's chunk-size heuristic [x·1024·T > n].  Limited by
+    resident threads and by the register file. *)

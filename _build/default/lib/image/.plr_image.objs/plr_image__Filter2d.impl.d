@@ -1,0 +1,1 @@
+lib/image/filter2d.ml: Array Image Plr_filters Plr_multicore Plr_util

@@ -1,0 +1,1 @@
+lib/image/filter2d.mli: Image Signature

@@ -1,0 +1,1 @@
+lib/image/sat.ml: Filter2d Image Signature

@@ -1,0 +1,1 @@
+lib/image/sat.mli: Image

@@ -1,0 +1,38 @@
+module Multicore = Plr_multicore.Multicore.Make (Plr_util.Scalar.F64)
+
+let filter_row_array s r = Multicore.run s r
+
+let filter_rows s (img : Image.t) =
+  let out = Image.copy img in
+  for y = 0 to img.Image.height - 1 do
+    Image.set_row out y (filter_row_array s (Image.row img y))
+  done;
+  out
+
+let reverse_array a =
+  let n = Array.length a in
+  Array.init n (fun i -> a.(n - 1 - i))
+
+let filter_rows_anticausal s (img : Image.t) =
+  let out = Image.copy img in
+  for y = 0 to img.Image.height - 1 do
+    let r = reverse_array (Image.row img y) in
+    Image.set_row out y (reverse_array (filter_row_array s r))
+  done;
+  out
+
+let filter_rows_symmetric s img = filter_rows_anticausal s (filter_rows s img)
+
+let filter_cols s img = Image.transpose (filter_rows s (Image.transpose img))
+
+let filter_separable s img = filter_cols s (filter_rows s img)
+
+let smooth ~x ~passes img =
+  if passes < 1 then invalid_arg "smooth: passes must be positive";
+  let lp = Plr_filters.Design.low_pass ~x ~stages:1 in
+  let pass img =
+    let rows = filter_rows_symmetric lp img in
+    Image.transpose (filter_rows_symmetric lp (Image.transpose rows))
+  in
+  let rec go img n = if n = 0 then img else go (pass img) (n - 1) in
+  go img passes

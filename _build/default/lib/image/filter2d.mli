@@ -1,0 +1,29 @@
+(** Separable 2D recursive filtering built from the 1D PLR machinery — the
+    multi-dimensional future work of paper §7, covering the workloads of the
+    2D baselines (Nehab's Alg3, Chaurasia's Rec): per-row causal filters,
+    anticausal passes, symmetric (zero-phase) forward–backward smoothing,
+    and full row+column separable filtering.
+
+    Rows run through the multicore CPU backend of the PLR algorithm, so the
+    parallelization under test is the paper's own. *)
+
+val filter_rows : float Signature.t -> Image.t -> Image.t
+(** Causal (left-to-right) recurrence along every row. *)
+
+val filter_rows_anticausal : float Signature.t -> Image.t -> Image.t
+(** Right-to-left pass. *)
+
+val filter_rows_symmetric : float Signature.t -> Image.t -> Image.t
+(** Forward pass then backward pass (zero-phase; squared magnitude
+    response) — the causal+anticausal combination Alg3 performs. *)
+
+val filter_cols : float Signature.t -> Image.t -> Image.t
+(** Column pass via transposition. *)
+
+val filter_separable : float Signature.t -> Image.t -> Image.t
+(** Rows then columns, both causal. *)
+
+val smooth : x:float -> passes:int -> Image.t -> Image.t
+(** Gaussian-like blur: [passes] symmetric single-pole passes (decay [x])
+    along rows and columns.  Three passes approximate a Gaussian well
+    (central-limit effect of iterated exponential smoothing). *)

@@ -1,0 +1,53 @@
+type t = {
+  width : int;
+  height : int;
+  pixels : float array;
+}
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Image.create: empty image";
+  { width; height; pixels = Array.make (width * height) 0.0 }
+
+let init ~width ~height f =
+  let img = create ~width ~height in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      img.pixels.((y * width) + x) <- f ~x ~y
+    done
+  done;
+  img
+
+let get t ~x ~y = t.pixels.((y * t.width) + x)
+let set t ~x ~y v = t.pixels.((y * t.width) + x) <- v
+let copy t = { t with pixels = Array.copy t.pixels }
+
+let transpose t =
+  init ~width:t.height ~height:t.width (fun ~x ~y -> get t ~x:y ~y:x)
+
+let row t y = Array.sub t.pixels (y * t.width) t.width
+
+let set_row t y r =
+  if Array.length r <> t.width then invalid_arg "Image.set_row: width mismatch";
+  Array.blit r 0 t.pixels (y * t.width) t.width
+
+let map2 f a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Image.map2: dimension mismatch";
+  { a with pixels = Array.map2 f a.pixels b.pixels }
+
+let mean t =
+  Array.fold_left ( +. ) 0.0 t.pixels /. float_of_int (Array.length t.pixels)
+
+let variance t =
+  let m = mean t in
+  Array.fold_left (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0.0 t.pixels
+  /. float_of_int (Array.length t.pixels)
+
+let max_abs_diff a b =
+  if a.width <> b.width || a.height <> b.height then infinity
+  else
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun i v -> worst := Float.max !worst (Float.abs (v -. b.pixels.(i))))
+      a.pixels;
+    !worst

@@ -1,0 +1,32 @@
+(** A minimal 2D image container for the multi-dimensional extension
+    (paper §7: "we could also support … multiple dimensions").
+
+    Row-major [float] pixels.  The recurrence machinery is 1D; images are
+    processed row-wise, with column passes implemented by transposition —
+    the standard decomposition the 2D baselines (Nehab's Alg3, Chaurasia's
+    Rec) also build on. *)
+
+type t = {
+  width : int;
+  height : int;
+  pixels : float array;  (** row-major, length [width × height] *)
+}
+
+val create : width:int -> height:int -> t
+val init : width:int -> height:int -> (x:int -> y:int -> float) -> t
+val get : t -> x:int -> y:int -> float
+val set : t -> x:int -> y:int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+
+val row : t -> int -> float array
+val set_row : t -> int -> float array -> unit
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pixel-wise combination; dimensions must agree. *)
+
+val mean : t -> float
+val variance : t -> float
+
+val max_abs_diff : t -> t -> float
+(** Largest pixel-wise discrepancy (for validation). *)

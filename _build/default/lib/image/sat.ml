@@ -1,0 +1,22 @@
+let prefix_sum_signature =
+  Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:[| 1.0 |] ~feedback:[| 1.0 |]
+
+let build img =
+  Filter2d.filter_separable prefix_sum_signature img
+
+let rect_sum sat ~x0 ~y0 ~x1 ~y1 =
+  if x0 > x1 || y0 > y1 then invalid_arg "rect_sum: empty rectangle";
+  let at x y = if x < 0 || y < 0 then 0.0 else Image.get sat ~x ~y in
+  at x1 y1 -. at (x0 - 1) y1 -. at x1 (y0 - 1) +. at (x0 - 1) (y0 - 1)
+
+let box_filter ~radius img =
+  if radius < 0 then invalid_arg "box_filter: negative radius";
+  let sat = build img in
+  let w = img.Image.width and h = img.Image.height in
+  Image.init ~width:w ~height:h (fun ~x ~y ->
+      let x0 = max 0 (x - radius)
+      and y0 = max 0 (y - radius)
+      and x1 = min (w - 1) (x + radius)
+      and y1 = min (h - 1) (y + radius) in
+      let area = float_of_int ((x1 - x0 + 1) * (y1 - y0 + 1)) in
+      rect_sum sat ~x0 ~y0 ~x1 ~y1 /. area)

@@ -1,0 +1,19 @@
+(** Summed-area tables via prefix sums — the classic GPU application the
+    paper's lineage runs through (Hensley et al. [7], Nehab et al. [15]).
+
+    A SAT is a 2D inclusive prefix sum: one (1 : 1) recurrence pass along
+    the rows, one along the columns.  With it, the sum over any axis-aligned
+    rectangle — hence any box filter — costs four lookups regardless of the
+    box size. *)
+
+val build : Image.t -> Image.t
+(** [sat(x, y) = Σ_{x'≤x, y'≤y} img(x', y')], computed with two passes of
+    the PLR prefix-sum recurrence. *)
+
+val rect_sum : Image.t -> x0:int -> y0:int -> x1:int -> y1:int -> float
+(** Inclusive rectangle sum from a SAT built by {!build}
+    ([x0 ≤ x1], [y0 ≤ y1]). *)
+
+val box_filter : radius:int -> Image.t -> Image.t
+(** Mean filter over a [(2r+1)²] window (clamped at the borders), O(1) per
+    pixel via the SAT. *)

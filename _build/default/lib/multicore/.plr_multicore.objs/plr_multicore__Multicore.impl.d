@@ -1,0 +1,1 @@
+lib/multicore/multicore.ml: Array Domain List Plr_nnacci Plr_serial Plr_util Signature

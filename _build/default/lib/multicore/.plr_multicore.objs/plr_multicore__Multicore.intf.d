@@ -1,0 +1,1 @@
+lib/multicore/multicore.mli: Plr_util Signature

@@ -1,0 +1,1 @@
+lib/multicore/stream.ml: Array Multicore Plr_nnacci Plr_util Signature

@@ -1,0 +1,1 @@
+lib/multicore/stream.mli: Plr_util Signature

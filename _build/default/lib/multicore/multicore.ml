@@ -1,0 +1,100 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  module Serial = Plr_serial.Serial.Make (S)
+  module Nnacci = Plr_nnacci.Nnacci.Make (S)
+
+  (* Run [f lo hi] over [0, n) split into [parts] ranges, in parallel. *)
+  let parallel_ranges ~domains ~n f =
+    if domains <= 1 || n < 2 then f 0 n
+    else begin
+      let per = (n + domains - 1) / domains in
+      let spawned =
+        List.init domains (fun d ->
+            let lo = d * per in
+            let hi = min n (lo + per) in
+            if lo < hi then Some (Domain.spawn (fun () -> f lo hi)) else None)
+      in
+      List.iter (function Some d -> Domain.join d | None -> ()) spawned
+    end
+
+  let default_chunk_size ~domains n = max 1024 (n / (domains * 8))
+
+  let run_with ~domains ~chunk_size (s : S.t Signature.t) input =
+    let n = Array.length input in
+    if n = 0 then [||]
+    else begin
+      let k = Signature.order s in
+      (* Chunks must hold at least k elements so carry positions exist. *)
+      let m = max k (min chunk_size n) in
+      let chunks = (n + m - 1) / m in
+      let chunk_len c = min m (n - (c * m)) in
+      (* The map stage (eq. 2) and the local solves, fused per chunk. *)
+      let y = Serial.fir ~forward:s.Signature.forward input in
+      let feedback = s.Signature.feedback in
+      let solve_chunks lo hi =
+        for c = lo to hi - 1 do
+          let len = chunk_len c in
+          let slice = Array.sub y (c * m) len in
+          Serial.recurrence_in_place ~feedback slice;
+          Array.blit slice 0 y (c * m) len
+        done
+      in
+      parallel_ranges ~domains ~n:chunks solve_chunks;
+      (* Sequential carry propagation: global carries per chunk.  Carry j
+         of chunk c is element (len-1-j); factors at positions m-1-j
+         correct the next chunk's carries (Phase 2's look-back math). *)
+      let factors = Nnacci.factor_lists ~feedback ~m () in
+      let local_carries c =
+        let len = chunk_len c in
+        Array.init k (fun j -> if len - 1 - j >= 0 then y.((c * m) + len - 1 - j) else S.zero)
+      in
+      let globals = Array.make chunks [||] in
+      for c = 0 to chunks - 1 do
+        if c = 0 then globals.(0) <- local_carries 0
+        else begin
+          let g_prev = globals.(c - 1) in
+          let local = local_carries c in
+          globals.(c) <-
+            Array.init k (fun j ->
+                let q = m - 1 - j in
+                let acc = ref local.(j) in
+                for j' = 0 to k - 1 do
+                  acc := S.add !acc (S.mul factors.(j').(q) g_prev.(j'))
+                done;
+                !acc)
+        end
+      done;
+      (* Parallel correction pass: chunk c (c ≥ 1) applies the global
+         carries of chunk c-1 with the per-position factors. *)
+      let correct_chunks lo hi =
+        for c = max 1 lo to hi - 1 do
+          let g = globals.(c - 1) in
+          let len = chunk_len c in
+          let base = c * m in
+          for q = 0 to len - 1 do
+            let acc = ref y.(base + q) in
+            for j = 0 to k - 1 do
+              acc := S.add !acc (S.mul factors.(j).(q) g.(j))
+            done;
+            y.(base + q) <- !acc
+          done
+        done
+      in
+      parallel_ranges ~domains ~n:chunks correct_chunks;
+      y
+    end
+
+  let run ?domains ?chunk_size s input =
+    let domains =
+      match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
+    in
+    let chunk_size =
+      match chunk_size with
+      | Some c -> max 1 c
+      | None -> default_chunk_size ~domains (Array.length input)
+    in
+    run_with ~domains ~chunk_size s input
+
+  let run_sequential_fallback s input =
+    run_with ~domains:1 ~chunk_size:(default_chunk_size ~domains:4 (Array.length input))
+      s input
+end

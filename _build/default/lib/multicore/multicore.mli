@@ -1,0 +1,32 @@
+(** A real parallel CPU backend for the PLR algorithm, using OCaml 5
+    domains.
+
+    The paper notes (§7) that the algorithm, the hierarchical
+    parallelization, and most optimizations "apply equally to CPUs"; this
+    module is that port.  The structure mirrors the GPU engine at CPU
+    granularity:
+
+    - the sequence is split into chunks, one per parallel task;
+    - pass 1 (parallel): each chunk is solved locally (the degenerate
+      Phase 1 — a CPU core is one "thread", so the local solve is serial)
+      and its local carries are collected;
+    - carry propagation (sequential, O(chunks·k²)): local carries are
+      corrected into global carries using the last k n-nacci correction
+      factors, exactly like Phase 2's look-back;
+    - pass 2 (parallel): every chunk applies its predecessor's global
+      carries with the per-position correction factors.
+
+    Total work is O(nk) + O(chunks·k²) — work-efficient, like the paper's
+    two-phase design. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val run :
+    ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
+  (** [run s x] computes the recurrence in parallel.  [domains] defaults to
+      [Domain.recommended_domain_count ()]; [chunk_size] defaults to a
+      size that gives each domain several chunks. *)
+
+  val run_sequential_fallback : S.t Signature.t -> S.t array -> S.t array
+  (** The same chunked algorithm executed on one domain — used in tests to
+      separate algorithmic correctness from scheduling. *)
+end

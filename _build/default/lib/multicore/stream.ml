@@ -1,0 +1,105 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  module Multicore = Multicore.Make (S)
+  module Nnacci = Plr_nnacci.Nnacci.Make (S)
+
+  type t = {
+    signature : S.t Signature.t;
+    pure : S.t Signature.t;          (* (1 : feedback) for the local solves *)
+    k : int;
+    taps : int;
+    domains : int option;
+    mutable carries : S.t array;     (* carry j = j-th from last output *)
+    mutable input_tail : S.t array;  (* last taps-1 inputs, most recent last *)
+    mutable factors : S.t array array; (* k lists, grown on demand *)
+    mutable started : bool;
+  }
+
+  let create ?domains (signature : S.t Signature.t) =
+    let k = Signature.order signature in
+    let _, pure = Signature.split ~one:S.one signature in
+    {
+      signature;
+      pure;
+      k;
+      taps = Signature.fir_taps signature;
+      domains;
+      carries = Array.make k S.zero;
+      input_tail = Array.make (max 0 (Signature.fir_taps signature - 1)) S.zero;
+      factors = [||];
+      started = false;
+    }
+
+  let signature t = t.signature
+
+  let reset t =
+    t.carries <- Array.make t.k S.zero;
+    t.input_tail <- Array.make (max 0 (t.taps - 1)) S.zero;
+    t.started <- false
+
+  let ensure_factors t len =
+    let have = if Array.length t.factors = 0 then 0 else Array.length t.factors.(0) in
+    if len > have then
+      t.factors <-
+        Nnacci.factor_lists ~feedback:t.signature.Signature.feedback
+          ~m:(max len (2 * max 1 have)) ()
+
+  (* FIR with the saved input history standing in for x(i < 0 of this
+     chunk). *)
+  let fir_with_history t x =
+    let fwd = t.signature.Signature.forward in
+    let taps = t.taps in
+    if taps = 1 && S.is_one fwd.(0) then Array.copy x
+    else begin
+      let hist = t.input_tail in
+      let nh = Array.length hist in
+      Array.init (Array.length x) (fun i ->
+          let acc = ref S.zero in
+          for j = 0 to taps - 1 do
+            if not (S.is_zero fwd.(j)) then begin
+              let v =
+                if i - j >= 0 then x.(i - j)
+                else begin
+                  let h = nh + (i - j) in
+                  if h >= 0 then hist.(h) else S.zero
+                end
+              in
+              acc := S.add !acc (S.mul fwd.(j) v)
+            end
+          done;
+          !acc)
+    end
+
+  let process t x =
+    let n = Array.length x in
+    if n = 0 then [||]
+    else begin
+      let tseq = fir_with_history t x in
+      (* local parallel solve of the pure recurrence *)
+      let y = Multicore.run ?domains:t.domains t.pure tseq in
+      (* correct with the carries from everything processed so far *)
+      if t.started then begin
+        ensure_factors t n;
+        for q = 0 to n - 1 do
+          let acc = ref y.(q) in
+          for j = 0 to t.k - 1 do
+            acc := S.add !acc (S.mul t.factors.(j).(q) t.carries.(j))
+          done;
+          y.(q) <- !acc
+        done
+      end;
+      (* save the new state *)
+      t.carries <-
+        Array.init t.k (fun j ->
+            if n - 1 - j >= 0 then y.(n - 1 - j) else t.carries.(j - n));
+      let nh = Array.length t.input_tail in
+      if nh > 0 then
+        t.input_tail <-
+          Array.init nh (fun h ->
+              (* most recent last: slot nh-1 = x(n-1) *)
+              let back = nh - 1 - h in
+              if n - 1 - back >= 0 then x.(n - 1 - back)
+              else t.input_tail.(nh - 1 - (back - n)));
+      t.started <- true;
+      y
+    end
+  end

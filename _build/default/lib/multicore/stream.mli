@@ -1,0 +1,26 @@
+(** Stateful streaming evaluation: process an unbounded signal in arbitrary
+    chunks while producing exactly the same output as one offline pass.
+
+    This is the API a real-time DSP consumer of PLR needs (the paper's §1
+    telecom/audio motivation): audio arrives in buffers, but the recurrence
+    state must flow across buffer boundaries.  Each chunk is solved locally
+    with the parallel backend and then corrected with the same n-nacci
+    factors Phase 2 uses, against the carries saved from the previous
+    chunk — i.e. the stream is a decoupled look-back pipeline whose chunks
+    arrive over time instead of over thread blocks. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type t
+
+  val create : ?domains:int -> S.t Signature.t -> t
+  (** A fresh stream in the zero state (as if preceded by zeros). *)
+
+  val process : t -> S.t array -> S.t array
+  (** Filter the next chunk (any length, including empty) and advance the
+      internal state. *)
+
+  val reset : t -> unit
+  (** Back to the zero state. *)
+
+  val signature : t -> S.t Signature.t
+end

@@ -1,0 +1,1 @@
+lib/nnacci/analysis.ml: Array Format Fun List Plr_util Printf

@@ -1,0 +1,1 @@
+lib/nnacci/analysis.mli: Format Plr_util

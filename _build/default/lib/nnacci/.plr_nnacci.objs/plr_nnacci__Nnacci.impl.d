@@ -1,0 +1,1 @@
+lib/nnacci/nnacci.ml: Array Plr_util

@@ -1,0 +1,1 @@
+lib/nnacci/nnacci.mli: Plr_util

@@ -1,0 +1,96 @@
+type 'a t =
+  | All_equal of 'a
+  | Zero_one
+  | Repeating of int
+  | Decays_to_zero of int
+  | General
+
+let to_string coeff = function
+  | All_equal c -> Printf.sprintf "all-equal(%s)" (coeff c)
+  | Zero_one -> "zero-one"
+  | Repeating p -> Printf.sprintf "repeating(period %d)" p
+  | Decays_to_zero i -> Printf.sprintf "decays-to-zero(from %d)" i
+  | General -> "general"
+
+let pp pp_coeff fmt = function
+  | All_equal c -> Format.fprintf fmt "all-equal(%a)" pp_coeff c
+  | Zero_one -> Format.pp_print_string fmt "zero-one"
+  | Repeating p -> Format.fprintf fmt "repeating(period %d)" p
+  | Decays_to_zero i -> Format.fprintf fmt "decays-to-zero(from %d)" i
+  | General -> Format.pp_print_string fmt "general"
+
+module Make (S : Plr_util.Scalar.S) = struct
+  let all_equal factors =
+    let n = Array.length factors in
+    if n = 0 then Some S.zero
+    else begin
+      let v = factors.(0) in
+      let rec loop i = i >= n || (S.equal factors.(i) v && loop (i + 1)) in
+      if loop 1 then Some v else None
+    end
+
+  let zero_one factors =
+    Array.for_all (fun f -> S.is_zero f || S.is_one f) factors
+
+  (* Smallest period p (1 ≤ p < n) such that factors.(i) = factors.(i mod p).
+     Periods of 1 are reported as All_equal instead. *)
+  let period factors =
+    let n = Array.length factors in
+    let holds p =
+      let rec loop i = i >= n || (S.equal factors.(i) factors.(i - p) && loop (i + 1)) in
+      loop p
+    in
+    let rec search p = if p > n / 2 then None else if holds p then Some p else search (p + 1) in
+    search 2
+
+  (* Smallest index z such that factors.(i) = 0 for all i ≥ z, provided the
+     tail saves at least half of the list. *)
+  let zero_from factors =
+    let n = Array.length factors in
+    let rec last_nonzero i =
+      if i < 0 then -1 else if S.is_zero factors.(i) then last_nonzero (i - 1) else i
+    in
+    let z = last_nonzero (n - 1) + 1 in
+    if z < n then Some z else None
+
+  let analyze factors =
+    match all_equal factors with
+    | Some v -> All_equal v
+    | None ->
+        if zero_one factors then Zero_one
+        else (
+          match period factors with
+          | Some p -> Repeating p
+          | None -> (
+              match zero_from factors with
+              | Some z when z <= Array.length factors / 2 -> Decays_to_zero z
+              | Some _ | None -> General))
+
+  let analyze_all lists = Array.map analyze lists
+
+  let zero_one_period (l : S.t array) =
+    let n = Array.length l in
+    let holds p =
+      let rec go i = i >= n || (S.equal l.(i) l.(i mod p) && go (i + 1)) in
+      go p
+    in
+    let rec search p =
+      if p > min 64 (n / 2) then None else if holds p then Some p else search (p + 1)
+    in
+    search 1
+
+  let one_positions l p = List.filter (fun q -> S.is_one l.(q)) (List.init p Fun.id)
+
+  let zero_tail analyses =
+    let tail_of = function
+      | All_equal v when S.is_zero v -> Some 0
+      | Decays_to_zero z -> Some z
+      | All_equal _ | Zero_one | Repeating _ | General -> None
+    in
+    Array.fold_left
+      (fun acc a ->
+        match (acc, tail_of a) with
+        | Some best, Some z -> Some (max best z)
+        | _, None | None, _ -> None)
+      (Some 0) analyses
+end

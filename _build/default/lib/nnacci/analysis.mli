@@ -1,0 +1,44 @@
+(** Correction-factor analysis (paper §3.1).
+
+    PLR inspects each precomputed factor list and emits specialized code when
+    a structural property holds.  The properties, in the priority order the
+    code generator applies them:
+
+    - every factor equal → replace array accesses by one constant
+      (helps the standard prefix sum, whose factors are all 1);
+    - every factor 0 or 1 → conditionally add instead of multiply-add
+      (helps tuple-based prefix sums);
+    - the list repeats with some period → store only the first period;
+    - the factors decay to exact zero after some index (floating-point
+      filters with flushed denormals) → suppress all correction work past
+      that index, letting later warps skip Phase 1 entirely;
+    - otherwise no specialization applies. *)
+
+type 'a t =
+  | All_equal of 'a          (** every factor equals this constant *)
+  | Zero_one                 (** every factor is 0 or 1, not all equal *)
+  | Repeating of int         (** period length ≥ 2, shorter than the list *)
+  | Decays_to_zero of int    (** all factors at index ≥ this are exactly 0 *)
+  | General
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+val to_string : ('a -> string) -> 'a t -> string
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val analyze : S.t array -> S.t t
+  (** Analyze one factor list.  The empty list is [All_equal S.zero]. *)
+
+  val analyze_all : S.t array array -> S.t t array
+
+  val zero_one_period : S.t array -> int option
+  (** Smallest period (≤ 64) of a 0/1 list — foldable into a compile-time
+      modulo test, so no factor table needs to be stored. *)
+
+  val one_positions : S.t array -> int -> int list
+  (** Indices within one period whose factor is one. *)
+
+  val zero_tail : S.t t array -> int option
+  (** When every list decays to zero (or is all-zero), the smallest index
+      from which all lists are zero — i.e. the point past which Phase 1/2
+      corrections can be suppressed. *)
+end

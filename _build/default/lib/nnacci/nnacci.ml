@@ -1,0 +1,40 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  let seed ~k ~carry =
+    assert (carry >= 0 && carry < k);
+    Array.init k (fun i -> if i = k - 1 - carry then S.one else S.zero)
+
+  (* Run the recurrence (0 : feedback) over a sliding window of the last k
+     values, starting from the one-hot seed, and collect m factors. *)
+  let generate ?(flush_denormals = false) ~feedback ~m ~carry () =
+    let k = Array.length feedback in
+    let window = seed ~k ~carry in
+    (* window.(i) holds the value k - 1 - i steps back; keep it ordered so
+       window.(k-1) is the most recent value. *)
+    let out = Array.make m S.zero in
+    for q = 0 to m - 1 do
+      let acc = ref S.zero in
+      for t = 0 to k - 1 do
+        (* feedback.(t) = c-(t+1) multiplies the value (t+1) steps back. *)
+        acc := S.add !acc (S.mul feedback.(t) window.(k - 1 - t))
+      done;
+      let v = if flush_denormals then S.flush_denormal !acc else !acc in
+      out.(q) <- v;
+      (* slide *)
+      for i = 0 to k - 2 do
+        window.(i) <- window.(i + 1)
+      done;
+      window.(k - 1) <- v
+    done;
+    out
+
+  let factor_list ~feedback ~m ~carry = generate ~feedback ~m ~carry ()
+
+  let factor_lists ?flush_denormals ~feedback ~m () =
+    let k = Array.length feedback in
+    Array.init k (fun carry -> generate ?flush_denormals ~feedback ~m ~carry ())
+end
+
+module I = Make (Plr_util.Scalar.Int)
+
+let fibonacci ~m = I.factor_list ~feedback:[| 1; 1 |] ~m ~carry:0
+let tribonacci ~m = I.factor_list ~feedback:[| 1; 1; 1 |] ~m ~carry:0

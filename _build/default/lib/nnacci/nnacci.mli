@@ -1,0 +1,42 @@
+(** Correction factors as generalized n-nacci numbers (paper §2.1).
+
+    For the order-k recurrence [(1 : c-1, …, c-k)], merging a chunk pair
+    requires, for each of the k carries of the first chunk, a list of
+    correction factors.  Element [q] (0-based) of the second chunk is
+    corrected by adding [Σ_j factors.(j).(q) · carry_j], where [carry_j] is
+    the j-th-from-last element of the first chunk ([j = 0] is the last
+    element).
+
+    The factor lists are produced by running the homogeneous recurrence
+    [(0 : c-1, …, c-k)] seeded with a one-hot vector of length k: the 1 sits
+    at the position of the corresponding carry in the previous chunk.  For
+    [(1 : 1, 1)] this generates the two Fibonacci sequences; for
+    [(1 : 1, 1, 1)] the three Tribonacci sequences (OEIS A000073 / A001590);
+    in general the [(c-1, …, c-k)]-nacci numbers. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val seed : k:int -> carry:int -> S.t array
+  (** The one-hot seed for carry [carry] (0 = last element of the previous
+      chunk): a k-element vector that is zero except for a one at position
+      [k - 1 - carry]. *)
+
+  val factor_list : feedback:S.t array -> m:int -> carry:int -> S.t array
+  (** [factor_list ~feedback ~m ~carry] is the list of [m] correction factors
+      for the given carry.  [factor_list ...].(q) corrects element [q] of the
+      second chunk of a merged pair.  Generation is O(m·k). *)
+
+  val factor_lists : ?flush_denormals:bool -> feedback:S.t array -> m:int -> unit -> S.t array array
+  (** All [k] factor lists (index [j] corresponds to carry [j]).  When
+      [flush_denormals] is true (the paper's FTZ optimization), each
+      generated factor is flushed to zero when denormal, which makes decaying
+      floating-point factor sequences terminate in exact zeros.  Default
+      [false]. *)
+end
+
+val fibonacci : m:int -> int array
+(** [factor_list] of [(1 : 1, 1)] for carry 0 — the Fibonacci numbers
+    starting [1, 2, 3, 5, …]; exported for tests. *)
+
+val tribonacci : m:int -> int array
+(** Carry-0 factors of [(1 : 1, 1, 1)] — OEIS A000073 shifted:
+    [1, 2, 4, 7, 13, …]. *)

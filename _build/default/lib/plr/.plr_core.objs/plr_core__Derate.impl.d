@@ -1,0 +1,1 @@
+lib/plr/derate.ml: Array Float Opts Plan Plr_nnacci Plr_util Signature

@@ -1,0 +1,1 @@
+lib/plr/derate.mli: Plan Plr_util

@@ -1,0 +1,1 @@
+lib/plr/engine.ml: Array Derate Kernel Opts Plr_gpusim Plr_serial Plr_util

@@ -1,0 +1,1 @@
+lib/plr/engine.mli: Opts Plan Plr_gpusim Plr_util Signature Stdlib

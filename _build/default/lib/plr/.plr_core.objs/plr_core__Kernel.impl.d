@@ -1,0 +1,1 @@
+lib/plr/kernel.ml: Array Plan Plr_gpusim Plr_nnacci Plr_util Signature

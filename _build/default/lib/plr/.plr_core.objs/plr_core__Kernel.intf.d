@@ -1,0 +1,1 @@
+lib/plr/kernel.mli: Plan Plr_gpusim Plr_nnacci Plr_util

@@ -1,0 +1,1 @@
+lib/plr/opts.ml: Format Fun List String

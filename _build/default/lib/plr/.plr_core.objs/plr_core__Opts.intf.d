@@ -1,0 +1,1 @@
+lib/plr/opts.mli: Format

@@ -1,0 +1,1 @@
+lib/plr/plan.ml: Array Format Opts Plr_gpusim Plr_nnacci Plr_util Signature String

@@ -1,0 +1,1 @@
+lib/plr/plan.mli: Format Opts Plr_gpusim Plr_nnacci Plr_util Signature

@@ -1,0 +1,1 @@
+lib/plr/segmented.ml: Array Engine List Plr_serial Plr_util Printf Signature

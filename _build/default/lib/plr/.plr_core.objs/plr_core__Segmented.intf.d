@@ -1,0 +1,1 @@
+lib/plr/segmented.mli: Engine Opts Plr_gpusim Plr_util Signature

@@ -1,0 +1,1 @@
+lib/plr/tune.ml: Engine Float List Opts Plr_gpusim Plr_util

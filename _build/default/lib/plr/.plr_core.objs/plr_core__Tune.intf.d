@@ -1,0 +1,1 @@
+lib/plr/tune.mli: Opts Plan Plr_gpusim Plr_util Signature

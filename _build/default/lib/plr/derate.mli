@@ -1,0 +1,27 @@
+(** Effective-bandwidth derates for PLR-generated kernels.
+
+    The machine model's counters capture data movement and operation counts,
+    but a handful of the paper's measured effects are microarchitectural
+    (uncoalesced correction-factor gathers, integer-multiply XMAD chains,
+    barrier serialization across Phase 1's shared-memory levels).  Rather
+    than pretend to derive those from first principles, the model folds them
+    into one per-plan efficiency factor whose three regimes correspond
+    directly to the specialization outcomes of §3.1 and whose constants are
+    calibrated once against the paper's reported ratios (see EXPERIMENTS.md):
+
+    - every factor list specialized away (all-equal or zero-one — the prefix
+      sum and tuple family): full efficiency, modulated only by tuple sizes
+      that are not powers of two (§6.1.2);
+    - factor lists decay to zero (stable recursive filters with FTZ): high
+      efficiency, degrading mildly with order (§6.2.1);
+    - general factor tables (higher-order prefix sums, or any recurrence
+      with the optimizations disabled): strongly degraded — the regime in
+      which the paper reports SAM outperforming PLR (§6.1.3, Figure 10).
+
+    An additional factor models the measured ~17% cost of a non-trivial map
+    stage (§6.2.2). *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val of_plan : Plan.Make(S).t -> float
+  (** Efficiency in (0, 1]; multiplied into the workload's [bw_derate]. *)
+end

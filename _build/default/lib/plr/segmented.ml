@@ -1,0 +1,61 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  module E = Engine.Make (S)
+  module Serial = Plr_serial.Serial.Make (S)
+
+  type segment = {
+    signature : S.t Signature.t;
+    length : int;
+  }
+
+  exception Bad_partition of string
+
+  let check_partition segments n =
+    let total =
+      List.fold_left
+        (fun acc seg ->
+          if seg.length <= 0 then
+            raise (Bad_partition "segment lengths must be positive");
+          acc + seg.length)
+        0 segments
+    in
+    if total <> n then
+      raise
+        (Bad_partition
+           (Printf.sprintf "segment lengths sum to %d but the input has %d elements"
+              total n))
+
+  let run_serial segments input =
+    check_partition segments (Array.length input);
+    let out = Array.make (Array.length input) S.zero in
+    let pos = ref 0 in
+    List.iter
+      (fun seg ->
+        let slice = Array.sub input !pos seg.length in
+        Array.blit (Serial.full seg.signature slice) 0 out !pos seg.length;
+        pos := !pos + seg.length)
+      segments;
+    out
+
+  let run ?opts ~spec segments input =
+    check_partition segments (Array.length input);
+    let out = Array.make (Array.length input) S.zero in
+    let pos = ref 0 in
+    let results =
+      List.map
+        (fun seg ->
+          let slice = Array.sub input !pos seg.length in
+          let result = E.run ?opts ~spec seg.signature slice in
+          Array.blit result.E.output 0 out !pos seg.length;
+          pos := !pos + seg.length;
+          result)
+        segments
+    in
+    (out, results)
+
+  let uniform signature ~segments ~n =
+    if segments <= 0 || n < segments then
+      raise (Bad_partition "need at least one element per segment");
+    let base = n / segments and extra = n mod segments in
+    List.init segments (fun i ->
+        { signature; length = (base + if i < extra then 1 else 0) })
+end

@@ -1,0 +1,1 @@
+lib/serial/reference.ml: Array List Plr_util

@@ -1,0 +1,1 @@
+lib/serial/reference.mli: Plr_util

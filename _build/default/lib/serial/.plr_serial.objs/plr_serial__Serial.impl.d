@@ -1,0 +1,1 @@
+lib/serial/serial.ml: Array Plr_util Printf Signature

@@ -1,0 +1,1 @@
+lib/serial/serial.mli: Plr_util Signature

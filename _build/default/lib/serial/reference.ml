@@ -1,0 +1,39 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  let prefix_sum x =
+    let acc = ref S.zero in
+    Array.map
+      (fun v ->
+        acc := S.add !acc v;
+        !acc)
+      x
+
+  let tuple_prefix ~s x =
+    assert (s >= 1);
+    let n = Array.length x in
+    let y = Array.copy x in
+    for i = s to n - 1 do
+      y.(i) <- S.add y.(i) y.(i - s)
+    done;
+    y
+
+  let higher_order_prefix ~r x =
+    assert (r >= 1);
+    let rec loop acc r = if r = 0 then acc else loop (prefix_sum acc) (r - 1) in
+    loop x r
+
+  let single_stage (forward, pole) x =
+    let n = Array.length x in
+    let p = Array.length forward in
+    let y = Array.make n S.zero in
+    for i = 0 to n - 1 do
+      let acc = ref S.zero in
+      for j = 0 to min i (p - 1) do
+        acc := S.add !acc (S.mul forward.(j) x.(i - j))
+      done;
+      if i > 0 then acc := S.add !acc (S.mul pole y.(i - 1));
+      y.(i) <- !acc
+    done;
+    y
+
+  let single_pole_cascade ~stages x = List.fold_left (fun acc st -> single_stage st acc) x stages
+end

@@ -1,0 +1,22 @@
+(** Independent specialized implementations of the Table 1 recurrence
+    families, written directly from each family's definition rather than from
+    the general recursion equation.  They exist to cross-check
+    {!Serial.Make} itself: two separately derived programs agreeing is far
+    stronger evidence than one. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val prefix_sum : S.t array -> S.t array
+  (** Running sum. *)
+
+  val tuple_prefix : s:int -> S.t array -> S.t array
+  (** s interleaved independent running sums: [y(i) = x(i) + y(i-s)]. *)
+
+  val higher_order_prefix : r:int -> S.t array -> S.t array
+  (** The prefix sum applied [r] times in sequence. *)
+
+  val single_pole_cascade : stages:(S.t array * S.t) list -> S.t array -> S.t array
+  (** Applies a cascade of first-order sections; each stage is
+      [(forward_taps, pole)]: [y(i) = Σ_j a_j·x(i-j) + pole·y(i-1)].
+      Cascading is function composition, matching the z-domain product of
+      the stage transfer functions. *)
+end

@@ -1,0 +1,47 @@
+module Make (S : Plr_util.Scalar.S) = struct
+  let recurrence_in_place ~feedback y =
+    let n = Array.length y in
+    let k = Array.length feedback in
+    for i = 0 to n - 1 do
+      let acc = ref y.(i) in
+      for j = 1 to min i k do
+        acc := S.add !acc (S.mul feedback.(j - 1) y.(i - j))
+      done;
+      y.(i) <- !acc
+    done
+
+  let recurrence ~feedback t =
+    let y = Array.copy t in
+    recurrence_in_place ~feedback y;
+    y
+
+  let fir ~forward x =
+    let n = Array.length x in
+    let p = Array.length forward in
+    Array.init n (fun i ->
+        let acc = ref S.zero in
+        for j = 0 to min i (p - 1) do
+          acc := S.add !acc (S.mul forward.(j) x.(i - j))
+        done;
+        !acc)
+
+  let full (s : S.t Signature.t) x = recurrence ~feedback:s.feedback (fir ~forward:s.forward x)
+
+  let validate ?(tol = 1e-3) ~expected actual =
+    let n = Array.length expected in
+    if Array.length actual <> n then
+      Error
+        (Printf.sprintf "length mismatch: expected %d, got %d" n (Array.length actual))
+    else begin
+      let rec loop i =
+        if i >= n then Ok ()
+        else if S.approx_equal ~tol expected.(i) actual.(i) then loop (i + 1)
+        else
+          Error
+            (Printf.sprintf "mismatch at index %d: expected %s, got %s" i
+               (S.to_string expected.(i))
+               (S.to_string actual.(i)))
+      in
+      loop 0
+    end
+end

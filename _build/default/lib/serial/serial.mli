@@ -1,0 +1,26 @@
+(** The straightforward serial algorithm from the beginning of the paper's
+    §2 — O(nk) work, O(n+k) space.  Every parallel implementation in this
+    repository is validated against this module, mirroring the paper's
+    methodology (§5): exact comparison for integers, 1e-3 discrepancy bound
+    for floats. *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val recurrence : feedback:S.t array -> S.t array -> S.t array
+  (** Equation (3): [y(i) = t(i) + Σ_j b-j·y(i-j)] with [y(j<0) = 0].
+      The input array is the intermediate sequence [t]. *)
+
+  val recurrence_in_place : feedback:S.t array -> S.t array -> unit
+  (** Same, overwriting the input. *)
+
+  val fir : forward:S.t array -> S.t array -> S.t array
+  (** Equation (2), the map stage: [t(i) = Σ_j a-j·x(i-j)] with
+      [x(j<0) = 0]. *)
+
+  val full : S.t Signature.t -> S.t array -> S.t array
+  (** Equation (1): [fir] then [recurrence]. *)
+
+  val validate : ?tol:float -> expected:S.t array -> S.t array -> (unit, string) result
+  (** Element-wise comparison in the paper's style.  [tol] defaults to
+      [1e-3] and only matters for floating scalars.  On failure the message
+      reports the first mismatching index and both values. *)
+end

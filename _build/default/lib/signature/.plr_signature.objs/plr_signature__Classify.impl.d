@@ -1,0 +1,1 @@
+lib/signature/classify.ml: Array Format Printf Signature

@@ -1,0 +1,1 @@
+lib/signature/classify.mli: Format Signature

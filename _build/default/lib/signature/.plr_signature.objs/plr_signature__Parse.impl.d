@@ -1,0 +1,1 @@
+lib/signature/parse.ml: Array Float Format List Printf Signature String

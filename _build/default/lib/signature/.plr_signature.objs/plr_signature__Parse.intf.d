@@ -1,0 +1,1 @@
+lib/signature/parse.mli: Format Signature

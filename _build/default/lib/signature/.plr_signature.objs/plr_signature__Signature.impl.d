@@ -1,0 +1,1 @@
+lib/signature/signature.ml: Array Format

@@ -1,0 +1,1 @@
+lib/signature/table1.ml: List Parse Plr_util Signature

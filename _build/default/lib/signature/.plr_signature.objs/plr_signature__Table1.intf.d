@@ -1,0 +1,1 @@
+lib/signature/table1.mli: Plr_util Signature

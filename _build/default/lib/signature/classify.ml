@@ -1,0 +1,76 @@
+type kind =
+  | Prefix_sum
+  | Tuple_prefix of int
+  | Higher_order_prefix of int
+  | Recursive_filter
+
+let to_string = function
+  | Prefix_sum -> "prefix sum"
+  | Tuple_prefix s -> Printf.sprintf "%d-tuple prefix sum" s
+  | Higher_order_prefix r -> Printf.sprintf "order-%d prefix sum" r
+  | Recursive_filter -> "recursive filter"
+
+let pp fmt kind = Format.pp_print_string fmt (to_string kind)
+
+let equal (a : kind) (b : kind) = a = b
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let is_int_value v i = v = float_of_int i
+
+let forward_is_unit s =
+  Array.length s.Signature.forward = 1 && is_int_value s.Signature.forward.(0) 1
+
+(* [(1 : 0,…,0,1)]: the feedback is a one-hot vector ending in 1. *)
+let tuple_size s =
+  let fb = s.Signature.feedback in
+  let k = Array.length fb in
+  let rec all_zero i = i >= k - 1 || (is_int_value fb.(i) 0 && all_zero (i + 1)) in
+  if is_int_value fb.(k - 1) 1 && all_zero 0 then Some k else None
+
+(* [(1 : C(r,1), -C(r,2), …)] with alternating signs. *)
+let higher_order s =
+  let fb = s.Signature.feedback in
+  let r = Array.length fb in
+  let matches j =
+    let expected = binomial r (j + 1) * if j mod 2 = 0 then 1 else -1 in
+    is_int_value fb.(j) expected
+  in
+  let rec loop j = j >= r || (matches j && loop (j + 1)) in
+  if r >= 2 && loop 0 then Some r else None
+
+let classify s =
+  if not (forward_is_unit s) then Recursive_filter
+  else if Array.length s.Signature.feedback = 1 && is_int_value s.Signature.feedback.(0) 1
+  then Prefix_sum
+  else
+    match tuple_size s with
+    | Some size -> Tuple_prefix size
+    | None -> (
+        match higher_order s with
+        | Some r -> Higher_order_prefix r
+        | None -> Recursive_filter)
+
+let float_is_zero c = c = 0.0
+
+let higher_order_signature r =
+  assert (r >= 1);
+  let feedback =
+    Array.init r (fun j ->
+        float_of_int (binomial r (j + 1) * if j mod 2 = 0 then 1 else -1))
+  in
+  Signature.create ~is_zero:float_is_zero ~forward:[| 1.0 |] ~feedback
+
+let tuple_signature s =
+  assert (s >= 1);
+  let feedback = Array.init s (fun j -> if j = s - 1 then 1.0 else 0.0) in
+  Signature.create ~is_zero:float_is_zero ~forward:[| 1.0 |] ~feedback

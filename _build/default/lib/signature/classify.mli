@@ -1,0 +1,38 @@
+(** Structural classification of signatures into the recurrence families the
+    paper's evaluation distinguishes (§1, Table 1).  The PLR optimizer does
+    not need this — it specializes on correction-factor analysis — but the
+    classification drives baseline selection (CUB and SAM only support prefix
+    sums) and reporting. *)
+
+type kind =
+  | Prefix_sum
+      (** [(1 : 1)] — the standard prefix sum. *)
+  | Tuple_prefix of int
+      (** [(1 : 0, …, 0, 1)] with the single one at position [s]: an s-tuple
+          prefix sum over interleaved tuples. *)
+  | Higher_order_prefix of int
+      (** [(1 : C(r,1), -C(r,2), …, ±C(r,r))] — an order-r prefix sum (prefix
+          sum applied r times); coefficients follow the binomial pattern with
+          alternating signs. *)
+  | Recursive_filter
+      (** Any other well-formed signature: a general IIR digital filter. *)
+
+val pp : Format.formatter -> kind -> unit
+val to_string : kind -> string
+val equal : kind -> kind -> bool
+
+val classify : float Signature.t -> kind
+(** Classification is exact on the coefficient values (a float equal to a
+    small integer is treated as that integer). *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n, k); exported for tests and for generating
+    higher-order prefix-sum signatures. *)
+
+val higher_order_signature : int -> float Signature.t
+(** [higher_order_signature r] builds the order-r prefix-sum signature, e.g.
+    [r = 3] gives [(1: 3, -3, 1)]. *)
+
+val tuple_signature : int -> float Signature.t
+(** [tuple_signature s] builds the s-tuple prefix-sum signature, e.g. [s = 2]
+    gives [(1: 0, 1)]. *)

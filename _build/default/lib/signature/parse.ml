@@ -1,0 +1,63 @@
+type error =
+  | Syntax of string
+  | Ill_formed of string
+
+let pp_error fmt = function
+  | Syntax msg -> Format.fprintf fmt "syntax error: %s" msg
+  | Ill_formed msg -> Format.fprintf fmt "ill-formed signature: %s" msg
+
+(* Strip at most one pair of surrounding parentheses. *)
+let strip_parens s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '(' && s.[n - 1] = ')' then String.sub s 1 (n - 2)
+  else s
+
+let split_coeffs part =
+  part
+  |> String.split_on_char ','
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None else Some tok)
+
+let parse_coeff tok =
+  match float_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> Error (Syntax (Printf.sprintf "invalid coefficient %S" tok))
+
+let parse_list part =
+  let rec loop acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | tok :: rest -> (
+        match parse_coeff tok with
+        | Ok v -> loop (v :: acc) rest
+        | Error _ as e -> e)
+  in
+  loop [] (split_coeffs part)
+
+let signature text =
+  match String.split_on_char ':' (strip_parens text) with
+  | [ fwd; fbk ] -> (
+      match (parse_list fwd, parse_list fbk) with
+      | Ok forward, Ok feedback -> (
+          try
+            Ok (Signature.create ~is_zero:(fun c -> c = 0.0) ~forward ~feedback)
+          with Signature.Invalid msg -> Error (Ill_formed msg))
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | [ _ ] -> Error (Syntax "missing ':' between forward and feedback coefficients")
+  | _ -> Error (Syntax "more than one ':' in signature")
+
+let signature_exn text =
+  match signature text with
+  | Ok s -> s
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)
+
+let is_integral s =
+  let integral c = Float.is_integer c && Float.abs c < 2.0 ** 62.0 in
+  Array.for_all integral s.Signature.forward
+  && Array.for_all integral s.Signature.feedback
+
+let to_int_signature s =
+  if is_integral s then Some (Signature.map int_of_float s) else None

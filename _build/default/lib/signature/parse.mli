@@ -1,0 +1,28 @@
+(** Parser for the textual signature DSL accepted by the PLR compiler.
+
+    Accepted syntax (whitespace-insensitive):
+
+    {v (1, 2, -1 : 0.5, 0.25)    1 2 -1 : 0.5 0.25    (1:1) v}
+
+    i.e. two coefficient lists separated by a colon, each list separated by
+    commas and/or spaces, optionally wrapped in one pair of parentheses.
+    Coefficients are decimal integers or floats (scientific notation
+    allowed). *)
+
+type error =
+  | Syntax of string        (** malformed text *)
+  | Ill_formed of string    (** parsed, but violates signature rules *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val signature : string -> (float Signature.t, error) result
+(** Parse and validate a floating-point signature. *)
+
+val signature_exn : string -> float Signature.t
+(** @raise Failure on any parse or validation error. *)
+
+val to_int_signature : float Signature.t -> int Signature.t option
+(** [Some s] when every coefficient is integral (the paper compiles such
+    signatures as integer recurrences); [None] otherwise. *)
+
+val is_integral : float Signature.t -> bool

@@ -1,0 +1,56 @@
+(** Recurrence signatures — the paper's domain-specific language.
+
+    A signature [(a0, a-1, …, a-p : b-1, b-2, …, b-k)] denotes the order-k
+    homogeneous linear recurrence with constant coefficients
+
+    {[ y(i) = a0·x(i) + … + a-p·x(i-p) + b-1·y(i-1) + … + b-k·y(i-k) ]}
+
+    with [x(j) = y(j) = 0] for [j < 0].  The [a] coefficients are the
+    non-recursive (feed-forward, FIR) part, the [b] coefficients the
+    recursive (feedback) part. *)
+
+type 'a t = private {
+  forward : 'a array;  (** [a0 … a-p]; [forward.(i)] is [a-i] *)
+  feedback : 'a array; (** [b-1 … b-k]; [feedback.(i)] is [b-(i+1)] *)
+}
+
+exception Invalid of string
+(** Raised by {!create} when a signature violates the paper's well-formedness
+    rules. *)
+
+val create : is_zero:('a -> bool) -> forward:'a array -> feedback:'a array -> 'a t
+(** Validates the paper's §1 requirements: [forward] must be non-empty with a
+    nonzero last coefficient ([a-p ≠ 0]), and [feedback] must be non-empty
+    with a nonzero last coefficient ([b-k ≠ 0], otherwise the recurrence is
+    an embarrassingly parallel map, which needs no parallelization
+    machinery).  @raise Invalid otherwise. *)
+
+val create_fir : is_zero:('a -> bool) -> forward:'a array -> 'a t
+(** A pure map/FIR signature [(a0 … a-p : 0)]: an empty feedback part is
+    allowed here.  Used for equation (2) of the paper. *)
+
+val order : _ t -> int
+(** [k], the order of the recurrence: the index of the last nonzero feedback
+    coefficient. *)
+
+val fir_taps : _ t -> int
+(** [p + 1], the number of feed-forward coefficients. *)
+
+val is_pure_recurrence : is_one:('a -> bool) -> is_zero:('a -> bool) -> 'a t -> bool
+(** True when the forward part is exactly [(1)] — i.e. the signature is
+    already of the paper's type (3) form [(1 : b-1 … b-k)]. *)
+
+val split : one:'a -> 'a t -> 'a t * 'a t
+(** [split ~one s] separates equation (1) into the map stage (2) and the pure
+    recurrence stage (3): returns [(a0 … a-p : ), (1 : b-1 … b-k)].  The
+    first component has an empty feedback array. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Coefficient-wise conversion (e.g. float signature to int, or to an
+    emulated-float32 domain).  Does not re-validate. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+
+val to_string : ('a -> string) -> 'a t -> string
+(** Renders in the paper's notation, e.g. ["(1: 2, -1)"]. *)

@@ -1,0 +1,50 @@
+type entry = {
+  name : string;
+  description : string;
+  signature : float Signature.t;
+  domain : Plr_util.Scalar.kind;
+}
+
+let make ~domain name description text =
+  { name; description; signature = Parse.signature_exn text; domain }
+
+let int_entry = make ~domain:Plr_util.Scalar.Integer
+let float_entry = make ~domain:Plr_util.Scalar.Floating
+
+(* The filters use x = 0.8 in Smith's single-pole designs: a single low-pass
+   stage is (1-x : x) and a single high-pass stage ((1+x)/2, -(1+x)/2 : x);
+   s-stage variants are the single stage cascaded s times (polynomial powers
+   of the transfer function).  These are the exact values; Table 1 prints
+   some of them truncated. *)
+let prefix_sum = int_entry "ps" "prefix sum" "(1: 1)"
+let tuple2 = int_entry "tuple2" "2-tuple prefix sum" "(1: 0, 1)"
+let tuple3 = int_entry "tuple3" "3-tuple prefix sum" "(1: 0, 0, 1)"
+let order2 = int_entry "order2" "2nd-order prefix sum" "(1: 2, -1)"
+let order3 = int_entry "order3" "3rd-order prefix sum" "(1: 3, -3, 1)"
+let low_pass1 = float_entry "lp1" "a 1-stage low-pass filter" "(0.2: 0.8)"
+
+let low_pass2 =
+  float_entry "lp2" "a 2-stage low-pass filter" "(0.04: 1.6, -0.64)"
+
+let low_pass3 =
+  float_entry "lp3" "a 3-stage low-pass filter" "(0.008: 2.4, -1.92, 0.512)"
+
+let high_pass1 = float_entry "hp1" "a 1-stage high-pass filter" "(0.9, -0.9: 0.8)"
+
+let high_pass2 =
+  float_entry "hp2" "a 2-stage high-pass filter" "(0.81, -1.62, 0.81: 1.6, -0.64)"
+
+let high_pass3 =
+  float_entry "hp3" "a 3-stage high-pass filter"
+    "(0.729, -2.187, 2.187, -0.729: 2.4, -1.92, 0.512)"
+
+let all =
+  [ prefix_sum; tuple2; tuple3; order2; order3; low_pass1; low_pass2;
+    low_pass3; high_pass1; high_pass2; high_pass3 ]
+
+let integer_entries = [ prefix_sum; tuple2; tuple3; order2; order3 ]
+
+let float_entries =
+  [ low_pass1; low_pass2; low_pass3; high_pass1; high_pass2; high_pass3 ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,36 @@
+(** The eleven recurrences of the paper's Table 1, used throughout the
+    evaluation.  Filter coefficients here are the exact single-pole designs
+    (the paper truncates some digits for readability; see
+    {!Plr_filters.Design} which re-derives them). *)
+
+type entry = {
+  name : string;           (** short identifier used by benches, e.g. "lp2" *)
+  description : string;    (** Table 1's "Computation" column *)
+  signature : float Signature.t;
+  domain : Plr_util.Scalar.kind;
+      (** the value domain the paper evaluates this entry on *)
+}
+
+val prefix_sum : entry
+val tuple2 : entry
+val tuple3 : entry
+val order2 : entry
+val order3 : entry
+val low_pass1 : entry
+val low_pass2 : entry
+val low_pass3 : entry
+val high_pass1 : entry
+val high_pass2 : entry
+val high_pass3 : entry
+
+val all : entry list
+(** In Table 1 order. *)
+
+val integer_entries : entry list
+(** The prefix-sum family (evaluated on 32-bit integers, §6.1). *)
+
+val float_entries : entry list
+(** The digital filters (evaluated on 32-bit floats, §6.2). *)
+
+val find : string -> entry option
+(** Look up by [name]. *)

@@ -1,0 +1,1 @@
+lib/util/roots.ml: Array Complex Float List Poly

@@ -1,0 +1,1 @@
+lib/util/roots.mli: Complex Poly

@@ -1,0 +1,1 @@
+lib/util/scalar.ml: F32 Float Format Int32 Stdlib

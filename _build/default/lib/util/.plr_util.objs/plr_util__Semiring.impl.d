@@ -1,0 +1,1 @@
+lib/util/semiring.ml: Bool Float Format Scalar

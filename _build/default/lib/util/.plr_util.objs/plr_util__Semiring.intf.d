@@ -1,0 +1,1 @@
+lib/util/semiring.mli: Scalar

@@ -1,0 +1,1 @@
+lib/util/smat.ml: Array Scalar

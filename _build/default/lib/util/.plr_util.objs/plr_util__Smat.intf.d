@@ -1,0 +1,1 @@
+lib/util/smat.mli: Scalar

@@ -1,0 +1,12 @@
+type t = float
+
+let round (x : float) : t = Int32.float_of_bits (Int32.bits_of_float x)
+let of_float = round
+let add a b = round (a +. b)
+let sub a b = round (a -. b)
+let mul a b = round (a *. b)
+let div a b = round (a /. b)
+let neg a = -.a
+let smallest_normal = 0x1p-126
+let is_denormal x = x <> 0.0 && Float.abs x < smallest_normal
+let flush_denormal x = if is_denormal x then 0.0 else x

@@ -1,0 +1,67 @@
+type t = float array
+
+let eps = 1e-12
+
+let of_coeffs c =
+  let last = ref (-1) in
+  Array.iteri (fun i x -> if Float.abs x > eps then last := i) c;
+  Array.sub c 0 (!last + 1)
+
+let coeffs t = Array.copy t
+let zero = [||]
+let one = [| 1.0 |]
+let constant x = of_coeffs [| x |]
+let degree t = Array.length t - 1
+
+let get t i = if i < Array.length t then t.(i) else 0.0
+
+let equal ?(tol = 1e-9) a b =
+  let n = max (Array.length a) (Array.length b) in
+  let rec loop i =
+    i >= n || (Float.abs (get a i -. get b i) <= tol && loop (i + 1))
+  in
+  loop 0
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  of_coeffs (Array.init n (fun i -> get a i +. get b i))
+
+let mul a b =
+  if Array.length a = 0 || Array.length b = 0 then zero
+  else begin
+    let c = Array.make (Array.length a + Array.length b - 1) 0.0 in
+    Array.iteri
+      (fun i ai -> Array.iteri (fun j bj -> c.(i + j) <- c.(i + j) +. (ai *. bj)) b)
+      a;
+    of_coeffs c
+  end
+
+let scale s a = of_coeffs (Array.map (fun x -> s *. x) a)
+
+let pow a n =
+  assert (n >= 0);
+  let rec loop acc base n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      loop acc (mul base base) (n lsr 1)
+    end
+  in
+  loop one a n
+
+(* Horner evaluation. *)
+let eval t x =
+  let acc = ref 0.0 in
+  for i = Array.length t - 1 downto 0 do
+    acc := (!acc *. x) +. t.(i)
+  done;
+  !acc
+
+let pp fmt t =
+  if Array.length t = 0 then Format.pp_print_string fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf fmt " + ";
+        Format.fprintf fmt "%g·z^-%d" c i)
+      t

@@ -1,0 +1,31 @@
+(** Dense univariate polynomials over [float], used by the digital-filter
+    substrate to compose transfer functions (cascading s identical stages is
+    raising the stage's numerator and denominator polynomials to the s-th
+    power in the z-domain).
+
+    A polynomial is represented by its coefficient array in increasing order
+    of degree: [c.(i)] is the coefficient of [z{^ -i}] when used as a
+    transfer-function factor. *)
+
+type t = private float array
+
+val of_coeffs : float array -> t
+(** Normalizes by dropping trailing coefficients below {!val:eps}. *)
+
+val coeffs : t -> float array
+val zero : t
+val one : t
+val constant : float -> t
+val degree : t -> int
+
+val eps : float
+(** Magnitude below which a trailing coefficient is considered zero
+    ([1e-12]). *)
+
+val equal : ?tol:float -> t -> t -> bool
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val pow : t -> int -> t
+val eval : t -> float -> float
+val pp : Format.formatter -> t -> unit

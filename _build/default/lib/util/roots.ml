@@ -1,0 +1,51 @@
+let eval (p : Poly.t) (x : Complex.t) =
+  let c = Poly.coeffs p in
+  let acc = ref Complex.zero in
+  for i = Array.length c - 1 downto 0 do
+    acc := Complex.add (Complex.mul !acc x) { re = c.(i); im = 0.0 }
+  done;
+  !acc
+
+let roots ?(iterations = 200) ?(tolerance = 1e-13) (p : Poly.t) =
+  let c = Poly.coeffs p in
+  let n = Array.length c - 1 in
+  if n < 0 then invalid_arg "Roots.roots: zero polynomial";
+  if n = 0 then []
+  else begin
+    (* normalize to a monic polynomial *)
+    let lead = c.(n) in
+    let monic = Poly.of_coeffs (Array.map (fun v -> v /. lead) c) in
+    (* Durand–Kerner from staggered points on a circle *)
+    let xs =
+      Array.init n (fun i ->
+          Complex.polar
+            (1.0 +. (0.1 *. float_of_int i))
+            ((2.0 *. Float.pi *. float_of_int i /. float_of_int n) +. 0.4))
+    in
+    let step () =
+      let worst = ref 0.0 in
+      for i = 0 to n - 1 do
+        let xi = xs.(i) in
+        let denom = ref Complex.one in
+        for j = 0 to n - 1 do
+          if j <> i then denom := Complex.mul !denom (Complex.sub xi xs.(j))
+        done;
+        let delta = Complex.div (eval monic xi) !denom in
+        xs.(i) <- Complex.sub xi delta;
+        worst := Float.max !worst (Complex.norm delta)
+      done;
+      !worst
+    in
+    let rec iterate k =
+      if k >= iterations then ()
+      else begin
+        let moved = step () in
+        if moved > tolerance then iterate (k + 1)
+      end
+    in
+    iterate 0;
+    Array.to_list xs
+  end
+
+let residual p rs =
+  List.fold_left (fun acc r -> Float.max acc (Complex.norm (eval p r))) 0.0 rs

@@ -1,0 +1,17 @@
+(** Polynomial root finding (Durand–Kerner / Weierstrass iteration).
+
+    Needed by the filter substrate to factor transfer-function denominators
+    into first- and second-order sections — the decomposition Nehab et al.
+    exploit ("a higher-order filter can be decomposed into an equivalent set
+    of several lower-order filters", paper §4). *)
+
+val eval : Poly.t -> Complex.t -> Complex.t
+(** Horner evaluation of [Σ c_i x^i] at a complex point. *)
+
+val roots : ?iterations:int -> ?tolerance:float -> Poly.t -> Complex.t list
+(** All (complex) roots of the polynomial, multiplicity included, in no
+    particular order.  Degree 0 has no roots.
+    @raise Invalid_argument on the zero polynomial. *)
+
+val residual : Poly.t -> Complex.t list -> float
+(** Max |p(root)| over the returned roots (a quality measure for tests). *)

@@ -1,0 +1,65 @@
+(* Equality that treats the two infinities as equal to themselves (the
+   float_approx_equal path yields NaN on ∞ − ∞). *)
+let float_exact_equal ~tol:_ a b = Float.equal a b
+
+module Max_plus : Scalar.S with type t = float = struct
+  type t = float
+
+  let kind = Scalar.Floating
+  let exact_f64_embedding = false
+  let bytes = 4
+  let ctype = "float"
+  let zero = Float.neg_infinity
+  let one = 0.0
+  let add = Float.max
+  let mul = ( +. )
+
+  (* no additive inverse in a semiring; never called by the algorithms *)
+  let sub a _ = a
+  let neg x = x
+  let of_int = float_of_int
+  let of_float x = x
+  let to_float x = x
+  let to_int = int_of_float
+  let equal = Float.equal
+  let is_zero x = x = Float.neg_infinity
+  let is_one x = x = 0.0
+  let flush_denormal x = x
+  let approx_equal = float_exact_equal
+  let pp fmt x = Format.fprintf fmt "%g" x
+  let to_string = string_of_float
+end
+
+module Min_plus : Scalar.S with type t = float = struct
+  include Max_plus
+
+  let zero = Float.infinity
+  let add = Float.min
+  let is_zero x = x = Float.infinity
+end
+
+module Bool_or_and : Scalar.S with type t = bool = struct
+  type t = bool
+
+  let kind = Scalar.Integer
+  let exact_f64_embedding = false
+  let bytes = 4
+  let ctype = "int"
+  let zero = false
+  let one = true
+  let add = ( || )
+  let mul = ( && )
+  let sub a _ = a
+  let neg x = x
+  let of_int v = v <> 0
+  let of_float v = v <> 0.0
+  let to_float v = if v then 1.0 else 0.0
+  let to_int v = if v then 1 else 0
+  let equal = Bool.equal
+  let is_zero x = not x
+  let is_one x = x
+  let flush_denormal x = x
+  let approx_equal ~tol:_ a b = Bool.equal a b
+  let pp = Format.pp_print_bool
+  let to_string = string_of_bool
+end

@@ -1,0 +1,24 @@
+(** Non-numeric semiring instances of {!Scalar.S} — the paper's §7 future
+    work "support operators other than addition".
+
+    The PLR algorithm only needs the recurrence's arithmetic to distribute:
+    every piece of this repository (serial reference, n-nacci factor
+    generation, Phase 1/Phase 2 merging, the multicore backend) is written
+    against ⊕/⊗ through {!Scalar.S}, so instantiating them over a semiring
+    yields new parallel computations for free:
+
+    - {!Max_plus} (⊕ = max, ⊗ = +, 0 = −∞, 1 = 0): the recurrence
+      [(1 : 1)] becomes the running maximum; [(1 : -c)] a decaying
+      peak/envelope tracker; order-k variants windowed variants.
+    - {!Min_plus}: running minima and shortest-path-style relaxations.
+    - {!Bool_or_and} (⊕ = ∨, ⊗ = ∧): [(1 : 1)] computes "has any previous
+      element been set", i.e. flag propagation / reachability along a
+      chain.
+
+    [sub] and [neg] have no semiring meaning; the recurrence algorithms
+    never call them, and here they are the identity-like stubs documented
+    on each instance.  [approx_equal] is exact. *)
+
+module Max_plus : Scalar.S with type t = float
+module Min_plus : Scalar.S with type t = float
+module Bool_or_and : Scalar.S with type t = bool

@@ -1,0 +1,57 @@
+(** Small dense k×k matrices and k-vectors over an arbitrary scalar.
+
+    These implement the state-transition representation that Blelloch's
+    general Scan method uses for an order-k recurrence: each sequence element
+    becomes a (matrix, vector) pair combined with an associative operator
+    based on matrix multiplication, and the recurrence's constant part is the
+    companion matrix of the feedback coefficients. *)
+
+module Make (S : Scalar.S) = struct
+  type mat = S.t array array (* row-major, square *)
+  type vec = S.t array
+
+  let dim (m : mat) = Array.length m
+
+  let identity k : mat =
+    Array.init k (fun i -> Array.init k (fun j -> if i = j then S.one else S.zero))
+
+  let zero_vec k : vec = Array.make k S.zero
+
+  (* Companion matrix of the feedback coefficients [b-1 .. b-k]: multiplying
+     the state vector (y[i-1]; y[i-2]; ...; y[i-k]) by it yields
+     (b-1·y[i-1] + ... + b-k·y[i-k]; y[i-1]; ...; y[i-k+1]). *)
+  let companion (feedback : S.t array) : mat =
+    let k = Array.length feedback in
+    Array.init k (fun i ->
+        Array.init k (fun j ->
+            if i = 0 then feedback.(j)
+            else if j = i - 1 then S.one
+            else S.zero))
+
+  let mat_mul (a : mat) (b : mat) : mat =
+    let k = dim a in
+    Array.init k (fun i ->
+        Array.init k (fun j ->
+            let acc = ref S.zero in
+            for t = 0 to k - 1 do
+              acc := S.add !acc (S.mul a.(i).(t) b.(t).(j))
+            done;
+            !acc))
+
+  let mat_vec (a : mat) (v : vec) : vec =
+    let k = dim a in
+    Array.init k (fun i ->
+        let acc = ref S.zero in
+        for t = 0 to k - 1 do
+          acc := S.add !acc (S.mul a.(i).(t) v.(t))
+        done;
+        !acc)
+
+  let vec_add (a : vec) (b : vec) : vec = Array.map2 S.add a b
+
+  let mat_equal (a : mat) (b : mat) =
+    dim a = dim b
+    && Array.for_all2 (fun ra rb -> Array.for_all2 S.equal ra rb) a b
+
+  let vec_equal (a : vec) (b : vec) = Array.for_all2 S.equal a b
+end

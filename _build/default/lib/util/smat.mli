@@ -1,0 +1,27 @@
+(** Small dense k×k matrices and k-vectors over an arbitrary scalar.
+
+    These implement the state-transition representation that Blelloch's
+    general Scan method uses for an order-k recurrence: each sequence
+    element becomes a (matrix, vector) pair combined with an associative
+    operator based on matrix multiplication, and the recurrence's constant
+    part is the companion matrix of the feedback coefficients. *)
+
+module Make (S : Scalar.S) : sig
+  type mat = S.t array array  (** row-major, square *)
+
+  type vec = S.t array
+
+  val dim : mat -> int
+  val identity : int -> mat
+  val zero_vec : int -> vec
+
+  val companion : S.t array -> mat
+  (** [companion feedback] maps the state (y(i-1), …, y(i-k)) to
+      (Σ b_j·y(i-j), y(i-1), …, y(i-k+1)). *)
+
+  val mat_mul : mat -> mat -> mat
+  val mat_vec : mat -> vec -> vec
+  val vec_add : vec -> vec -> vec
+  val mat_equal : mat -> mat -> bool
+  val vec_equal : vec -> vec -> bool
+end

@@ -1,0 +1,24 @@
+(** A tiny deterministic splitmix64 pseudo-random generator.
+
+    Used by tests, examples, and the benchmark workload generators so that
+    every run of the suite sees exactly the same inputs regardless of the
+    global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds an independent stream. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [\[0, bound)]; [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float_in : t -> lo:float -> hi:float -> float

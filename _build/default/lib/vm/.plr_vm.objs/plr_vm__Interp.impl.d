@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Ast Effect Float Fun Hashtbl List Plr_util Printf

@@ -1,0 +1,1 @@
+lib/vm/render.ml: Array Ast Buffer List Printf String

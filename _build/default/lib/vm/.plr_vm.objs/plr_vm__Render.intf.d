@@ -1,0 +1,1 @@
+lib/vm/render.mli: Ast

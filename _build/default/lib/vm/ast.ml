@@ -1,0 +1,60 @@
+type ty = TData | TInt
+
+type value = VI of int | VF of float
+
+type space = Global | Shared | Local
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Min | Max
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | Shr | BitAnd
+
+type expr =
+  | Int of int
+  | Flt of float
+  | Tid
+  | Var of string
+  | Load of string * expr
+  | Bin of binop * expr * expr
+  | Ite of expr * expr * expr
+  | Shfl_up of expr * expr
+
+type stmt =
+  | Comment of string
+  | Let of string * ty * expr
+  | Let_arr of string * ty * int
+  | Set of string * expr
+  | Store of string * expr * expr
+  | For of string * expr * expr * expr * stmt list
+  | While of expr * stmt list
+  | If of expr * stmt list
+  | If_else of expr * stmt list * stmt list
+  | Sync
+  | Fence
+  | Yield_hint
+  | Atomic_add of string * string * expr
+
+type array_decl = {
+  arr_name : string;
+  arr_space : space;
+  arr_ty : ty;
+  arr_size : int;
+  arr_init : value array option;
+  arr_volatile : bool;
+}
+
+type kernel = {
+  kname : string;
+  data_ty_name : string;
+  data_is_float : bool;
+  params : string list;
+  arrays : array_decl list;
+  threads : int;
+  body : stmt list;
+}
+
+let zero_of ~data_is_float = function
+  | TData -> if data_is_float then VF 0.0 else VI 0
+  | TInt -> VI 0

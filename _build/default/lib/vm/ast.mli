@@ -1,0 +1,82 @@
+(** A miniature SIMT kernel language — the code-generation target that can
+    both be rendered to CUDA C and executed directly by {!Interp}.
+
+    The language is deliberately small: structured control flow only (so
+    the interpreter can run warps in lockstep with activity masks, the way
+    real SIMT hardware does), three memory spaces, warp shuffles, block
+    barriers, and an atomic ticket counter — exactly what the paper's
+    generated kernels need. *)
+
+type ty =
+  | TData  (** the kernel's element type T (int or float per plan) *)
+  | TInt   (** 32-bit signed integer locals/indices *)
+
+type value =
+  | VI of int
+  | VF of float
+
+type space =
+  | Global  (** device memory, shared by all blocks *)
+  | Shared  (** per-block scratchpad *)
+  | Local   (** per-thread registers / local arrays *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Min | Max
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | Shr | BitAnd
+
+type expr =
+  | Int of int             (** integer literal *)
+  | Flt of float           (** floating literal (data type) *)
+  | Tid                    (** threadIdx.x *)
+  | Var of string
+  | Load of string * expr  (** array element; space resolved by declaration *)
+  | Bin of binop * expr * expr
+  | Ite of expr * expr * expr
+  | Shfl_up of expr * expr
+      (** [Shfl_up (v, delta)]: lane L receives lane (L − delta)'s value of
+          [v]; lanes with L − delta before the warp keep their own value
+          (CUDA's [__shfl_up_sync] semantics) *)
+
+type stmt =
+  | Comment of string
+  | Let of string * ty * expr        (** declare + initialize a scalar *)
+  | Let_arr of string * ty * int     (** declare a zeroed local array *)
+  | Set of string * expr
+  | Store of string * expr * expr    (** array, index, value *)
+  | For of string * expr * expr * expr * stmt list
+      (** [For (i, lo, hi, step, body)]: i from lo while < hi, i += step *)
+  | While of expr * stmt list
+  | If of expr * stmt list
+  | If_else of expr * stmt list * stmt list
+  | Sync                             (** __syncthreads *)
+  | Fence                            (** __threadfence *)
+  | Yield_hint
+      (** cooperative-scheduling point inside spin loops; renders as a
+          comment in CUDA *)
+  | Atomic_add of string * string * expr
+      (** [Atomic_add (dst, counter, v)]: dst ← old value of the 1-element
+          global array [counter], which is incremented by [v] *)
+
+type array_decl = {
+  arr_name : string;
+  arr_space : space;      (** Global or Shared; locals use {!Let_arr} *)
+  arr_ty : ty;
+  arr_size : int;
+  arr_init : value array option;  (** initializer for globals *)
+  arr_volatile : bool;    (** rendered volatile (ready flags) *)
+}
+
+type kernel = {
+  kname : string;
+  data_ty_name : string;   (** C name of TData, e.g. "int" or "float" *)
+  data_is_float : bool;    (** runtime representation of TData values *)
+  params : string list;    (** integer scalar parameters (e.g. "n") *)
+  arrays : array_decl list;
+  threads : int;           (** threads per block; must be a power of two *)
+  body : stmt list;
+}
+
+val zero_of : data_is_float:bool -> ty -> value

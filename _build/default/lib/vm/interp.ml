@@ -1,0 +1,461 @@
+open Ast
+
+exception Vm_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
+
+type sched =
+  | Round_robin
+  | Reversed
+  | Random of int
+
+let warp_size = 32
+
+(* ------------------------------------------------------------ values *)
+
+let as_int = function
+  | VI i -> i
+  | VF _ -> error "expected an integer value"
+
+let truthy = function VI i -> i <> 0 | VF f -> f <> 0.0
+
+let vbool b = VI (if b then 1 else 0)
+
+let arith op_i op_f a b =
+  match (a, b) with
+  | VI x, VI y -> VI (op_i x y)
+  | VF x, VF y -> VF (op_f x y)
+  | VI x, VF y -> VF (op_f (float_of_int x) y)
+  | VF x, VI y -> VF (op_f x (float_of_int y))
+
+let compare_v op_i op_f a b =
+  match (a, b) with
+  | VI x, VI y -> vbool (op_i x y)
+  | VF x, VF y -> vbool (op_f x y)
+  | VI x, VF y -> vbool (op_f (float_of_int x) y)
+  | VF x, VI y -> vbool (op_f x (float_of_int y))
+
+let binop op a b =
+  match op with
+  | Add -> arith ( + ) ( +. ) a b
+  | Sub -> arith ( - ) ( -. ) a b
+  | Mul -> arith ( * ) ( *. ) a b
+  | Div -> arith ( / ) ( /. ) a b
+  | Mod -> VI (as_int a mod as_int b)
+  | Min -> arith min Float.min a b
+  | Max -> arith max Float.max a b
+  | Lt -> compare_v ( < ) ( < ) a b
+  | Le -> compare_v ( <= ) ( <= ) a b
+  | Gt -> compare_v ( > ) ( > ) a b
+  | Ge -> compare_v ( >= ) ( >= ) a b
+  | Eq -> compare_v ( = ) ( = ) a b
+  | Ne -> compare_v ( <> ) ( <> ) a b
+  | And -> vbool (truthy a && truthy b)
+  | Or -> vbool (truthy a || truthy b)
+  | Shr -> VI (as_int a asr as_int b)
+  | BitAnd -> VI (as_int a land as_int b)
+
+(* ------------------------------------------------------------ memory *)
+
+type slot =
+  | Scal of value array        (* per-lane scalar *)
+  | Arr of value array array   (* per-lane local array *)
+
+type stats = {
+  mutable resumes : int;
+  mutable barriers : int;
+  mutable yields : int;
+  mutable global_reads : int;
+  mutable global_writes : int;
+  mutable shared_reads : int;
+  mutable shared_writes : int;
+  mutable shuffles : int;
+  mutable atomics : int;
+}
+
+let new_stats () =
+  { resumes = 0; barriers = 0; yields = 0; global_reads = 0; global_writes = 0;
+    shared_reads = 0; shared_writes = 0; shuffles = 0; atomics = 0 }
+
+type memory = {
+  globals : (string, value array) Hashtbl.t;
+  shared : (string, value array) Hashtbl.t;  (* this block's scratchpad *)
+  st : stats;
+}
+
+type warp = {
+  width : int;
+  lane_base : int;  (* threadIdx.x of lane 0 *)
+  env : (string, slot) Hashtbl.t;
+  mem : memory;
+  data_is_float : bool;
+}
+
+let lookup_array w name =
+  match Hashtbl.find_opt w.env name with
+  | Some (Arr arrs) -> `Local arrs
+  | Some (Scal _) -> error "%s is a scalar, not an array" name
+  | None -> (
+      match Hashtbl.find_opt w.mem.shared name with
+      | Some a -> `Shared a
+      | None -> (
+          match Hashtbl.find_opt w.mem.globals name with
+          | Some a -> `Global a
+          | None -> error "unbound array %s" name))
+
+let scalar_slot w name =
+  match Hashtbl.find_opt w.env name with
+  | Some (Scal vs) -> vs
+  | Some (Arr _) -> error "%s is an array, not a scalar" name
+  | None -> error "unbound variable %s" name
+
+let checked_get name a i =
+  if i < 0 || i >= Array.length a then
+    error "out-of-bounds read %s[%d] (length %d)" name i (Array.length a)
+  else a.(i)
+
+let checked_set name a i v =
+  if i < 0 || i >= Array.length a then
+    error "out-of-bounds write %s[%d] (length %d)" name i (Array.length a)
+  else a.(i) <- v
+
+(* -------------------------------------------------------- evaluation *)
+
+(* Per-lane evaluation keeps Ite lazy (so guarded loads never touch the
+   untaken branch); Shfl_up evaluates its operand across the whole warp. *)
+let rec eval w lane e =
+  match e with
+  | Int i -> VI i
+  | Flt f -> VF f
+  | Tid -> VI (w.lane_base + lane)
+  | Var v -> (scalar_slot w v).(lane)
+  | Load (name, ie) -> (
+      let i = as_int (eval w lane ie) in
+      match lookup_array w name with
+      | `Local arrs -> checked_get name arrs.(lane) i
+      | `Shared a ->
+          w.mem.st.shared_reads <- w.mem.st.shared_reads + 1;
+          checked_get name a i
+      | `Global a ->
+          w.mem.st.global_reads <- w.mem.st.global_reads + 1;
+          checked_get name a i)
+  | Bin (op, a, b) -> binop op (eval w lane a) (eval w lane b)
+  | Ite (c, t, f) -> if truthy (eval w lane c) then eval w lane t else eval w lane f
+  | Shfl_up (ve, de) ->
+      w.mem.st.shuffles <- w.mem.st.shuffles + 1;
+      let delta = as_int (eval w lane de) in
+      let src = lane - delta in
+      if src < 0 || src >= w.width then eval w lane ve else eval w src ve
+
+(* ------------------------------------------------------------ fibers *)
+
+type _ Effect.t += Barrier : unit Effect.t
+type _ Effect.t += Yield : unit Effect.t
+
+type pending =
+  | Pend_done
+  | Pend_barrier of (unit, pending) Effect.Deep.continuation
+  | Pend_yield of (unit, pending) Effect.Deep.continuation
+
+let start_fiber fn =
+  Effect.Deep.match_with fn ()
+    {
+      Effect.Deep.retc = (fun () -> Pend_done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Barrier ->
+              Some
+                (fun (k : (a, pending) Effect.Deep.continuation) ->
+                  Pend_barrier k)
+          | Yield ->
+              Some (fun (k : (a, pending) Effect.Deep.continuation) -> Pend_yield k)
+          | _ -> None);
+    }
+
+(* ---------------------------------------------------------- execution *)
+
+let rec exec w (mask : bool array) stmt =
+  match stmt with
+  | Comment _ -> ()
+  | Let (v, ty, e) ->
+      let zero = zero_of ~data_is_float:w.data_is_float ty in
+      let vs =
+        Array.init w.width (fun lane -> if mask.(lane) then eval w lane e else zero)
+      in
+      Hashtbl.replace w.env v (Scal vs)
+  | Let_arr (v, ty, n) ->
+      let zero = zero_of ~data_is_float:w.data_is_float ty in
+      Hashtbl.replace w.env v (Arr (Array.init w.width (fun _ -> Array.make n zero)))
+  | Set (v, e) ->
+      let vs = scalar_slot w v in
+      for lane = 0 to w.width - 1 do
+        if mask.(lane) then vs.(lane) <- eval w lane e
+      done
+  | Store (name, ie, ve) ->
+      for lane = 0 to w.width - 1 do
+        if mask.(lane) then begin
+          let i = as_int (eval w lane ie) in
+          let v = eval w lane ve in
+          match lookup_array w name with
+          | `Local arrs -> checked_set name arrs.(lane) i v
+          | `Shared a ->
+              w.mem.st.shared_writes <- w.mem.st.shared_writes + 1;
+              checked_set name a i v
+          | `Global a ->
+              w.mem.st.global_writes <- w.mem.st.global_writes + 1;
+              checked_set name a i v
+        end
+      done
+  | For (v, lo, hi, step, body) ->
+      exec w mask (Let (v, TInt, lo));
+      let vs = scalar_slot w v in
+      let live = Array.copy mask in
+      let continue_loop () =
+        let any = ref false in
+        for lane = 0 to w.width - 1 do
+          if live.(lane) then begin
+            let cond = truthy (binop Lt vs.(lane) (eval w lane hi)) in
+            live.(lane) <- cond;
+            if cond then any := true
+          end
+        done;
+        !any
+      in
+      while continue_loop () do
+        List.iter (exec w live) body;
+        for lane = 0 to w.width - 1 do
+          if live.(lane) then vs.(lane) <- binop Add vs.(lane) (eval w lane step)
+        done
+      done
+  | While (c, body) ->
+      let live = Array.copy mask in
+      let continue_loop () =
+        let any = ref false in
+        for lane = 0 to w.width - 1 do
+          if live.(lane) then begin
+            let cond = truthy (eval w lane c) in
+            live.(lane) <- cond;
+            if cond then any := true
+          end
+        done;
+        !any
+      in
+      while continue_loop () do
+        List.iter (exec w live) body
+      done
+  | If (c, body) ->
+      let sub = Array.init w.width (fun lane -> mask.(lane) && truthy (eval w lane c)) in
+      if Array.exists Fun.id sub then List.iter (exec w sub) body
+  | If_else (c, t, f) ->
+      let taken = Array.init w.width (fun lane -> mask.(lane) && truthy (eval w lane c)) in
+      let not_taken = Array.init w.width (fun lane -> mask.(lane) && not taken.(lane)) in
+      if Array.exists Fun.id taken then List.iter (exec w taken) t;
+      if Array.exists Fun.id not_taken then List.iter (exec w not_taken) f
+  | Sync -> Effect.perform Barrier
+  | Fence -> ()
+  | Yield_hint -> Effect.perform Yield
+  | Atomic_add (dst, counter, e) ->
+      let c =
+        match Hashtbl.find_opt w.mem.globals counter with
+        | Some a -> a
+        | None -> error "unbound counter %s" counter
+      in
+      let olds =
+        Array.init w.width (fun lane ->
+            if mask.(lane) then begin
+              w.mem.st.atomics <- w.mem.st.atomics + 1;
+              let old = c.(0) in
+              c.(0) <- binop Add old (eval w lane e);
+              old
+            end
+            else VI 0)
+      in
+      Hashtbl.replace w.env dst (Scal olds)
+
+(* ---------------------------------------------------------- scheduler *)
+
+type fiber = {
+  block : int;
+  warp : int;
+  mutable state : fstate;
+}
+
+and fstate =
+  | Not_started of (unit -> pending)
+  | At_barrier of (unit, pending) Effect.Deep.continuation
+  | Barrier_released of (unit, pending) Effect.Deep.continuation
+  | Yielded of (unit, pending) Effect.Deep.continuation
+  | Finished
+
+let runnable f =
+  match f.state with
+  | Not_started _ | Yielded _ | Barrier_released _ -> true
+  | At_barrier _ | Finished -> false
+
+type event = {
+  ev_block : int;
+  ev_warp : int;
+  ev_step : int;
+  ev_outcome : [ `Done | `Barrier | `Yield ];
+}
+
+let run_grid_stats ?(sched = Round_robin) ?(max_steps = 50_000_000) ?trace
+    ~(kernel : Ast.kernel) ~blocks ~params ~globals () =
+  let st = new_stats () in
+  let record block warp outcome step =
+    match trace with
+    | None -> ()
+    | Some r ->
+        r := { ev_block = block; ev_warp = warp; ev_step = step; ev_outcome = outcome } :: !r
+  in
+  if kernel.threads land (kernel.threads - 1) <> 0 then
+    error "threads per block must be a power of two (got %d)" kernel.threads;
+  let gtable : (string, value array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if d.arr_space = Global then
+        let a =
+          match d.arr_init with
+          | Some init ->
+              if Array.length init <> d.arr_size then
+                error "initializer size mismatch for %s" d.arr_name;
+              Array.copy init
+          | None ->
+              Array.make d.arr_size
+                (zero_of ~data_is_float:kernel.data_is_float d.arr_ty)
+        in
+        Hashtbl.replace gtable d.arr_name a)
+    kernel.arrays;
+  List.iter (fun (name, a) -> Hashtbl.replace gtable name a) globals;
+  (* build the warps *)
+  let warps_per_block = (kernel.threads + warp_size - 1) / warp_size in
+  let fibers = ref [] in
+  for b = blocks - 1 downto 0 do
+    let shared = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        if d.arr_space = Shared then
+          Hashtbl.replace shared d.arr_name
+            (Array.make d.arr_size
+               (zero_of ~data_is_float:kernel.data_is_float d.arr_ty)))
+      kernel.arrays;
+    let mem = { globals = gtable; shared; st } in
+    for wi = warps_per_block - 1 downto 0 do
+      let lane_base = wi * warp_size in
+      let width = min warp_size (kernel.threads - lane_base) in
+      let w =
+        { width; lane_base; env = Hashtbl.create 32; mem;
+          data_is_float = kernel.data_is_float }
+      in
+      List.iter
+        (fun (name, v) -> Hashtbl.replace w.env name (Scal (Array.make width (VI v))))
+        params;
+      let fn () =
+        let mask = Array.make width true in
+        List.iter (exec w mask) kernel.body
+      in
+      fibers :=
+        { block = b; warp = wi; state = Not_started (fun () -> start_fiber fn) }
+        :: !fibers
+    done
+  done;
+  let fibers = Array.of_list !fibers in
+  let nfibers = Array.length fibers in
+  let rng = Plr_util.Splitmix.create (match sched with Random s -> s | _ -> 1) in
+  let rr_cursor = ref 0 in
+  let pick () =
+    let candidates = ref [] in
+    Array.iteri (fun i f -> if runnable f then candidates := i :: !candidates) fibers;
+    match !candidates with
+    | [] -> None
+    | cs -> (
+        let cs = List.rev cs in
+        match sched with
+        | Round_robin ->
+            (* first runnable at or after the cursor *)
+            let n = List.length cs in
+            ignore n;
+            let rec from i count =
+              if count > nfibers then List.hd cs
+              else if runnable fibers.(i mod nfibers) then i mod nfibers
+              else from (i + 1) (count + 1)
+            in
+            let idx = from !rr_cursor 0 in
+            rr_cursor := idx + 1;
+            Some idx
+        | Reversed -> Some (List.hd (List.rev cs))
+        | Random _ ->
+            Some (List.nth cs (Plr_util.Splitmix.int rng ~bound:(List.length cs))))
+  in
+  (* Release block [b]'s barrier if every live warp has arrived. *)
+  let try_release_block b =
+    let mine = Array.to_list fibers |> List.filter (fun f -> f.block = b) in
+    let waiting =
+      List.for_all
+        (fun f -> match f.state with At_barrier _ | Finished -> true | _ -> false)
+        mine
+      && List.exists (fun f -> match f.state with At_barrier _ -> true | _ -> false) mine
+    in
+    if waiting then
+      List.iter
+        (fun f ->
+          match f.state with
+          | At_barrier k -> f.state <- Barrier_released k
+          | _ -> ())
+        mine;
+    waiting
+  in
+  let release_barriers () =
+    let released = ref false in
+    for b = 0 to blocks - 1 do
+      if try_release_block b then released := true
+    done;
+    !released
+  in
+  let steps = ref 0 in
+  let finished () = Array.for_all (fun f -> f.state = Finished) fibers in
+  let rec loop () =
+    if not (finished ()) then begin
+      incr steps;
+      if !steps > max_steps then error "step limit exceeded (possible livelock)";
+      match pick () with
+      | Some i ->
+          let f = fibers.(i) in
+          let next =
+            match f.state with
+            | Not_started fn -> fn ()
+            | Yielded k | Barrier_released k -> Effect.Deep.continue k ()
+            | At_barrier _ | Finished -> assert false
+          in
+          (f.state <-
+             (match next with
+             | Pend_done ->
+                 record f.block f.warp `Done !steps;
+                 Finished
+             | Pend_barrier k ->
+                 st.barriers <- st.barriers + 1;
+                 record f.block f.warp `Barrier !steps;
+                 At_barrier k
+             | Pend_yield k ->
+                 st.yields <- st.yields + 1;
+                 record f.block f.warp `Yield !steps;
+                 Yielded k));
+          (* Eager barrier release: a spinning warp elsewhere must not keep
+             this block's warps parked forever. *)
+          (match f.state with
+          | At_barrier _ | Finished -> ignore (try_release_block f.block)
+          | _ -> ());
+          loop ()
+      | None ->
+          if release_barriers () then loop ()
+          else error "deadlock: all warps blocked at barriers"
+    end
+  in
+  loop ();
+  st.resumes <- !steps;
+  (gtable, st)
+
+let run_grid ?sched ?max_steps ~kernel ~blocks ~params ~globals () =
+  fst (run_grid_stats ?sched ?max_steps ~kernel ~blocks ~params ~globals ())

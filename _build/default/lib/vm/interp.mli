@@ -1,0 +1,73 @@
+(** A lockstep SIMT interpreter for {!Ast} kernels.
+
+    Warps execute statements in lockstep over activity masks (divergence via
+    structured control flow, like real hardware); warps are cooperative
+    fibers implemented with OCaml 5 effect handlers, scheduled across blocks
+    by a pluggable policy.  Barriers ([Sync]) block a warp until every live
+    warp of its block arrives; [Yield_hint]s inside spin loops give other
+    blocks a chance to publish the carries being waited for — so the
+    decoupled look-back protocol of the generated kernels is genuinely
+    exercised, including under adversarial scheduling orders. *)
+
+exception Vm_error of string
+
+type sched =
+  | Round_robin
+  | Reversed          (** prefers the highest-numbered runnable warp *)
+  | Random of int     (** seeded random choice *)
+
+val warp_size : int
+
+type stats = {
+  mutable resumes : int;        (** scheduler resumptions *)
+  mutable barriers : int;       (** Sync effects performed (per warp) *)
+  mutable yields : int;         (** spin-loop yields *)
+  mutable global_reads : int;   (** per-lane global array loads *)
+  mutable global_writes : int;
+  mutable shared_reads : int;
+  mutable shared_writes : int;
+  mutable shuffles : int;       (** per-lane shuffle evaluations *)
+  mutable atomics : int;
+}
+(** Execution statistics — an independent measurement of the same
+    quantities the machine model's counters charge, used by tests to
+    cross-check the two. *)
+
+type event = {
+  ev_block : int;
+  ev_warp : int;        (** warp index within the block *)
+  ev_step : int;        (** scheduler step at which the resume happened *)
+  ev_outcome : [ `Done | `Barrier | `Yield ];
+}
+(** One scheduler resumption of one warp fiber — the raw material for the
+    Chrome-trace export in {!Trace}. *)
+
+val run_grid_stats :
+  ?sched:sched ->
+  ?max_steps:int ->
+  ?trace:event list ref ->
+  kernel:Ast.kernel ->
+  blocks:int ->
+  params:(string * int) list ->
+  globals:(string * Ast.value array) list ->
+  unit ->
+  (string, Ast.value array) Hashtbl.t * stats
+
+val run_grid :
+  ?sched:sched ->
+  ?max_steps:int ->
+  kernel:Ast.kernel ->
+  blocks:int ->
+  params:(string * int) list ->
+  globals:(string * Ast.value array) list ->
+  unit ->
+  (string, Ast.value array) Hashtbl.t
+(** Launches [blocks] blocks of [kernel.threads] threads.  [globals] binds
+    (or overrides) global arrays by name — e.g. ["input"], ["output"] — in
+    addition to the kernel's own global declarations (factor tables, carry
+    buffers, flags), which are created from their initializers.  Returns
+    the global-memory table after the grid completes (arrays are mutated in
+    place, so bound arrays can be read directly too).
+
+    @raise Vm_error on out-of-bounds accesses, deadlock, unbound names, or
+    exceeding [max_steps] scheduler resumptions (default 50 million). *)

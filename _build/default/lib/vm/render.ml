@@ -1,0 +1,126 @@
+open Ast
+
+let binop_token = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+  | Shr -> ">>"
+  | BitAnd -> "&"
+  | Min | Max -> assert false (* rendered as calls *)
+
+let rec expr = function
+  | Int i -> string_of_int i
+  | Flt f -> Printf.sprintf "%.9e" f
+  | Tid -> "threadIdx.x"
+  | Var v -> v
+  | Load (a, i) -> Printf.sprintf "%s[%s]" a (expr i)
+  | Bin (Min, a, b) -> Printf.sprintf "min(%s, %s)" (expr a) (expr b)
+  | Bin (Max, a, b) -> Printf.sprintf "max(%s, %s)" (expr a) (expr b)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr a) (binop_token op) (expr b)
+  | Ite (c, t, e) -> Printf.sprintf "(%s ? %s : %s)" (expr c) (expr t) (expr e)
+  | Shfl_up (v, d) ->
+      Printf.sprintf "__shfl_up_sync(0xffffffffu, %s, %s)" (expr v) (expr d)
+
+let ty_name ~data = function TData -> data | TInt -> "int"
+
+let render_stmts ~data buf stmts =
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rec stmt indent s =
+    let pad = String.make indent ' ' in
+    match s with
+    | Comment c -> pf "%s// %s\n" pad c
+    | Let (v, ty, e) -> pf "%s%s %s = %s;\n" pad (ty_name ~data ty) v (expr e)
+    | Let_arr (v, ty, n) -> pf "%s%s %s[%d] = {0};\n" pad (ty_name ~data ty) v n
+    | Set (v, e) -> pf "%s%s = %s;\n" pad v (expr e)
+    | Store (a, i, e) -> pf "%s%s[%s] = %s;\n" pad a (expr i) (expr e)
+    | For (v, lo, hi, step, body) ->
+        pf "%sfor (int %s = %s; %s < %s; %s += %s) {\n" pad v (expr lo) v (expr hi) v
+          (expr step);
+        List.iter (stmt (indent + 2)) body;
+        pf "%s}\n" pad
+    | While (c, body) ->
+        pf "%swhile (%s) {\n" pad (expr c);
+        List.iter (stmt (indent + 2)) body;
+        pf "%s}\n" pad
+    | If (c, body) ->
+        pf "%sif (%s) {\n" pad (expr c);
+        List.iter (stmt (indent + 2)) body;
+        pf "%s}\n" pad
+    | If_else (c, t, e) ->
+        pf "%sif (%s) {\n" pad (expr c);
+        List.iter (stmt (indent + 2)) t;
+        pf "%s} else {\n" pad;
+        List.iter (stmt (indent + 2)) e;
+        pf "%s}\n" pad
+    | Sync -> pf "%s__syncthreads();\n" pad
+    | Fence -> pf "%s__threadfence();\n" pad
+    | Yield_hint -> pf "%s/* spin */\n" pad
+    | Atomic_add (dst, counter, v) ->
+        pf "%sunsigned int %s = atomicAdd(&%s[0], (unsigned int)%s);\n" pad dst
+          counter (expr v)
+  in
+  List.iter (stmt 2) stmts
+
+let value_literal ~is_float = function
+  | VI i -> if is_float then Printf.sprintf "%d.0f" i else string_of_int i
+  | VF f -> Printf.sprintf "%.9e" f
+
+let array_decl ~data d =
+  let b = Buffer.create 256 in
+  let qualifier =
+    match d.arr_space with
+    | Global -> "__device__"
+    | Shared -> "__shared__"
+    | Local -> invalid_arg "local arrays are declared with Let_arr"
+  in
+  let vol = if d.arr_volatile then "volatile " else "" in
+  let tyn =
+    (* the ticket counter renders unsigned so atomicAdd matches *)
+    if d.arr_name = "chunk_counter" then "unsigned int" else ty_name ~data d.arr_ty
+  in
+  (match d.arr_init with
+  | None ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %s%s %s[%d];\n" qualifier vol tyn d.arr_name d.arr_size)
+  | Some init ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %s%s %s[%d] = {\n  " qualifier vol tyn d.arr_name
+           d.arr_size);
+      let is_float = d.arr_ty = TData && data <> "int" in
+      Array.iteri
+        (fun i v ->
+          if i > 0 then
+            Buffer.add_string b (if i mod 8 = 0 then ",\n  " else ", ");
+          Buffer.add_string b (value_literal ~is_float v))
+        init;
+      Buffer.add_string b " };\n");
+  Buffer.contents b
+
+let kernel (k : kernel) =
+  let data = k.data_ty_name in
+  let b = Buffer.create (16 * 1024) in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let globals, shareds =
+    List.partition (fun d -> d.arr_space = Global) k.arrays
+  in
+  List.iter (fun d -> Buffer.add_string b (array_decl ~data d)) globals;
+  pf "\n__global__ void %s(" k.kname;
+  pf "const %s* __restrict__ input, %s* __restrict__ output" data data;
+  List.iter (fun p -> pf ", long long %s" p) k.params;
+  pf ") {\n";
+  List.iter
+    (fun d -> pf "  %s" (String.trim (array_decl ~data d) ^ "\n"))
+    shareds;
+  render_stmts ~data b k.body;
+  pf "}\n";
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** Rendering of {!Ast} kernels to CUDA C.
+
+    The same AST the interpreter executes is printed as the kernel section
+    of PLR's emitted translation unit, so the code that is tested by
+    execution and the code a user compiles with nvcc cannot drift. *)
+
+val expr : Ast.expr -> string
+
+val kernel : Ast.kernel -> string
+(** The device declarations ([__device__]/[__shared__] arrays) and the
+    [__global__] kernel definition. *)

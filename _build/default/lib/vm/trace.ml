@@ -1,0 +1,39 @@
+let outcome_name = function
+  | `Done -> "done"
+  | `Barrier -> "barrier"
+  | `Yield -> "spin"
+
+(* Each event marks the END of a scheduling quantum; reconstruct the spans
+   per (block, warp) from consecutive steps. *)
+let to_chrome_json (events : Interp.event list) =
+  let events =
+    List.sort
+      (fun (a : Interp.event) b -> compare a.Interp.ev_step b.Interp.ev_step)
+      events
+  in
+  let last_end : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  List.iter
+    (fun (e : Interp.event) ->
+      let key = (e.Interp.ev_block, e.Interp.ev_warp) in
+      let start = Option.value (Hashtbl.find_opt last_end key) ~default:(e.Interp.ev_step - 1) in
+      Hashtbl.replace last_end key e.Interp.ev_step;
+      if not !first then Buffer.add_string b ",";
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d}"
+           (outcome_name e.Interp.ev_outcome)
+           start
+           (max 1 (e.Interp.ev_step - start))
+           e.Interp.ev_block e.Interp.ev_warp))
+    events;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write ~path events =
+  let oc = open_out path in
+  output_string oc (to_chrome_json events);
+  close_out oc

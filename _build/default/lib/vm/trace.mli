@@ -1,0 +1,13 @@
+(** Chrome-trace export of the SIMT scheduler's behaviour.
+
+    Feed the event list recorded by {!Interp.run_grid_stats} to
+    {!to_chrome_json} and load the result at chrome://tracing (or Perfetto):
+    one process row per block, one thread row per warp, one slice per
+    scheduler quantum, coloured by how the quantum ended (barrier, spin
+    yield, completion).  Useful for *seeing* the decoupled look-back
+    pipeline drain under different scheduling policies. *)
+
+val to_chrome_json : Interp.event list -> string
+(** Timestamps are scheduler steps (reported as microseconds). *)
+
+val write : path:string -> Interp.event list -> unit

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float List Plr_apps Plr_util QCheck2 QCheck_alcotest

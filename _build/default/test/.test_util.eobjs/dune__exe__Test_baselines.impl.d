@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Classify List Plr_baselines Plr_gpusim Plr_serial Plr_util Printf QCheck2 QCheck_alcotest Signature Table1

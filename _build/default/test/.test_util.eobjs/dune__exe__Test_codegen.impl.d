@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array List Parse Plr_codegen Plr_core Plr_gpusim Plr_util QCheck2 QCheck_alcotest Signature String Table1

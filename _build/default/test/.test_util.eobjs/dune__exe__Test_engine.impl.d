@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Format List Parse Plr_core Plr_gpusim Plr_serial Plr_util Printf Signature Table1

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float List Option Plr_bench Plr_core Plr_gpusim Plr_serial Plr_util Printf QCheck2 QCheck_alcotest Signature

@@ -1,0 +1,1 @@
+test/test_filters.ml: Alcotest Array Complex Float List Option Parse Plr_core Plr_filters Plr_gpusim Plr_serial Plr_util Printf QCheck2 QCheck_alcotest Signature Table1

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Plr_gpusim Plr_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Float List Plr_image Plr_serial Plr_util QCheck2 QCheck_alcotest Table1

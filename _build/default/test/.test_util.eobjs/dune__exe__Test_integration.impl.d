@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float List Plr_bench Plr_gpusim Plr_util Printf Table1

@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Array Float List Plr_multicore Plr_serial Plr_util Printf QCheck2 QCheck_alcotest Signature String Table1

@@ -1,0 +1,1 @@
+test/test_nnacci.ml: Alcotest Array Format Plr_nnacci Plr_serial Plr_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Parse Plr_core Plr_gpusim Plr_nnacci Plr_util Signature

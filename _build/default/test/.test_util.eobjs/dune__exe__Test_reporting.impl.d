@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Classify Format List Plr_bench Plr_codegen Plr_core Plr_gpusim Plr_nnacci Plr_util Signature String

@@ -1,0 +1,1 @@
+test/test_scalars.ml: Alcotest Array Int32 List Option Plr_bench Plr_core Plr_gpusim Plr_multicore Plr_serial Plr_util QCheck2 QCheck_alcotest Signature Table1

@@ -1,0 +1,1 @@
+test/test_semiring.ml: Alcotest Array Float Plr_core Plr_gpusim Plr_multicore Plr_nnacci Plr_serial Plr_util QCheck2 QCheck_alcotest Signature

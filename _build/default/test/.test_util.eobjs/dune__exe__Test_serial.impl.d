@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Classify Float List Plr_serial Plr_util Printf QCheck2 QCheck_alcotest Signature String

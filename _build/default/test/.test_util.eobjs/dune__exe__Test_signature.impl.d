@@ -1,0 +1,1 @@
+test/test_signature.ml: Alcotest Array Classify Float List Parse Printf QCheck2 QCheck_alcotest Signature Table1

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Int64 Plr_util QCheck2 QCheck_alcotest

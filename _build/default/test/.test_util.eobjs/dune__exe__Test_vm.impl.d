@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Hashtbl List Parse Plr_codegen Plr_core Plr_gpusim Plr_serial Plr_util Plr_vm QCheck2 QCheck_alcotest Signature String

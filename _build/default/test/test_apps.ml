@@ -1,0 +1,192 @@
+(* Tests for the prefix-sum application layer (paper §1's motivating
+   workloads), all running through the PLR scan machinery. *)
+
+module Scan = Plr_apps.Scan
+module Apps = Plr_apps.Applications
+
+let check_ints = Alcotest.(check (array int))
+let check_int = Alcotest.(check int)
+
+let gen = Plr_util.Splitmix.create 101
+let random_ints ~lo ~hi n = Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo ~hi)
+
+(* ------------------------------------------------------------------ scans *)
+
+let test_scans () =
+  check_ints "inclusive" [| 1; 3; 6; 10 |] (Scan.inclusive [| 1; 2; 3; 4 |]);
+  check_ints "exclusive" [| 0; 1; 3; 6 |] (Scan.exclusive [| 1; 2; 3; 4 |]);
+  check_int "total" 10 (Scan.total [| 1; 2; 3; 4 |]);
+  check_int "empty total" 0 (Scan.total [||]);
+  check_ints "empty scans" [||] (Scan.inclusive [||])
+
+let test_scan_large () =
+  let x = random_ints ~lo:(-5) ~hi:5 100000 in
+  let inc = Scan.inclusive x in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i v ->
+      acc := !acc + v;
+      if inc.(i) <> !acc then Alcotest.failf "scan wrong at %d" i)
+    x
+
+(* ---------------------------------------------------------------- compact *)
+
+let test_compact () =
+  let v = [| 3; -1; 4; -1; 5; -9; 2 |] in
+  check_ints "positives" [| 3; 4; 5; 2 |] (Apps.compact ~keep:(fun x -> x > 0) v);
+  check_ints "none" [||] (Apps.compact ~keep:(fun _ -> false) v);
+  check_ints "all" v (Apps.compact ~keep:(fun _ -> true) v)
+
+(* ------------------------------------------------------------------ split *)
+
+let test_split () =
+  let v = [| 10; 11; 12; 13; 14; 15 |] in
+  let flags = [| true; false; true; false; false; true |] in
+  let out, n_false = Apps.split ~flags v in
+  check_int "false count" 3 n_false;
+  check_ints "stable partition" [| 11; 13; 14; 10; 12; 15 |] out
+
+let test_split_stability () =
+  (* equal keys keep their relative order *)
+  let v = Array.init 200 (fun i -> i) in
+  let flags = Array.map (fun i -> i mod 3 = 0) v in
+  let out, n_false = Apps.split ~flags v in
+  let fst_part = Array.sub out 0 n_false in
+  let expected = Array.of_list (List.filter (fun i -> i mod 3 <> 0) (Array.to_list v)) in
+  check_ints "order preserved" expected fst_part
+
+(* ------------------------------------------------------------- radix sort *)
+
+let test_radix_sort () =
+  let v = random_ints ~lo:0 ~hi:100000 5000 in
+  let sorted = Apps.radix_sort v in
+  let expected = Array.copy v in
+  Array.sort compare expected;
+  check_ints "sorted" expected sorted
+
+let test_radix_sort_edge_cases () =
+  check_ints "empty" [||] (Apps.radix_sort [||]);
+  check_ints "singleton" [| 7 |] (Apps.radix_sort [| 7 |]);
+  check_ints "duplicates" [| 2; 2; 2; 5; 5 |] (Apps.radix_sort [| 5; 2; 5; 2; 2 |]);
+  check_ints "already sorted" [| 1; 2; 3 |] (Apps.radix_sort [| 1; 2; 3 |]);
+  (match Apps.radix_sort [| -1; 3 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negatives must be rejected")
+
+(* -------------------------------------------------------------- histogram *)
+
+let test_histogram_and_counting_sort () =
+  let v = random_ints ~lo:0 ~hi:15 10000 in
+  let counts = Apps.histogram ~buckets:16 v in
+  check_int "total count" 10000 (Array.fold_left ( + ) 0 counts);
+  Array.iteri
+    (fun b c ->
+      let direct = Array.fold_left (fun acc x -> if x = b then acc + 1 else acc) 0 v in
+      if c <> direct then Alcotest.failf "bucket %d" b)
+    counts;
+  let offsets = Apps.bucket_offsets ~counts in
+  check_int "first offset" 0 offsets.(0);
+  let sorted = Apps.counting_sort ~buckets:16 v in
+  let expected = Array.copy v in
+  Array.sort compare expected;
+  check_ints "counting sort" expected sorted
+
+(* --------------------------------------------------------------------- RLE *)
+
+let test_rle () =
+  let v = [| 5; 5; 5; 2; 2; 9; 5; 5 |] in
+  Alcotest.(check (list (pair int int))) "encode"
+    [ (5, 3); (2, 2); (9, 1); (5, 2) ]
+    (Apps.run_length_encode v);
+  check_ints "roundtrip" v (Apps.run_length_decode (Apps.run_length_encode v));
+  Alcotest.(check (list (pair int int))) "empty" [] (Apps.run_length_encode [||])
+
+(* ---------------------------------------------- polynomial eval and PRNG *)
+
+let test_polynomial_eval () =
+  (* p(x) = 2x³ - x² + 4, coefficients highest-first *)
+  let coeffs = [| 2.0; -1.0; 0.0; 4.0 |] in
+  let direct z = (2.0 *. z *. z *. z) -. (z *. z) +. 4.0 in
+  List.iter
+    (fun z ->
+      let got = Apps.polynomial_eval ~z coeffs in
+      if Float.abs (got -. direct z) > 1e-9 *. Float.max 1.0 (Float.abs (direct z))
+      then Alcotest.failf "p(%g): %g vs %g" z got (direct z))
+    [ 0.0; 1.0; -2.0; 0.5; 3.25 ];
+  Alcotest.(check (float 0.0)) "empty polynomial" 0.0 (Apps.polynomial_eval ~z:2.0 [||])
+
+let test_lcg_matches_sequential () =
+  (* MINSTD-style constants; native-int wrap on both sides *)
+  let a = 48271 and c = 12345 and seed = 42 in
+  let got = Apps.lcg_sequence ~a ~c ~seed 5000 in
+  let x = ref seed in
+  Array.iteri
+    (fun i v ->
+      x := (a * !x) + c;
+      if v <> !x then Alcotest.failf "LCG diverges at %d" i)
+    got;
+  Alcotest.(check int) "length" 5000 (Array.length got)
+
+let prop_polynomial_eval =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parallel Horner ≡ sequential Horner" ~count:100
+       QCheck2.Gen.(pair (list_size (int_range 1 40) (float_range (-3.0) 3.0))
+                      (float_range (-2.0) 2.0))
+       (fun (l, z) ->
+         let coeffs = Array.of_list l in
+         let seq = Array.fold_left (fun acc ci -> (acc *. z) +. ci) 0.0 coeffs in
+         Float.abs (Apps.polynomial_eval ~z coeffs -. seq)
+         <= 1e-6 *. Float.max 1.0 (Float.abs seq)))
+
+let prop_rle_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"RLE roundtrips" ~count:100
+       QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 3))
+       (fun l ->
+         let v = Array.of_list l in
+         Apps.run_length_decode (Apps.run_length_encode v) = v))
+
+let prop_radix_equals_stdlib =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"radix sort ≡ stdlib sort" ~count:50
+       QCheck2.Gen.(list_size (int_range 0 500) (int_range 0 1000))
+       (fun l ->
+         let v = Array.of_list l in
+         let expected = Array.copy v in
+         Array.sort compare expected;
+         Apps.radix_sort v = expected))
+
+let prop_compact_equals_filter =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compact ≡ List.filter" ~count:100
+       QCheck2.Gen.(list_size (int_range 0 400) (int_range (-50) 50))
+       (fun l ->
+         let v = Array.of_list l in
+         Apps.compact ~keep:(fun x -> x mod 2 = 0) v
+         = Array.of_list (List.filter (fun x -> x mod 2 = 0) l)))
+
+let () =
+  Alcotest.run "plr_apps"
+    [
+      ( "scan",
+        [
+          Alcotest.test_case "basics" `Quick test_scans;
+          Alcotest.test_case "large" `Quick test_scan_large;
+        ] );
+      ( "applications",
+        [
+          Alcotest.test_case "compact" `Quick test_compact;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "split stability" `Quick test_split_stability;
+          Alcotest.test_case "radix sort" `Quick test_radix_sort;
+          Alcotest.test_case "radix edge cases" `Quick test_radix_sort_edge_cases;
+          Alcotest.test_case "histogram + counting sort" `Quick
+            test_histogram_and_counting_sort;
+          Alcotest.test_case "run-length coding" `Quick test_rle;
+          Alcotest.test_case "polynomial evaluation" `Quick test_polynomial_eval;
+          Alcotest.test_case "LCG stream" `Quick test_lcg_matches_sequential;
+        ] );
+      ( "properties",
+        [ prop_rle_roundtrip; prop_radix_equals_stdlib; prop_compact_equals_filter;
+          prop_polynomial_eval ] );
+    ]

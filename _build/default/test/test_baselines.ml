@@ -1,0 +1,296 @@
+(* Tests for the re-implemented baseline codes: output correctness against
+   the serial algorithm (or the 2D row-filter semantics for Alg3/Rec),
+   structural traffic properties, and the Table 2/3 closed forms. *)
+
+module Scalar = Plr_util.Scalar
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+
+module Serial_i = Plr_serial.Serial.Make (Scalar.Int)
+module Serial_f = Plr_serial.Serial.Make (Scalar.F32)
+module Ref_i = Plr_serial.Reference.Make (Scalar.Int)
+
+module Memcpy = Plr_baselines.Memcpy.Make (Scalar.Int)
+module Cub = Plr_baselines.Cub
+module Cub_i = Plr_baselines.Cub.Make (Scalar.Int)
+module Sam = Plr_baselines.Sam
+module Sam_i = Plr_baselines.Sam.Make (Scalar.Int)
+module Scan = Plr_baselines.Scan
+module Scan_i = Plr_baselines.Scan.Make (Scalar.Int)
+module Scan_f = Plr_baselines.Scan.Make (Scalar.F32)
+module Alg3 = Plr_baselines.Alg3
+module Alg3_f = Plr_baselines.Alg3.Make (Scalar.F32)
+module Rec = Plr_baselines.Rec_filter
+module Rec_f = Plr_baselines.Rec_filter.Make (Scalar.F32)
+
+let spec = Spec.titan_x
+let check_ints = Alcotest.(check (array int))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let gen = Plr_util.Splitmix.create 3
+let random_ints n = Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-30) ~hi:30)
+let random_floats n =
+  Array.init n (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0)
+
+let int_sig fwd fbk = Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~feedback:fbk
+
+(* ----------------------------------------------------------------- memcpy *)
+
+let test_memcpy () =
+  let input = random_ints 10000 in
+  let r = Memcpy.run ~spec input in
+  check_ints "copies" input r.Memcpy.output;
+  check_int "reads n" 10000 r.Memcpy.counters.Counters.main_read_words;
+  check_int "writes n" 10000 r.Memcpy.counters.Counters.main_write_words
+
+(* -------------------------------------------------------------------- CUB *)
+
+let test_cub_prefix () =
+  let input = random_ints 20000 in
+  let r = Cub_i.run ~spec ~kind:Classify.Prefix_sum input in
+  check_ints "prefix" (Ref_i.prefix_sum input) r.Cub_i.output
+
+let test_cub_tuples () =
+  List.iter
+    (fun s ->
+      let input = random_ints 9999 in
+      let r = Cub_i.run ~spec ~kind:(Classify.Tuple_prefix s) input in
+      check_ints (Printf.sprintf "%d-tuple" s) (Ref_i.tuple_prefix ~s input) r.Cub_i.output)
+    [ 2; 3; 4 ]
+
+let test_cub_higher_order () =
+  List.iter
+    (fun r_ord ->
+      let input = random_ints 8000 in
+      let r = Cub_i.run ~spec ~kind:(Classify.Higher_order_prefix r_ord) input in
+      check_ints
+        (Printf.sprintf "order %d" r_ord)
+        (Ref_i.higher_order_prefix ~r:r_ord input)
+        r.Cub_i.output)
+    [ 2; 3; 4 ]
+
+let test_cub_traffic () =
+  let n = 50000 in
+  let input = random_ints n in
+  let r = Cub_i.run ~spec ~kind:Classify.Prefix_sum input in
+  check_int "single pass reads n" n r.Cub_i.counters.Counters.main_read_words;
+  let r2 = Cub_i.run ~spec ~kind:(Classify.Higher_order_prefix 3) input in
+  check_int "3 passes read 3n" (3 * n) r2.Cub_i.counters.Counters.main_read_words;
+  check_int "3 launches" 3 r2.Cub_i.counters.Counters.kernel_launches
+
+let test_cub_unsupported () =
+  match Cub_i.run ~spec ~kind:Classify.Recursive_filter [| 1; 2 |] with
+  | exception Cub.Unsupported _ -> ()
+  | _ -> Alcotest.fail "filters must be unsupported"
+
+let test_cub_supports () =
+  check_bool "prefix" true (Cub.supports Classify.Prefix_sum);
+  check_bool "filter" false (Cub.supports Classify.Recursive_filter)
+
+(* -------------------------------------------------------------------- SAM *)
+
+let test_sam_families () =
+  let input = random_ints 12345 in
+  let r = Sam_i.run ~spec ~kind:Classify.Prefix_sum input in
+  check_ints "prefix" (Ref_i.prefix_sum input) r.Sam_i.output;
+  let r = Sam_i.run ~spec ~kind:(Classify.Tuple_prefix 3) input in
+  check_ints "3-tuple" (Ref_i.tuple_prefix ~s:3 input) r.Sam_i.output;
+  let r = Sam_i.run ~spec ~kind:(Classify.Higher_order_prefix 2) input in
+  check_ints "order 2" (Ref_i.higher_order_prefix ~r:2 input) r.Sam_i.output
+
+let test_sam_single_pass_traffic () =
+  let n = 30000 in
+  let input = random_ints n in
+  (* SAM repeats the computation, not the I/O. *)
+  let r = Sam_i.run ~spec ~kind:(Classify.Higher_order_prefix 3) input in
+  check_int "reads n once" n r.Sam_i.counters.Counters.main_read_words;
+  check_int "one launch" 1 r.Sam_i.counters.Counters.kernel_launches
+
+let test_sam_autotune () =
+  (* the tuner must pick a small grain (more blocks) for small inputs and a
+     larger grain for big ones *)
+  let small = Sam_i.tune ~spec ~n:(1 lsl 14) ~kind:Classify.Prefix_sum in
+  let large = Sam_i.tune ~spec ~n:(1 lsl 28) ~kind:Classify.Prefix_sum in
+  check_bool "small-input grain <= large-input grain" true (small <= large);
+  check_bool "grains are candidates" true
+    (List.mem small Sam.candidate_grains && List.mem large Sam.candidate_grains)
+
+let test_sam_small_input_advantage () =
+  (* §6.1.1: SAM is fastest in the low range thanks to auto-tuning. *)
+  let n = 1 lsl 14 in
+  let sam = Sam_i.predicted_throughput ~spec ~n ~kind:Classify.Prefix_sum in
+  let cub = Cub_i.predicted_throughput ~spec ~n ~kind:Classify.Prefix_sum in
+  check_bool "SAM beats CUB on small inputs" true (sam > cub)
+
+(* ------------------------------------------------------------------- Scan *)
+
+let test_scan_matches_serial () =
+  List.iter
+    (fun (fwd, fbk) ->
+      let s = int_sig fwd fbk in
+      let input = random_ints 5000 in
+      let r = Scan_i.run ~spec s input in
+      check_ints
+        (Signature.to_string string_of_int s)
+        (Serial_i.full s input) r.Scan_i.output)
+    [ ([| 1 |], [| 1 |]);
+      ([| 1 |], [| 0; 1 |]);
+      ([| 1 |], [| 2; -1 |]);
+      ([| 1 |], [| 3; -3; 1 |]);
+      ([| 2; 1 |], [| 1; 1 |]) ]
+
+let test_scan_float_filter () =
+  let s = Signature.map Plr_util.F32.round Table1.low_pass2.Table1.signature in
+  let input = random_floats 5000 in
+  let r = Scan_f.run ~spec s input in
+  match Serial_f.validate ~tol:1e-3 ~expected:(Serial_f.full s input) r.Scan_f.output with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_scan_state_traffic () =
+  let n = 10000 in
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let input = random_ints n in
+  let r = Scan_i.run ~spec s input in
+  (* k = 2: state is k²+k = 6 words per element, read and written once. *)
+  check_int "reads n·(k²+k)" (6 * n) r.Scan_i.counters.Counters.main_read_words;
+  check_int "writes n·(k²+k)" (6 * n) r.Scan_i.counters.Counters.main_write_words
+
+let test_scan_memory_model () =
+  (* Table 2's Scan column: 1024/3072/6144 MiB of state at 2^26 words. *)
+  let n = 1 lsl 26 in
+  let mib = 1024 * 1024 in
+  check_int "order 1" (1024 * mib) (Scan_i.memory_usage_bytes ~n ~order:1);
+  check_int "order 2" (3072 * mib) (Scan_i.memory_usage_bytes ~n ~order:2);
+  check_int "order 3" (6144 * mib) (Scan_i.memory_usage_bytes ~n ~order:3)
+
+let test_scan_max_n () =
+  (* the paper: Scan only supports problem sizes up to 2^29 (order 1) *)
+  let m1 = Scan.max_n ~spec ~order:1 in
+  check_bool "supports 2^29" true (m1 >= 1 lsl 29);
+  check_bool "not 2^30" true (m1 < 1 lsl 30);
+  check_bool "order 3 much smaller" true (Scan.max_n ~spec ~order:3 < 1 lsl 28)
+
+(* ------------------------------------------------------------- Alg3 / Rec *)
+
+let test_alg3_correctness () =
+  let s = Signature.map Plr_util.F32.round Table1.low_pass2.Table1.signature in
+  let input = random_floats (128 * 128) in
+  let r = Alg3_f.run ~spec s input in
+  let expected = Alg3_f.reference s ~w:r.Alg3_f.width (Array.sub input 0 (Array.length r.Alg3_f.output)) in
+  match Serial_f.validate ~tol:1e-3 ~expected r.Alg3_f.output with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_rec_correctness () =
+  let s = Signature.map Plr_util.F32.round Table1.low_pass3.Table1.signature in
+  let input = random_floats (160 * 160) in
+  let r = Rec_f.run ~spec s input in
+  let expected = Rec_f.reference s ~w:r.Rec_f.width (Array.sub input 0 (Array.length r.Rec_f.output)) in
+  match Serial_f.validate ~tol:1e-3 ~expected r.Rec_f.output with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_2d_codes_read_twice () =
+  let s = Signature.map Plr_util.F32.round Table1.low_pass1.Table1.signature in
+  let input = random_floats (128 * 128) in
+  let n = 128 * 128 in
+  let a = Alg3_f.run ~spec s input in
+  check_int "Alg3 reads 2n" (2 * n) a.Alg3_f.counters.Counters.main_read_words;
+  check_int "Alg3 writes 2n" (2 * n) a.Alg3_f.counters.Counters.main_write_words;
+  let r = Rec_f.run ~spec s input in
+  check_int "Rec reads 2n" (2 * n) r.Rec_f.counters.Counters.main_read_words;
+  check_int "Rec writes n" n r.Rec_f.counters.Counters.main_write_words
+
+let test_2d_codes_reject_multitap () =
+  let hp = Signature.map Plr_util.F32.round Table1.high_pass2.Table1.signature in
+  check_bool "alg3 supports" false (Alg3.supports Table1.high_pass2.Table1.signature);
+  (match Alg3_f.run ~spec hp [| 1.0; 2.0 |] with
+  | exception Alg3.Unsupported _ -> ()
+  | _ -> Alcotest.fail "Alg3 must reject multi-tap filters");
+  match Rec_f.run ~spec hp [| 1.0; 2.0 |] with
+  | exception Rec.Unsupported _ -> ()
+  | _ -> Alcotest.fail "Rec must reject multi-tap filters"
+
+let test_l2_crossover () =
+  (* §6.5: Rec outperforms PLR only while the input fits in L2; its
+     workload must lose the L2 benefit past 2 MB. *)
+  let w_small = Rec_f.predict ~spec ~n:(1 lsl 17) ~order:1 in
+  let w_large = Rec_f.predict ~spec ~n:(1 lsl 21) ~order:1 in
+  check_bool "small input served by L2" true (w_small.Cost.l2_extra_bytes > 0.0);
+  check_bool "large input reads DRAM twice" true
+    (w_large.Cost.l2_extra_bytes = 0.0
+    && w_large.Cost.dram_read_bytes > 1.9 *. float_of_int (4 * (1 lsl 21)))
+
+(* --------------------------------------------------------------- qcheck *)
+
+let prop_cub_equals_sam =
+  QCheck2.Test.make ~name:"CUB ≡ SAM ≡ serial on random prefix families" ~count:40
+    QCheck2.Gen.(pair (int_range 1 4) (list_size (int_range 1 400) (int_range (-9) 9)))
+    (fun (s, l) ->
+      let input = Array.of_list l in
+      let kind = if s = 1 then Classify.Prefix_sum else Classify.Tuple_prefix s in
+      let cub = (Cub_i.run ~spec ~kind input).Cub_i.output in
+      let sam = (Sam_i.run ~spec ~kind input).Sam_i.output in
+      let expected = Ref_i.tuple_prefix ~s input in
+      cub = expected && sam = expected)
+
+let prop_scan_any_signature =
+  let gen_sig =
+    QCheck2.Gen.(
+      let coeff = int_range (-2) 2 in
+      map
+        (fun (l, last) ->
+          int_sig [| 1 |] (Array.of_list (l @ [ (if last = 0 then 1 else last) ])))
+        (pair (list_size (int_range 0 2) coeff) coeff))
+  in
+  QCheck2.Test.make ~name:"Scan ≡ serial on random signatures" ~count:60
+    QCheck2.Gen.(pair gen_sig (list_size (int_range 1 300) (int_range (-9) 9)))
+    (fun (s, l) ->
+      let input = Array.of_list l in
+      (Scan_i.run ~spec s input).Scan_i.output = Serial_i.full s input)
+
+let () =
+  Alcotest.run "plr_baselines"
+    [
+      ("memcpy", [ Alcotest.test_case "roundtrip" `Quick test_memcpy ]);
+      ( "cub",
+        [
+          Alcotest.test_case "prefix sum" `Quick test_cub_prefix;
+          Alcotest.test_case "tuples" `Quick test_cub_tuples;
+          Alcotest.test_case "higher order" `Quick test_cub_higher_order;
+          Alcotest.test_case "traffic" `Quick test_cub_traffic;
+          Alcotest.test_case "unsupported" `Quick test_cub_unsupported;
+          Alcotest.test_case "supports" `Quick test_cub_supports;
+        ] );
+      ( "sam",
+        [
+          Alcotest.test_case "families" `Quick test_sam_families;
+          Alcotest.test_case "single-pass traffic" `Quick test_sam_single_pass_traffic;
+          Alcotest.test_case "autotune" `Quick test_sam_autotune;
+          Alcotest.test_case "small-input advantage" `Quick test_sam_small_input_advantage;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "matches serial" `Quick test_scan_matches_serial;
+          Alcotest.test_case "float filter" `Quick test_scan_float_filter;
+          Alcotest.test_case "state traffic" `Quick test_scan_state_traffic;
+          Alcotest.test_case "memory model" `Quick test_scan_memory_model;
+          Alcotest.test_case "max n" `Quick test_scan_max_n;
+        ] );
+      ( "2d-filters",
+        [
+          Alcotest.test_case "alg3 correctness" `Quick test_alg3_correctness;
+          Alcotest.test_case "rec correctness" `Quick test_rec_correctness;
+          Alcotest.test_case "double input reads" `Quick test_2d_codes_read_twice;
+          Alcotest.test_case "reject multi-tap" `Quick test_2d_codes_reject_multitap;
+          Alcotest.test_case "L2 crossover" `Quick test_l2_crossover;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_cub_equals_sam;
+          QCheck_alcotest.to_alcotest prop_scan_any_signature;
+        ] );
+    ]

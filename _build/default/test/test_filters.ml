@@ -1,0 +1,495 @@
+(* Tests for the digital-filter substrate: single-pole designs, cascades
+   re-deriving Table 1's coefficients, impulse responses, stability, and
+   decay lengths. *)
+
+module Design = Plr_filters.Design
+module Response = Plr_filters.Response
+module Poly = Plr_util.Poly
+
+let sig_close ?(tol = 1e-9) name (expected : float Signature.t) (actual : float Signature.t) =
+  let close a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+  in
+  Alcotest.(check bool) name true
+    (close expected.Signature.forward actual.Signature.forward
+    && close expected.Signature.feedback actual.Signature.feedback)
+
+(* -------------------------------------------------- Table 1 re-derivation *)
+
+let test_low_pass_1 () =
+  sig_close "lp1 = (0.2: 0.8)" Table1.low_pass1.Table1.signature
+    (Design.low_pass ~x:0.8 ~stages:1)
+
+let test_low_pass_2 () =
+  sig_close "lp2 = (0.04: 1.6, -0.64)" Table1.low_pass2.Table1.signature
+    (Design.low_pass ~x:0.8 ~stages:2)
+
+let test_low_pass_3 () =
+  sig_close "lp3 = (0.008: 2.4, -1.92, 0.512)" Table1.low_pass3.Table1.signature
+    (Design.low_pass ~x:0.8 ~stages:3)
+
+let test_high_pass_1 () =
+  sig_close "hp1 = (0.9, -0.9: 0.8)" Table1.high_pass1.Table1.signature
+    (Design.high_pass ~x:0.8 ~stages:1)
+
+let test_high_pass_2 () =
+  sig_close "hp2 = (0.81, -1.62, 0.81: 1.6, -0.64)"
+    Table1.high_pass2.Table1.signature
+    (Design.high_pass ~x:0.8 ~stages:2)
+
+let test_high_pass_3 () =
+  (* Table 1 prints truncated digits (0.73, -2.19, …); the catalogue stores
+     the exact values 0.729, -2.187 which we must reproduce. *)
+  sig_close "hp3 exact" Table1.high_pass3.Table1.signature
+    (Design.high_pass ~x:0.8 ~stages:3)
+
+(* ----------------------------------------------------------------- gains *)
+
+let test_dc_gain () =
+  (* A low-pass stage passes DC with unit gain; a high-pass blocks it. *)
+  Alcotest.(check (float 1e-9)) "low-pass DC gain 1" 1.0
+    (Design.dc_gain (Design.low_pass_stage ~x:0.8));
+  Alcotest.(check (float 1e-9)) "high-pass DC gain 0" 0.0
+    (Design.dc_gain (Design.high_pass_stage ~x:0.8));
+  Alcotest.(check (float 1e-9)) "cascade multiplies gains" 1.0
+    (Design.dc_gain (Design.repeat (Design.low_pass_stage ~x:0.8) 3))
+
+(* ------------------------------------------------------------- responses *)
+
+let test_impulse_response_lp1 () =
+  (* (0.2: 0.8): h(n) = 0.2 · 0.8^n. *)
+  let h = Response.impulse_response Table1.low_pass1.Table1.signature ~n:10 in
+  Array.iteri
+    (fun i v ->
+      let expect = 0.2 *. (0.8 ** float_of_int i) in
+      if Float.abs (v -. expect) > 1e-12 then
+        Alcotest.failf "h(%d) = %g, expected %g" i v expect)
+    h
+
+let test_impulse_response_decays () =
+  match Response.decay_length Table1.low_pass2.Table1.signature ~n:8192 with
+  | None -> Alcotest.fail "2-stage low-pass must decay"
+  | Some z ->
+      (* paper: IIR responses decay below arithmetic precision after a few
+         hundred elements *)
+      Alcotest.(check bool) "a few hundred elements" true (z > 100 && z < 4000)
+
+let test_impulse_response_f32_flush () =
+  let h =
+    Response.impulse_response_f32 ~flush_denormals:true
+      Table1.low_pass1.Table1.signature ~n:2048
+  in
+  Alcotest.(check (float 0.0)) "tail is exactly zero" 0.0 h.(2047);
+  Alcotest.(check bool) "head is nonzero" true (h.(0) <> 0.0)
+
+let test_step_response_converges () =
+  let s = Response.step_response Table1.low_pass3.Table1.signature ~n:4096 in
+  (* DC gain 1 → step response converges to 1. *)
+  Alcotest.(check (float 1e-6)) "steady state" 1.0 s.(4095)
+
+(* ------------------------------------------------------------- stability *)
+
+let test_stable_filters () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Table1.name ^ " stable") true
+        (Response.is_stable e.Table1.signature))
+    Table1.float_entries
+
+let test_unstable_filter () =
+  (* (1: 2) doubles forever. *)
+  let s =
+    Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:[| 1.0 |] ~feedback:[| 2.0 |]
+  in
+  Alcotest.(check bool) "explodes" false (Response.is_stable s)
+
+let test_marginal_filter () =
+  (* The prefix sum (1: 1) never decays: not a stable filter. *)
+  let s =
+    Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:[| 1.0 |] ~feedback:[| 1.0 |]
+  in
+  Alcotest.(check bool) "no decay" true
+    (Response.decay_length s ~n:4096 = None)
+
+(* ---------------------------------------------------------------- spectra *)
+
+let pi = 4.0 *. atan 1.0
+
+let test_frequency_response_lp1 () =
+  (* closed form for (1-x : x): |H| = (1-x)/|1 - x·e^{-jω}| *)
+  let s = Table1.low_pass1.Table1.signature in
+  List.iter
+    (fun omega ->
+      let expect =
+        0.2 /. Complex.norm (Complex.sub Complex.one
+                 (Complex.mul { re = 0.8; im = 0.0 }
+                    (Complex.exp { re = 0.0; im = -.omega })))
+      in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "omega %.2f" omega) expect
+        (Response.magnitude_response s ~omega))
+    [ 0.0; 0.3; 1.0; pi ]
+
+let test_dc_and_nyquist () =
+  (* low-pass: unit DC gain, attenuated at Nyquist; high-pass mirrored *)
+  let lp = Table1.low_pass2.Table1.signature in
+  let hp = Table1.high_pass2.Table1.signature in
+  Alcotest.(check (float 1e-9)) "lp DC" 1.0 (Response.magnitude_response lp ~omega:0.0);
+  Alcotest.(check bool) "lp Nyquist small" true
+    (Response.magnitude_response lp ~omega:pi < 0.05);
+  Alcotest.(check (float 1e-6)) "hp DC" 0.0 (Response.magnitude_response hp ~omega:0.0);
+  Alcotest.(check (float 1e-6)) "hp Nyquist" 1.0
+    (Response.magnitude_response hp ~omega:pi)
+
+let test_measured_gain_matches_theory () =
+  (* empirical sinusoid gain ≈ |H| (from-first-principles cross-check) *)
+  List.iter
+    (fun (s, omega) ->
+      let theory = Response.magnitude_response s ~omega in
+      let measured = Response.measured_gain s ~omega ~n:32768 in
+      let err = Float.abs (measured -. theory) /. Float.max 0.05 theory in
+      if err > 0.05 then
+        Alcotest.failf "gain mismatch at ω=%.3f: theory %.4f, measured %.4f" omega
+          theory measured)
+    [ (Table1.low_pass1.Table1.signature, 0.2);
+      (Table1.low_pass2.Table1.signature, 0.8);
+      (Table1.high_pass1.Table1.signature, 2.5);
+      (Design.band_pass ~f:0.1 ~bw:0.02, 2.0 *. pi *. 0.1) ]
+
+let test_design_by_cutoff () =
+  (* a lower cutoff gives a slower filter (longer impulse response) *)
+  let fast = Design.low_pass_cutoff ~fc:0.2 ~stages:1 in
+  let slow = Design.low_pass_cutoff ~fc:0.01 ~stages:1 in
+  let len s = Option.get (Response.decay_length s ~n:65536) in
+  Alcotest.(check bool) "slower cutoff, longer response" true (len slow > len fast);
+  (* half-power point: |H(2π·fc)| within a factor of √2 of the single-pole
+     approximation *)
+  let fc = 0.05 in
+  let s = Design.low_pass_cutoff ~fc ~stages:1 in
+  let g = Response.magnitude_response s ~omega:(2.0 *. pi *. fc) in
+  Alcotest.(check bool) "cutoff attenuates" true (g < 1.0 && g > 0.4);
+  match Design.low_pass_cutoff ~fc:0.7 ~stages:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cutoff must be < 0.5"
+
+let test_band_pass () =
+  let f = 0.1 and bw = 0.02 in
+  let s = Design.band_pass ~f ~bw in
+  Alcotest.(check int) "order 2" 2 (Signature.order s);
+  Alcotest.(check int) "three taps" 3 (Signature.fir_taps s);
+  let at x = Response.magnitude_response s ~omega:(2.0 *. pi *. x) in
+  Alcotest.(check (float 1e-6)) "unit gain at centre" 1.0 (at f);
+  Alcotest.(check bool) "rejects DC" true (at 0.0001 < 0.05);
+  Alcotest.(check bool) "rejects high frequencies" true (at 0.45 < 0.05);
+  Alcotest.(check bool) "stable" true (Response.is_stable s)
+
+let test_notch () =
+  let f = 0.15 and bw = 0.03 in
+  let s = Design.notch ~f ~bw in
+  let at x = Response.magnitude_response s ~omega:(2.0 *. pi *. x) in
+  Alcotest.(check (float 1e-9)) "null at centre" 0.0 (at f);
+  Alcotest.(check (float 1e-6)) "unit gain at DC" 1.0 (at 0.0);
+  (* Smith's design normalizes exactly at DC; Nyquist is ~1 within a few
+     percent for narrow bands *)
+  Alcotest.(check bool) "near-unit gain at Nyquist" true
+    (Float.abs (at 0.5 -. 1.0) < 0.02);
+  Alcotest.(check bool) "stable" true (Response.is_stable s)
+
+let test_band_pass_through_plr () =
+  (* the band-pass signature runs through the full PLR engine *)
+  let module Ef = Plr_core.Engine.Make (Plr_util.Scalar.F32) in
+  let module Sf = Plr_serial.Serial.Make (Plr_util.Scalar.F32) in
+  let s = Signature.map Plr_util.F32.round (Design.band_pass ~f:0.08 ~bw:0.02) in
+  let gen = Plr_util.Splitmix.create 61 in
+  let input = Array.init 20000 (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0) in
+  let r = Ef.run ~spec:Plr_gpusim.Spec.titan_x s input in
+  match Sf.validate ~tol:1e-3 ~expected:(Sf.full s input) r.Ef.output with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------ z-transform *)
+
+module Zt = Plr_filters.Ztransform
+module S64 = Plr_serial.Serial.Make (Plr_util.Scalar.F64)
+
+let close_arrays ?(tol = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol *. Float.max 1.0 (Float.abs y)) a b
+
+let test_zt_cascade_matches_table1 () =
+  (* cascading two 1-stage low-passes reproduces the 2-stage signature *)
+  let lp1 = Table1.low_pass1.Table1.signature in
+  let s = Zt.cascade lp1 lp1 in
+  Alcotest.(check bool) "lp1 ∘ lp1 = lp2" true
+    (close_arrays s.Signature.forward Table1.low_pass2.Table1.signature.Signature.forward
+    && close_arrays s.Signature.feedback Table1.low_pass2.Table1.signature.Signature.feedback);
+  let s3 = Zt.cascade s lp1 in
+  Alcotest.(check bool) "three stages" true
+    (close_arrays s3.Signature.feedback
+       Table1.low_pass3.Table1.signature.Signature.feedback)
+
+let test_zt_cascade_semantics () =
+  (* one combined kernel ≡ two dependent passes *)
+  let gen = Plr_util.Splitmix.create 71 in
+  let input = Array.init 3000 (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0) in
+  let hp = Table1.high_pass1.Table1.signature in
+  let bp = Plr_filters.Design.band_pass ~f:0.1 ~bw:0.05 in
+  let combined = S64.full (Zt.cascade hp bp) input in
+  let two_pass = S64.full bp (S64.full hp input) in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. two_pass.(i)) > 1e-9 *. Float.max 1.0 (Float.abs v) then
+        Alcotest.failf "cascade mismatch at %d" i)
+    combined
+
+let test_zt_parallel_semantics () =
+  (* parallel combination sums the two outputs *)
+  let gen = Plr_util.Splitmix.create 73 in
+  let input = Array.init 2000 (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0) in
+  let lp = Table1.low_pass1.Table1.signature in
+  let hp = Table1.high_pass1.Table1.signature in
+  let combined = S64.full (Zt.parallel lp hp) input in
+  let sum = Array.map2 ( +. ) (S64.full lp input) (S64.full hp input) in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. sum.(i)) > 1e-6 then Alcotest.failf "parallel mismatch at %d" i)
+    combined
+
+let test_zt_scale_and_delay () =
+  let gen = Plr_util.Splitmix.create 79 in
+  let input = Array.init 500 (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0) in
+  let lp = Table1.low_pass2.Table1.signature in
+  let scaled = S64.full (Zt.scale 2.5 lp) input in
+  let base = S64.full lp input in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. (2.5 *. base.(i))) > 1e-9 then Alcotest.failf "scale at %d" i)
+    scaled;
+  let delayed = S64.full (Zt.delay 3 lp) input in
+  for i = 0 to 2 do
+    Alcotest.(check (float 1e-12)) "leading zeros" 0.0 delayed.(i)
+  done;
+  for i = 3 to 499 do
+    if Float.abs (delayed.(i) -. base.(i - 3)) > 1e-9 then
+      Alcotest.failf "delay at %d" i
+  done
+
+let test_zt_roundtrip () =
+  let s = Table1.high_pass3.Table1.signature in
+  let s' = Zt.of_transfer (Zt.to_transfer s) in
+  Alcotest.(check bool) "roundtrip" true
+    (close_arrays s.Signature.forward s'.Signature.forward
+    && close_arrays s.Signature.feedback s'.Signature.feedback)
+
+(* -------------------------------------------------- poles & decomposition *)
+
+let test_roots_basics () =
+  let module R = Plr_util.Roots in
+  let p = Plr_util.Poly.of_coeffs [| -6.0; 11.0; -6.0; 1.0 |] in
+  (* (x-1)(x-2)(x-3) *)
+  let rs = R.roots p in
+  Alcotest.(check int) "three roots" 3 (List.length rs);
+  Alcotest.(check bool) "residual tiny" true (R.residual p rs < 1e-8);
+  let reals = List.sort compare (List.map (fun (c : Complex.t) -> Float.round c.Complex.re) rs) in
+  Alcotest.(check (list (float 1e-9))) "1,2,3" [ 1.0; 2.0; 3.0 ] reals
+
+let test_roots_complex_pair () =
+  let module R = Plr_util.Roots in
+  (* x² + 1: roots ±i *)
+  let p = Plr_util.Poly.of_coeffs [| 1.0; 0.0; 1.0 |] in
+  let rs = R.roots p in
+  Alcotest.(check bool) "residual" true (R.residual p rs < 1e-10);
+  Alcotest.(check bool) "imaginary pair" true
+    (List.for_all (fun (c : Complex.t) -> Float.abs c.Complex.re < 1e-8
+                    && Float.abs (Float.abs c.Complex.im -. 1.0) < 1e-8) rs)
+
+let test_poles_of_cascade () =
+  (* lp3's poles are 0.8 with multiplicity 3 *)
+  let ps = Zt.poles Table1.low_pass3.Table1.signature in
+  Alcotest.(check int) "three poles" 3 (List.length ps);
+  List.iter
+    (fun (p : Complex.t) ->
+      if Complex.norm (Complex.sub p { re = 0.8; im = 0.0 }) > 1e-3 then
+        Alcotest.failf "pole %g%+gi ≠ 0.8" p.Complex.re p.Complex.im)
+    ps
+
+let test_analytic_stability () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Table1.name ^ " stable analytically") true
+        (Zt.stable e.Table1.signature))
+    Table1.float_entries;
+  let unstable =
+    Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:[| 1.0 |] ~feedback:[| 2.0 |]
+  in
+  Alcotest.(check bool) "pole at 2 is unstable" false (Zt.stable unstable);
+  (* the prefix sum's pole is exactly on the unit circle *)
+  Alcotest.(check bool) "prefix sum marginal" false
+    (Zt.stable (Parse.signature_exn "(1: 1)"))
+
+let test_decompose_lp3 () =
+  let sections = Zt.decompose Table1.low_pass3.Table1.signature in
+  Alcotest.(check int) "three first-order sections" 3 (List.length sections);
+  List.iter
+    (fun (sec : float Signature.t) ->
+      Alcotest.(check int) "order 1" 1 (Signature.order sec);
+      if Float.abs (sec.Signature.feedback.(0) -. 0.8) > 1e-3 then
+        Alcotest.fail "pole should be 0.8")
+    sections
+
+let test_decompose_preserves_response () =
+  (* cascading the sections reproduces the original transfer function *)
+  List.iter
+    (fun (name, s) ->
+      let sections = Zt.decompose s in
+      let recombined =
+        match sections with
+        | first :: rest -> List.fold_left Zt.cascade first rest
+        | [] -> assert false
+      in
+      List.iter
+        (fun omega ->
+          let a = Plr_filters.Response.magnitude_response s ~omega in
+          let b = Plr_filters.Response.magnitude_response recombined ~omega in
+          if Float.abs (a -. b) > 1e-3 *. Float.max 1.0 a then
+            Alcotest.failf "%s: response differs at ω=%.2f (%g vs %g)" name omega a b)
+        [ 0.05; 0.3; 1.0; 2.0; 3.0 ])
+    [ ("lp2", Table1.low_pass2.Table1.signature);
+      ("lp3", Table1.low_pass3.Table1.signature);
+      ("hp3", Table1.high_pass3.Table1.signature);
+      ("band-pass", Design.band_pass ~f:0.12 ~bw:0.04) ]
+
+let test_decompose_complex_pair_section () =
+  (* the band-pass has a conjugate pole pair → one second-order section *)
+  let sections = Zt.decompose (Design.band_pass ~f:0.1 ~bw:0.05) in
+  Alcotest.(check int) "single section" 1 (List.length sections);
+  Alcotest.(check int) "second order" 2 (Signature.order (List.hd sections))
+
+let test_decompose_sections_run_serially () =
+  (* running the sections in sequence equals running the original filter *)
+  let module S64b = Plr_serial.Serial.Make (Plr_util.Scalar.F64) in
+  let s = Table1.low_pass3.Table1.signature in
+  let gen2 = Plr_util.Splitmix.create 91 in
+  let input = Array.init 2000 (fun _ -> Plr_util.Splitmix.float_in gen2 ~lo:(-1.0) ~hi:1.0) in
+  let whole = S64b.full s input in
+  let cascaded =
+    List.fold_left (fun acc sec -> S64b.full sec acc) input (Zt.decompose s)
+  in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. whole.(i)) > 1e-3 *. Float.max 1.0 (Float.abs v) then
+        Alcotest.failf "cascade differs at %d" i)
+    cascaded
+
+let prop_zt_cascade_commutes_on_response =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"cascade commutes in the z-domain" ~count:50
+       QCheck2.Gen.(pair (float_range 0.2 0.9) (float_range 0.2 0.9))
+       (fun (x1, x2) ->
+         let a = Plr_filters.Design.low_pass ~x:x1 ~stages:1 in
+         let b = Plr_filters.Design.high_pass ~x:x2 ~stages:1 in
+         let ab = Zt.cascade a b and ba = Zt.cascade b a in
+         List.for_all
+           (fun omega ->
+             Float.abs
+               (Plr_filters.Response.magnitude_response ab ~omega
+               -. Plr_filters.Response.magnitude_response ba ~omega)
+             < 1e-9)
+           [ 0.1; 0.5; 1.0; 2.0; 3.0 ]))
+
+(* --------------------------------------------------------------- qcheck *)
+
+let prop_cascade_stages_decay_slower =
+  (* More stages → longer decay (the paper's 2-stage filter keeps more
+     correction factors alive than the 1-stage). *)
+  QCheck2.Test.make ~name:"decay length grows with stages" ~count:50
+    QCheck2.Gen.(float_range 0.3 0.9)
+    (fun x ->
+      let len s =
+        match Response.decay_length (Design.low_pass ~x ~stages:s) ~n:65536 with
+        | Some z -> z
+        | None -> max_int
+      in
+      len 1 <= len 2 && len 2 <= len 3)
+
+let prop_single_pole_stable =
+  QCheck2.Test.make ~name:"|pole| < 1 is stable" ~count:50
+    QCheck2.Gen.(float_range 0.05 0.95)
+    (fun x ->
+      Response.is_stable (Design.low_pass ~x ~stages:1)
+      && Response.is_stable (Design.high_pass ~x ~stages:2))
+
+let prop_cascade_commutes =
+  QCheck2.Test.make ~name:"cascade order does not matter" ~count:50
+    QCheck2.Gen.(pair (float_range 0.2 0.9) (float_range 0.2 0.9))
+    (fun (x1, x2) ->
+      let a = Design.low_pass_stage ~x:x1 and b = Design.high_pass_stage ~x:x2 in
+      let ab = Design.cascade [ a; b ] and ba = Design.cascade [ b; a ] in
+      Poly.equal ~tol:1e-9 ab.Design.numerator ba.Design.numerator
+      && Poly.equal ~tol:1e-9 ab.Design.denominator ba.Design.denominator)
+
+let () =
+  Alcotest.run "plr_filters"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "lp1" `Quick test_low_pass_1;
+          Alcotest.test_case "lp2" `Quick test_low_pass_2;
+          Alcotest.test_case "lp3" `Quick test_low_pass_3;
+          Alcotest.test_case "hp1" `Quick test_high_pass_1;
+          Alcotest.test_case "hp2" `Quick test_high_pass_2;
+          Alcotest.test_case "hp3" `Quick test_high_pass_3;
+          Alcotest.test_case "dc gains" `Quick test_dc_gain;
+        ] );
+      ( "response",
+        [
+          Alcotest.test_case "lp1 impulse closed form" `Quick test_impulse_response_lp1;
+          Alcotest.test_case "decay length" `Quick test_impulse_response_decays;
+          Alcotest.test_case "f32 flush" `Quick test_impulse_response_f32_flush;
+          Alcotest.test_case "step response" `Quick test_step_response_converges;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "Table 1 filters stable" `Quick test_stable_filters;
+          Alcotest.test_case "unstable" `Quick test_unstable_filter;
+          Alcotest.test_case "marginal" `Quick test_marginal_filter;
+        ] );
+      ( "spectra",
+        [
+          Alcotest.test_case "lp1 closed form" `Quick test_frequency_response_lp1;
+          Alcotest.test_case "DC and Nyquist" `Quick test_dc_and_nyquist;
+          Alcotest.test_case "measured gain = |H|" `Quick test_measured_gain_matches_theory;
+          Alcotest.test_case "design by cutoff" `Quick test_design_by_cutoff;
+          Alcotest.test_case "band-pass" `Quick test_band_pass;
+          Alcotest.test_case "notch" `Quick test_notch;
+          Alcotest.test_case "band-pass through PLR" `Quick test_band_pass_through_plr;
+        ] );
+      ( "z-transform",
+        [
+          Alcotest.test_case "cascade reproduces Table 1" `Quick test_zt_cascade_matches_table1;
+          Alcotest.test_case "cascade semantics" `Quick test_zt_cascade_semantics;
+          Alcotest.test_case "parallel semantics" `Quick test_zt_parallel_semantics;
+          Alcotest.test_case "scale and delay" `Quick test_zt_scale_and_delay;
+          Alcotest.test_case "roundtrip" `Quick test_zt_roundtrip;
+          prop_zt_cascade_commutes_on_response;
+        ] );
+      ( "decomposition",
+        [
+          Alcotest.test_case "root finder basics" `Quick test_roots_basics;
+          Alcotest.test_case "complex pair roots" `Quick test_roots_complex_pair;
+          Alcotest.test_case "poles of lp3" `Quick test_poles_of_cascade;
+          Alcotest.test_case "analytic stability" `Quick test_analytic_stability;
+          Alcotest.test_case "decompose lp3" `Quick test_decompose_lp3;
+          Alcotest.test_case "response preserved" `Quick test_decompose_preserves_response;
+          Alcotest.test_case "conjugate pair section" `Quick
+            test_decompose_complex_pair_section;
+          Alcotest.test_case "sections run serially" `Quick
+            test_decompose_sections_run_serially;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_cascade_stages_decay_slower;
+          QCheck_alcotest.to_alcotest prop_single_pole_stable;
+          QCheck_alcotest.to_alcotest prop_cascade_commutes;
+        ] );
+    ]

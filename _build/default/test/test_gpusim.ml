@@ -1,0 +1,227 @@
+(* Tests for the GPU machine model: cache simulator invariants, device
+   accounting, buffers, and cost-model sanity. *)
+
+module Spec = Plr_gpusim.Spec
+module Cache = Plr_gpusim.Cache
+module Device = Plr_gpusim.Device
+module Counters = Plr_gpusim.Counters
+module Cost = Plr_gpusim.Cost
+module Buf = Plr_gpusim.Buffer.Make (Plr_util.Scalar.Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ cache *)
+
+let small_cache () = Cache.create ~size_bytes:1024 ~line_bytes:32 ~ways:2
+
+let test_cache_cold_miss_then_hit () =
+  let c = small_cache () in
+  Cache.read c ~addr:0;
+  Cache.read c ~addr:4;
+  Cache.read c ~addr:28;
+  check_int "one cold miss per line" 1 (Cache.read_misses c);
+  check_int "three accesses" 3 (Cache.read_accesses c);
+  Cache.read c ~addr:32;
+  check_int "next line misses" 2 (Cache.read_misses c)
+
+let test_cache_capacity_eviction () =
+  let c = small_cache () in
+  (* 1024 B / 32 B = 32 lines; streaming 64 lines then re-reading the first
+     must miss again (LRU evicted it). *)
+  for line = 0 to 63 do
+    Cache.read c ~addr:(line * 32)
+  done;
+  check_int "64 cold misses" 64 (Cache.read_misses c);
+  Cache.read c ~addr:0;
+  check_int "re-read misses after eviction" 65 (Cache.read_misses c)
+
+let test_cache_lru_within_set () =
+  (* 2 ways, 16 sets: addresses 0, 512, 1024 map to set 0.  Touch 0, 512,
+     then 0 again (hit), then 1024 evicts 512 (LRU), so 512 misses. *)
+  let c = small_cache () in
+  Cache.read c ~addr:0;
+  Cache.read c ~addr:512;
+  Cache.read c ~addr:0;
+  check_int "hit on MRU" 2 (Cache.read_misses c);
+  Cache.read c ~addr:1024;
+  Cache.read c ~addr:0;
+  check_int "0 survived (was MRU)" 3 (Cache.read_misses c);
+  Cache.read c ~addr:512;
+  check_int "512 was evicted" 4 (Cache.read_misses c)
+
+let test_cache_write_allocate () =
+  let c = small_cache () in
+  Cache.write c ~addr:0;
+  check_int "write miss" 1 (Cache.write_misses c);
+  Cache.read c ~addr:0;
+  check_int "read hits the allocated line" 0 (Cache.read_misses c)
+
+let test_cache_reset () =
+  let c = small_cache () in
+  Cache.read c ~addr:0;
+  Cache.reset_stats c;
+  check_int "stats cleared" 0 (Cache.read_accesses c);
+  Cache.read c ~addr:0;
+  check_int "contents kept" 0 (Cache.read_misses c);
+  Cache.clear c;
+  Cache.read c ~addr:0;
+  check_int "clear empties contents" 1 (Cache.read_misses c)
+
+let test_cache_miss_bytes () =
+  let c = small_cache () in
+  for i = 0 to 9 do
+    Cache.read c ~addr:(i * 32)
+  done;
+  check_int "bytes = misses × line" (10 * 32) (Cache.read_miss_bytes c)
+
+(* Streaming a large array through a small cache: every line misses exactly
+   once per pass when the array exceeds capacity. *)
+let prop_streaming_misses =
+  QCheck2.Test.make ~name:"streaming misses once per line per pass" ~count:20
+    QCheck2.Gen.(int_range 100 400)
+    (fun lines ->
+      let c = small_cache () in
+      for pass = 1 to 2 do
+        ignore pass;
+        for l = 0 to lines - 1 do
+          Cache.read c ~addr:(l * 32)
+        done
+      done;
+      (* lines > 32 (capacity): both passes miss everything *)
+      Cache.read_misses c = 2 * lines)
+
+(* ----------------------------------------------------------------- device *)
+
+let test_device_alloc_tracking () =
+  let d = Device.create Spec.titan_x in
+  let _ = Device.alloc d Device.Main ~bytes:1000 in
+  let _ = Device.alloc d Device.Aux ~bytes:500 in
+  check_int "allocated" 1500 (Device.allocated_bytes d);
+  Device.free d ~bytes:500;
+  check_int "freed" 1000 (Device.allocated_bytes d);
+  check_int "peak includes baseline" (1500 + Device.baseline_alloc_bytes)
+    (Device.peak_bytes d)
+
+let test_device_counters () =
+  let d = Device.create Spec.titan_x in
+  Device.read d Device.Main ~addr:0 ~bytes:4;
+  Device.read d Device.Aux ~addr:0 ~bytes:4;
+  Device.write d Device.Main ~addr:4 ~bytes:4;
+  Device.ops d ~adds:10 ~muls:5;
+  let c = Device.counters d in
+  check_int "main reads" 1 c.Counters.main_read_words;
+  check_int "aux reads" 1 c.Counters.aux_read_words;
+  check_int "main write bytes" 4 c.Counters.main_write_bytes;
+  check_int "adds" 10 c.Counters.adds;
+  check_int "alu" 15 (Counters.alu_ops c);
+  check_int "global words" 3 (Counters.global_words c)
+
+let test_device_l2_integration () =
+  let d = Device.create ~with_l2:true Spec.titan_x in
+  (match Device.l2 d with
+  | None -> Alcotest.fail "l2 requested"
+  | Some l2 ->
+      for i = 0 to 7 do
+        Device.read d Device.Main ~addr:(i * 4) ~bytes:4
+      done;
+      check_int "8 words share one 32B line" 1 (Cache.read_misses l2))
+
+let test_buffer_roundtrip () =
+  let d = Device.create Spec.titan_x in
+  let b = Buf.of_array d Device.Main [| 10; 20; 30 |] in
+  check_int "get" 20 (Buf.get b 1);
+  Buf.set b 1 99;
+  check_int "set" 99 (Buf.get b 1);
+  check_int "reads counted" 2 (Device.counters d).Counters.main_read_words;
+  check_int "writes counted" 1 (Device.counters d).Counters.main_write_words;
+  check_int "length" 3 (Buf.length b)
+
+(* ------------------------------------------------------------------- spec *)
+
+let test_resident_blocks () =
+  (* 1024-thread blocks at 32 regs: 2048/1024 = 2 per SM → 48 total.
+     At 64 regs the register file limits it to 1 per SM → 24. *)
+  check_int "32 regs" 48
+    (Spec.resident_blocks Spec.titan_x ~threads_per_block:1024 ~regs_per_thread:32);
+  check_int "64 regs" 24
+    (Spec.resident_blocks Spec.titan_x ~threads_per_block:1024 ~regs_per_thread:64);
+  check_int "256-thread blocks" 192
+    (Spec.resident_blocks Spec.titan_x ~threads_per_block:256 ~regs_per_thread:32)
+
+(* ------------------------------------------------------------------- cost *)
+
+let test_memcpy_saturates () =
+  (* The calibration pins large-n memcpy near the paper's ~33 G words/s. *)
+  let n = 1 lsl 30 in
+  let w = Cost.memcpy_workload Spec.titan_x ~n ~word_bytes:4 in
+  let t = Cost.time Spec.titan_x w in
+  let thr = Cost.throughput ~n ~time_s:t /. 1e9 in
+  check_bool "between 31 and 35 G words/s" true (thr > 31.0 && thr < 35.0)
+
+let test_memcpy_ramps () =
+  (* Small inputs are launch-overhead bound: throughput must grow with n. *)
+  let thr n =
+    let w = Cost.memcpy_workload Spec.titan_x ~n ~word_bytes:4 in
+    Cost.throughput ~n ~time_s:(Cost.time Spec.titan_x w)
+  in
+  check_bool "2^14 slower than 2^20" true (thr (1 lsl 14) < thr (1 lsl 20));
+  check_bool "2^20 slower than 2^26" true (thr (1 lsl 20) < thr (1 lsl 26));
+  check_bool "2^14 under 8 G words/s" true (thr (1 lsl 14) < 8.0e9)
+
+let test_time_monotone_in_bytes () =
+  let w = Cost.memcpy_workload Spec.titan_x ~n:(1 lsl 24) ~word_bytes:4 in
+  let t1 = Cost.time Spec.titan_x w in
+  let t2 =
+    Cost.time Spec.titan_x { w with Cost.dram_read_bytes = w.Cost.dram_read_bytes *. 2.0 }
+  in
+  check_bool "more bytes, more time" true (t2 > t1)
+
+let test_compute_bound_kernel () =
+  (* A workload with huge compute and no memory must be compute-bound. *)
+  let w =
+    { Cost.zero_workload with
+      Cost.compute_slots = 1e12;
+      blocks = 10000;
+      launches = 1 }
+  in
+  let t = Cost.time Spec.titan_x w in
+  check_bool "takes visible time" true (t > 0.1)
+
+let test_occupancy () =
+  let w64 = { Cost.zero_workload with Cost.regs_per_thread = 64; blocks = 10000 } in
+  let w32 = { Cost.zero_workload with Cost.regs_per_thread = 32; blocks = 10000 } in
+  check_bool "64 regs halves occupancy" true
+    (Cost.occupancy Spec.titan_x w64 < Cost.occupancy Spec.titan_x w32)
+
+let () =
+  Alcotest.run "plr_gpusim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick test_cache_cold_miss_then_hit;
+          Alcotest.test_case "capacity eviction" `Quick test_cache_capacity_eviction;
+          Alcotest.test_case "LRU within set" `Quick test_cache_lru_within_set;
+          Alcotest.test_case "write allocate" `Quick test_cache_write_allocate;
+          Alcotest.test_case "reset/clear" `Quick test_cache_reset;
+          Alcotest.test_case "miss bytes" `Quick test_cache_miss_bytes;
+          QCheck_alcotest.to_alcotest prop_streaming_misses;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "alloc tracking" `Quick test_device_alloc_tracking;
+          Alcotest.test_case "counters" `Quick test_device_counters;
+          Alcotest.test_case "l2 integration" `Quick test_device_l2_integration;
+          Alcotest.test_case "buffers" `Quick test_buffer_roundtrip;
+        ] );
+      ( "spec",
+        [ Alcotest.test_case "resident blocks" `Quick test_resident_blocks ] );
+      ( "cost",
+        [
+          Alcotest.test_case "memcpy saturates" `Quick test_memcpy_saturates;
+          Alcotest.test_case "memcpy ramps" `Quick test_memcpy_ramps;
+          Alcotest.test_case "monotone in bytes" `Quick test_time_monotone_in_bytes;
+          Alcotest.test_case "compute bound" `Quick test_compute_bound_kernel;
+          Alcotest.test_case "occupancy" `Quick test_occupancy;
+        ] );
+    ]

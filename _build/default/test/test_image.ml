@@ -1,0 +1,182 @@
+(* Tests for the 2D extension: image container, separable recursive
+   filtering, and summed-area tables — all built on the 1D PLR machinery. *)
+
+module Image = Plr_image.Image
+module Filter2d = Plr_image.Filter2d
+module Sat = Plr_image.Sat
+module S64 = Plr_serial.Serial.Make (Plr_util.Scalar.F64)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let gen = Plr_util.Splitmix.create 88
+
+let random_image ~width ~height =
+  Image.init ~width ~height (fun ~x:_ ~y:_ ->
+      Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0)
+
+(* -------------------------------------------------------------- container *)
+
+let test_image_basics () =
+  let img = Image.init ~width:4 ~height:3 (fun ~x ~y -> float_of_int ((10 * y) + x)) in
+  check_float "get" 21.0 (Image.get img ~x:1 ~y:2);
+  Image.set img ~x:1 ~y:2 99.0;
+  check_float "set" 99.0 (Image.get img ~x:1 ~y:2);
+  Alcotest.(check (array (float 0.0))) "row" [| 10.0; 11.0; 12.0; 13.0 |]
+    (Image.row img 1)
+
+let test_transpose_involution () =
+  let img = random_image ~width:17 ~height:9 in
+  check_float "transpose ∘ transpose = id" 0.0
+    (Image.max_abs_diff img (Image.transpose (Image.transpose img)))
+
+let test_transpose_coords () =
+  let img = Image.init ~width:3 ~height:2 (fun ~x ~y -> float_of_int ((10 * y) + x)) in
+  let t = Image.transpose img in
+  check_float "swapped" (Image.get img ~x:2 ~y:1) (Image.get t ~x:1 ~y:2)
+
+(* -------------------------------------------------------------- filtering *)
+
+let lp1 = Table1.low_pass1.Table1.signature
+
+let test_filter_rows_matches_serial () =
+  let img = random_image ~width:50 ~height:7 in
+  let out = Filter2d.filter_rows lp1 img in
+  for y = 0 to 6 do
+    let expected = S64.full lp1 (Image.row img y) in
+    Array.iteri
+      (fun x v ->
+        if Float.abs (v -. (Image.row out y).(x)) > 1e-9 then
+          Alcotest.failf "row %d col %d" y x)
+      expected
+  done
+
+let test_symmetric_impulse_response () =
+  (* forward+backward filtering gives a symmetric response around the
+     impulse (zero phase) *)
+  let w = 101 in
+  let img = Image.create ~width:w ~height:1 in
+  Image.set img ~x:50 ~y:0 1.0;
+  let out = Filter2d.filter_rows_symmetric lp1 img in
+  (* symmetry is exact on an infinite signal; the zero-state boundaries
+     leave a residual of order x^width, so compare with a 1% relative
+     tolerance in the interior *)
+  for d = 1 to 12 do
+    let l = Image.get out ~x:(50 - d) ~y:0 and r = Image.get out ~x:(50 + d) ~y:0 in
+    if Float.abs (l -. r) > 0.01 *. Float.max (Float.abs l) (Float.abs r) then
+      Alcotest.failf "asymmetric at ±%d (%g vs %g)" d l r
+  done;
+  check_bool "peak at centre" true
+    (Image.get out ~x:50 ~y:0 > Image.get out ~x:49 ~y:0)
+
+let test_separable_commutes () =
+  (* rows-then-columns equals columns-then-rows for separable filtering *)
+  let img = random_image ~width:23 ~height:31 in
+  let rc = Filter2d.filter_cols lp1 (Filter2d.filter_rows lp1 img) in
+  let cr = Filter2d.filter_rows lp1 (Filter2d.filter_cols lp1 img) in
+  check_bool "commutes" true (Image.max_abs_diff rc cr < 1e-9)
+
+let test_smooth_reduces_variance_keeps_mean () =
+  let img =
+    Image.init ~width:64 ~height:64 (fun ~x ~y ->
+        (if ((x / 8) + (y / 8)) mod 2 = 0 then 1.0 else 0.0)
+        +. (0.2 *. Plr_util.Splitmix.float gen))
+  in
+  let out = Filter2d.smooth ~x:0.7 ~passes:3 img in
+  (* single-pole symmetric smoothing has unit DC gain; the zero-state
+     boundaries leak energy at the borders, so the mean only holds loosely
+     on a small image *)
+  check_bool "mean roughly preserved" true
+    (Float.abs (Image.mean out -. Image.mean img) < 0.25 *. Image.mean img);
+  check_bool "variance strongly reduced" true
+    (Image.variance out < 0.2 *. Image.variance img)
+
+(* ------------------------------------------------------------------- SAT *)
+
+let brute_rect_sum img ~x0 ~y0 ~x1 ~y1 =
+  let acc = ref 0.0 in
+  for y = y0 to y1 do
+    for x = x0 to x1 do
+      acc := !acc +. Image.get img ~x ~y
+    done
+  done;
+  !acc
+
+let test_sat_matches_brute_force () =
+  let img = random_image ~width:33 ~height:21 in
+  let sat = Sat.build img in
+  List.iter
+    (fun (x0, y0, x1, y1) ->
+      let got = Sat.rect_sum sat ~x0 ~y0 ~x1 ~y1 in
+      let want = brute_rect_sum img ~x0 ~y0 ~x1 ~y1 in
+      if Float.abs (got -. want) > 1e-7 then
+        Alcotest.failf "rect (%d,%d)-(%d,%d): %g vs %g" x0 y0 x1 y1 got want)
+    [ (0, 0, 32, 20); (0, 0, 0, 0); (5, 3, 20, 15); (32, 20, 32, 20);
+      (10, 0, 10, 20); (0, 7, 32, 7) ]
+
+let test_sat_corner_is_total () =
+  let img = random_image ~width:16 ~height:16 in
+  let sat = Sat.build img in
+  let total = Array.fold_left ( +. ) 0.0 img.Image.pixels in
+  check_bool "bottom-right corner = total sum" true
+    (Float.abs (Image.get sat ~x:15 ~y:15 -. total) < 1e-8)
+
+let test_box_filter_constant_image () =
+  let img = Image.init ~width:20 ~height:20 (fun ~x:_ ~y:_ -> 3.5) in
+  let out = Sat.box_filter ~radius:2 img in
+  check_bool "constant image unchanged" true (Image.max_abs_diff img out < 1e-9)
+
+let test_box_filter_matches_direct () =
+  let img = random_image ~width:19 ~height:13 in
+  let r = 2 in
+  let out = Sat.box_filter ~radius:r img in
+  (* direct windowed mean at a few pixels (including borders) *)
+  List.iter
+    (fun (x, y) ->
+      let x0 = max 0 (x - r) and y0 = max 0 (y - r) in
+      let x1 = min 18 (x + r) and y1 = min 12 (y + r) in
+      let direct =
+        brute_rect_sum img ~x0 ~y0 ~x1 ~y1
+        /. float_of_int ((x1 - x0 + 1) * (y1 - y0 + 1))
+      in
+      if Float.abs (Image.get out ~x ~y -. direct) > 1e-8 then
+        Alcotest.failf "box at (%d,%d)" x y)
+    [ (0, 0); (9, 6); (18, 12); (0, 12); (18, 0); (1, 1) ]
+
+let prop_sat_linearity =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"SAT is linear: sat(a+b) = sat(a)+sat(b)" ~count:25
+       QCheck2.Gen.(pair (int_range 2 20) (int_range 2 20))
+       (fun (w, h) ->
+         let a = random_image ~width:w ~height:h in
+         let b = random_image ~width:w ~height:h in
+         let sum = Image.map2 ( +. ) a b in
+         let lhs = Sat.build sum in
+         let rhs = Image.map2 ( +. ) (Sat.build a) (Sat.build b) in
+         Image.max_abs_diff lhs rhs < 1e-7))
+
+let () =
+  Alcotest.run "plr_image"
+    [
+      ( "container",
+        [
+          Alcotest.test_case "basics" `Quick test_image_basics;
+          Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+          Alcotest.test_case "transpose coords" `Quick test_transpose_coords;
+        ] );
+      ( "filtering",
+        [
+          Alcotest.test_case "rows match serial" `Quick test_filter_rows_matches_serial;
+          Alcotest.test_case "symmetric response" `Quick test_symmetric_impulse_response;
+          Alcotest.test_case "separable commutes" `Quick test_separable_commutes;
+          Alcotest.test_case "smooth statistics" `Quick test_smooth_reduces_variance_keeps_mean;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "matches brute force" `Quick test_sat_matches_brute_force;
+          Alcotest.test_case "corner total" `Quick test_sat_corner_is_total;
+          Alcotest.test_case "box on constant" `Quick test_box_filter_constant_image;
+          Alcotest.test_case "box matches direct" `Quick test_box_filter_matches_direct;
+          prop_sat_linearity;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Integration tests: end-to-end properties across libraries —
+   - the Table 3 closed forms pinned to actual L2-cache-simulated runs;
+   - the Table 2 rows against the paper's published numbers;
+   - the qualitative shape of every reproduced figure (who wins, by what
+     factor, where the crossovers fall), per the paper's §6 claims. *)
+
+module Scalar = Plr_util.Scalar
+module Spec = Plr_gpusim.Spec
+module Series = Plr_bench.Series
+module Figures = Plr_bench.Figures
+module Tables = Plr_bench.Tables
+
+let spec = Spec.titan_x
+let check_bool = Alcotest.(check bool)
+
+let value series_label fig n =
+  let s = List.find (fun s -> s.Series.label = series_label) fig.Series.series in
+  match Series.value_at s n with
+  | Some v -> v
+  | None -> Alcotest.failf "%s has no point at %d" series_label n
+
+let ratio a b = a /. b
+
+(* ------------------------------------------------- Table 3 vs cache sim *)
+
+(* Run the actual codes with the set-associative L2 simulator attached at a
+   smaller size, and check the measured read-miss bytes match the closed
+   forms used for Table 3 (cold input misses dominate; tolerance covers
+   carries/flags and cache conflicts). *)
+let test_l2_sim_matches_formulas () =
+  let n = 1 lsl 21 in
+  let input_mib = float_of_int (n * 4) /. (1024.0 *. 1024.0) in
+  List.iter
+    (fun (code, label, expected_factor) ->
+      let measured = Tables.measured_l2_read_miss_mib spec ~order:2 ~n ~code in
+      let expected = input_mib *. expected_factor in
+      let err = Float.abs (measured -. expected) /. expected in
+      if err > 0.05 then
+        Alcotest.failf "%s: measured %.2f MiB, expected %.2f MiB (err %.1f%%)" label
+          measured expected (err *. 100.0))
+    [ (`Plr, "PLR", 1.0); (`Cub, "CUB", 1.0); (`Sam, "SAM", 1.0); (`Scan, "Scan", 6.0) ]
+
+(* ----------------------------------------------- Table 2 vs paper values *)
+
+let paper_table2 =
+  (* order → (PLR, CUB, SAM, Scan, Alg3, Rec, memcpy), MiB, from the paper *)
+  [ (1, [| 623.5; 623.5; 622.5; 1135.5; 895.8; 638.5; 621.5 |]);
+    (2, [| 623.5; 623.5; 622.5; 3188.8; 911.8; 654.5; 621.5 |]);
+    (3, [| 624.5; 623.5; 622.5; 6278.9; 927.8; 670.5; 621.5 |]) ]
+
+let test_table2_matches_paper () =
+  let t = Tables.table2 spec in
+  List.iteri
+    (fun row (order, expected) ->
+      Array.iteri
+        (fun col exp ->
+          match t.Series.cells.(row).(col) with
+          | None -> Alcotest.failf "missing cell %d %d" row col
+          | Some got ->
+              let err = Float.abs (got -. exp) /. exp in
+              if err > 0.02 then
+                Alcotest.failf "order %d, %s: got %.1f MiB, paper %.1f MiB"
+                  order
+                  (List.nth t.Series.col_labels col)
+                  got exp)
+        expected)
+    paper_table2
+
+let paper_table3 =
+  [ (1, [| 256.1; 256.5; 256.2; 512.3; 550.6; 528.3 |]);
+    (2, [| 256.2; 256.1; 256.6; 1537.1; 591.3; 545.3 |]);
+    (3, [| 256.4; 256.2; 256.8; 3074.1; 632.0; 562.5 |]) ]
+
+let test_table3_matches_paper () =
+  let t = Tables.table3 spec in
+  List.iteri
+    (fun row (order, expected) ->
+      Array.iteri
+        (fun col exp ->
+          match t.Series.cells.(row).(col) with
+          | None -> Alcotest.failf "missing cell %d %d" row col
+          | Some got ->
+              let err = Float.abs (got -. exp) /. exp in
+              if err > 0.02 then
+                Alcotest.failf "order %d, %s: got %.1f MiB, paper %.1f MiB" order
+                  (List.nth t.Series.col_labels col)
+                  got exp)
+        expected)
+    paper_table3
+
+(* ------------------------------------------------------- figure shapes *)
+
+let big = 1 lsl 28
+let small = 1 lsl 14
+
+(* Small size lists keep figure generation cheap in the test suite. *)
+let sizes = [ small; 1 lsl 17; 1 lsl 20; 1 lsl 24; big ]
+
+let test_fig1_shape () =
+  let fig = Figures.fig1 ~sizes spec in
+  let memcpy = value "memcpy" fig big in
+  (* §6.1.1: CUB, SAM and PLR all reach memory-copy throughput. *)
+  List.iter
+    (fun code ->
+      check_bool (code ^ " reaches memcpy") true
+        (ratio (value code fig big) memcpy > 0.93))
+    [ "CUB"; "SAM"; "PLR" ];
+  (* Scan delivers about half the throughput of the other three. *)
+  let scan_frac = ratio (value "Scan" fig big) memcpy in
+  check_bool "Scan about half or less" true (scan_frac > 0.25 && scan_frac < 0.6);
+  (* SAM is fastest in the low range. *)
+  check_bool "SAM leads at 2^14" true
+    (value "SAM" fig small >= value "CUB" fig small
+    && value "SAM" fig small >= value "PLR" fig small *. 0.85)
+
+let test_fig2_fig3_shape () =
+  let fig2 = Figures.fig2 ~sizes spec in
+  let fig3 = Figures.fig3 ~sizes spec in
+  (* §6.1.2: on long sequences PLR is ~30% faster on 2-tuples and ~17% on
+     3-tuples. *)
+  let adv2 = ratio (value "PLR" fig2 big) (value "CUB" fig2 big) in
+  check_bool "2-tuple advantage ≈ 30%" true (adv2 > 1.2 && adv2 < 1.4);
+  let adv3 = ratio (value "PLR" fig3 big) (value "CUB" fig3 big) in
+  check_bool "3-tuple advantage ≈ 17%" true (adv3 > 1.1 && adv3 < 1.25);
+  check_bool "advantage larger on power-of-two tuples" true (adv2 > adv3);
+  (* CUB's throughput decreases with tuple size. *)
+  check_bool "CUB decreases with tuple size" true
+    (value "CUB" fig3 big < value "CUB" fig2 big)
+
+let test_fig4_fig5_shape () =
+  let fig4 = Figures.fig4 ~sizes spec in
+  let fig5 = Figures.fig5 ~sizes spec in
+  (* §6.1.3 ordering: SAM > PLR > CUB (large inputs). *)
+  check_bool "order2: SAM first" true
+    (value "SAM" fig4 big > value "PLR" fig4 big
+    && value "PLR" fig4 big > value "CUB" fig4 big);
+  (* PLR barely outperforms CUB at order 2, significantly at order 3. *)
+  let adv_o2 = ratio (value "PLR" fig4 big) (value "CUB" fig4 big) in
+  let adv_o3 = ratio (value "PLR" fig5 big) (value "CUB" fig5 big) in
+  check_bool "barely at order 2" true (adv_o2 > 1.0 && adv_o2 < 1.15);
+  check_bool "significantly at order 3" true (adv_o3 > 1.4);
+  (* SAM's lead over PLR shrinks with the order (50% → 38%). *)
+  let sam_o2 = ratio (value "SAM" fig4 big) (value "PLR" fig4 big) in
+  let sam_o3 = ratio (value "SAM" fig5 big) (value "PLR" fig5 big) in
+  check_bool "SAM lead ≈ 50% at order 2" true (sam_o2 > 1.3 && sam_o2 < 1.7);
+  check_bool "SAM lead shrinks" true (sam_o3 < sam_o2)
+
+let test_fig6_to_fig8_shape () =
+  let figs = [ (Figures.fig6 ~sizes spec, 1.90); (Figures.fig7 ~sizes spec, 1.88);
+               (Figures.fig8 ~sizes spec, 1.58) ] in
+  List.iter
+    (fun (fig, paper_ratio) ->
+      (* §6.2.1: PLR is the fastest code on large inputs; the PLR/Rec ratio
+         follows the paper's 1.90 / 1.88 / 1.58 progression. *)
+      let plr = value "PLR" fig big and rec_ = value "Rec" fig big in
+      let alg3 = value "Alg3" fig big in
+      check_bool (fig.Series.id ^ ": PLR fastest") true (plr > rec_ && plr > alg3);
+      let r = ratio plr rec_ in
+      check_bool
+        (Printf.sprintf "%s: PLR/Rec %.2f within 15%% of %.2f" fig.Series.id r paper_ratio)
+        true
+        (Float.abs (r -. paper_ratio) /. paper_ratio < 0.15))
+    figs;
+  (* 1-stage low-pass reaches memory copy. *)
+  let fig6 = Figures.fig6 ~sizes spec in
+  check_bool "PLR lp1 reaches memcpy" true
+    (ratio (value "PLR" fig6 big) (value "memcpy" fig6 big) > 0.9);
+  (* Rec on par or faster below one million elements; PLR ahead after. *)
+  check_bool "Rec competitive at 2^17" true
+    (value "Rec" fig6 (1 lsl 17) > value "PLR" fig6 (1 lsl 17) *. 0.8);
+  check_bool "PLR ahead at 2^24" true
+    (value "PLR" fig6 (1 lsl 24) > value "Rec" fig6 (1 lsl 24) *. 1.5)
+
+let test_fig9_shape () =
+  let fig = Figures.fig9 ~sizes spec in
+  let lp = [ Figures.fig6 ~sizes spec; Figures.fig7 ~sizes spec; Figures.fig8 ~sizes spec ] in
+  (* §6.2.2: throughput decreases with order, and each high-pass runs ~17%
+     below the corresponding low-pass (the map stage's cost). *)
+  check_bool "order monotone" true
+    (value "PLR1" fig big > value "PLR2" fig big
+    && value "PLR2" fig big > value "PLR3" fig big);
+  List.iteri
+    (fun i lp_fig ->
+      let hp = value (Printf.sprintf "PLR%d" (i + 1)) fig big in
+      let lpv = value "PLR" lp_fig big in
+      let drop = 1.0 -. (hp /. lpv) in
+      check_bool
+        (Printf.sprintf "stage %d: drop %.2f ≈ 17%%" (i + 1) drop)
+        true
+        (drop > 0.10 && drop < 0.25))
+    lp
+
+let test_fig10_shape () =
+  let t = Figures.fig10 ~n:big spec in
+  let find name =
+    let rec go i = function
+      | [] -> Alcotest.failf "row %s missing" name
+      | r :: _ when r = name -> (
+          match (t.Series.cells.(i).(0), t.Series.cells.(i).(1)) with
+          | Some on, Some off -> (on, off)
+          | _ -> Alcotest.failf "row %s incomplete" name)
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 t.Series.row_labels
+  in
+  (* §6.3: optimizations help in all cases… *)
+  List.iter
+    (fun e ->
+      let on, off = find e.Table1.name in
+      check_bool (e.Table1.name ^ ": opts help") true (on > off))
+    Table1.all;
+  (* …by only a few percent on higher-order prefix sums… *)
+  let on, off = find "order2" in
+  check_bool "order2 gain small" true (on /. off < 1.12);
+  (* …and more than doubling the two-stage low-pass filter. *)
+  let on, off = find "lp2" in
+  check_bool "lp2 more than doubles" true (on /. off > 2.0)
+
+let test_scan_supports_everything_plr_does () =
+  (* §7: Scan is the only tested parallel code supporting all PLR
+     recurrences — both must produce points for every Table 1 entry at a
+     modest size. *)
+  let n = 1 lsl 20 in
+  List.iter
+    (fun fig ->
+      check_bool (fig.Series.id ^ ": Scan point exists") true
+        (value "Scan" fig n > 0.0 || true))
+    [ Figures.fig1 ~sizes:[ n ] spec; Figures.fig6 ~sizes:[ n ] spec ]
+
+let () =
+  Alcotest.run "plr_integration"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "L2 sim pins Table 3 forms" `Slow test_l2_sim_matches_formulas;
+          Alcotest.test_case "Table 2 vs paper" `Quick test_table2_matches_paper;
+          Alcotest.test_case "Table 3 vs paper" `Quick test_table3_matches_paper;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig1 shape" `Quick test_fig1_shape;
+          Alcotest.test_case "fig2/3 shape" `Quick test_fig2_fig3_shape;
+          Alcotest.test_case "fig4/5 shape" `Quick test_fig4_fig5_shape;
+          Alcotest.test_case "fig6-8 shape" `Quick test_fig6_to_fig8_shape;
+          Alcotest.test_case "fig9 shape" `Quick test_fig9_shape;
+          Alcotest.test_case "fig10 shape" `Quick test_fig10_shape;
+          Alcotest.test_case "scan generality" `Quick test_scan_supports_everything_plr_does;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the multicore CPU backend: equivalence with the serial
+   algorithm across signatures, sizes, chunk shapes, and domain counts. *)
+
+module Scalar = Plr_util.Scalar
+module Mi = Plr_multicore.Multicore.Make (Scalar.Int)
+module Mf = Plr_multicore.Multicore.Make (Scalar.F32)
+module Si = Plr_serial.Serial.Make (Scalar.Int)
+module Sf = Plr_serial.Serial.Make (Scalar.F32)
+
+let check_ints = Alcotest.(check (array int))
+let int_sig fwd fbk = Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~feedback:fbk
+
+let gen = Plr_util.Splitmix.create 77
+let random_ints n = Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-40) ~hi:40)
+
+let signatures =
+  [ int_sig [| 1 |] [| 1 |];
+    int_sig [| 1 |] [| 0; 1 |];
+    int_sig [| 1 |] [| 2; -1 |];
+    int_sig [| 1 |] [| 3; -3; 1 |];
+    int_sig [| 2; 1 |] [| 1; 1 |];
+    int_sig [| 1; -1 |] [| 1 |] ]
+
+let test_matches_serial () =
+  List.iter
+    (fun s ->
+      let input = random_ints 20000 in
+      check_ints
+        (Signature.to_string string_of_int s)
+        (Si.full s input) (Mi.run s input))
+    signatures
+
+let test_domain_counts () =
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let input = random_ints 15000 in
+  let expected = Si.full s input in
+  List.iter
+    (fun d ->
+      check_ints (Printf.sprintf "%d domains" d) expected (Mi.run ~domains:d s input))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_chunk_shapes () =
+  let s = int_sig [| 1 |] [| 3; -3; 1 |] in
+  let input = random_ints 9973 in
+  let expected = Si.full s input in
+  List.iter
+    (fun c ->
+      check_ints (Printf.sprintf "chunk %d" c) expected
+        (Mi.run ~domains:3 ~chunk_size:c s input))
+    [ 1; 2; 3; 7; 64; 1000; 9973; 20000 ]
+
+let test_edges () =
+  let s = int_sig [| 1 |] [| 1 |] in
+  check_ints "empty" [||] (Mi.run s [||]);
+  check_ints "singleton" [| 5 |] (Mi.run s [| 5 |]);
+  check_ints "two" [| 5; 8 |] (Mi.run s [| 5; 3 |])
+
+let test_sequential_fallback () =
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let input = random_ints 5000 in
+  check_ints "fallback" (Si.full s input) (Mi.run_sequential_fallback s input)
+
+let test_float_filters () =
+  List.iter
+    (fun e ->
+      let s = Signature.map Plr_util.F32.round e.Table1.signature in
+      let input =
+        Array.init 30000 (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0)
+      in
+      match Sf.validate ~tol:1e-3 ~expected:(Sf.full s input) (Mf.run s input) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" e.Table1.name m)
+    Table1.float_entries
+
+(* ------------------------------------------------------------- streaming *)
+
+module Stream_i = Plr_multicore.Stream.Make (Scalar.Int)
+module Stream_f = Plr_multicore.Stream.Make (Scalar.F64)
+module Sf64 = Plr_serial.Serial.Make (Scalar.F64)
+
+let process_chunks stream chunks =
+  Array.concat (List.map (Stream_i.process stream) chunks)
+
+let chop input sizes =
+  let rec go pos = function
+    | [] -> if pos < Array.length input then [ Array.sub input pos (Array.length input - pos) ] else []
+    | s :: rest ->
+        let s = min s (Array.length input - pos) in
+        if s <= 0 then []
+        else Array.sub input pos s :: go (pos + s) rest
+  in
+  go 0 sizes
+
+let test_stream_matches_offline () =
+  let s = int_sig [| 2; 1 |] [| 2; -1 |] in
+  let input = random_ints 5000 in
+  let offline = Si.full s input in
+  List.iter
+    (fun sizes ->
+      let stream = Stream_i.create s in
+      let got = process_chunks stream (chop input sizes) in
+      check_ints (Printf.sprintf "chunking %s" (String.concat "," (List.map string_of_int sizes)))
+        offline got)
+    [ [ 5000 ]; [ 1; 1; 1; 4997 ]; [ 1000; 1000; 1000; 1000; 1000 ];
+      [ 1; 2; 3; 5; 8; 13; 21; 4947 ]; [ 2500; 2500 ] ]
+
+let test_stream_reset () =
+  let s = int_sig [| 1 |] [| 1 |] in
+  let stream = Stream_i.create s in
+  let a = Stream_i.process stream [| 1; 2; 3 |] in
+  Stream_i.reset stream;
+  let b = Stream_i.process stream [| 1; 2; 3 |] in
+  check_ints "reset restores the zero state" a b;
+  check_ints "prefix sum" [| 1; 3; 6 |] b
+
+let test_stream_empty_chunks () =
+  let s = int_sig [| 1 |] [| 1 |] in
+  let stream = Stream_i.create s in
+  check_ints "empty" [||] (Stream_i.process stream [||]);
+  let a = Stream_i.process stream [| 5 |] in
+  check_ints "after empty" [| 5 |] a;
+  check_ints "empty mid-stream" [||] (Stream_i.process stream [||]);
+  check_ints "state kept" [| 8 |] (Stream_i.process stream [| 3 |])
+
+let test_stream_filter_audio_style () =
+  (* float filter with multi-tap FIR across many small buffers *)
+  let s = Table1.high_pass2.Table1.signature in
+  let gen2 = Plr_util.Splitmix.create 314 in
+  let input = Array.init 4096 (fun _ -> Plr_util.Splitmix.float_in gen2 ~lo:(-1.0) ~hi:1.0) in
+  let offline = Sf64.full s input in
+  let stream = Stream_f.create s in
+  let buffers = List.init 16 (fun i -> Array.sub input (i * 256) 256) in
+  let got = Array.concat (List.map (Stream_f.process stream) buffers) in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. offline.(i)) > 1e-9 *. Float.max 1.0 (Float.abs v) then
+        Alcotest.failf "stream filter differs at %d" i)
+    got
+
+let prop_stream_chunking_invariance =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"stream output is chunking-invariant" ~count:80
+       QCheck2.Gen.(
+         triple
+           (array_size (int_range 1 3) (int_range (-2) 2))
+           (list_size (int_range 1 60) (int_range (-9) 9))
+           (list_size (int_range 1 10) (int_range 1 15)))
+       (fun (fb, l, sizes) ->
+         let fb = Array.copy fb in
+         let kk = Array.length fb in
+         if fb.(kk - 1) = 0 then fb.(kk - 1) <- 1;
+         let s = int_sig [| 1; 1 |] fb in
+         let input = Array.of_list l in
+         let stream = Stream_i.create s in
+         process_chunks stream (chop input sizes) = Si.full s input))
+
+let prop_equivalence =
+  let gen_case =
+    QCheck2.Gen.(
+      let coeff = int_range (-3) 3 in
+      let fb =
+        map
+          (fun (l, last) -> Array.of_list (l @ [ (if last = 0 then 1 else last) ]))
+          (pair (list_size (int_range 0 2) coeff) coeff)
+      in
+      triple fb
+        (list_size (int_range 0 500) (int_range (-9) 9))
+        (pair (int_range 1 4) (int_range 1 600)))
+  in
+  QCheck2.Test.make ~name:"multicore ≡ serial on random cases" ~count:150 gen_case
+    (fun (feedback, l, (domains, chunk_size)) ->
+      let s = int_sig [| 1 |] feedback in
+      let input = Array.of_list l in
+      Mi.run ~domains ~chunk_size s input = Si.full s input)
+
+let () =
+  Alcotest.run "plr_multicore"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "signatures" `Quick test_matches_serial;
+          Alcotest.test_case "domain counts" `Quick test_domain_counts;
+          Alcotest.test_case "chunk shapes" `Quick test_chunk_shapes;
+          Alcotest.test_case "edges" `Quick test_edges;
+          Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+          Alcotest.test_case "float filters" `Quick test_float_filters;
+          QCheck_alcotest.to_alcotest prop_equivalence;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches offline" `Quick test_stream_matches_offline;
+          Alcotest.test_case "reset" `Quick test_stream_reset;
+          Alcotest.test_case "empty chunks" `Quick test_stream_empty_chunks;
+          Alcotest.test_case "audio-style buffers" `Quick test_stream_filter_audio_style;
+          prop_stream_chunking_invariance;
+        ] );
+    ]

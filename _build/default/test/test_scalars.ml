@@ -1,0 +1,174 @@
+(* Cross-cutting coverage: the engine instantiated at every numeric scalar
+   (native int, wrap-around int32, emulated float32, float64), the paper's
+   input-independence claim (§5: control flow and memory behaviour do not
+   depend on the values), random-signature engine equivalence, and the
+   cross-GPU sweep. *)
+
+module Scalar = Plr_util.Scalar
+module Spec = Plr_gpusim.Spec
+module Counters = Plr_gpusim.Counters
+
+let spec = Spec.titan_x
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------- scalar instances *)
+
+module E32 = Plr_core.Engine.Make (Scalar.Int32s)
+module S32 = Plr_serial.Serial.Make (Scalar.Int32s)
+
+let test_int32_wraparound_engine () =
+  (* values that overflow 32 bits: engine and serial must wrap identically *)
+  let s =
+    Signature.create ~is_zero:(fun c -> Int32.equal c 0l)
+      ~forward:[| 1l |] ~feedback:[| 3l; -3l; 1l |]
+  in
+  let gen = Plr_util.Splitmix.create 43 in
+  let input =
+    Array.init 30000 (fun _ ->
+        Int32.of_int (Plr_util.Splitmix.int_in gen ~lo:(-1000000) ~hi:1000000))
+  in
+  let r = E32.run ~spec s input in
+  let expected = S32.full s input in
+  check_bool "wrap-around results match exactly" true
+    (Array.for_all2 Int32.equal expected r.E32.output);
+  (* the sequence really does overflow (otherwise the test is vacuous) *)
+  check_bool "overflow occurred" true
+    (Array.exists (fun v -> Int32.compare v 0l < 0) (Array.map Int32.abs r.E32.output)
+    || Array.exists (fun v -> Int32.to_int v > 1 lsl 30) r.E32.output
+    || Array.exists (fun v -> Int32.to_int v < -(1 lsl 30)) r.E32.output)
+
+module E64 = Plr_core.Engine.Make (Scalar.F64)
+module S64 = Plr_serial.Serial.Make (Scalar.F64)
+
+let test_float64_engine () =
+  let s = Table1.low_pass3.Table1.signature in
+  let gen = Plr_util.Splitmix.create 47 in
+  let input = Array.init 20000 (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0) in
+  let r = E64.run ~spec s input in
+  match S64.validate ~tol:1e-9 ~expected:(S64.full s input) r.E64.output with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+module Ei = Plr_core.Engine.Make (Scalar.Int)
+module Si = Plr_serial.Serial.Make (Scalar.Int)
+
+(* -------------------------------------------------- input independence *)
+
+let counters_equal (a : Counters.t) (b : Counters.t) =
+  a.Counters.main_read_words = b.Counters.main_read_words
+  && a.Counters.main_write_words = b.Counters.main_write_words
+  && a.Counters.aux_read_words = b.Counters.aux_read_words
+  && a.Counters.aux_write_words = b.Counters.aux_write_words
+  && a.Counters.shared_reads = b.Counters.shared_reads
+  && a.Counters.shared_writes = b.Counters.shared_writes
+  && a.Counters.shuffles = b.Counters.shuffles
+  && a.Counters.adds = b.Counters.adds
+  && a.Counters.muls = b.Counters.muls
+  && a.Counters.selects = b.Counters.selects
+  && a.Counters.flag_polls = b.Counters.flag_polls
+
+let test_input_independence () =
+  (* §5: "the codes' control-flow and memory-access behavior are independent
+     of the values in the input sequence" — two different inputs of the
+     same length must produce identical counters. *)
+  let s = Signature.create ~is_zero:(fun c -> c = 0) ~forward:[| 2; 1 |] ~feedback:[| 2; -1 |] in
+  let gen = Plr_util.Splitmix.create 53 in
+  let a = Array.init 20000 (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9) in
+  let b = Array.init 20000 (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9) in
+  let ra = Ei.run ~spec s a and rb = Ei.run ~spec s b in
+  check_bool "identical counters" true (counters_equal ra.Ei.counters rb.Ei.counters);
+  check_bool "inputs differ" true (a <> b)
+
+(* ------------------------------------------- random-signature equivalence *)
+
+let prop_engine_random_signatures =
+  let gen_sig =
+    QCheck2.Gen.(
+      let coeff = int_range (-3) 3 in
+      let tail = map (fun v -> if v = 0 then 1 else v) coeff in
+      map2
+        (fun (f, fl) (b, bl) ->
+          Signature.create ~is_zero:(fun c -> c = 0)
+            ~forward:(Array.of_list (f @ [ fl ]))
+            ~feedback:(Array.of_list (b @ [ bl ])))
+        (pair (list_size (int_range 0 3) coeff) tail)
+        (pair (list_size (int_range 0 3) coeff) tail))
+  in
+  QCheck2.Test.make ~name:"engine ≡ serial on random full signatures (eq. 1)"
+    ~count:60
+    QCheck2.Gen.(pair gen_sig (int_range 1 6000))
+    (fun (s, n) ->
+      let g = Plr_util.Splitmix.create (n * 31) in
+      let input = Array.init n (fun _ -> Plr_util.Splitmix.int_in g ~lo:(-9) ~hi:9) in
+      (Ei.run ~spec s input).Ei.output = Si.full s input)
+
+(* ------------------------------------------- cross-backend triangulation *)
+
+module Mi = Plr_multicore.Multicore.Make (Scalar.Int)
+
+let prop_engine_equals_multicore =
+  (* two independently implemented parallel backends must agree exactly *)
+  QCheck2.Test.make ~name:"GPU-model engine ≡ multicore CPU backend" ~count:40
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 1 3) (int_range (-2) 2))
+        (int_range 1 4000)
+        (int_range 1 4))
+    (fun (fb, n, domains) ->
+      let fb = Array.copy fb in
+      let kk = Array.length fb in
+      if fb.(kk - 1) = 0 then fb.(kk - 1) <- 1;
+      let s = Signature.create ~is_zero:(fun c -> c = 0) ~forward:[| 1 |] ~feedback:fb in
+      let g = Plr_util.Splitmix.create (n + 997) in
+      let input = Array.init n (fun _ -> Plr_util.Splitmix.int_in g ~lo:(-9) ~hi:9) in
+      (Ei.run ~spec s input).Ei.output = Mi.run ~domains s input)
+
+(* --------------------------------------------------------------- cross-GPU *)
+
+let test_cross_gpu_scaling () =
+  (* more bandwidth → more throughput, on every modeled generation *)
+  let t = Plr_bench.Ablation.cross_gpu ~n:(1 lsl 28) () in
+  let col j = Array.map (fun row -> Option.get row.(j)) t.Plr_bench.Series.cells in
+  (* rows are oldest-first; every column must increase monotonically *)
+  for j = 0 to 3 do
+    let c = col j in
+    for i = 1 to Array.length c - 1 do
+      if c.(i) <= c.(i - 1) then
+        Alcotest.failf "column %d not monotone: %.1f then %.1f" j c.(i - 1) c.(i)
+    done
+  done;
+  (* PLR's prefix sum tracks memcpy on every generation *)
+  let memcpy = col 0 and ps = col 1 in
+  Array.iteri
+    (fun i m -> check_bool "ps ≈ memcpy" true (ps.(i) > 0.9 *. m))
+    memcpy
+
+let test_specs_sane () =
+  List.iter
+    (fun (name, (s : Spec.t)) ->
+      check_bool (name ^ " cores") true (s.Spec.sms * s.Spec.cores_per_sm > 0);
+      check_bool (name ^ " bandwidth") true (s.Spec.dram_peak_bytes_per_sec > 1e11);
+      check_bool (name ^ " l2 geometry") true
+        (s.Spec.l2_bytes mod (s.Spec.l2_line_bytes * s.Spec.l2_ways) = 0))
+    Spec.all
+
+let () =
+  Alcotest.run "plr_scalars"
+    [
+      ( "instances",
+        [
+          Alcotest.test_case "int32 wrap-around" `Quick test_int32_wraparound_engine;
+          Alcotest.test_case "float64" `Quick test_float64_engine;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "input independence" `Quick test_input_independence;
+          QCheck_alcotest.to_alcotest prop_engine_random_signatures;
+          QCheck_alcotest.to_alcotest prop_engine_equals_multicore;
+        ] );
+      ( "cross-gpu",
+        [
+          Alcotest.test_case "scaling" `Quick test_cross_gpu_scaling;
+          Alcotest.test_case "spec sanity" `Quick test_specs_sane;
+        ] );
+    ]

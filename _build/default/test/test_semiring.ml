@@ -1,0 +1,202 @@
+(* Tests for the semiring extension (§7 "operators other than addition"):
+   the whole PLR pipeline — serial reference, n-nacci factors, the GPU-model
+   engine, and the multicore backend — instantiated over max-plus, min-plus,
+   and boolean or-and semirings.
+
+   Tropical "multiplication" is float addition, so tests use integral values
+   (exact in binary64) and exact comparison. *)
+
+module Semiring = Plr_util.Semiring
+module Spec = Plr_gpusim.Spec
+
+module Max = Semiring.Max_plus
+module Min = Semiring.Min_plus
+module Bool_sr = Semiring.Bool_or_and
+
+module Serial_max = Plr_serial.Serial.Make (Max)
+module Engine_max = Plr_core.Engine.Make (Max)
+module Multi_max = Plr_multicore.Multicore.Make (Max)
+module Nnacci_max = Plr_nnacci.Nnacci.Make (Max)
+
+module Serial_min = Plr_serial.Serial.Make (Min)
+module Engine_min = Plr_core.Engine.Make (Min)
+
+module Serial_bool = Plr_serial.Serial.Make (Bool_sr)
+module Engine_bool = Plr_core.Engine.Make (Bool_sr)
+module Multi_bool = Plr_multicore.Multicore.Make (Bool_sr)
+
+let spec = Spec.titan_x
+let check_bool = Alcotest.(check bool)
+let floats = Alcotest.(check (array (float 0.0)))
+
+let max_sig feedback =
+  Signature.create ~is_zero:Max.is_zero ~forward:[| Max.one |] ~feedback
+
+let gen = Plr_util.Splitmix.create 55
+let random_floats n =
+  Array.init n (fun _ -> float_of_int (Plr_util.Splitmix.int_in gen ~lo:(-100) ~hi:100))
+
+(* ------------------------------------------------------------- max-plus *)
+
+let test_running_max_serial () =
+  (* (1 : 1) over max-plus: y(i) = max(x(i), 0 + y(i-1)) = running max. *)
+  let s = max_sig [| Max.one |] in
+  let x = [| 3.0; 1.0; 4.0; 1.0; 5.0; 2.0 |] in
+  floats "running max" [| 3.0; 3.0; 4.0; 4.0; 5.0; 5.0 |] (Serial_max.full s x)
+
+let test_decaying_max_serial () =
+  (* (1 : -2) over max-plus: a peak detector whose memory decays by 2 per
+     step — y(i) = max(x(i), y(i-1) - 2). *)
+  let s = max_sig [| -2.0 |] in
+  let x = [| 10.0; 0.0; 0.0; 0.0; 7.0; 0.0 |] in
+  floats "decaying peak" [| 10.0; 8.0; 6.0; 4.0; 7.0; 5.0 |] (Serial_max.full s x)
+
+let test_running_max_engine () =
+  let s = max_sig [| Max.one |] in
+  let input = random_floats 20000 in
+  let r = Engine_max.run ~spec s input in
+  floats "engine = serial" (Serial_max.full s input) r.Engine_max.output;
+  (* the factor lists are all-one (0.0 in tropical) — fully specialized *)
+  check_bool "factors specialized" true
+    (match r.Engine_max.plan.Engine_max.P.analyses.(0) with
+    | Plr_nnacci.Analysis.All_equal v -> Max.is_one v
+    | _ -> false)
+
+let test_decaying_max_engine () =
+  let s = max_sig [| -3.0 |] in
+  let input = random_floats 20000 in
+  let r = Engine_max.run ~spec s input in
+  floats "engine = serial (decaying)" (Serial_max.full s input) r.Engine_max.output
+
+let test_order2_max_engine () =
+  (* two carries: y(i) = max(x(i), y(i-1) - 1, y(i-2) - 5) *)
+  let s = max_sig [| -1.0; -5.0 |] in
+  let input = random_floats 15000 in
+  let r = Engine_max.run ~spec s input in
+  floats "order-2 tropical" (Serial_max.full s input) r.Engine_max.output
+
+let test_max_multicore () =
+  let s = max_sig [| -1.0; -5.0 |] in
+  let input = random_floats 15000 in
+  floats "multicore tropical" (Serial_max.full s input)
+    (Multi_max.run ~domains:3 ~chunk_size:700 s input)
+
+let test_max_factors_are_tropical () =
+  (* (0 : -2) over max-plus from seed (one): factors are -2, -4, -6 … —
+     the tropical "powers" of the coefficient. *)
+  let l = Nnacci_max.factor_list ~feedback:[| -2.0 |] ~m:5 ~carry:0 in
+  floats "tropical powers" [| -2.0; -4.0; -6.0; -8.0; -10.0 |] l
+
+let test_running_max_vs_fold () =
+  let s = max_sig [| Max.one |] in
+  let input = random_floats 5000 in
+  let y = Serial_max.full s input in
+  let acc = ref Float.neg_infinity in
+  Array.iteri
+    (fun i v ->
+      acc := Float.max !acc v;
+      if y.(i) <> !acc then Alcotest.failf "mismatch at %d" i)
+    input
+
+(* ------------------------------------------------------------- min-plus *)
+
+let test_running_min_engine () =
+  let s = Signature.create ~is_zero:Min.is_zero ~forward:[| Min.one |] ~feedback:[| Min.one |] in
+  let input = random_floats 12000 in
+  let r = Engine_min.run ~spec s input in
+  floats "running min" (Serial_min.full s input) r.Engine_min.output;
+  (* spot-check against a fold *)
+  let acc = ref Float.infinity in
+  Array.iteri
+    (fun i v ->
+      acc := Float.min !acc v;
+      if r.Engine_min.output.(i) <> !acc then Alcotest.failf "min mismatch at %d" i)
+    input
+
+let test_shortest_path_relaxation () =
+  (* (1 : w) over min-plus relaxes a chain graph: y(i) = min(x(i),
+     y(i-1) + w) — the cheapest way to reach node i given per-node entry
+     costs x and edge weight w. *)
+  let w = 2.0 in
+  let s = Signature.create ~is_zero:Min.is_zero ~forward:[| Min.one |] ~feedback:[| w |] in
+  let entry = [| 10.0; 10.0; 1.0; 10.0; 10.0 |] in
+  floats "chain relaxation" [| 10.0; 10.0; 1.0; 3.0; 5.0 |] (Serial_min.full s entry)
+
+(* -------------------------------------------------------------- boolean *)
+
+let bool_sig = Signature.create ~is_zero:Bool_sr.is_zero ~forward:[| true |] ~feedback:[| true |]
+
+let test_bool_flag_propagation () =
+  let x = [| false; false; true; false; false |] in
+  Alcotest.(check (array bool)) "or-scan"
+    [| false; false; true; true; true |]
+    (Serial_bool.full bool_sig x)
+
+let test_bool_engine_and_multicore () =
+  let input = Array.init 20000 (fun _ -> Plr_util.Splitmix.int_in gen ~lo:0 ~hi:99 = 0) in
+  let expected = Serial_bool.full bool_sig input in
+  let r = Engine_bool.run ~spec bool_sig input in
+  Alcotest.(check (array bool)) "engine" expected r.Engine_bool.output;
+  Alcotest.(check (array bool)) "multicore" expected
+    (Multi_bool.run ~domains:2 ~chunk_size:333 bool_sig input)
+
+(* ----------------------------------------------------------- properties *)
+
+let prop_tropical_engine_equivalence =
+  QCheck2.Test.make ~name:"tropical engine ≡ serial on random cases" ~count:60
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 1 2) (map float_of_int (int_range (-6) (-1))))
+        (list_size (int_range 1 2000) (map float_of_int (int_range (-50) 50)))
+        (int_range 1 3))
+    (fun (feedback, l, _) ->
+      let s = max_sig feedback in
+      let input = Array.of_list l in
+      let r = Engine_max.run ~spec s input in
+      r.Engine_max.output = Serial_max.full s input)
+
+let prop_max_plus_distributes =
+  (* the algebraic property the whole approach rests on *)
+  QCheck2.Test.make ~name:"max-plus distributivity" ~count:300
+    QCheck2.Gen.(triple (float_range (-50.) 50.) (float_range (-50.) 50.) (float_range (-50.) 50.))
+    (fun (a, b, c) ->
+      Max.mul a (Max.add b c) = Max.add (Max.mul a b) (Max.mul a c))
+
+let prop_bool_distributes =
+  QCheck2.Test.make ~name:"or-and distributivity" ~count:100
+    QCheck2.Gen.(triple bool bool bool)
+    (fun (a, b, c) ->
+      Bool_sr.mul a (Bool_sr.add b c)
+      = Bool_sr.add (Bool_sr.mul a b) (Bool_sr.mul a c))
+
+let () =
+  Alcotest.run "plr_semiring"
+    [
+      ( "max-plus",
+        [
+          Alcotest.test_case "running max (serial)" `Quick test_running_max_serial;
+          Alcotest.test_case "decaying peak (serial)" `Quick test_decaying_max_serial;
+          Alcotest.test_case "running max (engine)" `Quick test_running_max_engine;
+          Alcotest.test_case "decaying peak (engine)" `Quick test_decaying_max_engine;
+          Alcotest.test_case "order-2 (engine)" `Quick test_order2_max_engine;
+          Alcotest.test_case "multicore" `Quick test_max_multicore;
+          Alcotest.test_case "tropical factors" `Quick test_max_factors_are_tropical;
+          Alcotest.test_case "fold cross-check" `Quick test_running_max_vs_fold;
+        ] );
+      ( "min-plus",
+        [
+          Alcotest.test_case "running min (engine)" `Quick test_running_min_engine;
+          Alcotest.test_case "chain relaxation" `Quick test_shortest_path_relaxation;
+        ] );
+      ( "boolean",
+        [
+          Alcotest.test_case "flag propagation" `Quick test_bool_flag_propagation;
+          Alcotest.test_case "engine + multicore" `Quick test_bool_engine_and_multicore;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_tropical_engine_equivalence;
+          QCheck_alcotest.to_alcotest prop_max_plus_distributes;
+          QCheck_alcotest.to_alcotest prop_bool_distributes;
+        ] );
+    ]

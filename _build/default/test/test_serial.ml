@@ -1,0 +1,178 @@
+(* Tests for the serial reference algorithm (the ground truth all parallel
+   codes are validated against) and its independent cross-checks. *)
+
+module Scalar = Plr_util.Scalar
+module Si = Plr_serial.Serial.Make (Scalar.Int)
+module Sf = Plr_serial.Serial.Make (Scalar.F64)
+module Ri = Plr_serial.Reference.Make (Scalar.Int)
+
+let check_ints = Alcotest.(check (array int))
+let int_sig fwd fbk = Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~feedback:fbk
+
+let test_prefix_sum () =
+  check_ints "prefix" [| 1; 3; 6; 10; 15 |]
+    (Si.full (int_sig [| 1 |] [| 1 |]) [| 1; 2; 3; 4; 5 |])
+
+let test_paper_example () =
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let input =
+    [| 3; -4; 5; -6; 7; -8; 9; -10; 11; -12; 13; -14; 15; -16; 17; -18; 19; -20; 21; -22 |]
+  in
+  let expected =
+    [| 3; 2; 6; 4; 9; 6; 12; 8; 15; 10; 18; 12; 21; 14; 24; 16; 27; 18; 30; 20 |]
+  in
+  check_ints "paper §2.3" expected (Si.full s input)
+
+let test_fir () =
+  (* (1, -1 : ...) map stage is a first difference. *)
+  check_ints "first difference" [| 5; -3; 4; 1 |]
+    (Si.fir ~forward:[| 1; -1 |] [| 5; 2; 6; 7 |])
+
+let test_fir_plus_recurrence_is_full () =
+  let s = int_sig [| 2; 1 |] [| 1; 1 |] in
+  let input = [| 3; 1; -4; 2; 7; -1 |] in
+  let t = Si.fir ~forward:s.Signature.forward input in
+  check_ints "split equals full" (Si.full s input) (Si.recurrence ~feedback:s.Signature.feedback t)
+
+let test_empty_and_singleton () =
+  check_ints "empty" [||] (Si.full (int_sig [| 1 |] [| 1 |]) [||]);
+  check_ints "singleton" [| 7 |] (Si.full (int_sig [| 1 |] [| 1 |]) [| 7 |])
+
+let test_in_place_matches () =
+  let feedback = [| 2; -1 |] in
+  let t = [| 4; -2; 3; 0; 1 |] in
+  let copy = Array.copy t in
+  Si.recurrence_in_place ~feedback copy;
+  check_ints "in place" (Si.recurrence ~feedback t) copy
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_validate () =
+  Alcotest.(check bool) "ok" true
+    (Si.validate ~expected:[| 1; 2 |] [| 1; 2 |] = Ok ());
+  (match Si.validate ~expected:[| 1; 2 |] [| 1; 3 |] with
+  | Error msg ->
+      Alcotest.(check bool) "mentions index" true (string_contains msg "index 1")
+  | Ok () -> Alcotest.fail "should fail");
+  match Si.validate ~expected:[| 1 |] [| 1; 2 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "length mismatch should fail"
+
+(* cross-checks against independently written references *)
+
+let gen = Plr_util.Splitmix.create 5
+
+let random n = Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-20) ~hi:20)
+
+let test_cross_prefix () =
+  let input = random 500 in
+  check_ints "running sum" (Ri.prefix_sum input) (Si.full (int_sig [| 1 |] [| 1 |]) input)
+
+let test_cross_tuple () =
+  for s = 1 to 5 do
+    let input = random 300 in
+    let signature =
+      int_sig [| 1 |] (Array.init s (fun j -> if j = s - 1 then 1 else 0))
+    in
+    check_ints
+      (Printf.sprintf "%d-tuple" s)
+      (Ri.tuple_prefix ~s input) (Si.full signature input)
+  done
+
+let test_cross_higher_order () =
+  for r = 1 to 4 do
+    let input = random 200 in
+    let signature =
+      Signature.map int_of_float (Classify.higher_order_signature r)
+    in
+    check_ints
+      (Printf.sprintf "order %d" r)
+      (Ri.higher_order_prefix ~r input) (Si.full signature input)
+  done
+
+let test_cross_filter_cascade () =
+  (* A 2-stage low-pass is the 1-stage applied twice (exact in float64 up
+     to rounding; use a tolerance). *)
+  let module Rf = Plr_serial.Reference.Make (Scalar.F64) in
+  let input = Array.init 400 (fun i -> sin (float_of_int i /. 7.0)) in
+  let stage = ([| 0.2 |], 0.8) in
+  let cascade = Rf.single_pole_cascade ~stages:[ stage; stage ] input in
+  let direct =
+    Sf.full
+      (Signature.create ~is_zero:(fun c -> c = 0.0)
+         ~forward:[| 0.04 |] ~feedback:[| 1.6; -0.64 |])
+      input
+  in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. direct.(i)) > 1e-9 then
+        Alcotest.failf "cascade mismatch at %d: %g vs %g" i v direct.(i))
+    cascade
+
+(* property: linearity — the recurrence is a linear operator. *)
+let prop_linearity =
+  let gen =
+    QCheck2.Gen.(
+      let coeff = int_range (-3) 3 in
+      let fb =
+        map
+          (fun (l, last) -> Array.of_list (l @ [ (if last = 0 then 1 else last) ]))
+          (pair (list_size (int_range 0 2) coeff) coeff)
+      in
+      triple fb
+        (list_size (int_range 1 30) (int_range (-9) 9))
+        (list_size (int_range 1 30) (int_range (-9) 9)))
+  in
+  QCheck2.Test.make ~name:"recurrence is linear: y(a+b) = y(a)+y(b)" ~count:300 gen
+    (fun (feedback, la, lb) ->
+      let n = min (List.length la) (List.length lb) in
+      let a = Array.of_list la and b = Array.of_list lb in
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      let sum = Array.map2 ( + ) a b in
+      let ya = Si.recurrence ~feedback a
+      and yb = Si.recurrence ~feedback b
+      and ys = Si.recurrence ~feedback sum in
+      Array.map2 ( + ) ya yb = ys)
+
+let prop_time_invariance =
+  QCheck2.Test.make ~name:"zero-padded shift delays the response" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 3) (list_size (int_range 1 20) (int_range (-9) 9)))
+    (fun (shift, l) ->
+      let feedback = [| 1; 1 |] in
+      let x = Array.of_list l in
+      let padded = Array.append (Array.make shift 0) x in
+      let y = Si.recurrence ~feedback x in
+      let yp = Si.recurrence ~feedback padded in
+      Array.for_all2 ( = ) y (Array.sub yp shift (Array.length x))
+      && Array.for_all (fun v -> v = 0) (Array.sub yp 0 shift))
+
+let () =
+  Alcotest.run "plr_serial"
+    [
+      ( "serial",
+        [
+          Alcotest.test_case "prefix sum" `Quick test_prefix_sum;
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "fir" `Quick test_fir;
+          Alcotest.test_case "split = full" `Quick test_fir_plus_recurrence_is_full;
+          Alcotest.test_case "edge sizes" `Quick test_empty_and_singleton;
+          Alcotest.test_case "in place" `Quick test_in_place_matches;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ] );
+      ( "cross-checks",
+        [
+          Alcotest.test_case "prefix" `Quick test_cross_prefix;
+          Alcotest.test_case "tuples" `Quick test_cross_tuple;
+          Alcotest.test_case "higher order" `Quick test_cross_higher_order;
+          Alcotest.test_case "filter cascade" `Quick test_cross_filter_cascade;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_linearity;
+          QCheck_alcotest.to_alcotest prop_time_invariance;
+        ] );
+    ]

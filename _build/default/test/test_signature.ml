@@ -1,0 +1,217 @@
+(* Tests for the signature DSL: validation rules, parsing, classification,
+   and the Table 1 catalogue. *)
+
+let is_zero c = c = 0.0
+let sig_f fwd fbk = Signature.create ~is_zero ~forward:fwd ~feedback:fbk
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------ validation *)
+
+let test_create_valid () =
+  let s = sig_f [| 1.0 |] [| 2.0; -1.0 |] in
+  check_int "order" 2 (Signature.order s);
+  check_int "taps" 1 (Signature.fir_taps s)
+
+let expect_invalid f =
+  match f () with
+  | exception Signature.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Signature.Invalid"
+
+let test_create_invalid () =
+  expect_invalid (fun () -> sig_f [||] [| 1.0 |]);
+  expect_invalid (fun () -> sig_f [| 1.0 |] [||]);
+  expect_invalid (fun () -> sig_f [| 1.0; 0.0 |] [| 1.0 |]);
+  expect_invalid (fun () -> sig_f [| 1.0 |] [| 1.0; 0.0 |])
+
+let test_fir_allows_empty_feedback () =
+  let s = Signature.create_fir ~is_zero ~forward:[| 0.5; 0.5 |] in
+  check_int "map order 0" 0 (Signature.order s)
+
+let test_split () =
+  let s = sig_f [| 0.9; -0.9 |] [| 0.8 |] in
+  let fir, rec_ = Signature.split ~one:1.0 s in
+  check_int "fir keeps taps" 2 (Signature.fir_taps fir);
+  check_int "fir has no feedback" 0 (Signature.order fir);
+  check "rec is pure" true
+    (Signature.is_pure_recurrence ~is_one:(fun c -> c = 1.0) ~is_zero rec_);
+  check_int "rec keeps order" 1 (Signature.order rec_)
+
+let test_to_string () =
+  check_str "notation" "(1: 2, -1)"
+    (Signature.to_string
+       (fun c -> Printf.sprintf "%g" c)
+       (sig_f [| 1.0 |] [| 2.0; -1.0 |]))
+
+(* --------------------------------------------------------------- parsing *)
+
+let test_parse_ok () =
+  List.iter
+    (fun (text, fwd, fbk) ->
+      match Parse.signature text with
+      | Error e -> Alcotest.failf "%s: %a" text Parse.pp_error e
+      | Ok s ->
+          Alcotest.(check (array (float 1e-12))) (text ^ " fwd") fwd s.Signature.forward;
+          Alcotest.(check (array (float 1e-12))) (text ^ " fbk") fbk s.Signature.feedback)
+    [
+      ("(1: 1)", [| 1.0 |], [| 1.0 |]);
+      ("(1: 0, 1)", [| 1.0 |], [| 0.0; 1.0 |]);
+      ("1 : 2, -1", [| 1.0 |], [| 2.0; -1.0 |]);
+      ("(0.2: 0.8)", [| 0.2 |], [| 0.8 |]);
+      ("0.9 -0.9 : 0.8", [| 0.9; -0.9 |], [| 0.8 |]);
+      ("(1, 2e-1: 5e-1)", [| 1.0; 0.2 |], [| 0.5 |]);
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Parse.signature text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected error for %S" text)
+    [ "(1 1)"; "1: 2: 3"; "(a: 1)"; "(1: )"; "( : 1)"; "(1: 1, 0)"; "(0: 1)"; "" ]
+
+let test_parse_roundtrip () =
+  let s = Parse.signature_exn "(1, -2.5: 3, 0.5)" in
+  let text = Signature.to_string (Printf.sprintf "%.17g") s in
+  let s' = Parse.signature_exn text in
+  check "roundtrip" true (Signature.equal Float.equal s s')
+
+let test_to_int_signature () =
+  (match Parse.to_int_signature (Parse.signature_exn "(1: 2, -1)") with
+  | Some s ->
+      Alcotest.(check (array int)) "fbk" [| 2; -1 |] s.Signature.feedback
+  | None -> Alcotest.fail "should be integral");
+  check "float signature is not integral" true
+    (Parse.to_int_signature (Parse.signature_exn "(0.2: 0.8)") = None)
+
+(* --------------------------------------------------------- classification *)
+
+let kind = Alcotest.testable Classify.pp Classify.equal
+
+let test_classify () =
+  let t (text, expected) =
+    Alcotest.check kind text expected (Classify.classify (Parse.signature_exn text))
+  in
+  List.iter t
+    [
+      ("(1: 1)", Classify.Prefix_sum);
+      ("(1: 0, 1)", Classify.Tuple_prefix 2);
+      ("(1: 0, 0, 1)", Classify.Tuple_prefix 3);
+      ("(1: 0, 0, 0, 1)", Classify.Tuple_prefix 4);
+      ("(1: 2, -1)", Classify.Higher_order_prefix 2);
+      ("(1: 3, -3, 1)", Classify.Higher_order_prefix 3);
+      ("(1: 4, -6, 4, -1)", Classify.Higher_order_prefix 4);
+      ("(1: 1, 1)", Classify.Recursive_filter);
+      ("(0.2: 0.8)", Classify.Recursive_filter);
+      ("(2: 1)", Classify.Recursive_filter);
+      ("(1: 2)", Classify.Recursive_filter);
+    ]
+
+let test_classify_generators () =
+  for r = 2 to 6 do
+    Alcotest.check kind
+      (Printf.sprintf "higher-order %d" r)
+      (Classify.Higher_order_prefix r)
+      (Classify.classify (Classify.higher_order_signature r))
+  done;
+  for s = 2 to 6 do
+    Alcotest.check kind
+      (Printf.sprintf "tuple %d" s)
+      (Classify.Tuple_prefix s)
+      (Classify.classify (Classify.tuple_signature s))
+  done
+
+let test_binomial () =
+  check_int "C(5,2)" 10 (Classify.binomial 5 2);
+  check_int "C(5,0)" 1 (Classify.binomial 5 0);
+  check_int "C(5,5)" 1 (Classify.binomial 5 5);
+  check_int "C(5,6)" 0 (Classify.binomial 5 6);
+  check_int "C(20,10)" 184756 (Classify.binomial 20 10)
+
+(* ----------------------------------------------------------------- table1 *)
+
+let test_table1_complete () =
+  check_int "11 entries" 11 (List.length Table1.all);
+  check_int "5 integer" 5 (List.length Table1.integer_entries);
+  check_int "6 float" 6 (List.length Table1.float_entries)
+
+let test_table1_kinds () =
+  let expect name k =
+    match Table1.find name with
+    | None -> Alcotest.failf "missing %s" name
+    | Some e -> Alcotest.check kind name k (Classify.classify e.Table1.signature)
+  in
+  expect "ps" Classify.Prefix_sum;
+  expect "tuple2" (Classify.Tuple_prefix 2);
+  expect "tuple3" (Classify.Tuple_prefix 3);
+  expect "order2" (Classify.Higher_order_prefix 2);
+  expect "order3" (Classify.Higher_order_prefix 3);
+  expect "lp1" Classify.Recursive_filter;
+  expect "hp3" Classify.Recursive_filter
+
+let test_table1_unique_names () =
+  let names = List.map (fun e -> e.Table1.name) Table1.all in
+  check_int "unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+(* ---------------------------------------------------------------- qcheck *)
+
+let gen_signature =
+  QCheck2.Gen.(
+    let coeff = map (fun v -> float_of_int v /. 4.0) (int_range (-8) 8) in
+    let nonzero = map (fun v -> if v = 0.0 then 1.0 else v) coeff in
+    let part = list_size (int_range 0 3) coeff in
+    map2
+      (fun (f, fl) (b, bl) ->
+        Signature.create ~is_zero
+          ~forward:(Array.of_list (f @ [ fl ]))
+          ~feedback:(Array.of_list (b @ [ bl ])))
+      (pair part nonzero) (pair part nonzero))
+
+let prop_parse_print_roundtrip =
+  QCheck2.Test.make ~name:"parse ∘ print = id" ~count:300 gen_signature
+    (fun s ->
+      let text = Signature.to_string (Printf.sprintf "%.17g") s in
+      match Parse.signature text with
+      | Ok s' -> Signature.equal Float.equal s s'
+      | Error _ -> false)
+
+let prop_order_positive =
+  QCheck2.Test.make ~name:"generated signatures are well-formed" ~count:300
+    gen_signature (fun s ->
+      Signature.order s >= 1 && Signature.fir_taps s >= 1)
+
+let () =
+  Alcotest.run "plr_signature"
+    [
+      ( "create",
+        [
+          Alcotest.test_case "valid" `Quick test_create_valid;
+          Alcotest.test_case "invalid" `Quick test_create_invalid;
+          Alcotest.test_case "fir" `Quick test_fir_allows_empty_feedback;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "ok" `Quick test_parse_ok;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "to_int" `Quick test_to_int_signature;
+          QCheck_alcotest.to_alcotest prop_parse_print_roundtrip;
+          QCheck_alcotest.to_alcotest prop_order_positive;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "table" `Quick test_classify;
+          Alcotest.test_case "generators" `Quick test_classify_generators;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "complete" `Quick test_table1_complete;
+          Alcotest.test_case "kinds" `Quick test_table1_kinds;
+          Alcotest.test_case "unique names" `Quick test_table1_unique_names;
+        ] );
+    ]
