@@ -32,6 +32,13 @@ let parse_signature text =
   | Ok s -> s
   | Error e -> failwith (Format.asprintf "%a" Parse.pp_error e)
 
+(* A user mistake (malformed signature, bad flag value) must end as a
+   one-line diagnostic and exit code 2 — never an OCaml backtrace. *)
+let require_positive name v =
+  if v <= 0 then failwith (Printf.sprintf "%s must be positive (got %d)" name v)
+
+let require_positive_opt name = Option.iter (require_positive name)
+
 (* ------------------------------------------------------------- compile *)
 
 module Emit_int = Plr_codegen.Emit.Make (Scalar.Int)
@@ -40,6 +47,7 @@ module Plan_int = Emit_int.P
 module Plan_f32 = Emit_f32.P
 
 let cmd_compile text output domain n quiet =
+  require_positive "-n" n;
   let s = parse_signature text in
   let cuda, summary =
     match resolve_domain domain s with
@@ -86,6 +94,7 @@ let time_wall f =
   (r, Unix.gettimeofday () -. t0)
 
 let cmd_run text n backend domain opts_off =
+  require_positive "-n" n;
   let s = parse_signature text in
   let opts = if opts_off then Plr_core.Opts.all_off else Plr_core.Opts.all_on in
   let report_sim ~kind_label ~throughput ~time_s ~valid =
@@ -152,6 +161,7 @@ let cmd_run text n backend domain opts_off =
 (* ---------------------------------------------------------------- info *)
 
 let cmd_info text n domain =
+  require_positive "-n" n;
   let s = parse_signature text in
   Printf.printf "signature: %s\n"
     (Signature.to_string (Printf.sprintf "%g") s);
@@ -182,6 +192,9 @@ module Kg_int = Plr_codegen.Kernelgen.Make (Scalar.Int)
 module Kg_f32 = Plr_codegen.Kernelgen.Make (Scalar.F32)
 
 let cmd_execute text n domain threads x sched trace_path =
+  require_positive "-n" n;
+  require_positive_opt "--threads" threads;
+  require_positive_opt "--x" x;
   let s = parse_signature text in
   let sched =
     match sched with
@@ -249,6 +262,8 @@ module Tune_int = Plr_core.Tune.Make (Scalar.Int)
 module Tune_f32 = Plr_core.Tune.Make (Scalar.F32)
 
 let cmd_tune text n domain top =
+  require_positive "-n" n;
+  require_positive "--top" top;
   let s = parse_signature text in
   let print_int_candidates cands default =
     Printf.printf "%-8s %-4s %-8s %12s %12s\n" "threads" "x" "budget" "G words/s" "vs default";
@@ -289,6 +304,79 @@ let cmd_tune text n domain top =
         (Tune_f32.candidates ~spec ~n fs)
         (Tune_f32.default_candidate ~spec ~n fs)
 
+(* --------------------------------------------------------------- check *)
+
+module Stability = Plr_robust.Stability
+module Guard = Plr_robust.Guard
+module Chaos = Plr_robust.Chaos
+module Guard_int = Guard.Make (Scalar.Int)
+module Guard_f32 = Guard.Make (Scalar.F32)
+module Chaos_int = Chaos.Make (Scalar.Int)
+module Chaos_f32 = Chaos.Make (Scalar.F32)
+
+let cmd_check text n domain =
+  require_positive "-n" n;
+  let s = parse_signature text in
+  Format.printf "signature: %s@." (Signature.to_string (Printf.sprintf "%g") s);
+  (* the guard re-runs the analysis and prints it as part of its outcome *)
+  let ok =
+    match resolve_domain domain s with
+    | `Int is ->
+        let input = random_int_input n in
+        let o =
+          Guard_int.run ~check:(Guard.Prefix 4096)
+            (Guard_int.multicore_runner ()) is input
+        in
+        Format.printf "guarded run (multicore, int32, n = %d):@.%a@." n
+          Guard_int.pp_outcome o;
+        o.Guard_int.ok
+    | `Float ->
+        let fs = Signature.map Plr_util.F32.round s in
+        let input = Array.map Plr_util.F32.round (random_f32_input n) in
+        let o =
+          Guard_f32.run ~check:(Guard.Prefix 4096)
+            (Guard_f32.multicore_runner ()) fs input
+        in
+        Format.printf "guarded run (multicore, float32, n = %d):@.%a@." n
+          Guard_f32.pp_outcome o;
+        o.Guard_f32.ok
+  in
+  if not ok then exit 1
+
+(* --------------------------------------------------------------- chaos *)
+
+type chaos_target = Both | Only of Chaos.target
+
+let cmd_chaos text n domain target trials seed =
+  require_positive "-n" n;
+  require_positive "--trials" trials;
+  let s = parse_signature text in
+  let targets =
+    match target with
+    | Both -> [ Chaos.Gpusim; Chaos.Multicore ]
+    | Only t -> [ t ]
+  in
+  let silent = ref 0 in
+  List.iter
+    (fun t ->
+      match resolve_domain domain s with
+      | `Int is ->
+          let summary, _ = Chaos_int.campaign ~trials ~n ~seed ~target:t is in
+          Format.printf "%-10s %a@." (Chaos.target_to_string t)
+            Chaos_int.pp_summary summary;
+          silent := !silent + summary.Chaos.silent
+      | `Float ->
+          let fs = Signature.map Plr_util.F32.round s in
+          let summary, _ = Chaos_f32.campaign ~trials ~n ~seed ~target:t fs in
+          Format.printf "%-10s %a@." (Chaos.target_to_string t)
+            Chaos_f32.pp_summary summary;
+          silent := !silent + summary.Chaos.silent)
+    targets;
+  if !silent > 0 then begin
+    Printf.eprintf "plr: %d trial(s) diverged silently\n" !silent;
+    exit 1
+  end
+
 (* ------------------------------------------------------------ cmdliner *)
 
 open Cmdliner
@@ -308,7 +396,17 @@ let n_arg =
   Arg.(value & opt int (1 lsl 20) & info [ "n" ] ~docv:"N"
          ~doc:"Input length the plan/run targets.")
 
-let wrap f = try `Ok (f ()) with Failure m -> `Error (false, m)
+let wrap f =
+  try `Ok (f ()) with
+  | Failure m ->
+      prerr_endline ("plr: " ^ m);
+      exit 2
+  | Signature.Invalid m ->
+      prerr_endline ("plr: ill-formed signature: " ^ m);
+      exit 2
+  | Invalid_argument m ->
+      prerr_endline ("plr: invalid argument: " ^ m);
+      exit 2
 
 let compile_cmd =
   let output =
@@ -381,9 +479,56 @@ let execute_cmd =
     Term.(
       ret (const run $ signature_arg $ n_arg $ domain_arg $ threads $ x $ sched $ trace))
 
+let check_cmd =
+  let run text n domain = wrap (fun () -> cmd_check text n domain) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Stability analysis plus a guarded run: classify the signature \
+          (stable/marginal/unstable), predict overflow and decay, then \
+          execute with validation and degradation.  Exits 1 when even the \
+          final fallback fails its checks.")
+    Term.(ret (const run $ signature_arg $ n_arg $ domain_arg))
+
+let chaos_cmd =
+  let target =
+    Arg.(value
+         & opt
+             (enum
+                [ ("both", Both); ("gpusim", Only Chaos.Gpusim);
+                  ("multicore", Only Chaos.Multicore) ])
+             Both
+         & info [ "target" ] ~docv:"TARGET"
+             ~doc:"Engine to perturb: gpusim, multicore, or both.")
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T"
+           ~doc:"Seeded trials per target.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"Base seed; trial i uses seed S+i.")
+  in
+  let n_arg =
+    Arg.(value & opt int 384 & info [ "n" ] ~docv:"N"
+           ~doc:"Input length per trial.")
+  in
+  let run text n domain target trials seed =
+    wrap (fun () -> cmd_chaos text n domain target trials seed)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault-injection campaign: perturb the look-back \
+          pipelines (reordering, delayed flags, dropped or corrupted \
+          carries, poisoned chunks) under the guard and report how every \
+          trial was classified.  Exits 1 on any silent divergence.")
+    Term.(ret (const run $ signature_arg $ n_arg $ domain_arg $ target $ trials $ seed))
+
 let () =
   let doc = "PLR — automatic hierarchical parallelization of linear recurrences" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "plr" ~doc)
-          [ compile_cmd; run_cmd; info_cmd; tune_cmd; execute_cmd ]))
+          [ compile_cmd; run_cmd; info_cmd; tune_cmd; execute_cmd; check_cmd;
+            chaos_cmd ]))

@@ -1,24 +1,68 @@
+module Faults = Plr_gpusim.Faults
+
+exception Fault_detected of string
+(* Raised (outside the functor, so one identity for every scalar instance)
+   when an injected fault makes forward progress impossible — e.g. a carry
+   publication that was dropped: the real protocol would spin on it
+   forever, so the deterministic pipeline fails loudly instead. *)
+
 module Make (S : Plr_util.Scalar.S) = struct
   module Serial = Plr_serial.Serial.Make (S)
   module Nnacci = Plr_nnacci.Nnacci.Make (S)
 
-  (* Run [f lo hi] over [0, n) split into [parts] ranges, in parallel. *)
+  (* Run [f lo hi] over [0, n) split into [parts] ranges, in parallel.
+
+     Every spawned domain is joined unconditionally: if [f] raises in one
+     domain we still join the others (no domain leak), collect all
+     exceptions, and re-raise the one from the lowest range.  If
+     [Domain.spawn] itself fails (e.g. the system cannot create more
+     threads), the remaining ranges run inline in this domain instead. *)
   let parallel_ranges ~domains ~n f =
     if domains <= 1 || n < 2 then f 0 n
     else begin
       let per = (n + domains - 1) / domains in
-      let spawned =
+      let ranges =
         List.init domains (fun d ->
             let lo = d * per in
-            let hi = min n (lo + per) in
-            if lo < hi then Some (Domain.spawn (fun () -> f lo hi)) else None)
+            (lo, min n (lo + per)))
+        |> List.filter (fun (lo, hi) -> lo < hi)
       in
-      List.iter (function Some d -> Domain.join d | None -> ()) spawned
+      let results =
+        List.map
+          (fun (lo, hi) ->
+            match Domain.spawn (fun () -> f lo hi) with
+            | d -> `Spawned d
+            | exception _ -> `Inline (lo, hi))
+          ranges
+      in
+      let first_exn = ref None in
+      let record = function
+        | Ok () -> ()
+        | Error e -> if !first_exn = None then first_exn := Some e
+      in
+      List.iter
+        (function
+          | `Spawned d ->
+              record (match Domain.join d with () -> Ok () | exception e -> Error e)
+          | `Inline (lo, hi) ->
+              record (match f lo hi with () -> Ok () | exception e -> Error e))
+        results;
+      match !first_exn with Some e -> raise e | None -> ()
     end
 
   let default_chunk_size ~domains n = max 1024 (n / (domains * 8))
 
-  let run_with ~domains ~chunk_size (s : S.t Signature.t) input =
+  let poison =
+    match S.kind with
+    | Plr_util.Scalar.Floating -> S.of_float Float.nan
+    | Plr_util.Scalar.Integer -> S.of_int 0x5EED_BAD
+
+  (* A deterministic wrong value for carry corruption: distinguishable from
+     the original for every scalar domain. *)
+  let corrupt v = S.add (S.mul v (S.of_int 3)) (S.of_int 41)
+
+  let run_with ?(faults = Faults.none) ~domains ~chunk_size (s : S.t Signature.t)
+      input =
     let n = Array.length input in
     if n = 0 then [||]
     else begin
@@ -27,18 +71,36 @@ module Make (S : Plr_util.Scalar.S) = struct
       let m = max k (min chunk_size n) in
       let chunks = (n + m - 1) / m in
       let chunk_len c = min m (n - (c * m)) in
+      let faulty = not (Faults.is_none faults) in
       (* The map stage (eq. 2) and the local solves, fused per chunk. *)
       let y = Serial.fir ~forward:s.Signature.forward input in
       let feedback = s.Signature.feedback in
+      let solve_chunk c =
+        let len = chunk_len c in
+        let slice = Array.sub y (c * m) len in
+        Serial.recurrence_in_place ~feedback slice;
+        Array.blit slice 0 y (c * m) len
+      in
       let solve_chunks lo hi =
         for c = lo to hi - 1 do
-          let len = chunk_len c in
-          let slice = Array.sub y (c * m) len in
-          Serial.recurrence_in_place ~feedback slice;
-          Array.blit slice 0 y (c * m) len
+          solve_chunk c
         done
       in
-      parallel_ranges ~domains ~n:chunks solve_chunks;
+      if not faulty then parallel_ranges ~domains ~n:chunks solve_chunks
+      else begin
+        (* Deterministic out-of-order completion of the local solves, with
+           poison injected into perturbed chunks after they complete. *)
+        let order = Faults.permutation faults chunks in
+        Array.iter
+          (fun c ->
+            solve_chunk c;
+            if Faults.events_at faults ~chunks Faults.Poison_chunk c <> [] then begin
+              let len = chunk_len c in
+              y.(c * m) <- poison;
+              y.((c * m) + len - 1) <- poison
+            end)
+          order
+      end;
       (* Sequential carry propagation: global carries per chunk.  Carry j
          of chunk c is element (len-1-j); factors at positions m-1-j
          correct the next chunk's carries (Phase 2's look-back math). *)
@@ -47,10 +109,18 @@ module Make (S : Plr_util.Scalar.S) = struct
         let len = chunk_len c in
         Array.init k (fun j -> if len - 1 - j >= 0 then y.((c * m) + len - 1 - j) else S.zero)
       in
+      let published = Array.make chunks true in
       let globals = Array.make chunks [||] in
       for c = 0 to chunks - 1 do
         if c = 0 then globals.(0) <- local_carries 0
         else begin
+          if faulty && not published.(c - 1) then
+            raise
+              (Fault_detected
+                 (Printf.sprintf
+                    "carry publication of chunk %d was lost; chunk %d cannot \
+                     make progress"
+                    (c - 1) c));
           let g_prev = globals.(c - 1) in
           let local = local_carries c in
           globals.(c) <-
@@ -61,12 +131,23 @@ module Make (S : Plr_util.Scalar.S) = struct
                   acc := S.add !acc (S.mul factors.(j').(q) g_prev.(j'))
                 done;
                 !acc)
+        end;
+        if faulty then begin
+          if
+            Faults.events_at faults ~chunks Faults.Drop_local c <> []
+            || Faults.events_at faults ~chunks Faults.Drop_global c <> []
+          then published.(c) <- false;
+          List.iter
+            (fun (e : Faults.event) ->
+              let j = e.Faults.lane mod k in
+              globals.(c).(j) <- corrupt globals.(c).(j))
+            (Faults.events_at faults ~chunks Faults.Corrupt_carry c)
         end
       done;
       (* Parallel correction pass: chunk c (c ≥ 1) applies the global
          carries of chunk c-1 with the per-position factors. *)
-      let correct_chunks lo hi =
-        for c = max 1 lo to hi - 1 do
+      let correct_chunk c =
+        if c >= 1 then begin
           let g = globals.(c - 1) in
           let len = chunk_len c in
           let base = c * m in
@@ -77,13 +158,19 @@ module Make (S : Plr_util.Scalar.S) = struct
             done;
             y.(base + q) <- !acc
           done
+        end
+      in
+      let correct_chunks lo hi =
+        for c = max 1 lo to hi - 1 do
+          correct_chunk c
         done
       in
-      parallel_ranges ~domains ~n:chunks correct_chunks;
+      if not faulty then parallel_ranges ~domains ~n:chunks correct_chunks
+      else Array.iter correct_chunk (Faults.permutation faults chunks);
       y
     end
 
-  let run ?domains ?chunk_size s input =
+  let run ?faults ?domains ?chunk_size s input =
     let domains =
       match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
     in
@@ -92,7 +179,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       | Some c -> max 1 c
       | None -> default_chunk_size ~domains (Array.length input)
     in
-    run_with ~domains ~chunk_size s input
+    run_with ?faults ~domains ~chunk_size s input
 
   let run_sequential_fallback s input =
     run_with ~domains:1 ~chunk_size:(default_chunk_size ~domains:4 (Array.length input))

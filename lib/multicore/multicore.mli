@@ -14,19 +14,34 @@
       corrected into global carries using the last k n-nacci correction
       factors, exactly like Phase 2's look-back;
     - pass 2 (parallel): every chunk applies its predecessor's global
-      carries with the per-position correction factors.
+      carries with the per-position correction factors. *)
 
-    Total work is O(nk) + O(chunks·k²) — work-efficient, like the paper's
-    two-phase design. *)
+module Faults = Plr_gpusim.Faults
+
+exception Fault_detected of string
+(** Raised when an injected fault leaves the pipeline unable to make
+    progress (e.g. a dropped carry publication, which the real decoupled
+    protocol would spin on forever): the engine fails loudly instead of
+    returning silently wrong values. *)
 
 module Make (S : Plr_util.Scalar.S) : sig
   val run :
+    ?faults:Faults.plan ->
     ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
   (** [run s x] computes the recurrence in parallel.  [domains] defaults to
       [Domain.recommended_domain_count ()]; [chunk_size] defaults to a
-      size that gives each domain several chunks. *)
+      size that gives each domain several chunks.
+
+      [faults] (default {!Faults.none}) injects deterministic perturbations
+      into the chunk pipeline for the chaos harness: with a non-empty plan
+      the local solves and the correction pass run sequentially in a
+      perturbed completion order, poisoned chunks receive garbage values,
+      corrupted carry publications are overwritten after computation, and a
+      dropped publication raises {!Fault_detected}.  With the default plan
+      the code path — and therefore the parallel execution — is exactly the
+      unfaulted algorithm. *)
 
   val run_sequential_fallback : S.t Signature.t -> S.t array -> S.t array
-  (** The same chunked algorithm executed on one domain — used in tests to
-      separate algorithmic correctness from scheduling. *)
+  (** The same chunked algorithm executed on one domain — used by the guard
+      (and by tests) to separate algorithmic correctness from scheduling. *)
 end

@@ -2,6 +2,12 @@ module Spec = Plr_gpusim.Spec
 module Device = Plr_gpusim.Device
 module Counters = Plr_gpusim.Counters
 module Cost = Plr_gpusim.Cost
+module Faults = Plr_gpusim.Faults
+
+exception Protocol_stall of string
+(* The fault-injected scheduler proved that no blocked chunk can ever make
+   progress (a dropped carry publication, §2.2's ready flags never set):
+   the simulated look-back fails loudly instead of spinning forever. *)
 
 (* Size of the PLR kernel code + CUDA kernel state beyond the data buffers;
    matches the ~2 MB gap between PLR and memcpy in the paper's Table 2. *)
@@ -139,7 +145,10 @@ module Make (S : Plr_util.Scalar.S) = struct
       write_output (start + i) work.(i)
     done
 
-  let run_plan ?(with_l2 = false) ~spec (plan : P.t) input =
+  (* Shared device/buffer setup for both the default and the
+     fault-injected execution paths.  The operation order here is part of
+     the counter contract: the default path must stay bit-identical. *)
+  let setup_run ~with_l2 ~spec (plan : P.t) input =
     let n = Array.length input in
     assert (n = plan.P.n);
     let dev = Device.create ~with_l2 spec in
@@ -158,13 +167,16 @@ module Make (S : Plr_util.Scalar.S) = struct
     let global_addr b j = global_base + ((((b mod c) * k) + j) * S.bytes) in
     let local_flag_addr b = flag_base + (b mod c * 4) in
     let global_flag_addr b = flag_base + ((c + (b mod c)) * 4) in
-    for b = 0 to chunks - 1 do
+    let run_block b =
       let start = b * plan.P.m in
       let len = P.chunk_len plan b in
       chunk_program ctx ~b ~start ~len ~input ~read_input:(Buf.get inbuf)
         ~write_output:(Buf.set outbuf) ~locals ~globals ~local_addr
         ~global_addr ~local_flag_addr ~global_flag_addr ~work
-    done;
+    in
+    (dev, outbuf, locals, globals, chunks, run_block)
+
+  let finish_run ~spec ~(plan : P.t) ~n dev outbuf =
     let counters = Device.counters dev in
     let workload = workload_of_counters ~spec ~plan counters in
     let time_s = Cost.time spec workload in
@@ -178,10 +190,122 @@ module Make (S : Plr_util.Scalar.S) = struct
       device = dev;
     }
 
-  let run ?(opts = Opts.all_on) ?with_l2 ~spec signature input =
+  let run_plan_default ~with_l2 ~spec (plan : P.t) input =
+    let dev, outbuf, _locals, _globals, chunks, run_block =
+      setup_run ~with_l2 ~spec plan input
+    in
+    for b = 0 to chunks - 1 do
+      run_block b
+    done;
+    finish_run ~spec ~plan ~n:(Array.length input) dev outbuf
+
+  let poison =
+    match S.kind with
+    | Plr_util.Scalar.Floating -> S.of_float Float.nan
+    | Plr_util.Scalar.Integer -> S.of_int 0x5EED_BAD
+
+  let corrupt v = S.add (S.mul v (S.of_int 3)) (S.of_int 41)
+
+  (* Fault-injected execution: run the blocks in a perturbed order under an
+     explicit flag-visibility model.  A block is runnable once every carry
+     its look-back reads has been published *and* become visible; a block
+     whose dependencies can never arrive (dropped publication) is a
+     detected protocol stall, not a silent hang.  Because the gating
+     reproduces exactly the reads [chunk_program] performs, any admissible
+     completion order computes the same values as the in-order run. *)
+  let run_plan_faulted ~faults ~with_l2 ~spec (plan : P.t) input =
+    let dev, outbuf, locals, globals, chunks, run_block =
+      setup_run ~with_l2 ~spec plan input
+    in
+    let k = plan.P.order in
+    let window = min plan.P.lookback_window plan.P.grid_blocks in
+    let order = Faults.permutation faults chunks in
+    let events_at kind b = Faults.events_at faults ~chunks kind b in
+    let local_vis = Array.make chunks max_int in
+    let global_vis = Array.make chunks max_int in
+    let completed = Array.make chunks false in
+    let step = ref 0 in
+    let ready b =
+      b = 0
+      ||
+      let wave = b / window in
+      let bg = (wave * window) - 1 in
+      let ok = ref (bg < 0 || global_vis.(bg) <= !step) in
+      let t0 = if bg >= 0 then bg + 1 else 0 in
+      for t = t0 to b - 1 do
+        if local_vis.(t) > !step then ok := false
+      done;
+      !ok
+    in
+    let remaining = ref chunks in
+    (* Each loop iteration either completes a block or advances time to a
+       strictly later publication, so [3·chunks] iterations suffice; the
+       budget is a backstop against scheduler bugs, not faults. *)
+    let budget = ref ((8 * chunks) + 64) in
+    while !remaining > 0 do
+      decr budget;
+      if !budget < 0 then
+        raise (Protocol_stall "fault scheduler exceeded its step budget");
+      let next = ref None in
+      Array.iter
+        (fun b -> if !next = None && (not completed.(b)) && ready b then next := Some b)
+        order;
+      match !next with
+      | Some b ->
+          run_block b;
+          let delay =
+            List.fold_left (fun a (e : Faults.event) -> a + e.Faults.delay) 0
+              (events_at Faults.Delay_flag b)
+          in
+          List.iter
+            (fun (e : Faults.event) ->
+              let j = e.Faults.lane mod k in
+              locals.(b).(j) <- corrupt locals.(b).(j);
+              globals.(b).(j) <- corrupt globals.(b).(j))
+            (events_at Faults.Corrupt_carry b);
+          if events_at Faults.Poison_chunk b <> [] then begin
+            let out = Buf.raw outbuf in
+            let start = b * plan.P.m in
+            let len = P.chunk_len plan b in
+            out.(start) <- poison;
+            out.(start + len - 1) <- poison;
+            locals.(b).(0) <- poison;
+            globals.(b).(0) <- poison
+          end;
+          if events_at Faults.Drop_local b = [] then
+            local_vis.(b) <- !step + 1 + delay;
+          if events_at Faults.Drop_global b = [] then
+            global_vis.(b) <- !step + 1 + delay;
+          completed.(b) <- true;
+          decr remaining;
+          incr step
+      | None ->
+          (* No block is runnable now: fast-forward to the earliest
+             pending publication, or report the deadlock. *)
+          let future = ref max_int in
+          let consider v = if v > !step && v < !future then future := v in
+          Array.iter consider local_vis;
+          Array.iter consider global_vis;
+          if !future = max_int then
+            raise
+              (Protocol_stall
+                 (Printf.sprintf
+                    "deadlock: %d of %d chunks blocked on carry \
+                     publications that will never arrive"
+                    !remaining chunks))
+          else step := !future
+    done;
+    finish_run ~spec ~plan ~n:(Array.length input) dev outbuf
+
+  let run_plan ?(faults = Faults.none) ?(with_l2 = false) ~spec (plan : P.t)
+      input =
+    if Faults.is_none faults then run_plan_default ~with_l2 ~spec plan input
+    else run_plan_faulted ~faults ~with_l2 ~spec plan input
+
+  let run ?(opts = Opts.all_on) ?faults ?with_l2 ~spec signature input =
     let n = Array.length input in
     let plan = P.compile ~opts ~spec ~n signature in
-    run_plan ?with_l2 ~spec plan input
+    run_plan ?faults ?with_l2 ~spec plan input
 
   let validate_run ?opts ?(tol = 1e-3) ~spec signature input =
     let result = run ?opts ~spec signature input in

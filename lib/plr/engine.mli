@@ -13,6 +13,13 @@ module Spec = Plr_gpusim.Spec
 module Device = Plr_gpusim.Device
 module Counters = Plr_gpusim.Counters
 module Cost = Plr_gpusim.Cost
+module Faults = Plr_gpusim.Faults
+
+exception Protocol_stall of string
+(** Raised by a fault-injected run when the decoupled look-back provably
+    cannot make progress (a dropped carry publication leaves chunks waiting
+    on ready flags that will never be set).  Never raised without injected
+    faults. *)
 
 module Make (S : Plr_util.Scalar.S) : sig
   module P : module type of Plan.Make (S)
@@ -28,12 +35,22 @@ module Make (S : Plr_util.Scalar.S) : sig
   }
 
   val run :
-    ?opts:Opts.t -> ?with_l2:bool -> spec:Spec.t -> S.t Signature.t ->
-    S.t array -> result
+    ?opts:Opts.t -> ?faults:Faults.plan -> ?with_l2:bool -> spec:Spec.t ->
+    S.t Signature.t -> S.t array -> result
 
-  val run_plan : ?with_l2:bool -> spec:Spec.t -> P.t -> S.t array -> result
+  val run_plan :
+    ?faults:Faults.plan -> ?with_l2:bool -> spec:Spec.t -> P.t ->
+    S.t array -> result
   (** Run under a pre-built (possibly custom-shaped) plan; the plan's [n]
-      must equal the input length. *)
+      must equal the input length.
+
+      [faults] (default {!Faults.none}) executes the chunk pipeline under a
+      fault-injected scheduler: blocks complete in a perturbed order gated
+      by an explicit ready-flag visibility model, published carries can be
+      delayed, corrupted, or dropped, and chunk values can be poisoned.  A
+      plan that makes progress impossible raises {!Protocol_stall}.  With
+      the default plan the engine takes the ordinary in-order path and its
+      counters are bit-identical to the unfaulted implementation. *)
 
   val validate_run :
     ?opts:Opts.t -> ?tol:float -> spec:Spec.t -> S.t Signature.t ->

@@ -1,0 +1,127 @@
+module Faults = Plr_gpusim.Faults
+
+type target = Gpusim | Multicore
+
+type outcome =
+  | Exact
+  | Degraded of string
+  | Detected of string
+  | Silent of string
+
+type summary = {
+  trials : int;
+  exact : int;
+  degraded : int;
+  detected : int;
+  silent : int;
+  injected : int;
+}
+
+let benign_kinds = [ Faults.Reorder; Faults.Delay_flag ]
+
+let target_to_string = function Gpusim -> "gpusim" | Multicore -> "multicore"
+
+let outcome_to_string = function
+  | Exact -> "exact"
+  | Degraded why -> "degraded (" ^ why ^ ")"
+  | Detected why -> "detected (" ^ why ^ ")"
+  | Silent why -> "SILENT DIVERGENCE (" ^ why ^ ")"
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module G = Guard.Make (S)
+  module Serial = Plr_serial.Serial.Make (S)
+
+  type trial = {
+    seed : int;
+    target : target;
+    plan : Faults.plan;
+    outcome : outcome;
+  }
+
+  (* Small chunks so a few hundred elements span many chunks and several
+     look-back waves. *)
+  let gpusim_threads = 4
+  let gpusim_x = 2
+  let gpusim_m = gpusim_threads * gpusim_x
+  let gpusim_lookback = 4
+  let multicore_chunk = 16
+
+  let spec = Plr_gpusim.Spec.titan_x
+
+  let run_trial ?(n = 384) ?kinds ?(max_events = 3) ?(tol = 1e-3) ~seed
+      ~target s =
+    let k = max 1 (Signature.order s) in
+    let gen = Plr_util.Splitmix.create seed in
+    let input =
+      Array.init n (fun _ -> S.of_int (Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9))
+    in
+    let chunks =
+      match target with
+      | Gpusim -> (n + gpusim_m - 1) / gpusim_m
+      | Multicore -> (n + multicore_chunk - 1) / multicore_chunk
+    in
+    let plan =
+      Faults.random ~seed:((seed * 31) + 7) ~chunks ~lanes:k ?kinds ~max_events ()
+    in
+    let runner =
+      match target with
+      | Gpusim ->
+          G.gpusim_runner ~faults:plan ~threads_per_block:gpusim_threads
+            ~x:gpusim_x ~lookback_window:gpusim_lookback ~spec ()
+      | Multicore -> G.multicore_runner ~faults:plan ~chunk_size:multicore_chunk ()
+    in
+    let expected = Serial.full s input in
+    let o = G.run ~tol ~check:Guard.Full runner s input in
+    let matches out =
+      Array.length out = Array.length expected
+      && (let ok = ref true in
+          Array.iteri
+            (fun i v -> if not (S.approx_equal ~tol v out.(i)) then ok := false)
+            expected;
+          !ok)
+    in
+    let parallel_violation () =
+      List.fold_left
+        (fun acc (a : Guard.attempt) ->
+          match (acc, a.Guard.violation) with
+          | None, Some v -> Some (Guard.violation_to_string v)
+          | acc, _ -> acc)
+        None o.G.attempts
+      |> Option.value ~default:"unreported"
+    in
+    let outcome =
+      if o.G.ok then
+        if matches o.G.output then
+          if o.G.degraded then Degraded (parallel_violation ()) else Exact
+        else Silent "guard accepted an output that differs from serial"
+      else Detected (parallel_violation ())
+    in
+    { seed; target; plan; outcome }
+
+  let campaign ?(trials = 100) ?n ?kinds ?max_events ?tol ~seed ~target s =
+    let results =
+      List.init trials (fun i ->
+          run_trial ?n ?kinds ?max_events ?tol ~seed:(seed + i) ~target s)
+    in
+    let count f = List.length (List.filter f results) in
+    let summary =
+      {
+        trials;
+        exact = count (fun t -> t.outcome = Exact);
+        degraded =
+          count (fun t -> match t.outcome with Degraded _ -> true | _ -> false);
+        detected =
+          count (fun t -> match t.outcome with Detected _ -> true | _ -> false);
+        silent =
+          count (fun t -> match t.outcome with Silent _ -> true | _ -> false);
+        injected = count (fun t -> not (Faults.is_none t.plan));
+      }
+    in
+    (summary, results)
+
+  let pp_summary ppf s =
+    Format.fprintf ppf
+      "%d trials (%d with injected faults): %d exact, %d degraded-recovered, \
+       %d detected, %d silent"
+      s.trials s.injected s.exact s.degraded s.detected s.silent
+end

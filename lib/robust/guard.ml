@@ -1,0 +1,232 @@
+module Faults = Plr_gpusim.Faults
+
+type stage = Parallel | Sequential_fallback | Float64_serial
+
+type violation =
+  | Non_finite of { index : int }
+  | Divergence of { index : int; got : float; expected : float; tol : float }
+  | Engine_error of string
+  | Predicted_overflow of { index : int }
+
+type attempt = { stage : stage; violation : violation option }
+type check = No_reference | Prefix of int | Full
+
+let stage_to_string = function
+  | Parallel -> "parallel"
+  | Sequential_fallback -> "sequential-fallback"
+  | Float64_serial -> "float64-serial"
+
+let violation_to_string = function
+  | Non_finite { index } -> Printf.sprintf "non-finite value at index %d" index
+  | Divergence { index; got; expected; tol } ->
+      Printf.sprintf "divergence at index %d: got %g, expected %g (tol %g)"
+        index got expected tol
+  | Engine_error msg -> Printf.sprintf "engine error: %s" msg
+  | Predicted_overflow { index } ->
+      Printf.sprintf "stability analysis predicts factor overflow at index %d"
+        index
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Engine = Plr_core.Engine.Make (S)
+  module Multicore = Plr_multicore.Multicore.Make (S)
+  module Stream = Plr_multicore.Stream.Make (S)
+  module Serial = Plr_serial.Serial.Make (S)
+  module Serial64 = Plr_serial.Serial.Make (Plr_util.Scalar.F64)
+
+  type runner = S.t Signature.t -> S.t array -> S.t array
+
+  type outcome = {
+    output : S.t array;
+    stability : Stability.report;
+    attempts : attempt list;
+    degraded : bool;
+    ok : bool;
+  }
+
+  let floating = S.kind = Plr_util.Scalar.Floating
+
+  let scan_non_finite out =
+    if not floating then None
+    else begin
+      let bad = ref None in
+      (try
+         Array.iteri
+           (fun i v ->
+             if not (Float.is_finite (S.to_float v)) then begin
+               bad := Some i;
+               raise Exit
+             end)
+           out
+       with Exit -> ());
+      !bad
+    end
+
+  let run ?(tol = 1e-3) ?(check = Prefix 4096) ?probe runner
+      (s : S.t Signature.t) x =
+    let n = Array.length x in
+    let stability = Stability.analyze ?probe (Signature.map S.to_float s) in
+    (* Serial reference prefix, shared by every attempt's forward-error
+       check; computed at most once and only if an attempt gets that far. *)
+    let reference =
+      lazy
+        (match check with
+        | No_reference -> [||]
+        | Prefix p -> Serial.full s (Array.sub x 0 (min (max 0 p) n))
+        | Full -> Serial.full s x)
+    in
+    let compare_reference out =
+      match check with
+      | No_reference -> None
+      | _ ->
+          let r = Lazy.force reference in
+          let bad = ref None in
+          (try
+             Array.iteri
+               (fun i expected ->
+                 if not (S.approx_equal ~tol expected out.(i)) then begin
+                   bad :=
+                     Some
+                       (Divergence
+                          {
+                            index = i;
+                            got = S.to_float out.(i);
+                            expected = S.to_float expected;
+                            tol;
+                          });
+                   raise Exit
+                 end)
+               r
+           with Exit -> ());
+          !bad
+    in
+    let validate out =
+      match scan_non_finite out with
+      | Some i -> Some (Non_finite { index = i })
+      | None -> compare_reference out
+    in
+    let attempts = ref [] in
+    let record stage violation = attempts := { stage; violation } :: !attempts in
+    let try_stage stage f =
+      match f () with
+      | exception e ->
+          record stage (Some (Engine_error (Printexc.to_string e)));
+          None
+      | out -> (
+          match validate out with
+          | None ->
+              record stage None;
+              Some out
+          | Some v ->
+              record stage (Some v);
+              None)
+    in
+    (* Pre-run prediction: an unstable signature whose factors provably
+       overflow this scalar's float width inside the input makes the
+       S-scalar attempts pointless — skip them before any O(n) work. *)
+    let predicted_skip =
+      if not floating then None
+      else begin
+        let ovf =
+          if S.bytes <= 4 then stability.Stability.overflow_f32
+          else stability.Stability.overflow_f64
+        in
+        match (stability.Stability.cls, ovf) with
+        | Stability.Unstable, Some i when i < n ->
+            Some (Predicted_overflow { index = i })
+        | _ -> None
+      end
+    in
+    let float64_serial () =
+      if floating then
+        let y64 =
+          Serial64.full (Signature.map S.to_float s) (Array.map S.to_float x)
+        in
+        Array.map S.of_float y64
+      else
+        (* integer wrap-around is the defined ground truth: re-run the
+           exact serial reference rather than losing bits in a float *)
+        Serial.full s x
+    in
+    let finish output ~degraded ~ok =
+      { output; stability; attempts = List.rev !attempts; degraded; ok }
+    in
+    let accepted =
+      match predicted_skip with
+      | Some v ->
+          record Parallel (Some v);
+          record Sequential_fallback (Some v);
+          None
+      | None -> (
+          match try_stage Parallel (fun () -> runner s x) with
+          | Some out -> Some (out, false)
+          | None -> (
+              match
+                try_stage Sequential_fallback (fun () ->
+                    Multicore.run_sequential_fallback s x)
+              with
+              | Some out -> Some (out, true)
+              | None -> None))
+    in
+    match accepted with
+    | Some (out, degraded) -> finish out ~degraded ~ok:true
+    | None -> (
+        match float64_serial () with
+        | exception e ->
+            record Float64_serial (Some (Engine_error (Printexc.to_string e)));
+            finish [||] ~degraded:true ~ok:false
+        | out -> (
+            (* the final stage is itself a serial evaluation, so only the
+               non-finite scan is meaningful *)
+            match scan_non_finite out with
+            | None ->
+                record Float64_serial None;
+                finish out ~degraded:true ~ok:true
+            | Some i ->
+                record Float64_serial (Some (Non_finite { index = i }));
+                finish out ~degraded:true ~ok:false))
+
+  let gpusim_runner ?opts ?faults ?threads_per_block ?x ?lookback_window ~spec
+      () : runner =
+   fun s input ->
+    let n = Array.length input in
+    if n = 0 then [||]
+    else begin
+      let plan =
+        match (threads_per_block, x) with
+        | Some t, Some xv ->
+            Engine.P.compile_with ?opts ?lookback_window ~spec ~n
+              ~threads_per_block:t ~x:xv s
+        | _ -> Engine.P.compile ?opts ~spec ~n s
+      in
+      (Engine.run_plan ?faults ~spec plan input).Engine.output
+    end
+
+  let multicore_runner ?faults ?domains ?chunk_size () : runner =
+   fun s input -> Multicore.run ?faults ?domains ?chunk_size s input
+
+  let stream_runner ?domains ~buffer () : runner =
+   fun s input ->
+    let buffer = max 1 buffer in
+    let stream = Stream.create ?domains s in
+    let n = Array.length input in
+    let pieces = ref [] in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min buffer (n - !pos) in
+      pieces := Stream.process stream (Array.sub input !pos len) :: !pieces;
+      pos := !pos + len
+    done;
+    Array.concat (List.rev !pieces)
+
+  let pp_outcome ppf o =
+    Format.fprintf ppf "@[<v>stability:@,  @[<v>%a@]@,attempts:@," Stability.pp_report
+      o.stability;
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "  %-19s %s@," (stage_to_string a.stage)
+          (match a.violation with
+          | None -> "accepted"
+          | Some v -> violation_to_string v))
+      o.attempts;
+    Format.fprintf ppf "degraded: %b@,ok: %b@]" o.degraded o.ok
+end

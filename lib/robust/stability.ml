@@ -1,0 +1,121 @@
+module N64 = Plr_nnacci.Nnacci.Make (Plr_util.Scalar.F64)
+
+type cls = Stable | Marginal | Unstable
+
+type report = {
+  cls : cls;
+  spectral_radius : float;
+  growth_rate : float;
+  overflow_f32 : int option;
+  overflow_f64 : int option;
+  decay_index : int option;
+  probe : int;
+}
+
+let f32_max = 3.4028234663852886e38
+let f64_max = Float.max_float
+let f32_min_normal = 1.17549435e-38
+
+let feedback_polynomial (s : float Signature.t) =
+  let fb = s.Signature.feedback in
+  let k = Array.length fb in
+  Plr_util.Poly.of_coeffs
+    (Array.init (k + 1) (fun i -> if i = k then 1.0 else -.fb.(k - 1 - i)))
+
+let spectral_radius s =
+  let p = feedback_polynomial s in
+  match Plr_util.Roots.roots p with
+  | [] -> 0.0
+  | rs -> List.fold_left (fun acc r -> Float.max acc (Complex.norm r)) 0.0 rs
+
+let classify ?(eps = 1e-2) s =
+  let rho = spectral_radius s in
+  if rho < 1.0 -. eps then Stable
+  else if rho > 1.0 +. eps then Unstable
+  else Marginal
+
+let analyze ?(eps = 1e-2) ?(probe = 512) (s : float Signature.t) =
+  let probe = max 16 probe in
+  let rho = spectral_radius s in
+  let cls =
+    if rho < 1.0 -. eps then Stable
+    else if rho > 1.0 +. eps then Unstable
+    else Marginal
+  in
+  let factors = N64.factor_lists ~feedback:s.Signature.feedback ~m:probe () in
+  let k = Array.length factors in
+  (* envelope: the dominant factor magnitude at each index *)
+  let env =
+    Array.init probe (fun q ->
+        let m = ref 0.0 in
+        for j = 0 to k - 1 do
+          m := Float.max !m (Float.abs factors.(j).(q))
+        done;
+        !m)
+  in
+  let last = probe - 1 in
+  let mid = probe / 2 in
+  let growth_rate =
+    if env.(last) = 0.0 || env.(mid) = 0.0 then
+      if env.(last) = 0.0 then 0.0 else 1.0
+    else if Float.is_nan env.(last) || env.(last) = Float.infinity then rho
+    else (env.(last) /. env.(mid)) ** (1.0 /. float_of_int (last - mid))
+  in
+  let first_above limit =
+    let idx = ref None in
+    (try
+       for q = 0 to last do
+         if (not (Float.is_finite env.(q))) || env.(q) > limit then begin
+           idx := Some q;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    match !idx with
+    | Some q -> Some q
+    | None ->
+        (* extrapolate geometrically past the probe window *)
+        if growth_rate > 1.0 +. 1e-9 && env.(last) > 0.0 then
+          Some
+            (last
+            + int_of_float
+                (Float.ceil
+                   (Float.log (limit /. env.(last)) /. Float.log growth_rate)))
+        else None
+  in
+  let decay_index =
+    if env.(last) >= f32_min_normal || not (Float.is_finite env.(last)) then None
+    else begin
+      let q = ref last in
+      while !q > 0 && env.(!q - 1) < f32_min_normal do
+        decr q
+      done;
+      Some !q
+    end
+  in
+  {
+    cls;
+    spectral_radius = rho;
+    growth_rate;
+    overflow_f32 = first_above f32_max;
+    overflow_f64 = first_above f64_max;
+    decay_index;
+    probe;
+  }
+
+let to_string = function
+  | Stable -> "stable"
+  | Marginal -> "marginal"
+  | Unstable -> "unstable"
+
+let pp_report ppf r =
+  let pp_idx ppf = function
+    | None -> Format.fprintf ppf "none"
+    | Some i -> Format.fprintf ppf "index %d" i
+  in
+  Format.fprintf ppf
+    "@[<v>class: %s@,spectral radius: %.6g@,factor growth/step: %.6g@,\
+     predicted f32 overflow: %a@,predicted f64 overflow: %a@,\
+     f32 decay (FTZ cut-off): %a@,probe length: %d@]"
+    (to_string r.cls) r.spectral_radius r.growth_rate pp_idx r.overflow_f32
+    pp_idx r.overflow_f64 pp_idx r.decay_index r.probe
