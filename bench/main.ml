@@ -8,6 +8,8 @@
      main.exe fig1 … fig10    — one figure
      main.exe tab2 tab3       — one table
      main.exe micro           — only the Bechamel wall-clock suite
+     main.exe csv [dir]       — every figure/table as CSV + BENCH_PLR.json
+     main.exe json [path]     — smoke perf suite -> BENCH_PLR.json
 *)
 
 module Spec = Plr_gpusim.Spec
@@ -54,6 +56,14 @@ let run_micro () =
   print_endline "=== micro: wall-clock Bechamel suite (OCaml implementations) ===";
   Plr_bench.Micro.run fmt
 
+(* The smoke perf suite, exported as BENCH_PLR.json so CI can archive one
+   comparable artifact per run. *)
+let run_json path =
+  let rows = Plr_bench.Perf.smoke () in
+  Plr_bench.Perf.render fmt rows;
+  Plr_bench.Perf.write_json ~path rows;
+  Printf.printf "wrote %s\n" path
+
 (* Write every figure and table as CSV for external plotting. *)
 let run_csv dir =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -71,7 +81,8 @@ let run_csv dir =
     (fun t -> write t.Series.tid (Series.table_to_csv t))
     [ Figures.fig10 spec; Tables.table2 spec; Tables.table3 spec;
       Ablation.cache_budget_sweep spec; Ablation.lookback_sweep spec;
-      Ablation.tuner_report spec; Ablation.cross_gpu () ]
+      Ablation.tuner_report spec; Ablation.cross_gpu () ];
+  run_json (Filename.concat dir "BENCH_PLR.json")
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -81,6 +92,8 @@ let () =
       run_micro ()
   | [ "csv" ] -> run_csv "bench/out"
   | [ "csv"; dir ] -> run_csv dir
+  | [ "json" ] -> run_json "BENCH_PLR.json"
+  | [ "json"; path ] -> run_json path
   | names ->
       List.iter
         (fun name ->

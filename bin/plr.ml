@@ -93,10 +93,32 @@ let time_wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let cmd_run text n backend domain opts_off =
+(* Named factor-specialization toggles, shared by `run` and `bench`.  The
+   names match the flags Opts.pp prints. *)
+let opt_names = [ "shared-cache"; "all-equal"; "zero-one"; "repeat"; "ftz" ]
+
+let set_opt (o : Plr_core.Opts.t) name v =
+  match name with
+  | "shared-cache" -> { o with Plr_core.Opts.cache_factors_in_shared = v }
+  | "all-equal" -> { o with Plr_core.Opts.specialize_all_equal = v }
+  | "zero-one" -> { o with Plr_core.Opts.specialize_zero_one = v }
+  | "repeat" -> { o with Plr_core.Opts.compress_repeating = v }
+  | "ftz" -> { o with Plr_core.Opts.flush_denormals = v }
+  | _ ->
+      failwith
+        (Printf.sprintf "unknown optimization %S (expected one of: %s)" name
+           (String.concat ", " opt_names))
+
+let opts_of_flags ~opts_off ~ons ~offs =
+  let base = if opts_off then Plr_core.Opts.all_off else Plr_core.Opts.all_on in
+  let o = List.fold_left (fun o name -> set_opt o name true) base ons in
+  List.fold_left (fun o name -> set_opt o name false) o offs
+
+let cmd_run text n backend domain opts_off ons offs =
   require_positive "-n" n;
   let s = parse_signature text in
-  let opts = if opts_off then Plr_core.Opts.all_off else Plr_core.Opts.all_on in
+  let opts = opts_of_flags ~opts_off ~ons ~offs in
+  Format.printf "opts: %a@." Plr_core.Opts.pp opts;
   let report_sim ~kind_label ~throughput ~time_s ~valid =
     Printf.printf "backend: modeled GPU (%s)\n" spec.Spec.name;
     Printf.printf "domain: %s, n = %d\n" kind_label n;
@@ -123,7 +145,7 @@ let cmd_run text n backend domain opts_off =
         ~valid:(Serial_f32.validate ~expected r.Engine_f32.output)
   | `Int is, Cpu ->
       let input = random_int_input n in
-      let output, dt = time_wall (fun () -> Multi_int.run is input) in
+      let output, dt = time_wall (fun () -> Multi_int.run ~opts is input) in
       let expected, st = time_wall (fun () -> Serial_int.full is input) in
       Printf.printf "backend: multicore CPU (%d domains)\n"
         (Domain.recommended_domain_count ());
@@ -136,7 +158,7 @@ let cmd_run text n backend domain opts_off =
   | `Float, Cpu ->
       let fs = Signature.map Plr_util.F32.round s in
       let input = random_f32_input n in
-      let output, dt = time_wall (fun () -> Multi_f32.run fs input) in
+      let output, dt = time_wall (fun () -> Multi_f32.run ~opts fs input) in
       let expected, st = time_wall (fun () -> Serial_f32.full fs input) in
       Printf.printf "backend: multicore CPU (%d domains)\n"
         (Domain.recommended_domain_count ());
@@ -157,6 +179,21 @@ let cmd_run text n backend domain opts_off =
       let _, st = time_wall (fun () -> Serial_f32.full fs input) in
       Printf.printf "serial: %.3f ms (%.2f M words/s)\n" (st *. 1e3)
         (float_of_int n /. st /. 1e6)
+
+(* --------------------------------------------------------------- bench *)
+
+let cmd_bench n reps json_path opts_off ons offs =
+  require_positive "-n" n;
+  require_positive "--reps" reps;
+  let opts = opts_of_flags ~opts_off ~ons ~offs in
+  Format.printf "opts: %a@." Plr_core.Opts.pp opts;
+  let rows = Plr_bench.Perf.smoke ~n ~reps ~opts () in
+  Plr_bench.Perf.render Format.std_formatter rows;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Plr_bench.Perf.write_json ~path rows;
+      Printf.printf "wrote %s\n" path
 
 (* ---------------------------------------------------------------- info *)
 
@@ -396,6 +433,26 @@ let n_arg =
   Arg.(value & opt int (1 lsl 20) & info [ "n" ] ~docv:"N"
          ~doc:"Input length the plan/run targets.")
 
+let opts_off_arg =
+  Arg.(value & flag & info [ "no-opts" ]
+         ~doc:"Disable every correction-factor optimization (Figure 10's \
+               baseline); individual $(b,--opt) flags re-enable on top.")
+
+let opt_doc = "shared-cache, all-equal, zero-one, repeat, ftz"
+
+let opt_on_arg =
+  Arg.(value & opt_all string [] & info [ "opt" ] ~docv:"NAME"
+         ~doc:(Printf.sprintf
+                 "Enable one factor optimization by name (repeatable): %s. \
+                  Applies to every backend."
+                 opt_doc))
+
+let opt_off_arg =
+  Arg.(value & opt_all string [] & info [ "no-opt" ] ~docv:"NAME"
+         ~doc:(Printf.sprintf
+                 "Disable one factor optimization by name (repeatable): %s."
+                 opt_doc))
+
 let wrap f =
   try `Ok (f ()) with
   | Failure m ->
@@ -427,15 +484,40 @@ let run_cmd =
          & info [ "backend" ] ~docv:"BACKEND"
              ~doc:"Execution backend: modeled GPU (sim), multicore CPU, or serial.")
   in
-  let opts_off =
-    Arg.(value & flag & info [ "no-opts" ]
-           ~doc:"Disable the correction-factor optimizations (Figure 10's baseline).")
-  in
-  let run text n backend domain opts_off =
-    wrap (fun () -> cmd_run text n backend domain opts_off)
+  let run text n backend domain opts_off ons offs =
+    wrap (fun () -> cmd_run text n backend domain opts_off ons offs)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compute a recurrence and validate against the serial code")
-    Term.(ret (const run $ signature_arg $ n_arg $ backend $ domain_arg $ opts_off))
+    Term.(
+      ret
+        (const run $ signature_arg $ n_arg $ backend $ domain_arg $ opts_off_arg
+        $ opt_on_arg $ opt_off_arg))
+
+let bench_cmd =
+  let n =
+    Arg.(value & opt int (1 lsl 18) & info [ "n" ] ~docv:"N"
+           ~doc:"Elements per suite.")
+  in
+  let reps =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"R"
+           ~doc:"Timed repetitions per variant (best-of).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the rows as machine-readable JSON to $(docv).")
+  in
+  let run n reps json opts_off ons offs =
+    wrap (fun () -> cmd_bench n reps json opts_off ons offs)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Smoke perf suite over the CPU backends: serial vs multicore vs \
+          stream on prefix-sum, order2, tuple2, and a decaying low-pass \
+          filter.  $(b,--opt)/$(b,--no-opt) select the factor \
+          specializations under test.")
+    Term.(
+      ret (const run $ n $ reps $ json $ opts_off_arg $ opt_on_arg $ opt_off_arg))
 
 let info_cmd =
   let run text n domain = wrap (fun () -> cmd_info text n domain) in
@@ -530,5 +612,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "plr" ~doc)
-          [ compile_cmd; run_cmd; info_cmd; tune_cmd; execute_cmd; check_cmd;
-            chaos_cmd ]))
+          [ compile_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd; execute_cmd;
+            check_cmd; chaos_cmd ]))

@@ -1,0 +1,150 @@
+(* Wall-clock smoke suite over the real OCaml backends, with a
+   machine-readable export (BENCH_PLR.json) for CI tracking.
+
+   Unlike {!Micro} (Bechamel, statistically careful, slow) this module is
+   deliberately cheap: best-of-[reps] wall time per (suite, variant) pair,
+   so CI can run it on every push.  The suites are chosen to exercise each
+   factor specialization of the shared {!Plr_factors.Factor_plan}:
+   prefix-sum (all-equal), order2 (dense/periodic), tuple2 (0/1
+   conditional add), lp2 (decaying float filter, FTZ tail skip). *)
+
+module Scalar = Plr_util.Scalar
+module Opts = Plr_factors.Opts
+module Si = Plr_serial.Serial.Make (Scalar.Int)
+module Sf = Plr_serial.Serial.Make (Scalar.F32)
+module Mi = Plr_multicore.Multicore.Make (Scalar.Int)
+module Mf = Plr_multicore.Multicore.Make (Scalar.F32)
+module Stream_i = Plr_multicore.Stream.Make (Scalar.Int)
+module Stream_f = Plr_multicore.Stream.Make (Scalar.F32)
+
+type row = {
+  suite : string;
+  variant : string;
+  n : int;
+  ns_per_elem : float;
+  speedup_vs_serial : float;
+}
+
+let default_n = 1 lsl 18
+
+let time_best reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* One warm-up call outside the timer so domain spawning and factor-plan
+   compilation are not charged to the first rep. *)
+let measure reps f =
+  ignore (Sys.opaque_identity (f ()));
+  time_best reps f
+
+let suite_rows ~reps suite n variants =
+  let timed = List.map (fun (name, f) -> (name, measure reps f)) variants in
+  let serial_t =
+    match List.assoc_opt "serial" timed with
+    | Some t -> t
+    | None -> invalid_arg "suite_rows: no serial variant"
+  in
+  List.map
+    (fun (variant, t) ->
+      {
+        suite;
+        variant;
+        n;
+        ns_per_elem = t *. 1e9 /. float_of_int n;
+        speedup_vs_serial = serial_t /. t;
+      })
+    timed
+
+let int_sig fwd fbk =
+  Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~feedback:fbk
+
+(* Feed the stream in 8 pieces so the boundary-correction sweep (the part
+   the factor plan accelerates) actually runs. *)
+let stream_chunks process create s x =
+  let n = Array.length x in
+  let chunk = max 1 ((n + 7) / 8) in
+  let t = create s in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    ignore (process t (Array.sub x !pos len));
+    pos := !pos + len
+  done
+
+let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) () =
+  let gi = Plr_util.Splitmix.create 91 in
+  let xi = Array.init n (fun _ -> Plr_util.Splitmix.int_in gi ~lo:(-50) ~hi:50) in
+  let gf = Plr_util.Splitmix.create 92 in
+  let xf =
+    Array.init n (fun _ -> Plr_util.Splitmix.float_in gf ~lo:(-1.0) ~hi:1.0)
+  in
+  let lp2 = Signature.map Plr_util.F32.round Table1.low_pass2.Table1.signature in
+  let int_suite name s =
+    suite_rows ~reps name n
+      [
+        ("serial", fun () -> ignore (Si.full s xi));
+        ("multicore", fun () -> ignore (Mi.run ~opts s xi));
+        ("multicore-noopt", fun () -> ignore (Mi.run ~opts:Opts.all_off s xi));
+        ( "stream",
+          fun () ->
+            stream_chunks Stream_i.process
+              (fun s -> Stream_i.create ~opts s)
+              s xi );
+      ]
+  in
+  let float_suite name s =
+    suite_rows ~reps name n
+      [
+        ("serial", fun () -> ignore (Sf.full s xf));
+        ("multicore", fun () -> ignore (Mf.run ~opts s xf));
+        ("multicore-noopt", fun () -> ignore (Mf.run ~opts:Opts.all_off s xf));
+        ( "stream",
+          fun () ->
+            stream_chunks Stream_f.process
+              (fun s -> Stream_f.create ~opts s)
+              s xf );
+      ]
+  in
+  int_suite "prefix-sum" (int_sig [| 1 |] [| 1 |])
+  @ int_suite "order2" (int_sig [| 1 |] [| 2; -1 |])
+  @ int_suite "tuple2" (int_sig [| 1 |] [| 0; 1 |])
+  @ float_suite "lp2" lp2
+
+let render fmt rows =
+  Format.fprintf fmt "@[<v>%-12s %-16s %10s %14s %10s@,"
+    "suite" "variant" "n" "ns/elem" "speedup";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-12s %-16s %10d %14.2f %9.2fx@," r.suite r.variant
+        r.n r.ns_per_elem r.speedup_vs_serial)
+    rows;
+  Format.fprintf fmt "@]@."
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let to_json rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"plr-bench-1\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"suite\": %S, \"variant\": %S, \"n\": %d, \"ns_per_elem\": \
+            %s, \"speedup_vs_serial\": %s }"
+           r.suite r.variant r.n (json_float r.ns_per_elem)
+           (json_float r.speedup_vs_serial)))
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let write_json ~path rows =
+  let oc = open_out path in
+  output_string oc (to_json rows);
+  close_out oc

@@ -1,0 +1,33 @@
+(** Cheap wall-clock smoke benchmarks over the real backends (serial,
+    multicore, stream), with a machine-readable JSON export.
+
+    This is the suite CI runs on every push (as opposed to the Bechamel
+    {!Micro} suite, which is slower and statistically careful).  The four
+    suites each exercise one specialization of the shared
+    {!Plr_factors.Factor_plan}: prefix-sum (all-equal), order2
+    (dense/periodic), tuple2 (0/1 conditional add), and lp2 (decaying
+    float filter, where the zero-tail skip pays off). *)
+
+type row = {
+  suite : string;  (** "prefix-sum", "order2", "tuple2", "lp2" *)
+  variant : string;
+      (** "serial", "multicore", "multicore-noopt", "stream" *)
+  n : int;
+  ns_per_elem : float;
+  speedup_vs_serial : float;  (** > 1 means faster than the serial code *)
+}
+
+val smoke : ?n:int -> ?reps:int -> ?opts:Plr_factors.Opts.t -> unit -> row list
+(** Run every (suite, variant) pair on [n] elements (default 2^18),
+    keeping the best of [reps] (default 3) timed runs after one warm-up.
+    [opts] (default {!Plr_factors.Opts.all_on}) is applied to the
+    "multicore" and "stream" variants; "multicore-noopt" always runs with
+    {!Plr_factors.Opts.all_off} so the delta is visible in one report. *)
+
+val render : Format.formatter -> row list -> unit
+(** Human-readable table. *)
+
+val to_json : row list -> string
+(** The BENCH_PLR.json payload: [{"schema": "plr-bench-1", "rows": [...]}]. *)
+
+val write_json : path:string -> row list -> unit

@@ -53,16 +53,16 @@ module Make (S : Plr_util.Scalar.S) = struct
     else Load (factors_name j, q)
 
   (* Statements adding list [j]'s correction term into scalar [acc]:
-     acc += factor(j, q) · carry. *)
+     acc += factor(j, q) · carry, specialized per compiled form. *)
   let correct_stmts (plan : P.t) j ~q ~carry ~acc =
-    match Sp.repr plan j with
-    | Sp.Constant c ->
+    match Sp.compiled plan j with
+    | Sp.F.All_equal c ->
         if S.is_zero c then []
         else if S.is_one c then [ Set (acc, v acc +: carry) ]
         else [ Set (acc, v acc +: (dlit c *: carry)) ]
-    | Sp.One_hot_period (p, ones) ->
+    | Sp.F.Zero_one { period = Some p; _ } ->
         let test =
-          match ones with
+          match Sp.one_positions plan j with
           | [] -> i_ 0
           | o :: rest ->
               List.fold_left
@@ -71,11 +71,12 @@ module Make (S : Plr_util.Scalar.S) = struct
                 rest
         in
         [ If (test, [ Set (acc, v acc +: carry) ]) ]
-    | Sp.Periodic_table p ->
+    | Sp.F.Repeating { period = p; _ } ->
         [ Set (acc, v acc +: (Load (factors_name j, q %: i_ p) *: carry)) ]
-    | Sp.Truncated_table z ->
+    | Sp.F.Decayed { cutoff = z; _ } ->
         [ If (q <: i_ z, [ Set (acc, v acc +: (factor_load plan j q *: carry)) ]) ]
-    | Sp.Full_table -> [ Set (acc, v acc +: (factor_load plan j q *: carry)) ]
+    | Sp.F.Zero_one { period = None; _ } | Sp.F.Dense _ ->
+        [ Set (acc, v acc +: (factor_load plan j q *: carry)) ]
 
   (* A signature-coefficient term: acc += coeff · value (suppressed when the
      generator knows the coefficient statically). *)
@@ -113,14 +114,14 @@ module Make (S : Plr_util.Scalar.S) = struct
           arr_size = chunks; arr_init = None; arr_volatile = true } ]
       @ List.filter_map
           (fun j ->
-            let elems = Sp.table_elems plan j in
-            if elems = 0 then None
-            else
-              Some
-                { arr_name = factors_name j; arr_space = Global; arr_ty = TData;
-                  arr_size = elems;
-                  arr_init = Some (Array.map to_value (Array.sub plan.P.factors.(j) 0 elems));
-                  arr_volatile = false })
+            match Sp.table plan j with
+            | None -> None
+            | Some tbl ->
+                Some
+                  { arr_name = factors_name j; arr_space = Global; arr_ty = TData;
+                    arr_size = Array.length tbl;
+                    arr_init = Some (Array.map to_value tbl);
+                    arr_volatile = false })
           (List.init k Fun.id)
     in
     let shared_arrays =

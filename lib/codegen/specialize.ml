@@ -1,48 +1,26 @@
-(** Factor-list specialization decisions shared by the CUDA emitter and the
-    VM kernel generator, so both back ends compile the same §3.1 choices. *)
-
-module Analysis = Plr_nnacci.Analysis
+(** Factor-list specialization views shared by the CUDA emitter and the VM
+    kernel generator — thin accessors over the backend-agnostic compiled
+    factor plan ({!Plr_factors.Factor_plan}), so both back ends compile the
+    same §3.1 choices the GPU model charges and the CPU backends execute. *)
 
 module Make (S : Plr_util.Scalar.S) = struct
   module P = Plr_core.Plan.Make (S)
+  module F = P.F
 
-  module A = Analysis.Make (S)
+  let compiled (plan : P.t) j = plan.P.fplan.F.compiled.(j)
 
-  let zero_one_period = A.zero_one_period
-  let one_positions = A.one_positions
+  let table (plan : P.t) j = F.table plan.P.fplan j
 
-  (* What section 1 emits for a factor list. *)
-  type factor_repr =
-    | Constant of S.t
-    | One_hot_period of int * int list  (** period, positions of ones *)
-    | Periodic_table of int
-    | Truncated_table of int
-    | Full_table
+  let table_elems (plan : P.t) j = F.table_elems plan.P.fplan j
 
-  let repr (plan : P.t) j =
-    match P.effective_analysis plan j with
-    | Analysis.All_equal c -> Constant c
-    | Analysis.Zero_one -> (
-        let l = plan.P.factors.(j) in
-        match zero_one_period l with
-        | Some p -> One_hot_period (p, one_positions l p)
-        | None -> Full_table)
-    | Analysis.Repeating p -> Periodic_table p
-    | Analysis.Decays_to_zero z -> Truncated_table z
-    | Analysis.General -> Full_table
+  let one_positions (plan : P.t) j = F.one_positions plan.P.fplan j
 
-  (* Elements of list [j] stored in device memory under this repr. *)
-  let table_elems (plan : P.t) j =
-    match repr plan j with
-    | Constant _ | One_hot_period _ -> 0
-    | Periodic_table p -> p
-    | Truncated_table z -> z
-    | Full_table -> plan.P.m
-
-  (* Elements of list [j] buffered in the shared-memory cache. *)
+  (* Elements of list [j] buffered in the shared-memory cache.  Forms that
+     fold into code or into a tiny period keep nothing in shared memory. *)
   let cached_elems (plan : P.t) j =
-    match repr plan j with
-    | Constant _ | One_hot_period _ | Periodic_table _ -> 0
-    | Truncated_table z -> min z plan.P.shared_cache_elems
-    | Full_table -> min plan.P.m plan.P.shared_cache_elems
+    match compiled plan j with
+    | F.All_equal _ | F.Zero_one { period = Some _; _ } | F.Repeating _ -> 0
+    | F.Decayed { cutoff; _ } -> min cutoff plan.P.shared_cache_elems
+    | F.Zero_one { period = None; _ } | F.Dense _ ->
+        min plan.P.m plan.P.shared_cache_elems
 end

@@ -1,29 +1,26 @@
-(** Factor-list specialization decisions (paper §3.1), shared by the CUDA
+(** Factor-list specialization views (paper §3.1), shared by the CUDA
     emitter and the VM kernel generator so both back ends compile identical
-    choices. *)
-
-module Analysis = Plr_nnacci.Analysis
+    choices.  The decisions themselves live in the backend-agnostic
+    {!Plr_factors.Factor_plan} carried by the plan; this module only adds
+    the code-generation-specific shared-cache sizing. *)
 
 module Make (S : Plr_util.Scalar.S) : sig
   module P : module type of Plr_core.Plan.Make (S)
+  module F : module type of Plr_factors.Factor_plan.Make (S)
 
-  val zero_one_period : S.t array -> int option
-  (** Smallest period (≤ 64) of a 0/1 factor list, foldable into a modulo
-      test. *)
+  val compiled : P.t -> int -> F.compiled
+  (** The compiled form of factor list [j] — what section 1 emits. *)
 
-  val one_positions : S.t array -> int -> int list
-  (** Indices within one period whose factor is 1. *)
+  val table : P.t -> int -> S.t array option
+  (** The device-resident factor table of list [j] ([None] when the
+      compiled form folds into code). *)
 
-  type factor_repr =
-    | Constant of S.t                   (** all factors equal; array suppressed *)
-    | One_hot_period of int * int list  (** 0/1 with period and one-positions *)
-    | Periodic_table of int             (** store one period *)
-    | Truncated_table of int            (** store the live prefix (FTZ decay) *)
-    | Full_table
-
-  val repr : P.t -> int -> factor_repr
   val table_elems : P.t -> int -> int
-  (** Factors of list [j] stored in device memory under this repr. *)
+  (** Factors of list [j] stored in device memory under the compiled form. *)
+
+  val one_positions : P.t -> int -> int list
+  (** For a short-period 0/1 list: indices within one period whose factor
+      is 1. *)
 
   val cached_elems : P.t -> int -> int
   (** Factors of list [j] buffered in the shared-memory cache. *)

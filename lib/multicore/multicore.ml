@@ -6,9 +6,16 @@ exception Fault_detected of string
    publication that was dropped: the real protocol would spin on it
    forever, so the deterministic pipeline fails loudly instead. *)
 
+module Opts = Plr_factors.Opts
+
 module Make (S : Plr_util.Scalar.S) = struct
   module Serial = Plr_serial.Serial.Make (S)
-  module Nnacci = Plr_nnacci.Nnacci.Make (S)
+  module FP = Plr_factors.Factor_plan.Make (S)
+
+  (* CPU chunks are orders of magnitude longer than a GPU block's, so the
+     O(m·period) repetition search is bounded; 64 matches the longest 0/1
+     period the code generator folds. *)
+  let cpu_max_period = 64
 
   (* Run [f lo hi] over [0, n) split into [parts] ranges, in parallel.
 
@@ -61,8 +68,8 @@ module Make (S : Plr_util.Scalar.S) = struct
      the original for every scalar domain. *)
   let corrupt v = S.add (S.mul v (S.of_int 3)) (S.of_int 41)
 
-  let run_with ?(faults = Faults.none) ~domains ~chunk_size (s : S.t Signature.t)
-      input =
+  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ~domains ~chunk_size
+      (s : S.t Signature.t) input =
     let n = Array.length input in
     if n = 0 then [||]
     else begin
@@ -104,7 +111,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       (* Sequential carry propagation: global carries per chunk.  Carry j
          of chunk c is element (len-1-j); factors at positions m-1-j
          correct the next chunk's carries (Phase 2's look-back math). *)
-      let factors = Nnacci.factor_lists ~feedback ~m () in
+      let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
       let local_carries c =
         let len = chunk_len c in
         Array.init k (fun j -> if len - 1 - j >= 0 then y.((c * m) + len - 1 - j) else S.zero)
@@ -128,7 +135,7 @@ module Make (S : Plr_util.Scalar.S) = struct
                 let q = m - 1 - j in
                 let acc = ref local.(j) in
                 for j' = 0 to k - 1 do
-                  acc := S.add !acc (S.mul factors.(j').(q) g_prev.(j'))
+                  acc := FP.correct fp ~j:j' ~q ~carry:g_prev.(j') ~acc:!acc
                 done;
                 !acc)
         end;
@@ -145,18 +152,16 @@ module Make (S : Plr_util.Scalar.S) = struct
         end
       done;
       (* Parallel correction pass: chunk c (c ≥ 1) applies the global
-         carries of chunk c-1 with the per-position factors. *)
+         carries of chunk c-1 with the per-position factors, one specialized
+         whole-list sweep per factor list (all-equal folding, 0/1
+         conditional add, decayed-tail skip — paper §3.1 on the CPU). *)
       let correct_chunk c =
         if c >= 1 then begin
           let g = globals.(c - 1) in
           let len = chunk_len c in
           let base = c * m in
-          for q = 0 to len - 1 do
-            let acc = ref y.(base + q) in
-            for j = 0 to k - 1 do
-              acc := S.add !acc (S.mul factors.(j).(q) g.(j))
-            done;
-            y.(base + q) <- !acc
+          for j = 0 to k - 1 do
+            FP.apply_list fp ~j ~carry:g.(j) y ~base ~len
           done
         end
       in
@@ -170,7 +175,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       y
     end
 
-  let run ?faults ?domains ?chunk_size s input =
+  let run ?opts ?faults ?domains ?chunk_size s input =
     let domains =
       match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
     in
@@ -179,9 +184,10 @@ module Make (S : Plr_util.Scalar.S) = struct
       | Some c -> max 1 c
       | None -> default_chunk_size ~domains (Array.length input)
     in
-    run_with ?faults ~domains ~chunk_size s input
+    run_with ?opts ?faults ~domains ~chunk_size s input
 
-  let run_sequential_fallback s input =
-    run_with ~domains:1 ~chunk_size:(default_chunk_size ~domains:4 (Array.length input))
+  let run_sequential_fallback ?opts s input =
+    run_with ?opts ~domains:1
+      ~chunk_size:(default_chunk_size ~domains:4 (Array.length input))
       s input
 end

@@ -14,7 +14,13 @@
       corrected into global carries using the last k n-nacci correction
       factors, exactly like Phase 2's look-back;
     - pass 2 (parallel): every chunk applies its predecessor's global
-      carries with the per-position correction factors. *)
+      carries with the per-position correction factors.
+
+    The correction factors are compiled once per run through the shared
+    {!Plr_factors.Factor_plan}, so the CPU hot path inherits the paper's
+    §3.1 specializations (all-equal folding, 0/1 conditional add,
+    decayed-tail skipping) under the same {!Plr_factors.Opts} toggles as
+    the GPU model. *)
 
 module Faults = Plr_gpusim.Faults
 
@@ -26,11 +32,14 @@ exception Fault_detected of string
 
 module Make (S : Plr_util.Scalar.S) : sig
   val run :
+    ?opts:Plr_factors.Opts.t ->
     ?faults:Faults.plan ->
     ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
   (** [run s x] computes the recurrence in parallel.  [domains] defaults to
       [Domain.recommended_domain_count ()]; [chunk_size] defaults to a
-      size that gives each domain several chunks.
+      size that gives each domain several chunks.  [opts] (default
+      {!Plr_factors.Opts.all_on}) selects the factor specializations
+      applied during the correction pass.
 
       [faults] (default {!Faults.none}) injects deterministic perturbations
       into the chunk pipeline for the chaos harness: with a non-empty plan
@@ -41,7 +50,8 @@ module Make (S : Plr_util.Scalar.S) : sig
       the code path — and therefore the parallel execution — is exactly the
       unfaulted algorithm. *)
 
-  val run_sequential_fallback : S.t Signature.t -> S.t array -> S.t array
+  val run_sequential_fallback :
+    ?opts:Plr_factors.Opts.t -> S.t Signature.t -> S.t array -> S.t array
   (** The same chunked algorithm executed on one domain — used by the guard
       (and by tests) to separate algorithmic correctness from scheduling. *)
 end

@@ -1,6 +1,6 @@
 module Make (S : Plr_util.Scalar.S) = struct
   module Multicore = Multicore.Make (S)
-  module Nnacci = Plr_nnacci.Nnacci.Make (S)
+  module FP = Plr_factors.Factor_plan.Make (S)
 
   type t = {
     signature : S.t Signature.t;
@@ -8,13 +8,14 @@ module Make (S : Plr_util.Scalar.S) = struct
     k : int;
     taps : int;
     domains : int option;
+    opts : Plr_factors.Opts.t;
     mutable carries : S.t array;     (* carry j = j-th from last output *)
     mutable input_tail : S.t array;  (* last taps-1 inputs, most recent last *)
-    mutable factors : S.t array array; (* k lists, grown on demand *)
+    mutable fplan : FP.t option;     (* compiled factor plan, grown on demand *)
     mutable started : bool;
   }
 
-  let create ?domains (signature : S.t Signature.t) =
+  let create ?domains ?(opts = Plr_factors.Opts.all_on) (signature : S.t Signature.t) =
     let k = Signature.order signature in
     let _, pure = Signature.split ~one:S.one signature in
     {
@@ -23,9 +24,10 @@ module Make (S : Plr_util.Scalar.S) = struct
       k;
       taps = Signature.fir_taps signature;
       domains;
+      opts;
       carries = Array.make k S.zero;
       input_tail = Array.make (max 0 (Signature.fir_taps signature - 1)) S.zero;
-      factors = [||];
+      fplan = None;
       started = false;
     }
 
@@ -36,12 +38,14 @@ module Make (S : Plr_util.Scalar.S) = struct
     t.input_tail <- Array.make (max 0 (t.taps - 1)) S.zero;
     t.started <- false
 
-  let ensure_factors t len =
-    let have = if Array.length t.factors = 0 then 0 else Array.length t.factors.(0) in
+  let ensure_plan t len =
+    let have = match t.fplan with None -> 0 | Some fp -> fp.FP.m in
     if len > have then
-      t.factors <-
-        Nnacci.factor_lists ~feedback:t.signature.Signature.feedback
-          ~m:(max len (2 * max 1 have)) ()
+      t.fplan <-
+        Some
+          (FP.of_feedback ~opts:t.opts ~max_period:64
+             ~feedback:t.signature.Signature.feedback
+             ~m:(max len (2 * max 1 have)) ())
 
   (* FIR with the saved input history standing in for x(i < 0 of this
      chunk). *)
@@ -75,17 +79,17 @@ module Make (S : Plr_util.Scalar.S) = struct
     else begin
       let tseq = fir_with_history t x in
       (* local parallel solve of the pure recurrence *)
-      let y = Multicore.run ?domains:t.domains t.pure tseq in
-      (* correct with the carries from everything processed so far *)
+      let y = Multicore.run ~opts:t.opts ?domains:t.domains t.pure tseq in
+      (* correct with the carries from everything processed so far, one
+         specialized whole-list sweep per factor list *)
       if t.started then begin
-        ensure_factors t n;
-        for q = 0 to n - 1 do
-          let acc = ref y.(q) in
-          for j = 0 to t.k - 1 do
-            acc := S.add !acc (S.mul t.factors.(j).(q) t.carries.(j))
-          done;
-          y.(q) <- !acc
-        done
+        ensure_plan t n;
+        match t.fplan with
+        | None -> assert false (* ensure_plan always installs a plan *)
+        | Some fp ->
+            for j = 0 to t.k - 1 do
+              FP.apply_list fp ~j ~carry:t.carries.(j) y ~base:0 ~len:n
+            done
       end;
       (* save the new state *)
       t.carries <-

@@ -33,14 +33,19 @@ module Make (S : Plr_util.Scalar.S) = struct
     Array.for_all (fun f -> S.is_zero f || S.is_one f) factors
 
   (* Smallest period p (1 ≤ p < n) such that factors.(i) = factors.(i mod p).
-     Periods of 1 are reported as All_equal instead. *)
-  let period factors =
+     Periods of 1 are reported as All_equal instead.  [max_period] caps the
+     search: the worst case is O(n·max_period), so callers analyzing very
+     long lists (CPU chunk sizes) bound it. *)
+  let period ?max_period factors =
     let n = Array.length factors in
+    let cap =
+      match max_period with Some c -> min c (n / 2) | None -> n / 2
+    in
     let holds p =
       let rec loop i = i >= n || (S.equal factors.(i) factors.(i - p) && loop (i + 1)) in
       loop p
     in
-    let rec search p = if p > n / 2 then None else if holds p then Some p else search (p + 1) in
+    let rec search p = if p > cap then None else if holds p then Some p else search (p + 1) in
     search 2
 
   (* Smallest index z such that factors.(i) = 0 for all i ≥ z, provided the
@@ -53,20 +58,20 @@ module Make (S : Plr_util.Scalar.S) = struct
     let z = last_nonzero (n - 1) + 1 in
     if z < n then Some z else None
 
-  let analyze factors =
+  let analyze ?max_period factors =
     match all_equal factors with
     | Some v -> All_equal v
     | None ->
         if zero_one factors then Zero_one
         else (
-          match period factors with
+          match period ?max_period factors with
           | Some p -> Repeating p
           | None -> (
               match zero_from factors with
               | Some z when z <= Array.length factors / 2 -> Decays_to_zero z
               | Some _ | None -> General))
 
-  let analyze_all lists = Array.map analyze lists
+  let analyze_all ?max_period lists = Array.map (analyze ?max_period) lists
 
   let zero_one_period (l : S.t array) =
     let n = Array.length l in

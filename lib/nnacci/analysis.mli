@@ -25,10 +25,13 @@ val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
 val to_string : ('a -> string) -> 'a t -> string
 
 module Make (S : Plr_util.Scalar.S) : sig
-  val analyze : S.t array -> S.t t
-  (** Analyze one factor list.  The empty list is [All_equal S.zero]. *)
+  val analyze : ?max_period:int -> S.t array -> S.t t
+  (** Analyze one factor list.  The empty list is [All_equal S.zero].
+      [max_period] bounds the repetition search (default: half the list
+      length, the longest detectable period); the search is O(n·period) in
+      the worst case, so callers with very long lists pass a small bound. *)
 
-  val analyze_all : S.t array array -> S.t t array
+  val analyze_all : ?max_period:int -> S.t array array -> S.t t array
 
   val zero_one_period : S.t array -> int option
   (** Smallest period (≤ 64) of a 0/1 list — foldable into a compile-time

@@ -28,7 +28,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       | Analysis.Repeating _ | Analysis.Decays_to_zero _ | Analysis.General -> false
     in
     let live_factors =
-      match plan.P.zero_tail with Some z -> min z plan.P.m | None -> plan.P.m
+      match P.zero_tail plan with Some z -> min z plan.P.m | None -> plan.P.m
     in
     (* Fraction of factor loads that miss the shared-memory cache. *)
     let uncached_fraction =
@@ -49,7 +49,7 @@ module Make (S : Plr_util.Scalar.S) = struct
         then odd_tuple_penalty
         else 1.0
       else
-        match plan.P.zero_tail with
+        match P.zero_tail plan with
         | Some _ ->
             (* Decayed filter factors: corrections confined to the short
                live prefix.  Higher orders keep more factors alive and

@@ -158,7 +158,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     let factor_base, local_base, global_base, flag_base = alloc_aux dev plan in
     let k = plan.P.order in
     let c = plan.P.lookback_window in
-    let ctx = { K.dev; plan; factor_base; input_base = Buf.base inbuf } in
+    let ctx = K.make_ctx ~dev ~plan ~factor_base ~input_base:(Buf.base inbuf) in
     let chunks = P.num_chunks plan in
     let locals = Array.make chunks [||] in
     let globals = Array.make chunks [||] in
@@ -327,7 +327,7 @@ module Make (S : Plr_util.Scalar.S) = struct
        below because its cost varies per block). *)
     let probe ~b ~len =
       let dev = Device.create spec in
-      let ctx = { K.dev; plan; factor_base = 0; input_base = 0 } in
+      let ctx = K.make_ctx ~dev ~plan ~factor_base:0 ~input_base:0 in
       let input = Array.make (min plan.P.m len + plan.P.m) S.zero in
       let work = Array.make plan.P.m S.zero in
       let locals = Array.make (max 1 (b + 1)) [||] in
@@ -359,7 +359,7 @@ module Make (S : Plr_util.Scalar.S) = struct
        correct_carries). *)
     let combine_cost =
       let dev = Device.create spec in
-      let ctx = { K.dev; plan; factor_base = 0; input_base = 0 } in
+      let ctx = K.make_ctx ~dev ~plan ~factor_base:0 ~input_base:0 in
       Device.flag_poll dev;
       for _ = 1 to k do
         Device.read dev Device.Aux ~addr:0 ~bytes:S.bytes

@@ -9,61 +9,40 @@ module Make (S : Plr_util.Scalar.S) = struct
     plan : P.t;
     factor_base : int;
     input_base : int;
+    fhooks : P.F.hooks;
   }
 
-  (* Charge the cost of loading factor element [q'] of list [j]: a shared-
-     memory read when it falls inside the cached prefix, otherwise a global
-     (L2-resident) load. *)
-  let charge_factor_load ctx j q' =
-    let plan = ctx.plan in
-    if q' < plan.P.shared_cache_elems then Device.shared_read ctx.dev
-    else
-      Device.read ctx.dev Device.Aux
-        ~addr:(ctx.factor_base + (((j * plan.P.m) + q') * S.bytes))
-        ~bytes:S.bytes
+  (* The hooks charge the operation mix of the specialized code against the
+     device: a factor load is a shared-memory read when it falls inside the
+     cached prefix, otherwise a global (L2-resident) load.  Built once per
+     context so the per-term correction allocates nothing. *)
+  let make_ctx ~dev ~(plan : P.t) ~factor_base ~input_base =
+    let on_load ~j ~q =
+      if q < plan.P.shared_cache_elems then Device.shared_read dev
+      else
+        Device.read dev Device.Aux
+          ~addr:(factor_base + (((j * plan.P.m) + q) * S.bytes))
+          ~bytes:S.bytes
+    in
+    {
+      dev;
+      plan;
+      factor_base;
+      input_base;
+      fhooks =
+        {
+          P.F.on_load;
+          on_add = (fun () -> Device.add_op dev);
+          on_mul = (fun () -> Device.mul_op dev);
+          on_select = (fun () -> Device.select_op dev);
+        };
+    }
 
   (* [correct_term ctx j q acc carry] returns [acc + factors.(j).(q)·carry],
      charging the operation mix of the specialized code the generator emits
-     for list [j] (paper §3.1). *)
+     for list [j] (paper §3.1) through the context's hooks. *)
   let correct_term ctx j q acc carry =
-    let dev = ctx.dev in
-    let plan = ctx.plan in
-    match P.effective_analysis plan j with
-    | Analysis.All_equal f ->
-        (* The factor array is suppressed; the constant is in the code. *)
-        if S.is_zero f then acc
-        else if S.is_one f then begin
-          Device.add_op dev;
-          S.add acc carry
-        end
-        else begin
-          Device.mul_op dev;
-          Device.add_op dev;
-          S.add acc (S.mul f carry)
-        end
-    | Analysis.Zero_one ->
-        (* Conditional add: the 0/1 pattern is compiled into predicated
-           code, so no multiply and no factor load. *)
-        Device.select_op dev;
-        if S.is_one plan.P.factors.(j).(q) then S.add acc carry else acc
-    | Analysis.Repeating p ->
-        charge_factor_load ctx j (q mod p);
-        Device.mul_op dev;
-        Device.add_op dev;
-        S.add acc (S.mul plan.P.factors.(j).(q) carry)
-    | Analysis.Decays_to_zero z ->
-        if q >= z then acc (* term suppressed: the factor is exactly zero *)
-        else begin
-          charge_factor_load ctx j q;
-          Device.mul_op dev;
-          Device.add_op dev;
-          S.add acc (S.mul plan.P.factors.(j).(q) carry)
-        end
-    | Analysis.General ->
-        charge_factor_load ctx j q;
-        Device.mul_op dev;
-        Device.add_op dev;
-        S.add acc (S.mul plan.P.factors.(j).(q) carry)
+    P.F.correct ~hooks:ctx.fhooks ctx.plan.P.fplan ~j ~q ~carry ~acc
 
   (* Multiply-accumulate against a signature coefficient, suppressing terms
      the code generator would not emit. *)
@@ -147,7 +126,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       let sc_start = !base + group in
       let sc_avail = min group (len - sc_start) in
       let limit =
-        match plan.P.zero_tail with
+        match P.zero_tail plan with
         | Some z -> min sc_avail z
         | None -> sc_avail
       in
@@ -191,7 +170,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     let plan = ctx.plan in
     let k = plan.P.order in
     let limit =
-      match plan.P.zero_tail with Some z -> min len z | None -> len
+      match P.zero_tail plan with Some z -> min len z | None -> len
     in
     for q = 0 to limit - 1 do
       let acc = ref work.(q) in

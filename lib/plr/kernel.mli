@@ -18,7 +18,16 @@ module Make (S : Plr_util.Scalar.S) : sig
     plan : P.t;
     factor_base : int;  (** device address of the factor tables *)
     input_base : int;   (** device address of the input buffer *)
+    fhooks : P.F.hooks;
+        (** factor-plan hooks charging the device counters; built by
+            {!make_ctx} *)
   }
+
+  val make_ctx :
+    dev:Device.t -> plan:P.t -> factor_base:int -> input_base:int -> ctx
+  (** Build a kernel context whose hooks charge factor loads (shared-memory
+      read inside the cached prefix, global read otherwise) and arithmetic
+      against [dev]. *)
 
   val fir_chunk :
     ctx -> input:S.t array -> start:int -> work:S.t array -> len:int -> unit

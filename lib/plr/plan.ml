@@ -2,8 +2,7 @@ module Analysis = Plr_nnacci.Analysis
 module Spec = Plr_gpusim.Spec
 
 module Make (S : Plr_util.Scalar.S) = struct
-  module Nnacci = Plr_nnacci.Nnacci.Make (S)
-  module A = Analysis.Make (S)
+  module F = Plr_factors.Factor_plan.Make (S)
 
   type t = {
     signature : S.t Signature.t;
@@ -15,9 +14,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     regs_per_thread : int;
     grid_blocks : int;
     lookback_window : int;
-    factors : S.t array array;
-    analyses : S.t Analysis.t array;
-    zero_tail : int option;
+    fplan : F.t;
     shared_cache_elems : int;
     opts : Opts.t;
   }
@@ -49,30 +46,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     let regs_per_thread = registers_for signature in
     let grid_blocks = Spec.resident_blocks spec ~threads_per_block ~regs_per_thread in
     let m = threads_per_block * x in
-    let flush = opts.Opts.flush_denormals && S.kind = Plr_util.Scalar.Floating in
-    (* Correction factors are precomputed offline on the host (paper §3):
-       integer factors with the target's wrap-around arithmetic, floating
-       factors in double precision before conversion to the device type —
-       so a decaying sequence's tail converts to exact zeros under FTZ
-       instead of hovering at the denormal threshold. *)
-    let factors =
-      match S.kind with
-      | Plr_util.Scalar.Integer ->
-          Nnacci.factor_lists ~feedback:signature.feedback ~m ()
-      | Plr_util.Scalar.Floating when S.exact_f64_embedding ->
-          let module N64 = Plr_nnacci.Nnacci.Make (Plr_util.Scalar.F64) in
-          let fb64 = Array.map S.to_float signature.feedback in
-          let convert v =
-            let r = S.of_float v in
-            if flush then S.flush_denormal r else r
-          in
-          Array.map (Array.map convert) (N64.factor_lists ~feedback:fb64 ~m ())
-      | Plr_util.Scalar.Floating ->
-          (* semiring scalars: generate with the semiring's own operations *)
-          Nnacci.factor_lists ~feedback:signature.feedback ~m ()
-    in
-    let analyses = A.analyze_all factors in
-    let zero_tail = if opts.Opts.flush_denormals then A.zero_tail analyses else None in
+    let fplan = F.of_feedback ~opts ~feedback:signature.feedback ~m () in
     let shared_cache_elems =
       if opts.Opts.cache_factors_in_shared then begin
         (* Clamp the per-list budget so k cached lists (plus slack for the
@@ -94,9 +68,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       regs_per_thread;
       grid_blocks;
       lookback_window;
-      factors;
-      analyses;
-      zero_tail;
+      fplan;
       shared_cache_elems;
       opts;
     }
@@ -117,33 +89,11 @@ module Make (S : Plr_util.Scalar.S) = struct
     let start = c * t.m in
     min t.m (t.n - start)
 
-  let effective_analysis t j =
-    let a = t.analyses.(j) in
-    let o = t.opts in
-    match a with
-    | Analysis.All_equal _ -> if o.Opts.specialize_all_equal then a else Analysis.General
-    | Analysis.Zero_one -> if o.Opts.specialize_zero_one then a else Analysis.General
-    | Analysis.Repeating _ -> if o.Opts.compress_repeating then a else Analysis.General
-    | Analysis.Decays_to_zero _ -> if o.Opts.flush_denormals then a else Analysis.General
-    | Analysis.General -> a
-
-  let factor_table_bytes t =
-    let list_elems j =
-      match effective_analysis t j with
-      | Analysis.All_equal _ -> 0
-      | Analysis.Repeating p -> p
-      | Analysis.Decays_to_zero z -> z
-      | Analysis.Zero_one -> (
-          (* a short 0/1 period compiles into a conditional-add pattern with
-             no stored table (§3.1) *)
-          match A.zero_one_period t.factors.(j) with Some _ -> 0 | None -> t.m)
-      | Analysis.General -> t.m
-    in
-    let elems = ref 0 in
-    for j = 0 to t.order - 1 do
-      elems := !elems + list_elems j
-    done;
-    !elems * S.bytes
+  let factors t = t.fplan.F.raw
+  let analyses t = t.fplan.F.analyses
+  let zero_tail t = t.fplan.F.zero_tail
+  let effective_analysis t j = F.effective t.fplan j
+  let factor_table_bytes t = F.table_bytes t.fplan
 
   let pp_summary fmt t =
     Format.fprintf fmt
@@ -153,6 +103,6 @@ module Make (S : Plr_util.Scalar.S) = struct
       t.order t.n t.x t.m t.threads_per_block t.regs_per_thread t.grid_blocks
       t.lookback_window
       (String.concat "; "
-         (Array.to_list (Array.map (Analysis.to_string S.to_string) t.analyses)))
-      (match t.zero_tail with None -> "none" | Some z -> string_of_int z)
+         (Array.to_list (Array.map (Analysis.to_string S.to_string) (analyses t))))
+      (match zero_tail t with None -> "none" | Some z -> string_of_int z)
 end

@@ -1,11 +1,14 @@
 (** A compiled execution plan for one recurrence on one device — the result
     of PLR's compilation heuristics (paper §3): chunk size, per-thread grain,
-    register allocation, precomputed correction-factor tables, and the
-    specialization decisions derived from factor analysis. *)
+    register allocation, and the shared compiled factor plan
+    ({!Plr_factors.Factor_plan}) holding the precomputed correction-factor
+    tables and the specialization decisions. *)
 
 module Analysis = Plr_nnacci.Analysis
 
 module Make (S : Plr_util.Scalar.S) : sig
+  module F : module type of Plr_factors.Factor_plan.Make (S)
+
   type t = {
     signature : S.t Signature.t;
     order : int;                (** k *)
@@ -16,10 +19,7 @@ module Make (S : Plr_util.Scalar.S) : sig
     regs_per_thread : int;      (** 32, or 64 for complex integer signatures *)
     grid_blocks : int;          (** blocks the device can run concurrently (the paper's T) *)
     lookback_window : int;      (** maximum pipeline depth c (32) *)
-    factors : S.t array array;  (** k lists of m correction factors *)
-    analyses : S.t Analysis.t array;
-    zero_tail : int option;
-        (** corrections past this index are suppressed (FTZ optimization) *)
+    fplan : F.t;                (** the compiled factor plan (k lists of m factors) *)
     shared_cache_elems : int;   (** factors per list buffered in shared memory *)
     opts : Opts.t;
   }
@@ -43,6 +43,15 @@ module Make (S : Plr_util.Scalar.S) : sig
 
   val chunk_len : t -> int -> int
   (** Length of chunk [c] (the last chunk may be partial). *)
+
+  val factors : t -> S.t array array
+  (** The uncompressed k lists of m correction factors ([fplan.raw]). *)
+
+  val analyses : t -> S.t Analysis.t array
+  (** Raw per-list analyses, before option gating ([fplan.analyses]). *)
+
+  val zero_tail : t -> int option
+  (** Corrections past this index are suppressed (FTZ optimization). *)
 
   val effective_analysis : t -> int -> S.t Analysis.t
   (** The analysis of list [j] as the optimizer is allowed to see it —

@@ -80,9 +80,11 @@ module Make (S : Plr_util.Scalar.S) : sig
       heuristics choose the shape. *)
 
   val multicore_runner :
-    ?faults:Faults.plan -> ?domains:int -> ?chunk_size:int -> unit -> runner
+    ?opts:Plr_core.Opts.t -> ?faults:Faults.plan -> ?domains:int ->
+    ?chunk_size:int -> unit -> runner
 
-  val stream_runner : ?domains:int -> buffer:int -> unit -> runner
+  val stream_runner :
+    ?domains:int -> ?opts:Plr_core.Opts.t -> buffer:int -> unit -> runner
   (** Feeds the input through {!Plr_multicore.Stream} in [buffer]-sized
       chunks and concatenates the results. *)
 

@@ -40,15 +40,15 @@ let example_plan () =
 
 let example_ctx () =
   let plan = example_plan () in
-  ({ K.dev = Device.create spec; plan; factor_base = 0; input_base = 0 }, plan)
+  (K.make_ctx ~dev:(Device.create spec) ~plan ~factor_base:0 ~input_base:0, plan)
 
 let test_example_factors () =
   let plan = example_plan () in
   check_int "order" 2 plan.P.order;
   check_int "m" 8 plan.P.m;
   (* Correction-factor lists from §2.3. *)
-  check_ints "list 1" [| 2; 3; 4; 5; 6; 7; 8; 9 |] plan.P.factors.(0);
-  check_ints "list 2" [| -1; -2; -3; -4; -5; -6; -7; -8 |] plan.P.factors.(1)
+  check_ints "list 1" [| 2; 3; 4; 5; 6; 7; 8; 9 |] (P.factors plan).(0);
+  check_ints "list 2" [| -1; -2; -3; -4; -5; -6; -7; -8 |] (P.factors plan).(1)
 
 (* Phase 1 on the whole 20-element sequence chunk by chunk, checking the
    paper's printed intermediate state after each iteration.  Chunk
@@ -297,6 +297,58 @@ let test_predict_matches_run_float () =
       Alcotest.check workload_testable entry.Table1.name predicted result.Ef.workload)
     Table1.float_entries
 
+(* ------------------------------------------- pinned device counters *)
+
+(* The exact per-op device counters of the default (all-on) path, captured
+   before the factor pipeline moved into Plr_factors.Factor_plan.  Any
+   refactor of the factor/specialization machinery must reproduce these
+   bit-for-bit: the GPU model's counter stream is part of the contract. *)
+let counters_to_string (c : Counters.t) =
+  Printf.sprintf
+    "main_r=%d main_w=%d aux_r=%d aux_w=%d sh_r=%d sh_w=%d shfl=%d adds=%d \
+     muls=%d sel=%d atomics=%d polls=%d fences=%d"
+    c.Counters.main_read_words c.Counters.main_write_words
+    c.Counters.aux_read_words c.Counters.aux_write_words c.Counters.shared_reads
+    c.Counters.shared_writes c.Counters.shuffles c.Counters.adds c.Counters.muls
+    c.Counters.selects c.Counters.atomics c.Counters.flag_polls c.Counters.fences
+
+let test_pinned_counters_int () =
+  let check (name, signature, n, expected) =
+    let gen = Plr_util.Splitmix.create 4242 in
+    let input = Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-50) ~hi:50) in
+    let r = E.run ~spec signature input in
+    Alcotest.(check string) name expected (counters_to_string r.E.counters)
+  in
+  List.iter check
+    [ ( "prefix sum n=5000", int_sig [| 1 |] [| 1 |], 5000,
+        "main_r=5000 main_w=5000 aux_r=10 aux_w=20 sh_r=12312 sh_w=152 \
+         shfl=12492 adds=28786 muls=0 sel=0 atomics=5 polls=10 fences=10" );
+      ( "order2 n=40000", int_sig [| 1 |] [| 2; -1 |], 40000,
+        "main_r=40000 main_w=40000 aux_r=38056 aux_w=120 sh_r=537088 sh_w=1210 \
+         shfl=100000 adds=495372 muls=495372 sel=0 atomics=20 polls=190 fences=40" );
+      ( "tuple2 n=33000", int_sig [| 1 |] [| 0; 1 |], 33000,
+        "main_r=33000 main_w=33000 aux_r=994 aux_w=198 sh_r=164464 sh_w=1998 \
+         shfl=148484 adds=0 muls=0 sel=378760 atomics=33 polls=497 fences=66" );
+      ( "fir order2 n=9000", int_sig [| 2; 1 |] [| 1; 1 |], 9000,
+        "main_r=9008 main_w=9000 aux_r=72 aux_w=54 sh_r=145476 sh_w=546 \
+         shfl=40484 adds=119011 muls=110012 sel=0 atomics=9 polls=36 fences=18" ) ]
+
+let test_pinned_counters_float () =
+  let check (name, text, n, expected) =
+    let s = Signature.map Plr_util.F32.round (Parse.signature_exn text) in
+    let gen = Plr_util.Splitmix.create 4242 in
+    let input = Array.init n (fun _ -> Plr_util.Splitmix.float_in gen ~lo:(-1.0) ~hi:1.0) in
+    let r = Ef.run ~spec s input in
+    Alcotest.(check string) name expected (counters_to_string r.Ef.counters)
+  in
+  List.iter check
+    [ ( "lp2 n=50000", "(0.04: 1.6, -0.64)", 50000,
+        "main_r=50000 main_w=50000 aux_r=600 aux_w=150 sh_r=585776 sh_w=1514 \
+         shfl=124984 adds=555496 muls=555496 sel=0 atomics=25 polls=300 fences=50" );
+      ( "lp1 n=50000", "(0.2: 0.8)", 50000,
+        "main_r=50000 main_w=50000 aux_r=300 aux_w=100 sh_r=289408 sh_w=757 \
+         shfl=62492 adds=312704 muls=312704 sel=0 atomics=25 polls=300 fences=50" ) ]
+
 (* ------------------------------------------------------- miscellaneous *)
 
 let test_plan_counts_in_result () =
@@ -358,6 +410,9 @@ let () =
         ] );
       ( "accounting",
         [
+          Alcotest.test_case "pinned counters (int)" `Quick test_pinned_counters_int;
+          Alcotest.test_case "pinned counters (float)" `Quick
+            test_pinned_counters_float;
           Alcotest.test_case "2n data movement" `Quick test_plan_counts_in_result;
           Alcotest.test_case "memory usage" `Quick test_memory_usage_scales;
           Alcotest.test_case "counters helper" `Quick test_counters_equal_self;

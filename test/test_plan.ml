@@ -55,24 +55,24 @@ let test_chunking () =
 let test_factor_analyses () =
   let is = function A.All_equal 1 -> true | _ -> false in
   let p = Pi.compile ~spec ~n:4096 prefix_sum in
-  check_bool "prefix sum: all-equal(1)" true (is p.Pi.analyses.(0));
+  check_bool "prefix sum: all-equal(1)" true (is (Pi.analyses p).(0));
   let p = Pi.compile ~spec ~n:4096 tuple2 in
   check_bool "tuple2 list0: zero-one" true
-    (match p.Pi.analyses.(0) with A.Zero_one -> true | _ -> false);
+    (match (Pi.analyses p).(0) with A.Zero_one -> true | _ -> false);
   let p = Pi.compile ~spec ~n:4096 order2 in
   check_bool "order2: general" true
-    (Array.for_all (function A.General -> true | _ -> false) p.Pi.analyses)
+    (Array.for_all (function A.General -> true | _ -> false) (Pi.analyses p))
 
 let test_zero_tail_for_filters () =
   let p = Pf.compile ~spec ~n:(1 lsl 20) (f32_sig "(0.04: 1.6, -0.64)") in
-  (match p.Pf.zero_tail with
+  (match Pf.zero_tail p with
   | None -> Alcotest.fail "2-stage low-pass factors must decay"
   | Some z -> check_bool "decays within a few hundred" true (z > 50 && z < 2000));
   (* With FTZ off, no suppression. *)
   let p =
     Pf.compile ~opts:Opts.all_off ~spec ~n:(1 lsl 20) (f32_sig "(0.04: 1.6, -0.64)")
   in
-  check_bool "no tail without FTZ" true (p.Pf.zero_tail = None)
+  check_bool "no tail without FTZ" true (Pf.zero_tail p = None)
 
 let test_effective_analysis_respects_opts () =
   let p = Pi.compile ~opts:Opts.all_off ~spec ~n:4096 prefix_sum in
@@ -121,8 +121,8 @@ let test_invalid_shapes () =
 
 let test_factor_lists_shape () =
   let p = Pi.compile ~spec ~n:100000 order2 in
-  check_int "k lists" 2 (Array.length p.Pi.factors);
-  Array.iter (fun l -> check_int "length m" p.Pi.m (Array.length l)) p.Pi.factors
+  check_int "k lists" 2 (Array.length (Pi.factors p));
+  Array.iter (fun l -> check_int "length m" p.Pi.m (Array.length l)) (Pi.factors p)
 
 let () =
   Alcotest.run "plr_plan"

@@ -21,7 +21,11 @@ let int_sig fwd fbk = Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~f
 let test_opts_pp () =
   let all = Format.asprintf "%a" Opts.pp Opts.all_on in
   check_bool "lists ftz" true (contains all "ftz");
-  check_bool "lists shared cache" true (contains all "shared-cache");
+  (* the shared-cache flag must carry its budget so ablation logs can
+     distinguish budget settings *)
+  check_bool "lists shared cache with budget" true (contains all "shared-cache=1024");
+  let big = Format.asprintf "%a" Opts.pp (Opts.with_cache_budget Opts.all_on 4096) in
+  check_bool "budget shows through" true (contains big "shared-cache=4096");
   Alcotest.(check string) "all off" "none" (Format.asprintf "%a" Opts.pp Opts.all_off)
 
 let test_plan_summary () =

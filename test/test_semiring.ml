@@ -58,7 +58,7 @@ let test_running_max_engine () =
   floats "engine = serial" (Serial_max.full s input) r.Engine_max.output;
   (* the factor lists are all-one (0.0 in tropical) — fully specialized *)
   check_bool "factors specialized" true
-    (match r.Engine_max.plan.Engine_max.P.analyses.(0) with
+    (match (Engine_max.P.analyses r.Engine_max.plan).(0) with
     | Plr_nnacci.Analysis.All_equal v -> Max.is_one v
     | _ -> false)
 

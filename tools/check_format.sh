@@ -1,0 +1,28 @@
+#!/bin/sh
+# Lightweight formatting gate (no ocamlformat dependency): OCaml sources
+# and dune files must be tab-free and carry no trailing whitespace.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+files=$(git ls-files '*.ml' '*.mli' '*.sh' 'dune-project' '*/dune' 'dune' 2>/dev/null)
+
+bad=0
+for f in $files; do
+  if grep -n -P '\t' "$f" /dev/null >/dev/null 2>&1; then
+    echo "tab character in $f:"
+    grep -n -P '\t' "$f" | head -3
+    bad=1
+  fi
+  if grep -n ' $' "$f" /dev/null >/dev/null 2>&1; then
+    echo "trailing whitespace in $f:"
+    grep -n ' $' "$f" | head -3
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "formatting check failed"
+  exit 1
+fi
+echo "formatting check passed ($(echo "$files" | wc -l) files)"
