@@ -114,8 +114,11 @@ let opts_of_flags ~opts_off ~ons ~offs =
   let o = List.fold_left (fun o name -> set_opt o name true) base ons in
   List.fold_left (fun o name -> set_opt o name false) o offs
 
-let cmd_run text n backend domain opts_off ons offs =
+let pool_size domains = Plr_exec.Pool.size (Plr_exec.Pool.get ?domains ())
+
+let cmd_run text n backend domain domains opts_off ons offs =
   require_positive "-n" n;
+  require_positive_opt "--domains" domains;
   let s = parse_signature text in
   let opts = opts_of_flags ~opts_off ~ons ~offs in
   Format.printf "opts: %a@." Plr_core.Opts.pp opts;
@@ -145,10 +148,11 @@ let cmd_run text n backend domain opts_off ons offs =
         ~valid:(Serial_f32.validate ~expected r.Engine_f32.output)
   | `Int is, Cpu ->
       let input = random_int_input n in
-      let output, dt = time_wall (fun () -> Multi_int.run ~opts is input) in
+      let output, dt =
+        time_wall (fun () -> Multi_int.run ~opts ?domains is input)
+      in
       let expected, st = time_wall (fun () -> Serial_int.full is input) in
-      Printf.printf "backend: multicore CPU (%d domains)\n"
-        (Domain.recommended_domain_count ());
+      Printf.printf "backend: multicore CPU (%d domains)\n" (pool_size domains);
       Printf.printf "parallel: %.3f ms, serial: %.3f ms, speedup %.2fx\n"
         (dt *. 1e3) (st *. 1e3) (st /. dt);
       Printf.printf "validation: %s\n"
@@ -158,10 +162,11 @@ let cmd_run text n backend domain opts_off ons offs =
   | `Float, Cpu ->
       let fs = Signature.map Plr_util.F32.round s in
       let input = random_f32_input n in
-      let output, dt = time_wall (fun () -> Multi_f32.run ~opts fs input) in
+      let output, dt =
+        time_wall (fun () -> Multi_f32.run ~opts ?domains fs input)
+      in
       let expected, st = time_wall (fun () -> Serial_f32.full fs input) in
-      Printf.printf "backend: multicore CPU (%d domains)\n"
-        (Domain.recommended_domain_count ());
+      Printf.printf "backend: multicore CPU (%d domains)\n" (pool_size domains);
       Printf.printf "parallel: %.3f ms, serial: %.3f ms, speedup %.2fx\n"
         (dt *. 1e3) (st *. 1e3) (st /. dt);
       Printf.printf "validation: %s\n"
@@ -182,12 +187,13 @@ let cmd_run text n backend domain opts_off ons offs =
 
 (* --------------------------------------------------------------- bench *)
 
-let cmd_bench n reps json_path opts_off ons offs =
+let cmd_bench n reps domains json_path opts_off ons offs =
   require_positive "-n" n;
   require_positive "--reps" reps;
+  require_positive_opt "--domains" domains;
   let opts = opts_of_flags ~opts_off ~ons ~offs in
   Format.printf "opts: %a@." Plr_core.Opts.pp opts;
-  let rows = Plr_bench.Perf.smoke ~n ~reps ~opts () in
+  let rows = Plr_bench.Perf.smoke ~n ~reps ~opts ?domains () in
   Plr_bench.Perf.render Format.std_formatter rows;
   match json_path with
   | None -> ()
@@ -384,9 +390,10 @@ let cmd_check text n domain =
 
 type chaos_target = Both | Only of Chaos.target
 
-let cmd_chaos text n domain target trials seed =
+let cmd_chaos text n domain domains target trials seed =
   require_positive "-n" n;
   require_positive "--trials" trials;
+  require_positive_opt "--domains" domains;
   let s = parse_signature text in
   let targets =
     match target with
@@ -398,13 +405,17 @@ let cmd_chaos text n domain target trials seed =
     (fun t ->
       match resolve_domain domain s with
       | `Int is ->
-          let summary, _ = Chaos_int.campaign ~trials ~n ~seed ~target:t is in
+          let summary, _ =
+            Chaos_int.campaign ~trials ~n ?domains ~seed ~target:t is
+          in
           Format.printf "%-10s %a@." (Chaos.target_to_string t)
             Chaos_int.pp_summary summary;
           silent := !silent + summary.Chaos.silent
       | `Float ->
           let fs = Signature.map Plr_util.F32.round s in
-          let summary, _ = Chaos_f32.campaign ~trials ~n ~seed ~target:t fs in
+          let summary, _ =
+            Chaos_f32.campaign ~trials ~n ?domains ~seed ~target:t fs
+          in
           Format.printf "%-10s %a@." (Chaos.target_to_string t)
             Chaos_f32.pp_summary summary;
           silent := !silent + summary.Chaos.silent)
@@ -432,6 +443,11 @@ let domain_arg =
 let n_arg =
   Arg.(value & opt int (1 lsl 20) & info [ "n" ] ~docv:"N"
          ~doc:"Input length the plan/run targets.")
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
+         ~doc:"Size of the persistent CPU domain pool used by the parallel \
+               backends (default: the runtime's recommended domain count).")
 
 let opts_off_arg =
   Arg.(value & flag & info [ "no-opts" ]
@@ -484,14 +500,14 @@ let run_cmd =
          & info [ "backend" ] ~docv:"BACKEND"
              ~doc:"Execution backend: modeled GPU (sim), multicore CPU, or serial.")
   in
-  let run text n backend domain opts_off ons offs =
-    wrap (fun () -> cmd_run text n backend domain opts_off ons offs)
+  let run text n backend domain domains opts_off ons offs =
+    wrap (fun () -> cmd_run text n backend domain domains opts_off ons offs)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compute a recurrence and validate against the serial code")
     Term.(
       ret
-        (const run $ signature_arg $ n_arg $ backend $ domain_arg $ opts_off_arg
-        $ opt_on_arg $ opt_off_arg))
+        (const run $ signature_arg $ n_arg $ backend $ domain_arg $ domains_arg
+        $ opts_off_arg $ opt_on_arg $ opt_off_arg))
 
 let bench_cmd =
   let n =
@@ -500,14 +516,14 @@ let bench_cmd =
   in
   let reps =
     Arg.(value & opt int 3 & info [ "reps" ] ~docv:"R"
-           ~doc:"Timed repetitions per variant (best-of).")
+           ~doc:"Timed repetitions per variant (best and median reported).")
   in
   let json =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Also write the rows as machine-readable JSON to $(docv).")
   in
-  let run n reps json opts_off ons offs =
-    wrap (fun () -> cmd_bench n reps json opts_off ons offs)
+  let run n reps domains json opts_off ons offs =
+    wrap (fun () -> cmd_bench n reps domains json opts_off ons offs)
   in
   Cmd.v
     (Cmd.info "bench"
@@ -517,7 +533,9 @@ let bench_cmd =
           filter.  $(b,--opt)/$(b,--no-opt) select the factor \
           specializations under test.")
     Term.(
-      ret (const run $ n $ reps $ json $ opts_off_arg $ opt_on_arg $ opt_off_arg))
+      ret
+        (const run $ n $ reps $ domains_arg $ json $ opts_off_arg $ opt_on_arg
+        $ opt_off_arg))
 
 let info_cmd =
   let run text n domain = wrap (fun () -> cmd_info text n domain) in
@@ -595,8 +613,8 @@ let chaos_cmd =
     Arg.(value & opt int 384 & info [ "n" ] ~docv:"N"
            ~doc:"Input length per trial.")
   in
-  let run text n domain target trials seed =
-    wrap (fun () -> cmd_chaos text n domain target trials seed)
+  let run text n domain domains target trials seed =
+    wrap (fun () -> cmd_chaos text n domain domains target trials seed)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -605,7 +623,10 @@ let chaos_cmd =
           pipelines (reordering, delayed flags, dropped or corrupted \
           carries, poisoned chunks) under the guard and report how every \
           trial was classified.  Exits 1 on any silent divergence.")
-    Term.(ret (const run $ signature_arg $ n_arg $ domain_arg $ target $ trials $ seed))
+    Term.(
+      ret
+        (const run $ signature_arg $ n_arg $ domain_arg $ domains_arg $ target
+        $ trials $ seed))
 
 let () =
   let doc = "PLR — automatic hierarchical parallelization of linear recurrences" in

@@ -10,6 +10,7 @@
 
 module Scalar = Plr_util.Scalar
 module Opts = Plr_factors.Opts
+module Pool = Plr_exec.Pool
 module Si = Plr_serial.Serial.Make (Scalar.Int)
 module Sf = Plr_serial.Serial.Make (Scalar.F32)
 module Mi = Plr_multicore.Multicore.Make (Scalar.Int)
@@ -21,43 +22,56 @@ type row = {
   suite : string;
   variant : string;
   n : int;
+  domains : int;
   ns_per_elem : float;
+  median_ns_per_elem : float;
   speedup_vs_serial : float;
 }
 
 let default_n = 1 lsl 18
 
-let time_best reps f =
-  let best = ref infinity in
-  for _ = 1 to reps do
+(* Best and median of [reps] timed runs: the best tracks the machine's
+   capability, the median its noise level. *)
+let time_stats reps f =
+  let reps = max 1 reps in
+  let times = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
     let t0 = Unix.gettimeofday () in
     ignore (Sys.opaque_identity (f ()));
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt
+    times.(i) <- Unix.gettimeofday () -. t0
   done;
-  !best
+  Array.sort compare times;
+  let median =
+    if reps land 1 = 1 then times.(reps / 2)
+    else (times.((reps / 2) - 1) +. times.(reps / 2)) /. 2.0
+  in
+  (times.(0), median)
 
-(* One warm-up call outside the timer so domain spawning and factor-plan
+let time_best reps f = fst (time_stats reps f)
+
+(* One warm-up call outside the timer so pool wake-up and factor-plan
    compilation are not charged to the first rep. *)
 let measure reps f =
   ignore (Sys.opaque_identity (f ()));
-  time_best reps f
+  time_stats reps f
 
-let suite_rows ~reps suite n variants =
+let suite_rows ~reps ~domains suite n variants =
   let timed = List.map (fun (name, f) -> (name, measure reps f)) variants in
   let serial_t =
     match List.assoc_opt "serial" timed with
-    | Some t -> t
+    | Some (best, _) -> best
     | None -> invalid_arg "suite_rows: no serial variant"
   in
   List.map
-    (fun (variant, t) ->
+    (fun (variant, (best, median)) ->
       {
         suite;
         variant;
         n;
-        ns_per_elem = t *. 1e9 /. float_of_int n;
-        speedup_vs_serial = serial_t /. t;
+        domains = (if variant = "serial" then 1 else domains);
+        ns_per_elem = best *. 1e9 /. float_of_int n;
+        median_ns_per_elem = median *. 1e9 /. float_of_int n;
+        speedup_vs_serial = serial_t /. best;
       })
     timed
 
@@ -77,7 +91,9 @@ let stream_chunks process create s x =
     pos := !pos + len
   done
 
-let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) () =
+let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) ?domains () =
+  let pool = Pool.get ?domains () in
+  let domains = Pool.size pool in
   let gi = Plr_util.Splitmix.create 91 in
   let xi = Array.init n (fun _ -> Plr_util.Splitmix.int_in gi ~lo:(-50) ~hi:50) in
   let gf = Plr_util.Splitmix.create 92 in
@@ -86,28 +102,30 @@ let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) () =
   in
   let lp2 = Signature.map Plr_util.F32.round Table1.low_pass2.Table1.signature in
   let int_suite name s =
-    suite_rows ~reps name n
+    suite_rows ~reps ~domains name n
       [
         ("serial", fun () -> ignore (Si.full s xi));
-        ("multicore", fun () -> ignore (Mi.run ~opts s xi));
-        ("multicore-noopt", fun () -> ignore (Mi.run ~opts:Opts.all_off s xi));
+        ("multicore", fun () -> ignore (Mi.run ~opts ~pool s xi));
+        ( "multicore-noopt",
+          fun () -> ignore (Mi.run ~opts:Opts.all_off ~pool s xi) );
         ( "stream",
           fun () ->
             stream_chunks Stream_i.process
-              (fun s -> Stream_i.create ~opts s)
+              (fun s -> Stream_i.create ~opts ~pool s)
               s xi );
       ]
   in
   let float_suite name s =
-    suite_rows ~reps name n
+    suite_rows ~reps ~domains name n
       [
         ("serial", fun () -> ignore (Sf.full s xf));
-        ("multicore", fun () -> ignore (Mf.run ~opts s xf));
-        ("multicore-noopt", fun () -> ignore (Mf.run ~opts:Opts.all_off s xf));
+        ("multicore", fun () -> ignore (Mf.run ~opts ~pool s xf));
+        ( "multicore-noopt",
+          fun () -> ignore (Mf.run ~opts:Opts.all_off ~pool s xf) );
         ( "stream",
           fun () ->
             stream_chunks Stream_f.process
-              (fun s -> Stream_f.create ~opts s)
+              (fun s -> Stream_f.create ~opts ~pool s)
               s xf );
       ]
   in
@@ -117,12 +135,13 @@ let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) () =
   @ float_suite "lp2" lp2
 
 let render fmt rows =
-  Format.fprintf fmt "@[<v>%-12s %-16s %10s %14s %10s@,"
-    "suite" "variant" "n" "ns/elem" "speedup";
+  Format.fprintf fmt "@[<v>%-12s %-16s %10s %8s %14s %14s %10s@,"
+    "suite" "variant" "n" "domains" "ns/elem" "median" "speedup";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-12s %-16s %10d %14.2f %9.2fx@," r.suite r.variant
-        r.n r.ns_per_elem r.speedup_vs_serial)
+      Format.fprintf fmt "%-12s %-16s %10d %8d %14.2f %14.2f %9.2fx@," r.suite
+        r.variant r.n r.domains r.ns_per_elem r.median_ns_per_elem
+        r.speedup_vs_serial)
     rows;
   Format.fprintf fmt "@]@."
 
@@ -130,15 +149,21 @@ let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 let to_json rows =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"plr-bench-1\",\n  \"rows\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"plr-bench-2\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string b "  \"rows\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "    { \"suite\": %S, \"variant\": %S, \"n\": %d, \"ns_per_elem\": \
-            %s, \"speedup_vs_serial\": %s }"
-           r.suite r.variant r.n (json_float r.ns_per_elem)
+           "    { \"suite\": %S, \"variant\": %S, \"n\": %d, \"domains\": %d, \
+            \"ns_per_elem\": %s, \"median_ns_per_elem\": %s, \
+            \"speedup_vs_serial\": %s }"
+           r.suite r.variant r.n r.domains (json_float r.ns_per_elem)
+           (json_float r.median_ns_per_elem)
            (json_float r.speedup_vs_serial)))
     rows;
   Buffer.add_string b "\n  ]\n}\n";

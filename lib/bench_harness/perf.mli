@@ -13,21 +13,35 @@ type row = {
   variant : string;
       (** "serial", "multicore", "multicore-noopt", "stream" *)
   n : int;
-  ns_per_elem : float;
+  domains : int;  (** pool size used by this variant (1 for "serial") *)
+  ns_per_elem : float;  (** best of the timed reps *)
+  median_ns_per_elem : float;  (** median of the timed reps *)
   speedup_vs_serial : float;  (** > 1 means faster than the serial code *)
 }
 
-val smoke : ?n:int -> ?reps:int -> ?opts:Plr_factors.Opts.t -> unit -> row list
+val time_stats : int -> (unit -> 'a) -> float * float
+(** [(best, median)] wall-clock seconds over [reps] runs of the thunk
+    (no warm-up; callers that need one should discard a first call). *)
+
+val time_best : int -> (unit -> 'a) -> float
+(** [fst (time_stats reps f)]. *)
+
+val smoke :
+  ?n:int -> ?reps:int -> ?opts:Plr_factors.Opts.t -> ?domains:int -> unit ->
+  row list
 (** Run every (suite, variant) pair on [n] elements (default 2^18),
-    keeping the best of [reps] (default 3) timed runs after one warm-up.
-    [opts] (default {!Plr_factors.Opts.all_on}) is applied to the
-    "multicore" and "stream" variants; "multicore-noopt" always runs with
+    keeping the best and median of [reps] (default 3) timed runs after one
+    warm-up.  [domains] sizes the persistent pool the parallel variants
+    share (default [Domain.recommended_domain_count ()]).  [opts] (default
+    {!Plr_factors.Opts.all_on}) is applied to the "multicore" and "stream"
+    variants; "multicore-noopt" always runs with
     {!Plr_factors.Opts.all_off} so the delta is visible in one report. *)
 
 val render : Format.formatter -> row list -> unit
 (** Human-readable table. *)
 
 val to_json : row list -> string
-(** The BENCH_PLR.json payload: [{"schema": "plr-bench-1", "rows": [...]}]. *)
+(** The BENCH_PLR.json payload: [{"schema": "plr-bench-2",
+    "recommended_domains": d, "rows": [...]}]. *)
 
 val write_json : path:string -> row list -> unit

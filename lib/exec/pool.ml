@@ -1,0 +1,182 @@
+exception Stopped
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t; (* new job posted, or shutdown *)
+  idle : Condition.t; (* a participant finished the current job *)
+  mutable workers : unit Domain.t list;
+  mutable generation : int;
+  mutable tasks : int;
+  mutable body : int -> unit;
+  mutable running : int;
+  mutable failures : (int * exn) list;
+  next : int Atomic.t;
+  stop : bool Atomic.t;
+  busy : bool Atomic.t;
+  mutable closing : bool;
+}
+
+let size t = List.length t.workers + 1
+let cancelled t = Atomic.get t.stop
+
+(* Claim task indices from the shared counter until the job is exhausted
+   or cancelled.  [Atomic.fetch_and_add] hands out indices in strictly
+   increasing order, which is the ordering guarantee documented in the
+   interface. *)
+let claim t ~tasks ~body =
+  let continue_ = ref true in
+  while !continue_ do
+    if Atomic.get t.stop then continue_ := false
+    else
+      let i = Atomic.fetch_and_add t.next 1 in
+      if i >= tasks then continue_ := false
+      else
+        try body i
+        with e ->
+          Atomic.set t.stop true;
+          Mutex.lock t.lock;
+          t.failures <- (i, e) :: t.failures;
+          Mutex.unlock t.lock
+  done
+
+let rec worker t seen =
+  Mutex.lock t.lock;
+  while t.generation = seen && not t.closing do
+    Condition.wait t.work t.lock
+  done;
+  if t.generation = seen then Mutex.unlock t.lock (* closing, no new job *)
+  else begin
+    let gen = t.generation in
+    let tasks = t.tasks and body = t.body in
+    Mutex.unlock t.lock;
+    claim t ~tasks ~body;
+    Mutex.lock t.lock;
+    t.running <- t.running - 1;
+    if t.running = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.lock;
+    worker t gen
+  end
+
+let max_pool_size = 64
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let requested = max 1 (min requested max_pool_size) in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      workers = [];
+      generation = 0;
+      tasks = 0;
+      body = ignore;
+      running = 0;
+      failures = [];
+      next = Atomic.make 0;
+      stop = Atomic.make false;
+      busy = Atomic.make false;
+      closing = false;
+    }
+  in
+  let spawned = ref [] in
+  (try
+     for _ = 2 to requested do
+       spawned := Domain.spawn (fun () -> worker t 0) :: !spawned
+     done
+   with _ -> () (* degrade to the workers we obtained *));
+  t.workers <- !spawned;
+  t
+
+let run_inline ~tasks body =
+  for i = 0 to tasks - 1 do
+    body i
+  done
+
+let run t ~tasks body =
+  if tasks <= 0 then ()
+  else if t.workers = [] || tasks = 1 then run_inline ~tasks body
+  else if not (Atomic.compare_and_set t.busy false true) then
+    (* Re-entrant or concurrent run: executing inline in index order
+       satisfies every dependency a look-back body can have. *)
+    run_inline ~tasks body
+  else begin
+    Mutex.lock t.lock;
+    t.tasks <- tasks;
+    t.body <- body;
+    t.failures <- [];
+    Atomic.set t.next 0;
+    Atomic.set t.stop false;
+    t.running <- List.length t.workers + 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    claim t ~tasks ~body;
+    Mutex.lock t.lock;
+    t.running <- t.running - 1;
+    if t.running = 0 then Condition.broadcast t.idle;
+    while t.running > 0 do
+      Condition.wait t.idle t.lock
+    done;
+    let failures = t.failures in
+    t.failures <- [];
+    t.body <- ignore;
+    Mutex.unlock t.lock;
+    Atomic.set t.busy false;
+    if failures <> [] then begin
+      let ordered = List.sort (fun (a, _) (b, _) -> compare a b) failures in
+      let primary =
+        List.find_opt (function _, Stopped -> false | _ -> true) ordered
+      in
+      match primary with
+      | Some (_, e) -> raise e
+      | None -> raise Stopped
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let ws = t.workers in
+  t.workers <- [];
+  if not t.closing then begin
+    t.closing <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ws
+
+(* Process-wide registry, keyed by requested pool size. *)
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 7
+let registry_lock = Mutex.create ()
+
+let shutdown_all () =
+  Mutex.lock registry_lock;
+  let pools = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+  Hashtbl.reset registry;
+  Mutex.unlock registry_lock;
+  List.iter shutdown pools
+
+let () = at_exit shutdown_all
+
+let get ?domains () =
+  let d =
+    match domains with
+    | Some d -> max 1 (min d max_pool_size)
+    | None -> max 1 (min (Domain.recommended_domain_count ()) max_pool_size)
+  in
+  Mutex.lock registry_lock;
+  let p =
+    match Hashtbl.find_opt registry d with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:d () in
+        Hashtbl.add registry d p;
+        p
+  in
+  Mutex.unlock registry_lock;
+  p

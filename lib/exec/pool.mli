@@ -1,0 +1,60 @@
+(** Persistent domain pool.
+
+    A pool owns a fixed set of long-lived worker domains, spawned once and
+    reused across runs.  Work is described as [tasks] integer-indexed jobs;
+    the caller and the workers claim indices from a shared atomic counter,
+    so distribution is dynamic and spawn cost is paid exactly once per
+    process, not once per [run].
+
+    Ordering guarantee: task indices are claimed in strictly increasing
+    counter order.  At any moment, if task [i] has not yet been claimed
+    then neither has any task [j > i].  Look-back style protocols rely on
+    this: the lowest-indexed incomplete task never waits on a higher index,
+    so bounded-window carry publication cannot deadlock.
+
+    A pool of size 1 (or a [run] with a single task, or a re-entrant /
+    concurrent [run] on a busy pool) executes the body inline on the
+    calling domain in index order, which trivially satisfies the same
+    guarantee. *)
+
+type t
+
+exception Stopped
+(** Raised inside a task body (by cooperative cancellation points such as
+    {!cancelled}-gated spin loops) and out of {!run} when the job was
+    cancelled but no task recorded a more primary failure. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns a pool with [domains] participants in
+    total (the caller counts as one, so [domains - 1] worker domains are
+    spawned).  Defaults to [Domain.recommended_domain_count ()].  Values
+    are clamped to [1, 64]; if the runtime refuses to spawn some domains
+    the pool silently degrades to the workers it obtained. *)
+
+val size : t -> int
+(** Number of participating domains (workers + caller), after any
+    degradation at spawn time. *)
+
+val get : ?domains:int -> unit -> t
+(** Process-wide registry of pools keyed by requested size: repeated
+    [get ~domains:n ()] calls return the same pool, so independent
+    subsystems share workers instead of over-subscribing the machine.
+    Registered pools are shut down by an [at_exit] hook. *)
+
+val run : t -> tasks:int -> (int -> unit) -> unit
+(** [run pool ~tasks body] executes [body 0 .. body (tasks - 1)],
+    distributing indices over the pool, and returns when all claimed
+    tasks have finished.  If any body raises, the job is cancelled
+    (remaining unclaimed indices are abandoned), every participant is
+    joined, and the recorded exception with the lowest task index that
+    is not {!Stopped} is re-raised ({!Stopped} itself if cancellation is
+    all that was recorded). *)
+
+val cancelled : t -> bool
+(** True while the current job is being torn down after a failure.  Task
+    bodies that spin-wait on results of other tasks must poll this and
+    [raise Stopped] to let {!run} join everyone. *)
+
+val shutdown : t -> unit
+(** Joins and releases the worker domains.  The pool must be idle.
+    Idempotent; further [run]s on a shut-down pool execute inline. *)

@@ -157,7 +157,7 @@ module Make (S : Plr_util.Scalar.S) = struct
      form so the per-element dispatch of [correct] stays out of the hot
      loop.  Accumulation order per element is identical to calling [correct]
      for each q, so integer results match bitwise. *)
-  let apply_list t ~j ~carry y ~base ~len =
+  let apply_list ?(q0 = 0) t ~j ~carry y ~base ~len =
     match t.compiled.(j) with
     | All_equal f ->
         if S.is_zero f then ()
@@ -172,21 +172,21 @@ module Make (S : Plr_util.Scalar.S) = struct
         end
     | Zero_one { ones; _ } ->
         for q = 0 to len - 1 do
-          if mask_get ones q then y.(base + q) <- S.add y.(base + q) carry
+          if mask_get ones (q0 + q) then y.(base + q) <- S.add y.(base + q) carry
         done
     | Repeating { period; stored } ->
         for q = 0 to len - 1 do
-          y.(base + q) <- S.add y.(base + q) (S.mul stored.(q mod period) carry)
+          y.(base + q) <- S.add y.(base + q) (S.mul stored.((q0 + q) mod period) carry)
         done
     | Decayed { cutoff; stored } ->
         (* Decayed-tail skip: everything past the cutoff keeps its value. *)
-        let hi = min len cutoff in
+        let hi = min len (cutoff - q0) in
         for q = 0 to hi - 1 do
-          y.(base + q) <- S.add y.(base + q) (S.mul stored.(q) carry)
+          y.(base + q) <- S.add y.(base + q) (S.mul stored.(q0 + q) carry)
         done
     | Dense l ->
         for q = 0 to len - 1 do
-          y.(base + q) <- S.add y.(base + q) (S.mul l.(q) carry)
+          y.(base + q) <- S.add y.(base + q) (S.mul l.(q0 + q) carry)
         done
 
   let table t j =

@@ -71,11 +71,14 @@ module Make (S : Plr_util.Scalar.S) : sig
   (** [acc + F_j(q)·carry] through the compiled form of list [j], invoking
       [hooks] with the specialized operation mix. *)
 
-  val apply_list : t -> j:int -> carry:S.t -> S.t array -> base:int -> len:int -> unit
-  (** Whole-list correction sweep: [y.(base+q) += F_j(q)·carry] for
+  val apply_list :
+    ?q0:int -> t -> j:int -> carry:S.t -> S.t array -> base:int -> len:int -> unit
+  (** Whole-list correction sweep: [y.(base+q) += F_j(q0+q)·carry] for
       [q ∈ [0, len)], specialized per compiled form (the CPU hot path).
       Equivalent to folding {!correct} over [q]; a [Decayed] list stops at
-      its cutoff. *)
+      its cutoff.  [q0] (default 0) offsets the factor index without
+      moving the output window, so a long sweep can be split into
+      independent ranges and run in parallel. *)
 
   val effective : t -> int -> S.t Analysis.t
   (** The analysis of list [j] as the optimizer sees it after [opts]

@@ -1,4 +1,5 @@
 module Faults = Plr_gpusim.Faults
+module Pool = Plr_exec.Pool
 
 exception Fault_detected of string
 (* Raised (outside the functor, so one identity for every scalar instance)
@@ -7,6 +8,12 @@ exception Fault_detected of string
    forever, so the deterministic pipeline fails loudly instead. *)
 
 module Opts = Plr_factors.Opts
+
+(* Look-back window of the deterministic faulted pipeline: chunk [c] reads
+   the inclusive (global) carries of the last chunk of the previous window
+   and the aggregates (local carries) of every chunk after it.  Small so a
+   few hundred elements span several waves in the chaos tests. *)
+let faulted_lookback_window = 4
 
 module Make (S : Plr_util.Scalar.S) = struct
   module Serial = Plr_serial.Serial.Make (S)
@@ -17,47 +24,21 @@ module Make (S : Plr_util.Scalar.S) = struct
      period the code generator folds. *)
   let cpu_max_period = 64
 
-  (* Run [f lo hi] over [0, n) split into [parts] ranges, in parallel.
+  (* Chunk-size policy.  Chunks below [min_chunk_size] lose more to
+     protocol overhead than they gain in parallelism; with
+     [chunks_per_domain] chunks per participant the dynamic counter can
+     balance uneven progress without shrinking chunks further. *)
+  let min_chunk_size = 1024
+  let chunks_per_domain = 8
+  let default_chunk_size ~domains n =
+    max min_chunk_size (n / (domains * chunks_per_domain))
 
-     Every spawned domain is joined unconditionally: if [f] raises in one
-     domain we still join the others (no domain leak), collect all
-     exceptions, and re-raise the one from the lowest range.  If
-     [Domain.spawn] itself fails (e.g. the system cannot create more
-     threads), the remaining ranges run inline in this domain instead. *)
-  let parallel_ranges ~domains ~n f =
-    if domains <= 1 || n < 2 then f 0 n
-    else begin
-      let per = (n + domains - 1) / domains in
-      let ranges =
-        List.init domains (fun d ->
-            let lo = d * per in
-            (lo, min n (lo + per)))
-        |> List.filter (fun (lo, hi) -> lo < hi)
-      in
-      let results =
-        List.map
-          (fun (lo, hi) ->
-            match Domain.spawn (fun () -> f lo hi) with
-            | d -> `Spawned d
-            | exception _ -> `Inline (lo, hi))
-          ranges
-      in
-      let first_exn = ref None in
-      let record = function
-        | Ok () -> ()
-        | Error e -> if !first_exn = None then first_exn := Some e
-      in
-      List.iter
-        (function
-          | `Spawned d ->
-              record (match Domain.join d with () -> Ok () | exception e -> Error e)
-          | `Inline (lo, hi) ->
-              record (match f lo hi with () -> Ok () | exception e -> Error e))
-        results;
-      match !first_exn with Some e -> raise e | None -> ()
-    end
-
-  let default_chunk_size ~domains n = max 1024 (n / (domains * 8))
+  (* The sequential fallback still chunks (identical algorithm, different
+     schedule); [fallback_chunks] fixes the chunk count from the input
+     length alone so the fallback no longer pretends to have 4 domains. *)
+  let fallback_chunks = 8
+  let fallback_chunk_size n =
+    max min_chunk_size ((n + fallback_chunks - 1) / fallback_chunks)
 
   let poison =
     match S.kind with
@@ -68,7 +49,239 @@ module Make (S : Plr_util.Scalar.S) = struct
      the original for every scalar domain. *)
   let corrupt v = S.add (S.mul v (S.of_int 3)) (S.of_int 41)
 
-  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ~domains ~chunk_size
+  (* The fused local pass: map stage (eq. 2) and local solve in one sweep.
+     The FIR part reads the immutable input (including the tail of the
+     previous chunk, so no serial whole-array pre-pass is needed) and the
+     feedback part reads only this chunk's own output — together exactly
+     [Serial.fir] followed by a per-chunk [recurrence_in_place], with the
+     same operation order, so results are bit-identical to the reference
+     decomposition. *)
+  let solve_chunk_fused ~forward ~feedback x y ~base ~len =
+    let taps = Array.length forward in
+    let k = Array.length feedback in
+    for i = base to base + len - 1 do
+      let acc = ref S.zero in
+      for t = 0 to min i (taps - 1) do
+        acc := S.add !acc (S.mul forward.(t) x.(i - t))
+      done;
+      for j = 1 to min (i - base) k do
+        acc := S.add !acc (S.mul feedback.(j - 1) y.(i - j))
+      done;
+      y.(i) <- !acc
+    done
+
+  (* Phase 2's look-back math on the CPU: promote the local (aggregate)
+     carries of a chunk to global (inclusive) carries given the global
+     carries of its predecessor.  Carry j is element m-1-j of the chunk,
+     so the factors at position m-1-j correct it; every consumed
+     predecessor is a full-length chunk (only the last chunk can be
+     short, and nothing looks back at it). *)
+  let combine fp ~k ~m ~local ~g_prev =
+    Array.init k (fun j ->
+        let q = m - 1 - j in
+        let acc = ref local.(j) in
+        for j' = 0 to k - 1 do
+          acc := FP.correct fp ~j:j' ~q ~carry:g_prev.(j') ~acc:!acc
+        done;
+        !acc)
+
+  let read_carries y ~base ~len ~k =
+    Array.init k (fun j ->
+        if len - 1 - j >= 0 then y.(base + len - 1 - j) else S.zero)
+
+  (* Sequential schedule of the same single-pass algorithm: chunks run in
+     order, so each chunk is corrected immediately and its global carries
+     are simply its last k corrected elements — no combine chain at all.
+     Used for one-domain pools and as the guard's fallback stage. *)
+  let run_sequential ~opts ~forward ~feedback x y ~n ~m ~k =
+    let chunks = (n + m - 1) / m in
+    let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
+    let g_prev = ref [||] in
+    for c = 0 to chunks - 1 do
+      let base = c * m in
+      let len = min m (n - base) in
+      solve_chunk_fused ~forward ~feedback x y ~base ~len;
+      if !g_prev <> [||] then
+        for j = 0 to k - 1 do
+          FP.apply_list fp ~j ~carry:!g_prev.(j) y ~base ~len
+        done;
+      if c < chunks - 1 then g_prev := read_carries y ~base ~len ~k
+    done
+
+  (* The single-pass decoupled look-back schedule (Merrill–Garland,
+     PAPERS.md) on the persistent pool.  One task per chunk; each task
+
+     1. solves its chunk locally (fused FIR + feedback, in place);
+     2. publishes its local carries and flags itself [`Aggregate`];
+     3. looks back: reads the inclusive carries of the last chunk of the
+        previous window, then folds the aggregates of the chunks between
+        that boundary and itself through [combine];
+     4. publishes its own inclusive carries and flags itself
+        [`Inclusive`] — *before* step 5, so successors never wait on a
+        correction sweep;
+     5. applies the correction sweep to its own chunk.
+
+     Status flags are the only atomics; carry payloads are plain writes
+     made visible by the release/acquire pair on the flag ([Atomic.set]
+     after the writes, [Atomic.get] before the reads).  Progress: the
+     pool claims task indices in increasing order, so the lowest
+     incomplete chunk only ever waits on chunks that are already past
+     their publication point. *)
+  let status_aggregate = 1
+  let status_inclusive = 2
+
+  let run_pooled ~opts ~pool ~forward ~feedback x y ~n ~m ~k =
+    let chunks = (n + m - 1) / m in
+    let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
+    let locals = Array.make (chunks * k) S.zero in
+    let globals = Array.make (chunks * k) S.zero in
+    let status = Array.init chunks (fun _ -> Atomic.make 0) in
+    let window = max faulted_lookback_window (2 * Pool.size pool) in
+    let wait c v =
+      while Atomic.get status.(c) < v do
+        if Pool.cancelled pool then raise Pool.Stopped;
+        Domain.cpu_relax ()
+      done
+    in
+    let read a c = Array.init k (fun j -> a.((c * k) + j)) in
+    let write a c v = Array.blit v 0 a (c * k) k in
+    let task c =
+      let base = c * m in
+      let len = min m (n - base) in
+      solve_chunk_fused ~forward ~feedback x y ~base ~len;
+      let local = read_carries y ~base ~len ~k in
+      if c = 0 then begin
+        write locals 0 local;
+        write globals 0 local;
+        Atomic.set status.(0) status_inclusive
+      end
+      else begin
+        write locals c local;
+        Atomic.set status.(c) status_aggregate;
+        let boundary = (c / window * window) - 1 in
+        let g_prev =
+          ref
+            (if boundary >= 0 then begin
+               wait boundary status_inclusive;
+               read globals boundary
+             end
+             else [||])
+        in
+        for t = max 0 (boundary + 1) to c - 1 do
+          wait t status_aggregate;
+          let lt = read locals t in
+          g_prev := (if !g_prev = [||] then lt else combine fp ~k ~m ~local:lt ~g_prev:!g_prev)
+        done;
+        let g_prev = !g_prev in
+        write globals c (combine fp ~k ~m ~local ~g_prev);
+        Atomic.set status.(c) status_inclusive;
+        for j = 0 to k - 1 do
+          FP.apply_list fp ~j ~carry:g_prev.(j) y ~base ~len
+        done
+      end
+    in
+    Pool.run pool ~tasks:chunks task
+
+  (* Deterministic faulted pipeline for the chaos harness: the same
+     windowed look-back protocol executed sequentially under the fault
+     plan's completion permutation, with publication *visibility* gated
+     by Drop events.  A chunk is runnable when every publication it would
+     spin on is visible; when no incomplete chunk is runnable the real
+     protocol would spin forever, so we raise [Fault_detected] instead.
+     Drops that the window never reads (an aggregate nobody folds over, an
+     inclusive flag off a window boundary) are routed around by the
+     look-back exactly as on the modeled GPU — the run stays bit-exact.
+     [Delay_flag] is benign by construction in this untimed model. *)
+  let run_faulted ~opts ~faults ~forward ~feedback x y ~n ~m ~k =
+    let chunks = (n + m - 1) / m in
+    let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
+    let locals = Array.make chunks [||] in
+    let globals = Array.make chunks [||] in
+    let local_vis = Array.make chunks false in
+    let global_vis = Array.make chunks false in
+    let finished = Array.make chunks false in
+    let w = faulted_lookback_window in
+    let boundary c = (c / w * w) - 1 in
+    let ready c =
+      c = 0
+      || begin
+           let b = boundary c in
+           (b < 0 || global_vis.(b))
+           && begin
+                let ok = ref true in
+                for t = max 0 (b + 1) to c - 1 do
+                  if not local_vis.(t) then ok := false
+                done;
+                !ok
+              end
+         end
+    in
+    let run_chunk c =
+      let base = c * m in
+      let len = min m (n - base) in
+      solve_chunk_fused ~forward ~feedback x y ~base ~len;
+      if Faults.events_at faults ~chunks Faults.Poison_chunk c <> [] then begin
+        y.(base) <- poison;
+        y.(base + len - 1) <- poison
+      end;
+      let local = read_carries y ~base ~len ~k in
+      let g_prev =
+        if c = 0 then [||]
+        else begin
+          let b = boundary c in
+          let g = ref (if b >= 0 then globals.(b) else [||]) in
+          for t = max 0 (b + 1) to c - 1 do
+            let lt = locals.(t) in
+            g := (if !g = [||] then lt else combine fp ~k ~m ~local:lt ~g_prev:!g)
+          done;
+          !g
+        end
+      in
+      let gc =
+        if g_prev = [||] then Array.copy local
+        else combine fp ~k ~m ~local ~g_prev
+      in
+      (* Corrupt both published forms after the chunk's own computation,
+         so only successors observe the damage (matching the GPU model). *)
+      List.iter
+        (fun (e : Faults.event) ->
+          let j = e.Faults.lane mod k in
+          local.(j) <- corrupt local.(j);
+          gc.(j) <- corrupt gc.(j))
+        (Faults.events_at faults ~chunks Faults.Corrupt_carry c);
+      locals.(c) <- local;
+      globals.(c) <- gc;
+      if Faults.events_at faults ~chunks Faults.Drop_local c = [] then
+        local_vis.(c) <- true;
+      if Faults.events_at faults ~chunks Faults.Drop_global c = [] then
+        global_vis.(c) <- true;
+      if g_prev <> [||] then
+        for j = 0 to k - 1 do
+          FP.apply_list fp ~j ~carry:g_prev.(j) y ~base ~len
+        done
+    in
+    let order = Faults.permutation faults chunks in
+    let completed = ref 0 in
+    while !completed < chunks do
+      let picked = ref (-1) in
+      Array.iter
+        (fun c -> if !picked < 0 && (not finished.(c)) && ready c then picked := c)
+        order;
+      if !picked < 0 then
+        raise
+          (Fault_detected
+             (Printf.sprintf
+                "look-back stall: %d of %d chunks blocked on carry \
+                 publications that were dropped"
+                (chunks - !completed) chunks))
+      else begin
+        run_chunk !picked;
+        finished.(!picked) <- true;
+        incr completed
+      end
+    done
+
+  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ~pool ~chunk_size
       (s : S.t Signature.t) input =
     let n = Array.length input in
     if n = 0 then [||]
@@ -77,117 +290,40 @@ module Make (S : Plr_util.Scalar.S) = struct
       (* Chunks must hold at least k elements so carry positions exist. *)
       let m = max k (min chunk_size n) in
       let chunks = (n + m - 1) / m in
-      let chunk_len c = min m (n - (c * m)) in
-      let faulty = not (Faults.is_none faults) in
-      (* The map stage (eq. 2) and the local solves, fused per chunk. *)
-      let y = Serial.fir ~forward:s.Signature.forward input in
-      let feedback = s.Signature.feedback in
-      let solve_chunk c =
-        let len = chunk_len c in
-        let slice = Array.sub y (c * m) len in
-        Serial.recurrence_in_place ~feedback slice;
-        Array.blit slice 0 y (c * m) len
-      in
-      let solve_chunks lo hi =
-        for c = lo to hi - 1 do
-          solve_chunk c
-        done
-      in
-      if not faulty then parallel_ranges ~domains ~n:chunks solve_chunks
-      else begin
-        (* Deterministic out-of-order completion of the local solves, with
-           poison injected into perturbed chunks after they complete. *)
-        let order = Faults.permutation faults chunks in
-        Array.iter
-          (fun c ->
-            solve_chunk c;
-            if Faults.events_at faults ~chunks Faults.Poison_chunk c <> [] then begin
-              let len = chunk_len c in
-              y.(c * m) <- poison;
-              y.((c * m) + len - 1) <- poison
-            end)
-          order
-      end;
-      (* Sequential carry propagation: global carries per chunk.  Carry j
-         of chunk c is element (len-1-j); factors at positions m-1-j
-         correct the next chunk's carries (Phase 2's look-back math). *)
-      let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
-      let local_carries c =
-        let len = chunk_len c in
-        Array.init k (fun j -> if len - 1 - j >= 0 then y.((c * m) + len - 1 - j) else S.zero)
-      in
-      let published = Array.make chunks true in
-      let globals = Array.make chunks [||] in
-      for c = 0 to chunks - 1 do
-        if c = 0 then globals.(0) <- local_carries 0
-        else begin
-          if faulty && not published.(c - 1) then
-            raise
-              (Fault_detected
-                 (Printf.sprintf
-                    "carry publication of chunk %d was lost; chunk %d cannot \
-                     make progress"
-                    (c - 1) c));
-          let g_prev = globals.(c - 1) in
-          let local = local_carries c in
-          globals.(c) <-
-            Array.init k (fun j ->
-                let q = m - 1 - j in
-                let acc = ref local.(j) in
-                for j' = 0 to k - 1 do
-                  acc := FP.correct fp ~j:j' ~q ~carry:g_prev.(j') ~acc:!acc
-                done;
-                !acc)
-        end;
-        if faulty then begin
-          if
-            Faults.events_at faults ~chunks Faults.Drop_local c <> []
-            || Faults.events_at faults ~chunks Faults.Drop_global c <> []
-          then published.(c) <- false;
-          List.iter
-            (fun (e : Faults.event) ->
-              let j = e.Faults.lane mod k in
-              globals.(c).(j) <- corrupt globals.(c).(j))
-            (Faults.events_at faults ~chunks Faults.Corrupt_carry c)
-        end
-      done;
-      (* Parallel correction pass: chunk c (c ≥ 1) applies the global
-         carries of chunk c-1 with the per-position factors, one specialized
-         whole-list sweep per factor list (all-equal folding, 0/1
-         conditional add, decayed-tail skip — paper §3.1 on the CPU). *)
-      let correct_chunk c =
-        if c >= 1 then begin
-          let g = globals.(c - 1) in
-          let len = chunk_len c in
-          let base = c * m in
-          for j = 0 to k - 1 do
-            FP.apply_list fp ~j ~carry:g.(j) y ~base ~len
-          done
-        end
-      in
-      let correct_chunks lo hi =
-        for c = max 1 lo to hi - 1 do
-          correct_chunk c
-        done
-      in
-      if not faulty then parallel_ranges ~domains ~n:chunks correct_chunks
-      else Array.iter correct_chunk (Faults.permutation faults chunks);
+      let forward = s.Signature.forward and feedback = s.Signature.feedback in
+      let y = Array.make n S.zero in
+      if not (Faults.is_none faults) then
+        run_faulted ~opts ~faults ~forward ~feedback input y ~n ~m ~k
+      else if chunks = 1 then
+        (* Degenerate single chunk: the fused solve is already the whole
+           answer — no factor plan, no protocol. *)
+        solve_chunk_fused ~forward ~feedback input y ~base:0 ~len:n
+      else if Pool.size pool = 1 then
+        run_sequential ~opts ~forward ~feedback input y ~n ~m ~k
+      else run_pooled ~opts ~pool ~forward ~feedback input y ~n ~m ~k;
       y
     end
 
-  let run ?opts ?faults ?domains ?chunk_size s input =
-    let domains =
-      match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
-    in
+  let resolve_pool ?pool ?domains () =
+    match pool with Some p -> p | None -> Pool.get ?domains ()
+
+  let run ?opts ?faults ?pool ?domains ?chunk_size s input =
+    let pool = resolve_pool ?pool ?domains () in
     let chunk_size =
       match chunk_size with
       | Some c -> max 1 c
-      | None -> default_chunk_size ~domains (Array.length input)
+      | None ->
+          default_chunk_size ~domains:(Pool.size pool) (Array.length input)
     in
-    run_with ?opts ?faults ~domains ~chunk_size s input
+    run_with ?opts ?faults ~pool ~chunk_size s input
 
-  let run_sequential_fallback ?opts s input =
-    run_with ?opts ~domains:1
-      ~chunk_size:(default_chunk_size ~domains:4 (Array.length input))
-      s input
+  let sequential_pool = lazy (Pool.get ~domains:1 ())
+
+  let run_sequential_fallback ?opts ?chunk_size s input =
+    let chunk_size =
+      match chunk_size with
+      | Some c -> max 1 c
+      | None -> fallback_chunk_size (Array.length input)
+    in
+    run_with ?opts ~pool:(Lazy.force sequential_pool) ~chunk_size s input
 end

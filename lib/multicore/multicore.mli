@@ -3,18 +3,25 @@
 
     The paper notes (§7) that the algorithm, the hierarchical
     parallelization, and most optimizations "apply equally to CPUs"; this
-    module is that port.  The structure mirrors the GPU engine at CPU
-    granularity:
+    module is that port.  Since PR 3 it is a *single-pass* engine in the
+    Merrill–Garland decoupled look-back style (the same protocol as
+    [Plr_plr.Engine]'s Phase 2), executed on a persistent
+    {!Plr_exec.Pool}:
 
-    - the sequence is split into chunks, one per parallel task;
-    - pass 1 (parallel): each chunk is solved locally (the degenerate
-      Phase 1 — a CPU core is one "thread", so the local solve is serial)
-      and its local carries are collected;
-    - carry propagation (sequential, O(chunks·k²)): local carries are
-      corrected into global carries using the last k n-nacci correction
-      factors, exactly like Phase 2's look-back;
-    - pass 2 (parallel): every chunk applies its predecessor's global
-      carries with the per-position correction factors.
+    - the sequence is split into chunks, one pool task per chunk;
+    - each task solves its chunk locally in one fused sweep (the FIR map
+      stage reads the immutable input tail directly, the feedback stage
+      reads only the chunk's own output — no serial pre-pass, no slice
+      copies);
+    - local (aggregate) carries are published through an atomic status
+      flag; each task looks back over a bounded window — the inclusive
+      carries of the previous window's last chunk plus the aggregates
+      published since — and promotes them with the shared n-nacci
+      correction factors;
+    - inclusive (global) carries are published *before* the task's own
+      O(chunk) correction sweep, so the carry chain never waits on a
+      sweep and the old sequential carry loop and its two barriers are
+      gone.
 
     The correction factors are compiled once per run through the shared
     {!Plr_factors.Factor_plan}, so the CPU hot path inherits the paper's
@@ -23,35 +30,55 @@
     the GPU model. *)
 
 module Faults = Plr_gpusim.Faults
+module Pool = Plr_exec.Pool
 
 exception Fault_detected of string
 (** Raised when an injected fault leaves the pipeline unable to make
-    progress (e.g. a dropped carry publication, which the real decoupled
-    protocol would spin on forever): the engine fails loudly instead of
-    returning silently wrong values. *)
+    progress (e.g. a dropped carry publication that the look-back window
+    would spin on forever): the engine fails loudly instead of returning
+    silently wrong values. *)
+
+val faulted_lookback_window : int
+(** Window of the deterministic faulted pipeline: chunk [c] reads the
+    inclusive carries of chunk [(c / w) * w - 1] and the aggregates of
+    every chunk in between.  Drops outside that read set are routed
+    around (bit-exact output); drops inside it stall and raise
+    {!Fault_detected}. *)
 
 module Make (S : Plr_util.Scalar.S) : sig
+  val default_chunk_size : domains:int -> int -> int
+  (** The chunk size [run] uses when none is given: the input length split
+      into several chunks per participating domain, floored at a minimum
+      size below which protocol overhead dominates. *)
+
   val run :
     ?opts:Plr_factors.Opts.t ->
     ?faults:Faults.plan ->
+    ?pool:Pool.t ->
     ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
-  (** [run s x] computes the recurrence in parallel.  [domains] defaults to
-      [Domain.recommended_domain_count ()]; [chunk_size] defaults to a
-      size that gives each domain several chunks.  [opts] (default
+  (** [run s x] computes the recurrence in parallel on a persistent
+      domain pool.  [pool] (default: the registry pool for [domains],
+      itself defaulting to [Domain.recommended_domain_count ()]) supplies
+      the worker domains — no domain is spawned per call.  [chunk_size]
+      defaults to {!default_chunk_size}.  [opts] (default
       {!Plr_factors.Opts.all_on}) selects the factor specializations
-      applied during the correction pass.
+      applied during carry promotion and correction.
 
-      [faults] (default {!Faults.none}) injects deterministic perturbations
-      into the chunk pipeline for the chaos harness: with a non-empty plan
-      the local solves and the correction pass run sequentially in a
-      perturbed completion order, poisoned chunks receive garbage values,
-      corrupted carry publications are overwritten after computation, and a
-      dropped publication raises {!Fault_detected}.  With the default plan
-      the code path — and therefore the parallel execution — is exactly the
-      unfaulted algorithm. *)
+      [faults] (default {!Faults.none}) injects deterministic
+      perturbations into the look-back protocol for the chaos harness:
+      with a non-empty plan the chunks run sequentially in a perturbed
+      completion order, poisoned chunks receive garbage values, corrupted
+      carry publications are overwritten after computation, dropped
+      publications make their flags invisible — benign when the window
+      never reads them, {!Fault_detected} when the protocol would stall.
+      With the default plan the code path — and therefore the parallel
+      execution — is exactly the unfaulted algorithm. *)
 
   val run_sequential_fallback :
-    ?opts:Plr_factors.Opts.t -> S.t Signature.t -> S.t array -> S.t array
-  (** The same chunked algorithm executed on one domain — used by the guard
-      (and by tests) to separate algorithmic correctness from scheduling. *)
+    ?opts:Plr_factors.Opts.t ->
+    ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
+  (** The same chunked algorithm executed on one domain — used by the
+      guard (and by tests) to separate algorithmic correctness from
+      scheduling.  [chunk_size] defaults to a fixed small number of
+      chunks computed from the input length alone. *)
 end

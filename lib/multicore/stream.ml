@@ -1,13 +1,14 @@
 module Make (S : Plr_util.Scalar.S) = struct
   module Multicore = Multicore.Make (S)
   module FP = Plr_factors.Factor_plan.Make (S)
+  module Pool = Plr_exec.Pool
 
   type t = {
     signature : S.t Signature.t;
     pure : S.t Signature.t;          (* (1 : feedback) for the local solves *)
     k : int;
     taps : int;
-    domains : int option;
+    pool : Pool.t;
     opts : Plr_factors.Opts.t;
     mutable carries : S.t array;     (* carry j = j-th from last output *)
     mutable input_tail : S.t array;  (* last taps-1 inputs, most recent last *)
@@ -15,15 +16,19 @@ module Make (S : Plr_util.Scalar.S) = struct
     mutable started : bool;
   }
 
-  let create ?domains ?(opts = Plr_factors.Opts.all_on) (signature : S.t Signature.t) =
+  let create ?pool ?domains ?(opts = Plr_factors.Opts.all_on)
+      (signature : S.t Signature.t) =
     let k = Signature.order signature in
     let _, pure = Signature.split ~one:S.one signature in
+    let pool =
+      match pool with Some p -> p | None -> Pool.get ?domains ()
+    in
     {
       signature;
       pure;
       k;
       taps = Signature.fir_taps signature;
-      domains;
+      pool;
       opts;
       carries = Array.make k S.zero;
       input_tail = Array.make (max 0 (Signature.fir_taps signature - 1)) S.zero;
@@ -73,23 +78,48 @@ module Make (S : Plr_util.Scalar.S) = struct
           !acc)
     end
 
+  (* Below this length the boundary sweep is cheaper than waking the
+     pool. *)
+  let parallel_sweep_threshold = 8192
+
+  (* The boundary-correction sweep: one specialized whole-list sweep per
+     factor list.  Factor positions are absolute chunk positions, so a
+     range split passes its offset as [q0]; each range sums the lists in
+     the same order, keeping the output bit-identical to the serial
+     sweep. *)
+  let correct_boundary t fp y ~n =
+    let parts =
+      if n < parallel_sweep_threshold then 1
+      else min (Pool.size t.pool) (n / (parallel_sweep_threshold / 2))
+    in
+    if parts <= 1 then
+      for j = 0 to t.k - 1 do
+        FP.apply_list fp ~j ~carry:t.carries.(j) y ~base:0 ~len:n
+      done
+    else begin
+      let per = (n + parts - 1) / parts in
+      Pool.run t.pool ~tasks:parts (fun p ->
+          let lo = p * per in
+          let len = min per (n - lo) in
+          if len > 0 then
+            for j = 0 to t.k - 1 do
+              FP.apply_list ~q0:lo fp ~j ~carry:t.carries.(j) y ~base:lo ~len
+            done)
+    end
+
   let process t x =
     let n = Array.length x in
     if n = 0 then [||]
     else begin
       let tseq = fir_with_history t x in
       (* local parallel solve of the pure recurrence *)
-      let y = Multicore.run ~opts:t.opts ?domains:t.domains t.pure tseq in
-      (* correct with the carries from everything processed so far, one
-         specialized whole-list sweep per factor list *)
+      let y = Multicore.run ~opts:t.opts ~pool:t.pool t.pure tseq in
+      (* correct with the carries from everything processed so far *)
       if t.started then begin
         ensure_plan t n;
         match t.fplan with
         | None -> assert false (* ensure_plan always installs a plan *)
-        | Some fp ->
-            for j = 0 to t.k - 1 do
-              FP.apply_list fp ~j ~carry:t.carries.(j) y ~base:0 ~len:n
-            done
+        | Some fp -> correct_boundary t fp y ~n
       end;
       (* save the new state *)
       t.carries <-

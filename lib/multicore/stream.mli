@@ -12,11 +12,16 @@
 module Make (S : Plr_util.Scalar.S) : sig
   type t
 
-  val create : ?domains:int -> ?opts:Plr_factors.Opts.t -> S.t Signature.t -> t
-  (** A fresh stream in the zero state (as if preceded by zeros).  [opts]
-      (default {!Plr_factors.Opts.all_on}) selects the factor
-      specializations used by the boundary-correction sweep; the compiled
-      factor plan is grown geometrically as larger chunks arrive. *)
+  val create :
+    ?pool:Plr_exec.Pool.t ->
+    ?domains:int -> ?opts:Plr_factors.Opts.t -> S.t Signature.t -> t
+  (** A fresh stream in the zero state (as if preceded by zeros).  [pool]
+      (default: the registry pool for [domains]) supplies the persistent
+      worker domains used for both the local solves and, on large
+      buffers, the boundary-correction sweep.  [opts] (default
+      {!Plr_factors.Opts.all_on}) selects the factor specializations used
+      by the boundary-correction sweep; the compiled factor plan is grown
+      geometrically as larger chunks arrive. *)
 
   val process : t -> S.t array -> S.t array
   (** Filter the next chunk (any length, including empty) and advance the

@@ -48,8 +48,8 @@ module Make (S : Plr_util.Scalar.S) = struct
 
   let spec = Plr_gpusim.Spec.titan_x
 
-  let run_trial ?(n = 384) ?kinds ?(max_events = 3) ?(tol = 1e-3) ~seed
-      ~target s =
+  let run_trial ?(n = 384) ?kinds ?(max_events = 3) ?(tol = 1e-3) ?domains
+      ~seed ~target s =
     let k = max 1 (Signature.order s) in
     let gen = Plr_util.Splitmix.create seed in
     let input =
@@ -68,7 +68,8 @@ module Make (S : Plr_util.Scalar.S) = struct
       | Gpusim ->
           G.gpusim_runner ~faults:plan ~threads_per_block:gpusim_threads
             ~x:gpusim_x ~lookback_window:gpusim_lookback ~spec ()
-      | Multicore -> G.multicore_runner ~faults:plan ~chunk_size:multicore_chunk ()
+      | Multicore ->
+          G.multicore_runner ~faults:plan ?domains ~chunk_size:multicore_chunk ()
     in
     let expected = Serial.full s input in
     let o = G.run ~tol ~check:Guard.Full runner s input in
@@ -98,10 +99,12 @@ module Make (S : Plr_util.Scalar.S) = struct
     in
     { seed; target; plan; outcome }
 
-  let campaign ?(trials = 100) ?n ?kinds ?max_events ?tol ~seed ~target s =
+  let campaign ?(trials = 100) ?n ?kinds ?max_events ?tol ?domains ~seed
+      ~target s =
     let results =
       List.init trials (fun i ->
-          run_trial ?n ?kinds ?max_events ?tol ~seed:(seed + i) ~target s)
+          run_trial ?n ?kinds ?max_events ?tol ?domains ~seed:(seed + i)
+            ~target s)
     in
     let count f = List.length (List.filter f results) in
     let summary =

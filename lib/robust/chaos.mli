@@ -56,17 +56,19 @@ module Make (S : Plr_util.Scalar.S) : sig
 
   val run_trial :
     ?n:int -> ?kinds:Faults.kind list -> ?max_events:int -> ?tol:float ->
-    seed:int -> target:target -> S.t Signature.t -> trial
+    ?domains:int -> seed:int -> target:target -> S.t Signature.t -> trial
   (** One seeded trial: the input (values in [-9, 9]) and the fault plan
       are both derived from [seed].  [n] defaults to 384; the gpusim target
       is shaped to 8-element chunks with a look-back window of 4 so a few
       hundred elements exercise many chunks and several waves; the
-      multicore target uses 16-element chunks. *)
+      multicore target uses 16-element chunks.  [domains] sizes the
+      multicore target's pool (trials whose derived plan is empty run the
+      real parallel path). *)
 
   val campaign :
     ?trials:int -> ?n:int -> ?kinds:Faults.kind list -> ?max_events:int ->
-    ?tol:float -> seed:int -> target:target -> S.t Signature.t ->
-    summary * trial list
+    ?tol:float -> ?domains:int -> seed:int -> target:target ->
+    S.t Signature.t -> summary * trial list
   (** [trials] (default 100) seeded trials with seeds [seed, seed+1, …]. *)
 
   val pp_summary : Format.formatter -> summary -> unit

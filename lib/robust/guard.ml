@@ -201,13 +201,13 @@ module Make (S : Plr_util.Scalar.S) = struct
       (Engine.run_plan ?faults ~spec plan input).Engine.output
     end
 
-  let multicore_runner ?opts ?faults ?domains ?chunk_size () : runner =
-   fun s input -> Multicore.run ?opts ?faults ?domains ?chunk_size s input
+  let multicore_runner ?opts ?faults ?pool ?domains ?chunk_size () : runner =
+   fun s input -> Multicore.run ?opts ?faults ?pool ?domains ?chunk_size s input
 
-  let stream_runner ?domains ?opts ~buffer () : runner =
+  let stream_runner ?pool ?domains ?opts ~buffer () : runner =
    fun s input ->
     let buffer = max 1 buffer in
-    let stream = Stream.create ?domains ?opts s in
+    let stream = Stream.create ?pool ?domains ?opts s in
     let n = Array.length input in
     let pieces = ref [] in
     let pos = ref 0 in

@@ -80,11 +80,14 @@ module Make (S : Plr_util.Scalar.S) : sig
       heuristics choose the shape. *)
 
   val multicore_runner :
-    ?opts:Plr_core.Opts.t -> ?faults:Faults.plan -> ?domains:int ->
-    ?chunk_size:int -> unit -> runner
+    ?opts:Plr_core.Opts.t -> ?faults:Faults.plan -> ?pool:Plr_exec.Pool.t ->
+    ?domains:int -> ?chunk_size:int -> unit -> runner
+  (** The single-pass CPU engine; [pool]/[domains] select the persistent
+      domain pool exactly as in {!Plr_multicore.Multicore.Make.run}. *)
 
   val stream_runner :
-    ?domains:int -> ?opts:Plr_core.Opts.t -> buffer:int -> unit -> runner
+    ?pool:Plr_exec.Pool.t -> ?domains:int -> ?opts:Plr_core.Opts.t ->
+    buffer:int -> unit -> runner
   (** Feeds the input through {!Plr_multicore.Stream} in [buffer]-sized
       chunks and concatenates the results. *)
 

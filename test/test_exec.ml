@@ -1,0 +1,168 @@
+(* Tests for the persistent domain pool: task coverage, reuse across many
+   runs, the increasing-claim-order guarantee, exception propagation, and
+   the registry. *)
+
+module Pool = Plr_exec.Pool
+
+exception Boom of int
+
+let test_covers_all_tasks () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  List.iter
+    (fun tasks ->
+      let hits = Array.make (max 1 tasks) (Atomic.make 0) in
+      Array.iteri (fun i _ -> hits.(i) <- Atomic.make 0) hits;
+      Pool.run pool ~tasks (fun i -> Atomic.incr hits.(i));
+      if tasks > 0 then
+        Array.iteri
+          (fun i a ->
+            Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1
+              (Atomic.get a))
+          hits)
+    [ 0; 1; 2; 3; 7; 16; 100; 1000 ]
+
+let test_many_small_runs_reuse_pool () =
+  (* The whole point of the pool: hundreds of runs must not spawn
+     hundreds of domains.  We can't count domains portably, but we can
+     check the pool stays functional and its size never changes. *)
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let size0 = Pool.size pool in
+  let total = Atomic.make 0 in
+  for _ = 1 to 500 do
+    Pool.run pool ~tasks:5 (fun _ -> Atomic.incr total)
+  done;
+  Alcotest.(check int) "all tasks of all runs ran" 2500 (Atomic.get total);
+  Alcotest.(check int) "pool size is stable" size0 (Pool.size pool)
+
+let test_lookback_progress () =
+  (* The increasing-claim-order guarantee is what makes a spin on the
+     previous task's publication deadlock-free: the lowest in-flight task
+     never waits on a higher index.  Exercise exactly that dependency
+     shape; a broken guarantee turns this into a stall, caught by the
+     timeout instead of hanging the suite. *)
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let tasks = 200 in
+  let published = Array.init tasks (fun _ -> Atomic.make false) in
+  Pool.run pool ~tasks (fun i ->
+      if i > 0 then begin
+        let t0 = Unix.gettimeofday () in
+        while not (Atomic.get published.(i - 1)) do
+          if Unix.gettimeofday () -. t0 > 10.0 then
+            failwith "look-back chain stalled";
+          Domain.cpu_relax ()
+        done
+      end;
+      Atomic.set published.(i) true);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) (Printf.sprintf "task %d published" i) true
+        (Atomic.get p))
+    published
+
+let test_exception_propagates_and_pool_survives () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match Pool.run pool ~tasks:32 (fun i -> if i = 7 then raise (Boom i)) with
+  | () -> Alcotest.fail "expected the task exception to propagate"
+  | exception Boom 7 -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e));
+  (* all workers were joined back into the pool: it still works *)
+  let total = Atomic.make 0 in
+  Pool.run pool ~tasks:10 (fun _ -> Atomic.incr total);
+  Alcotest.(check int) "pool survives a failed run" 10 (Atomic.get total)
+
+let test_lowest_failure_wins () =
+  (* Tasks that observe cancellation raise [Stopped]; the primary failure
+     reported must be a real one, not the cancellation echo. *)
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  match
+    Pool.run pool ~tasks:16 (fun i ->
+        if i = 3 then raise (Boom 3)
+        else if Pool.cancelled pool then raise Pool.Stopped)
+  with
+  | () -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 3 -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+
+let test_size_one_runs_inline () =
+  let pool = Pool.create ~domains:1 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "size" 1 (Pool.size pool);
+  let order = ref [] in
+  Pool.run pool ~tasks:5 (fun i -> order := i :: !order);
+  Alcotest.(check (list int)) "inline runs in index order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_nested_run_is_inline () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let inner_total = Atomic.make 0 in
+  Pool.run pool ~tasks:4 (fun _ ->
+      (* a busy pool runs nested jobs inline rather than deadlocking *)
+      Pool.run pool ~tasks:3 (fun _ -> Atomic.incr inner_total));
+  Alcotest.(check int) "nested tasks all ran" 12 (Atomic.get inner_total)
+
+let test_shutdown_idempotent_and_inline_after () =
+  let pool = Pool.create ~domains:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check int) "no workers left" 1 (Pool.size pool);
+  let total = Atomic.make 0 in
+  Pool.run pool ~tasks:4 (fun _ -> Atomic.incr total);
+  Alcotest.(check int) "runs inline after shutdown" 4 (Atomic.get total)
+
+let test_registry_shares_pools () =
+  let a = Pool.get ~domains:2 () in
+  let b = Pool.get ~domains:2 () in
+  Alcotest.(check bool) "same pool for the same size" true (a == b);
+  let c = Pool.get ~domains:1 () in
+  Alcotest.(check bool) "different size, different pool" false (a == c);
+  Alcotest.(check int) "clamped to at least one" 1 (Pool.size c)
+
+let test_parallel_work_is_correct () =
+  (* A small map-reduce over the pool: each task sums a strided slice. *)
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let n = 100_000 in
+  let tasks = 16 in
+  let partial = Array.make tasks 0 in
+  Pool.run pool ~tasks (fun t ->
+      let acc = ref 0 in
+      let i = ref t in
+      while !i < n do
+        acc := !acc + !i;
+        i := !i + tasks
+      done;
+      partial.(t) <- !acc);
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) (Array.fold_left ( + ) 0 partial)
+
+let () =
+  Alcotest.run "plr_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "covers all tasks" `Quick test_covers_all_tasks;
+          Alcotest.test_case "many small runs reuse the pool" `Quick
+            test_many_small_runs_reuse_pool;
+          Alcotest.test_case "look-back chains make progress" `Quick
+            test_lookback_progress;
+          Alcotest.test_case "exception propagation joins all workers" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "lowest real failure wins" `Quick
+            test_lowest_failure_wins;
+          Alcotest.test_case "size one runs inline" `Quick
+            test_size_one_runs_inline;
+          Alcotest.test_case "nested run is inline" `Quick
+            test_nested_run_is_inline;
+          Alcotest.test_case "shutdown is idempotent" `Quick
+            test_shutdown_idempotent_and_inline_after;
+          Alcotest.test_case "registry shares pools" `Quick
+            test_registry_shares_pools;
+          Alcotest.test_case "parallel map-reduce" `Quick
+            test_parallel_work_is_correct;
+        ] );
+    ]

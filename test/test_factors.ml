@@ -136,6 +136,47 @@ let test_apply_list_equivalence () =
       ([| 2; -1 |], Opts.all_on); ([| 3; -3; 1 |], Opts.all_on);
       ([| 1 |], Opts.all_off); ([| -1 |], Opts.all_off) ]
 
+(* Splitting one sweep into [q0]-offset ranges must reproduce the whole
+   sweep bit for bit — this is what lets the stream backend parallelize
+   its boundary correction. *)
+let test_apply_list_q0_split () =
+  let gen = Plr_util.Splitmix.create 5152 in
+  List.iter
+    (fun (feedback, opts) ->
+      let m = 96 in
+      let fp = FPi.of_feedback ~opts ~feedback ~m () in
+      for j = 0 to fp.FPi.order - 1 do
+        let carry = Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9 in
+        let y0 =
+          Array.init m (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9)
+        in
+        let whole = Array.copy y0 in
+        FPi.apply_list fp ~j ~carry whole ~base:0 ~len:m;
+        let split = Array.copy y0 in
+        let pos = ref 0 in
+        while !pos < m do
+          let len = min (1 + Plr_util.Splitmix.int_in gen ~lo:0 ~hi:40) (m - !pos) in
+          FPi.apply_list ~q0:!pos fp ~j ~carry split ~base:!pos ~len;
+          pos := !pos + len
+        done;
+        check_ints (Printf.sprintf "q0 range split = whole sweep (j=%d)" j)
+          whole split
+      done)
+    [ ([| 1 |], Opts.all_on); ([| 0; 1 |], Opts.all_on); ([| -1 |], Opts.all_on);
+      ([| 2; -1 |], Opts.all_on); ([| 3; -3; 1 |], Opts.all_on);
+      ([| 0; 1 |], Opts.all_off) ];
+  (* the Decayed form must honor the cutoff across range boundaries *)
+  let m = 300 in
+  let fp = FPf.of_feedback ~feedback:[| 0.5 |] ~m () in
+  let y0 = Array.init m (fun i -> Float.of_int (i mod 7) /. 8.0) in
+  let whole = Array.copy y0 in
+  FPf.apply_list fp ~j:0 ~carry:0.75 whole ~base:0 ~len:m;
+  let split = Array.copy y0 in
+  List.iter
+    (fun (q0, len) -> FPf.apply_list ~q0 fp ~j:0 ~carry:0.75 split ~base:q0 ~len)
+    [ (0, 7); (7, 100); (107, 150); (257, 43) ];
+  check_bool "decayed q0 split bitwise equal" true (whole = split)
+
 (* The float path must be bitwise self-consistent too (the tolerance only
    buys slack *across* backends, not within one plan). *)
 let test_apply_list_float_bitwise () =
@@ -225,6 +266,37 @@ let test_cross_backend_int () =
       both_opts
   done
 
+(* The single-pass look-back engine must agree with serial for every pool
+   size: 1 (inline sequential schedule), 2 (smallest real protocol), and
+   the machine's recommended count — with the factor optimizations on and
+   off, over randomized signatures and chunk shapes small enough that
+   each run spans many chunks and several look-back windows. *)
+let test_cross_backend_domains () =
+  let domain_counts =
+    List.sort_uniq compare [ 1; 2; Domain.recommended_domain_count () ]
+  in
+  for case = 1 to 12 do
+    let s = random_int_signature () in
+    let n = Plr_util.Splitmix.int_in gen ~lo:512 ~hi:6000 in
+    let chunk_size = Plr_util.Splitmix.int_in gen ~lo:16 ~hi:512 in
+    let input =
+      Array.init n (fun _ -> Plr_util.Splitmix.int_in gen ~lo:(-30) ~hi:30)
+    in
+    let expected = Si.full s input in
+    List.iter
+      (fun (oname, opts) ->
+        List.iter
+          (fun d ->
+            check_ints
+              (Printf.sprintf "case %d %s domains=%d/%s n=%d chunk=%d" case
+                 (Signature.to_string string_of_int s)
+                 d oname n chunk_size)
+              expected
+              (Mi.run ~opts ~domains:d ~chunk_size s input))
+          domain_counts)
+      both_opts
+  done
+
 let test_cross_backend_float () =
   (* Table 1's filter designs: every float specialization shows up here —
      lp* decay to an exact-zero tail, hp* mix signs, all are stable *)
@@ -266,6 +338,8 @@ let () =
           Alcotest.test_case "table elems + value" `Quick test_table_elems;
           Alcotest.test_case "apply_list equivalence" `Quick
             test_apply_list_equivalence;
+          Alcotest.test_case "apply_list q0 range split" `Quick
+            test_apply_list_q0_split;
           Alcotest.test_case "float bitwise self-consistency" `Quick
             test_apply_list_float_bitwise;
         ] );
@@ -273,6 +347,8 @@ let () =
         [
           Alcotest.test_case "randomized int signatures" `Quick
             test_cross_backend_int;
+          Alcotest.test_case "domain-count sweep" `Quick
+            test_cross_backend_domains;
           Alcotest.test_case "Table 1 float filters" `Quick
             test_cross_backend_float;
         ] );

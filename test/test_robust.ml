@@ -176,6 +176,53 @@ let test_multicore_drop_detected () =
   | _ -> Alcotest.fail "expected the lost publication to be detected"
   | exception Plr_multicore.Multicore.Fault_detected _ -> ()
 
+let test_multicore_lookback_fault_classes () =
+  (* Pin every fault class against the single-pass look-back protocol.
+     n = 256 with 16-element chunks gives 16 chunks; the faulted window is
+     [Multicore.faulted_lookback_window] = 4, so chunk c reads the global
+     carries of chunk (c/4)*4 - 1 and the locals published after it. *)
+  Alcotest.(check int) "window this pin is built for" 4
+    Plr_multicore.Multicore.faulted_lookback_window;
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let input = random_ints 256 in
+  let expected = Si.full s input in
+  let run kind chunk =
+    let faults =
+      Faults.of_events [ { Faults.kind; chunk; lane = 0; delay = 0 } ]
+    in
+    Mi.run ~faults ~chunk_size:16 s input
+  in
+  let expect_stall label kind chunk =
+    match run kind chunk with
+    | _ -> Alcotest.failf "%s: expected Fault_detected" label
+    | exception Plr_multicore.Multicore.Fault_detected _ -> ()
+  in
+  let expect_exact label kind chunk =
+    check_ints (label ^ ": routed around, bit-exact") expected (run kind chunk)
+  in
+  let expect_divergence label kind chunk =
+    match run kind chunk with
+    | out ->
+        if out = expected then
+          Alcotest.failf "%s: fault did not perturb the output" label
+    | exception e ->
+        Alcotest.failf "%s: unexpected exception %s" label (Printexc.to_string e)
+  in
+  (* a dropped aggregate that an in-window successor must fold: stall *)
+  expect_stall "Drop_local mid-window" Faults.Drop_local 2;
+  (* a dropped inclusive publication on a window boundary: the whole next
+     window stalls *)
+  expect_stall "Drop_global on boundary" Faults.Drop_global 3;
+  (* an aggregate on the window's last chunk is never folded (successors
+     start from its global), so dropping it is benign *)
+  expect_exact "Drop_local on boundary" Faults.Drop_local 3;
+  (* an inclusive publication off the boundary is never looked back at *)
+  expect_exact "Drop_global mid-window" Faults.Drop_global 4;
+  (* corrupted carries and poisoned chunks are visible as divergence (the
+     guard layer converts that into degradation, chaos pins zero-silent) *)
+  expect_divergence "Corrupt_carry" Faults.Corrupt_carry 1;
+  expect_divergence "Poison_chunk" Faults.Poison_chunk 2
+
 let test_engine_benign_faults_exact () =
   (* Reordering and flag delays are schedules the decoupled look-back
      admits: output must equal the in-order run bit for bit. *)
@@ -397,6 +444,8 @@ let () =
             test_engine_deadlock_detected;
           Alcotest.test_case "multicore drop detected" `Quick
             test_multicore_drop_detected;
+          Alcotest.test_case "look-back fault classes pinned" `Quick
+            test_multicore_lookback_fault_classes;
           Alcotest.test_case "benign faults exact" `Quick
             test_engine_benign_faults_exact;
           Alcotest.test_case "benign campaigns" `Quick test_chaos_benign_campaigns;

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Regenerate the bench smoke suite and diff it against the committed
+# BENCH_PLR.json baseline.  Prints a per-row delta table; exits 0 even
+# on regressions (wall-clock numbers from shared machines are advisory,
+# not a gate).  Exits nonzero only if the bench itself fails to run.
+#
+# Usage: tools/bench_compare.sh [baseline.json]
+#   baseline.json defaults to the committed BENCH_PLR.json (via git show,
+#   falling back to the working-tree file).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_compare: jq not found; skipping comparison" >&2
+  exit 0
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+baseline="$tmpdir/baseline.json"
+if [ "$#" -ge 1 ]; then
+  cp "$1" "$baseline"
+elif git show HEAD:BENCH_PLR.json >"$baseline" 2>/dev/null; then
+  :
+elif [ -f BENCH_PLR.json ]; then
+  cp BENCH_PLR.json "$baseline"
+else
+  echo "bench_compare: no baseline BENCH_PLR.json found; skipping" >&2
+  exit 0
+fi
+
+fresh="$tmpdir/fresh.json"
+dune exec bench/main.exe -- json "$fresh"
+
+echo
+echo "bench_compare: fresh run vs baseline (ns/elem, negative delta = faster)"
+jq -r -n --slurpfile base "$baseline" --slurpfile new "$fresh" '
+  ($base[0].rows | map({key: "\(.suite)/\(.variant)", value: .ns_per_elem})
+   | from_entries) as $old
+  | $new[0].rows[]
+  | "\(.suite)/\(.variant)" as $k
+  | ($old[$k] // null) as $b
+  | if $b == null then
+      [$k, "-", (.ns_per_elem | tostring), "new row"]
+    else
+      [$k, ($b | tostring), (.ns_per_elem | tostring),
+       (((.ns_per_elem - $b) / $b * 100 * 100 | round) / 100
+        | tostring) + "%"]
+    end
+  | @tsv
+' | awk -F'\t' '
+  BEGIN { printf "%-28s %12s %12s %10s\n", "suite/variant", "baseline", "fresh", "delta" }
+  { printf "%-28s %12s %12s %10s\n", $1, $2, $3, $4 }
+'
+echo
+echo "bench_compare: done (informational only; never fails the build)"
