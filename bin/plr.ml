@@ -39,6 +39,14 @@ let require_positive name v =
 
 let require_positive_opt name = Option.iter (require_positive name)
 
+let require_positive_float name v =
+  if not (Float.is_finite v) || v <= 0.0 then
+    failwith (Printf.sprintf "%s must be positive (got %g)" name v)
+
+let require_non_negative_float name v =
+  if not (Float.is_finite v) || v < 0.0 then
+    failwith (Printf.sprintf "%s must be non-negative (got %g)" name v)
+
 (* ------------------------------------------------------------- compile *)
 
 module Emit_int = Plr_codegen.Emit.Make (Scalar.Int)
@@ -425,6 +433,49 @@ let cmd_chaos text n domain domains target trials seed =
     exit 1
   end
 
+(* --------------------------------------------------------- serve-bench *)
+
+module Serve = Plr_serve.Serve
+module Serve_f32 = Plr_serve.Serve.Make (Scalar.F32)
+module Load_f32 = Plr_serve.Load.Make (Scalar.F32)
+
+let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
+    domains seed json_path =
+  require_positive "--clients" clients;
+  require_positive "--depth" depth;
+  require_positive "--seed" seed;
+  require_positive_opt "--domains" domains;
+  require_positive_float "--seconds" seconds;
+  require_positive_float "--deadline-ms" deadline_ms;
+  require_non_negative_float "--zipf" zipf;
+  let config =
+    {
+      Serve.default_config with
+      Serve.max_inflight = depth;
+      batching = not no_batch;
+      guard = not no_guard;
+    }
+  in
+  let server = Serve_f32.create ~config ?domains () in
+  (* The paper's Table 1 workload, all on the float32 pipeline (the
+     integer-domain entries have integral coefficients, which round
+     exactly). *)
+  let mix =
+    List.map
+      (fun e ->
+        ( e.Table1.name,
+          Signature.map Plr_util.F32.round e.Table1.signature ))
+      Table1.all
+  in
+  let r = Load_f32.run ~clients ~seconds ~zipf ~deadline_ms ~seed ~server mix in
+  Plr_serve.Load.render Format.std_formatter r;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let meta = Plr_bench.Meta.to_json (Plr_bench.Meta.collect ()) in
+      Plr_serve.Load.write_json ~path ~meta r;
+      Printf.printf "wrote %s\n" path
+
 (* ------------------------------------------------------------ cmdliner *)
 
 open Cmdliner
@@ -479,6 +530,9 @@ let wrap f =
       exit 2
   | Invalid_argument m ->
       prerr_endline ("plr: invalid argument: " ^ m);
+      exit 2
+  | Sys_error m ->
+      prerr_endline ("plr: " ^ m);
       exit 2
 
 let compile_cmd =
@@ -628,10 +682,67 @@ let chaos_cmd =
         (const run $ signature_arg $ n_arg $ domain_arg $ domains_arg $ target
         $ trials $ seed))
 
+let serve_bench_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C"
+           ~doc:"Closed-loop client domains generating load.")
+  in
+  let seconds =
+    Arg.(value & opt float 2.0 & info [ "seconds" ] ~docv:"S"
+           ~doc:"Wall-clock budget for the load loop.")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"A"
+           ~doc:"Zipf popularity exponent over the Table 1 mix (0 = uniform).")
+  in
+  let deadline_ms =
+    Arg.(value & opt float 250.0 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline in milliseconds.")
+  in
+  let depth =
+    Arg.(value & opt int 64 & info [ "depth" ] ~docv:"D"
+           ~doc:"Admission bound: concurrently admitted requests beyond \
+                 $(docv) are rejected as overloaded.")
+  in
+  let no_batch =
+    Arg.(value & flag & info [ "no-batch" ]
+           ~doc:"Disable fusing of small same-signature requests.")
+  in
+  let no_guard =
+    Arg.(value & flag & info [ "no-guard" ]
+           ~doc:"Run pooled requests without the stability guard.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S"
+           ~doc:"Base seed for the load generator's draws.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the report as machine-readable JSON to $(docv).")
+  in
+  let run clients seconds zipf deadline_ms depth no_batch no_guard domains seed
+      json =
+    wrap (fun () ->
+        cmd_serve_bench clients seconds zipf deadline_ms depth no_batch
+          no_guard domains seed json)
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Closed-loop load benchmark of the serving layer: $(b,--clients) \
+          domains draw Table 1 signatures with Zipf-skewed popularity and \
+          submit them through the shared plan cache, batcher, and guard, \
+          printing throughput, latency percentiles, and the full metrics \
+          snapshot.")
+    Term.(
+      ret
+        (const run $ clients $ seconds $ zipf $ deadline_ms $ depth $ no_batch
+        $ no_guard $ domains_arg $ seed $ json))
+
 let () =
   let doc = "PLR — automatic hierarchical parallelization of linear recurrences" in
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:2
        (Cmd.group (Cmd.info "plr" ~doc)
           [ compile_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd; execute_cmd;
-            check_cmd; chaos_cmd ]))
+            check_cmd; chaos_cmd; serve_bench_cmd ]))

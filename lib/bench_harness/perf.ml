@@ -147,9 +147,13 @@ let render fmt rows =
 
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let to_json rows =
+let to_json ?meta rows =
+  let meta =
+    match meta with Some m -> m | None -> Meta.to_json (Meta.collect ())
+  in
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"plr-bench-2\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"plr-bench-3\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"meta\": %s,\n" meta);
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
        (Domain.recommended_domain_count ()));
@@ -169,7 +173,7 @@ let to_json rows =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-let write_json ~path rows =
+let write_json ~path ?meta rows =
   let oc = open_out path in
-  output_string oc (to_json rows);
+  output_string oc (to_json ?meta rows);
   close_out oc

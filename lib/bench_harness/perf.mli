@@ -40,8 +40,11 @@ val smoke :
 val render : Format.formatter -> row list -> unit
 (** Human-readable table. *)
 
-val to_json : row list -> string
-(** The BENCH_PLR.json payload: [{"schema": "plr-bench-2",
-    "recommended_domains": d, "rows": [...]}]. *)
+val to_json : ?meta:string -> row list -> string
+(** The BENCH_PLR.json payload: [{"schema": "plr-bench-3", "meta": {...},
+    "recommended_domains": d, "rows": [...]}].  [meta] is a pre-rendered
+    JSON object; by default {!Meta.collect} supplies one.  Consumers that
+    only read [.rows] (e.g. [tools/bench_compare.sh]) accept both
+    plr-bench-2 and plr-bench-3 files. *)
 
-val write_json : path:string -> row list -> unit
+val write_json : path:string -> ?meta:string -> row list -> unit

@@ -1,5 +1,7 @@
 exception Stopped
 
+type stats = { size : int; jobs_completed : int; busy : bool }
+
 type t = {
   lock : Mutex.t;
   work : Condition.t; (* new job posted, or shutdown *)
@@ -13,11 +15,19 @@ type t = {
   next : int Atomic.t;
   stop : bool Atomic.t;
   busy : bool Atomic.t;
+  completed : int Atomic.t; (* finished [run] calls, inline ones included *)
   mutable closing : bool;
 }
 
 let size t = List.length t.workers + 1
 let cancelled t = Atomic.get t.stop
+
+let stats t =
+  {
+    size = size t;
+    jobs_completed = Atomic.get t.completed;
+    busy = Atomic.get t.busy;
+  }
 
 (* Claim task indices from the shared counter until the job is exhausted
    or cancelled.  [Atomic.fetch_and_add] hands out indices in strictly
@@ -80,6 +90,7 @@ let create ?domains () =
       next = Atomic.make 0;
       stop = Atomic.make false;
       busy = Atomic.make false;
+      completed = Atomic.make 0;
       closing = false;
     }
   in
@@ -99,11 +110,16 @@ let run_inline ~tasks body =
 
 let run t ~tasks body =
   if tasks <= 0 then ()
-  else if t.workers = [] || tasks = 1 then run_inline ~tasks body
-  else if not (Atomic.compare_and_set t.busy false true) then
+  else if t.workers = [] || tasks = 1 then begin
+    run_inline ~tasks body;
+    Atomic.incr t.completed
+  end
+  else if not (Atomic.compare_and_set t.busy false true) then begin
     (* Re-entrant or concurrent run: executing inline in index order
        satisfies every dependency a look-back body can have. *)
-    run_inline ~tasks body
+    run_inline ~tasks body;
+    Atomic.incr t.completed
+  end
   else begin
     Mutex.lock t.lock;
     t.tasks <- tasks;
@@ -126,6 +142,7 @@ let run t ~tasks body =
     t.failures <- [];
     t.body <- ignore;
     Mutex.unlock t.lock;
+    Atomic.incr t.completed;
     Atomic.set t.busy false;
     if failures <> [] then begin
       let ordered = List.sort (fun (a, _) (b, _) -> compare a b) failures in

@@ -19,6 +19,12 @@
 
 type t
 
+type stats = {
+  size : int;  (** participating domains, as {!size} *)
+  jobs_completed : int;  (** [run] calls that finished (inline runs count) *)
+  busy : bool;  (** a job currently holds the pool's workers *)
+}
+
 exception Stopped
 (** Raised inside a task body (by cooperative cancellation points such as
     {!cancelled}-gated spin loops) and out of {!run} when the job was
@@ -34,6 +40,11 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Number of participating domains (workers + caller), after any
     degradation at spawn time. *)
+
+val stats : t -> stats
+(** A lock-free snapshot of the pool's utilization counters (atomic
+    reads only, safe to call from any domain at any time — the metrics
+    layer polls it on every export). *)
 
 val get : ?domains:int -> unit -> t
 (** Process-wide registry of pools keyed by requested size: repeated

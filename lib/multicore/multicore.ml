@@ -89,13 +89,29 @@ module Make (S : Plr_util.Scalar.S) = struct
     Array.init k (fun j ->
         if len - 1 - j >= 0 then y.(base + len - 1 - j) else S.zero)
 
+  (* A caller-supplied precompiled factor plan (the serve layer's plan
+     cache) is reusable whenever it was compiled from the same feedback
+     under the same [opts] with at least [m] factors per list: factor
+     [F_j(q)] corrects output offset [q] regardless of the chunk length,
+     and [combine]/[apply_list] never read past index [m - 1].  The
+     feedback itself cannot be validated cheaply, so that part of the
+     contract is the caller's (the cache keys on the signature); the
+     checkable conditions are re-verified here and a mismatch silently
+     recompiles instead of corrupting the output. *)
+  let resolve_plan ?plan ~opts ~feedback ~m ~k () =
+    match plan with
+    | Some (fp : FP.t) when fp.FP.order = k && fp.FP.m >= m && fp.FP.opts = opts
+      ->
+        fp
+    | _ -> FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m ()
+
   (* Sequential schedule of the same single-pass algorithm: chunks run in
      order, so each chunk is corrected immediately and its global carries
      are simply its last k corrected elements — no combine chain at all.
      Used for one-domain pools and as the guard's fallback stage. *)
-  let run_sequential ~opts ~forward ~feedback x y ~n ~m ~k =
+  let run_sequential ?plan ~opts ~forward ~feedback x y ~n ~m ~k () =
     let chunks = (n + m - 1) / m in
-    let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
+    let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
     let g_prev = ref [||] in
     for c = 0 to chunks - 1 do
       let base = c * m in
@@ -130,9 +146,9 @@ module Make (S : Plr_util.Scalar.S) = struct
   let status_aggregate = 1
   let status_inclusive = 2
 
-  let run_pooled ~opts ~pool ~forward ~feedback x y ~n ~m ~k =
+  let run_pooled ?plan ~opts ~pool ~forward ~feedback x y ~n ~m ~k () =
     let chunks = (n + m - 1) / m in
-    let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
+    let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
     let locals = Array.make (chunks * k) S.zero in
     let globals = Array.make (chunks * k) S.zero in
     let status = Array.init chunks (fun _ -> Atomic.make 0) in
@@ -281,8 +297,8 @@ module Make (S : Plr_util.Scalar.S) = struct
       end
     done
 
-  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ~pool ~chunk_size
-      (s : S.t Signature.t) input =
+  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ?plan ~pool
+      ~chunk_size (s : S.t Signature.t) input =
     let n = Array.length input in
     if n = 0 then [||]
     else begin
@@ -299,23 +315,27 @@ module Make (S : Plr_util.Scalar.S) = struct
            answer — no factor plan, no protocol. *)
         solve_chunk_fused ~forward ~feedback input y ~base:0 ~len:n
       else if Pool.size pool = 1 then
-        run_sequential ~opts ~forward ~feedback input y ~n ~m ~k
-      else run_pooled ~opts ~pool ~forward ~feedback input y ~n ~m ~k;
+        run_sequential ?plan ~opts ~forward ~feedback input y ~n ~m ~k ()
+      else run_pooled ?plan ~opts ~pool ~forward ~feedback input y ~n ~m ~k ();
       y
     end
 
   let resolve_pool ?pool ?domains () =
     match pool with Some p -> p | None -> Pool.get ?domains ()
 
-  let run ?opts ?faults ?pool ?domains ?chunk_size s input =
+  let run ?opts ?faults ?plan ?pool ?domains ?chunk_size s input =
     let pool = resolve_pool ?pool ?domains () in
     let chunk_size =
-      match chunk_size with
-      | Some c -> max 1 c
-      | None ->
+      match (chunk_size, plan) with
+      | Some c, _ -> max 1 c
+      | None, Some (fp : FP.t) ->
+          (* No explicit chunk size: shape the run to the supplied plan so
+             its factor tables cover every chunk. *)
+          max 1 fp.FP.m
+      | None, None ->
           default_chunk_size ~domains:(Pool.size pool) (Array.length input)
     in
-    run_with ?opts ?faults ~pool ~chunk_size s input
+    run_with ?opts ?faults ?plan ~pool ~chunk_size s input
 
   let sequential_pool = lazy (Pool.get ~domains:1 ())
 

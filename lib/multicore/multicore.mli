@@ -54,6 +54,7 @@ module Make (S : Plr_util.Scalar.S) : sig
   val run :
     ?opts:Plr_factors.Opts.t ->
     ?faults:Faults.plan ->
+    ?plan:Plr_factors.Factor_plan.Make(S).t ->
     ?pool:Pool.t ->
     ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
   (** [run s x] computes the recurrence in parallel on a persistent
@@ -63,6 +64,13 @@ module Make (S : Plr_util.Scalar.S) : sig
       defaults to {!default_chunk_size}.  [opts] (default
       {!Plr_factors.Opts.all_on}) selects the factor specializations
       applied during carry promotion and correction.
+
+      [plan] supplies a precompiled factor plan (the serve layer's plan
+      cache) and skips the per-call {!Plr_factors.Factor_plan.of_feedback}
+      precomputation.  It must have been compiled from this signature's
+      feedback; a plan whose order, [opts], or factor count does not cover
+      this run is ignored and the factors are recompiled.  When no
+      [chunk_size] is given the run shapes itself to the plan's [m].
 
       [faults] (default {!Faults.none}) injects deterministic
       perturbations into the look-back protocol for the chaos harness:

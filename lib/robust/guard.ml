@@ -61,10 +61,17 @@ module Make (S : Plr_util.Scalar.S) = struct
       !bad
     end
 
-  let run ?(tol = 1e-3) ?(check = Prefix 4096) ?probe runner
+  let run ?(tol = 1e-3) ?(check = Prefix 4096) ?probe ?stability runner
       (s : S.t Signature.t) x =
     let n = Array.length x in
-    let stability = Stability.analyze ?probe (Signature.map S.to_float s) in
+    let stability =
+      (* The serving layer caches the report per signature and passes it
+         back in, so repeated requests skip the O(k²) + O(probe·k)
+         analysis. *)
+      match stability with
+      | Some r -> r
+      | None -> Stability.analyze ?probe (Signature.map S.to_float s)
+    in
     (* Serial reference prefix, shared by every attempt's forward-error
        check; computed at most once and only if an attempt gets that far. *)
     let reference =
@@ -201,8 +208,10 @@ module Make (S : Plr_util.Scalar.S) = struct
       (Engine.run_plan ?faults ~spec plan input).Engine.output
     end
 
-  let multicore_runner ?opts ?faults ?pool ?domains ?chunk_size () : runner =
-   fun s input -> Multicore.run ?opts ?faults ?pool ?domains ?chunk_size s input
+  let multicore_runner ?opts ?faults ?plan ?pool ?domains ?chunk_size () :
+      runner =
+   fun s input ->
+    Multicore.run ?opts ?faults ?plan ?pool ?domains ?chunk_size s input
 
   let stream_runner ?pool ?domains ?opts ~buffer () : runner =
    fun s input ->

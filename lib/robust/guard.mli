@@ -62,12 +62,15 @@ module Make (S : Plr_util.Scalar.S) : sig
   }
 
   val run :
-    ?tol:float -> ?check:check -> ?probe:int -> runner ->
+    ?tol:float -> ?check:check -> ?probe:int ->
+    ?stability:Stability.report -> runner ->
     S.t Signature.t -> S.t array -> outcome
   (** [run runner s x] executes the degradation policy above.  [tol]
       (default 1e-3, the paper's §5 bound) only matters for floating
       scalars; [check] defaults to [Prefix 4096]; [probe] is forwarded to
-      {!Stability.analyze}.  When even the final fallback fails its checks
+      {!Stability.analyze}.  [stability] supplies a precomputed report for
+      this signature (the serve layer's plan cache) and skips the
+      analysis entirely.  When even the final fallback fails its checks
       (a genuinely divergent recurrence), [ok] is false and [output] is the
       final fallback's result — with the failure recorded, never silent. *)
 
@@ -80,10 +83,12 @@ module Make (S : Plr_util.Scalar.S) : sig
       heuristics choose the shape. *)
 
   val multicore_runner :
-    ?opts:Plr_core.Opts.t -> ?faults:Faults.plan -> ?pool:Plr_exec.Pool.t ->
+    ?opts:Plr_core.Opts.t -> ?faults:Faults.plan ->
+    ?plan:Plr_factors.Factor_plan.Make(S).t -> ?pool:Plr_exec.Pool.t ->
     ?domains:int -> ?chunk_size:int -> unit -> runner
   (** The single-pass CPU engine; [pool]/[domains] select the persistent
-      domain pool exactly as in {!Plr_multicore.Multicore.Make.run}. *)
+      domain pool and [plan] injects a precompiled factor plan (the serve
+      layer's cache) exactly as in {!Plr_multicore.Multicore.Make.run}. *)
 
   val stream_runner :
     ?pool:Plr_exec.Pool.t -> ?domains:int -> ?opts:Plr_core.Opts.t ->

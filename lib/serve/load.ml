@@ -1,0 +1,201 @@
+type spec = { name : string; weight : float }
+
+type result = {
+  duration : float;
+  clients : int;
+  requests : int;
+  ok : int;
+  rejected : int;
+  deadline_missed : int;
+  failed : int;
+  degraded : int;
+  plan_hits : int;
+  plan_misses : int;
+  batches : int;
+  batched_requests : int;
+  throughput : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  mix : spec list;
+  metrics_json : string;
+}
+
+let zipf_weights ~s n =
+  Array.init n (fun i -> 1.0 /. Float.pow (float_of_int i +. 1.0) s)
+
+let render fmt r =
+  Format.fprintf fmt
+    "@[<v>serve-bench: %d clients, %.2f s@,\
+     requests: %d (%.0f/s), ok %d, rejected %d, deadline-missed %d, failed %d@,\
+     degraded: %d@,\
+     plan cache: %d hits / %d misses (%.1f%% hit rate)@,\
+     batches: %d fused covering %d requests@,\
+     latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, mean %.3f ms@,\
+     mix:@,"
+    r.clients r.duration r.requests r.throughput r.ok r.rejected
+    r.deadline_missed r.failed r.degraded r.plan_hits r.plan_misses
+    (let total = r.plan_hits + r.plan_misses in
+     if total = 0 then 0.0
+     else 100.0 *. float_of_int r.plan_hits /. float_of_int total)
+    r.batches r.batched_requests r.p50_ms r.p95_ms r.p99_ms r.mean_ms;
+  List.iter
+    (fun m -> Format.fprintf fmt "  %-12s weight %.3f@," m.name m.weight)
+    r.mix;
+  Format.fprintf fmt "@]@."
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let to_json ?meta r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"plr-serve-bench-1\",\n";
+  (match meta with
+  | Some m -> Buffer.add_string b (Printf.sprintf "  \"meta\": %s,\n" m)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"duration_s\": %s,\n  \"clients\": %d,\n  \"requests\": %d,\n\
+       \  \"ok\": %d,\n  \"rejected\": %d,\n  \"deadline_missed\": %d,\n\
+       \  \"failed\": %d,\n  \"degraded\": %d,\n  \"plan_hits\": %d,\n\
+       \  \"plan_misses\": %d,\n  \"batches\": %d,\n\
+       \  \"batched_requests\": %d,\n  \"throughput_rps\": %s,\n\
+       \  \"p50_ms\": %s,\n  \"p95_ms\": %s,\n  \"p99_ms\": %s,\n\
+       \  \"mean_ms\": %s,\n"
+       (json_float r.duration) r.clients r.requests r.ok r.rejected
+       r.deadline_missed r.failed r.degraded r.plan_hits r.plan_misses
+       r.batches r.batched_requests (json_float r.throughput)
+       (json_float r.p50_ms) (json_float r.p95_ms) (json_float r.p99_ms)
+       (json_float r.mean_ms));
+  Buffer.add_string b "  \"mix\": [";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{ \"name\": %S, \"weight\": %s }" m.name
+           (json_float m.weight)))
+    r.mix;
+  Buffer.add_string b "],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"metrics\": %s\n}\n" r.metrics_json);
+  Buffer.contents b
+
+let write_json ~path ?meta r =
+  let oc = open_out path in
+  output_string oc (to_json ?meta r);
+  close_out oc
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module Srv = Serve.Make (S)
+
+  (* Per-client tallies, merged after the join — the load loop itself
+     touches no shared state besides the server. *)
+  type tally = {
+    mutable t_requests : int;
+    mutable t_ok : int;
+    mutable t_rejected : int;
+    mutable t_deadline : int;
+    mutable t_failed : int;
+  }
+
+  let run ?(clients = 4) ?(seconds = 2.0) ?(zipf = 1.1)
+      ?(sizes = [| 512; 1024; 4096; 32768 |]) ?(deadline_ms = 250.0)
+      ?(seed = 7) ~server mix =
+    if mix = [] then invalid_arg "Load.run: empty signature mix";
+    if Array.length sizes = 0 then invalid_arg "Load.run: empty size list";
+    let clients = max 1 clients in
+    let mix_a = Array.of_list mix in
+    let nsig = Array.length mix_a in
+    let weights = zipf_weights ~s:zipf nsig in
+    let cdf = Array.make nsig 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. w;
+        cdf.(i) <- !acc)
+      weights;
+    let total_w = !acc in
+    (* Pre-generated inputs, one per (signature, size): the loop measures
+       the server, not the RNG. *)
+    let inputs =
+      Array.mapi
+        (fun i _ ->
+          Array.mapi
+            (fun j n ->
+              let g = Plr_util.Splitmix.create ((seed * 7919) + (i * 131) + j) in
+              Array.init n (fun _ ->
+                  S.of_int (Plr_util.Splitmix.int_in g ~lo:(-9) ~hi:9)))
+            sizes)
+        mix_a
+    in
+    let pick_sig g =
+      let r = Plr_util.Splitmix.float_in g ~lo:0.0 ~hi:total_w in
+      let i = ref 0 in
+      while !i < nsig - 1 && cdf.(!i) <= r do
+        incr i
+      done;
+      !i
+    in
+    let t_start = Unix.gettimeofday () in
+    let stop_at = t_start +. Float.max 0.05 seconds in
+    let client idx =
+      let g = Plr_util.Splitmix.create ((seed * 31) + idx) in
+      let tally =
+        { t_requests = 0; t_ok = 0; t_rejected = 0; t_deadline = 0;
+          t_failed = 0 }
+      in
+      while Unix.gettimeofday () < stop_at do
+        let si = pick_sig g in
+        let sz = Plr_util.Splitmix.int_in g ~lo:0 ~hi:(Array.length sizes - 1) in
+        let _, signature = mix_a.(si) in
+        let deadline = Unix.gettimeofday () +. (deadline_ms /. 1e3) in
+        tally.t_requests <- tally.t_requests + 1;
+        (match Srv.submit ~deadline server signature inputs.(si).(sz) with
+        | Ok _ -> tally.t_ok <- tally.t_ok + 1
+        | Error Serve.Overloaded -> tally.t_rejected <- tally.t_rejected + 1
+        | Error Serve.Deadline_exceeded ->
+            tally.t_deadline <- tally.t_deadline + 1
+        | Error (Serve.Failed _) -> tally.t_failed <- tally.t_failed + 1);
+        (* A rejected closed-loop client backs off briefly instead of
+           hammering the admission gate. *)
+        if tally.t_rejected > 0 && tally.t_requests land 15 = 0 then
+          Unix.sleepf 1e-4
+      done;
+      tally
+    in
+    let others =
+      Array.init (clients - 1) (fun i -> Domain.spawn (fun () -> client (i + 1)))
+    in
+    let mine = client 0 in
+    let tallies = mine :: List.map Domain.join (Array.to_list others) in
+    let duration = Unix.gettimeofday () -. t_start in
+    let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
+    let requests = sum (fun t -> t.t_requests) in
+    let ok = sum (fun t -> t.t_ok) in
+    let m = Srv.metrics server in
+    let h = m.Metrics.total in
+    {
+      duration;
+      clients;
+      requests;
+      ok;
+      rejected = sum (fun t -> t.t_rejected);
+      deadline_missed = sum (fun t -> t.t_deadline);
+      failed = sum (fun t -> t.t_failed);
+      degraded = Metrics.Counter.get m.Metrics.degraded;
+      plan_hits = Metrics.Counter.get m.Metrics.plan_hits;
+      plan_misses = Metrics.Counter.get m.Metrics.plan_misses;
+      batches = Metrics.Counter.get m.Metrics.batches;
+      batched_requests = Metrics.Counter.get m.Metrics.batched_requests;
+      throughput = (if duration > 0.0 then float_of_int ok /. duration else 0.0);
+      p50_ms = Metrics.Histogram.percentile h 0.50 *. 1e3;
+      p95_ms = Metrics.Histogram.percentile h 0.95 *. 1e3;
+      p99_ms = Metrics.Histogram.percentile h 0.99 *. 1e3;
+      mean_ms = Metrics.Histogram.mean h *. 1e3;
+      mix =
+        List.mapi
+          (fun i (name, _) -> { name; weight = weights.(i) })
+          (Array.to_list mix_a);
+      metrics_json = Srv.snapshot_json server;
+    }
+end

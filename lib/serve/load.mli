@@ -1,0 +1,70 @@
+(** Closed-loop load generator for the serving layer ([plr serve-bench]).
+
+    [clients] generator domains each run a closed loop: draw a signature
+    from the mix (Zipf-skewed popularity, so a few signatures dominate —
+    the workload shape that makes the plan cache pay), draw a request
+    length, submit with a per-request deadline, repeat until the wall
+    budget expires.  Inputs are pre-generated per (signature, length)
+    pair so the loop measures the server, not the RNG.
+
+    Throughput and the latency percentiles are read back from the
+    server's {!Metrics} after the run. *)
+
+type spec = { name : string; weight : float }
+(** One mix component and its (unnormalized) Zipf weight. *)
+
+type result = {
+  duration : float;  (** wall seconds the loop actually ran *)
+  clients : int;
+  requests : int;  (** submitted *)
+  ok : int;
+  rejected : int;
+  deadline_missed : int;
+  failed : int;
+  degraded : int;
+  plan_hits : int;
+  plan_misses : int;
+  batches : int;
+  batched_requests : int;
+  throughput : float;  (** completed requests per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  mix : spec list;  (** the signature mix actually used *)
+  metrics_json : string;  (** full {!Serve.Make.snapshot_json} export *)
+}
+
+val zipf_weights : s:float -> int -> float array
+(** [zipf_weights ~s n]: weight [1/(rank+1)^s] for each of [n] ranks —
+    rank 0 is the most popular.  [s = 0] is uniform. *)
+
+val render : Format.formatter -> result -> unit
+(** Human-readable report. *)
+
+val to_json : ?meta:string -> result -> string
+(** The BENCH_SERVE.json payload: [{"schema": "plr-serve-bench-1",
+    "meta": …, …}].  [meta] is a pre-rendered JSON object (see
+    {!Plr_bench.Meta}); omitted when not given. *)
+
+val write_json : path:string -> ?meta:string -> result -> unit
+
+module Make (S : Plr_util.Scalar.S) : sig
+  val run :
+    ?clients:int ->
+    ?seconds:float ->
+    ?zipf:float ->
+    ?sizes:int array ->
+    ?deadline_ms:float ->
+    ?seed:int ->
+    server:Serve.Make(S).t ->
+    (string * S.t Signature.t) list ->
+    result
+  (** [run ~server mix] drives the closed loop.  [clients] (default 4)
+      generator domains; [seconds] (default 2.0) wall budget; [zipf]
+      (default 1.1) popularity skew over the mix in the given order;
+      [sizes] (default [[| 512; 1024; 4096; 32768 |]]) request lengths,
+      drawn uniformly; [deadline_ms] (default 250) per-request deadline;
+      [seed] makes the draw sequences reproducible.  The mix must be
+      non-empty. *)
+end

@@ -1,0 +1,69 @@
+(** Cheap, lock-free metrics for the serving layer.
+
+    Counters are single atomics; histograms are fixed arrays of atomic
+    bucket counters over log2-spaced latency bounds, so [observe] is a
+    couple of atomic increments on the request hot path — no allocation,
+    no locking, safe from any domain.  Snapshots are read with plain
+    atomic loads and are therefore only instantaneously consistent, which
+    is all a monitoring export needs. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  (** Buckets are powers of two of a microsecond: the first upper bound
+      is 1us, the last finite bound is [2^25]us (≈ 34 s); anything slower
+      lands in a final overflow bucket. *)
+
+  val observe : t -> float -> unit
+  (** Record one latency, in seconds. *)
+
+  val count : t -> int
+  (** Observations so far. *)
+
+  val mean : t -> float
+  (** Mean of the exact observed values (tracked separately from the
+      buckets), in seconds.  0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h q] for [q] in [0, 1]: the upper bound, in seconds, of
+      the first bucket at which the cumulative count reaches [q] of the
+      total — i.e. a conservative (rounded-up) quantile.  0 when empty. *)
+
+  val to_json : t -> string
+  (** [{"count": …, "mean_ms": …, "p50_ms": …, "p95_ms": …, "p99_ms": …,
+      "buckets": [[upper_bound_ms, count], …]}] with zero-count buckets
+      omitted. *)
+end
+
+type t = {
+  submitted : Counter.t;      (** requests entering {!Serve.Make.submit} *)
+  completed : Counter.t;      (** requests that returned [Ok] *)
+  rejected : Counter.t;       (** admission-control [Overloaded] rejections *)
+  deadline_missed : Counter.t;(** requests cut by their deadline *)
+  degraded : Counter.t;       (** guard accepted a fallback stage's output *)
+  failed : Counter.t;         (** engine errors / guard gave up *)
+  plan_hits : Counter.t;      (** plan-cache lookups served from cache *)
+  plan_misses : Counter.t;    (** lookups that compiled a fresh plan *)
+  batches : Counter.t;        (** fused batch executions *)
+  batched_requests : Counter.t; (** requests served through a fused batch *)
+  queue_wait : Histogram.t;   (** admission to execution start *)
+  plan_build : Histogram.t;   (** plan-cache miss fill time *)
+  exec : Histogram.t;         (** backend execution time *)
+  total : Histogram.t;        (** submit to response, the client view *)
+}
+
+val create : unit -> t
+
+val snapshot_json : ?pool:Plr_exec.Pool.t -> t -> string
+(** One JSON object with every counter, every histogram, and — when
+    [pool] is given — the pool's {!Plr_exec.Pool.stats}. *)

@@ -1,0 +1,90 @@
+(* LRU via a tick-stamped hash table: each entry carries the logical time
+   of its last touch and eviction scans for the minimum.  The scan is
+   O(capacity), which for a plan cache (tens of signatures, each worth
+   O(ck²) recompilation) is far below the cost it saves; in exchange the
+   structure is a single Hashtbl with no intrusive list to get wrong
+   under contention. *)
+
+type 'a entry = { value : 'a; mutable last_used : int }
+
+type 'a t = {
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 1 capacity in
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create (2 * cap);
+    cap;
+    tick = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Atomic.get t.evictions
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          touch t e;
+          Atomic.incr t.hits;
+          Some e.value
+      | None ->
+          Atomic.incr t.misses;
+          None)
+
+(* Caller holds the lock. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, age) when e.last_used >= age -> ()
+      | _ -> victim := Some (key, e.last_used))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      Atomic.incr t.evictions
+  | None -> ()
+
+let add t key value =
+  with_lock t (fun () ->
+      Hashtbl.remove t.table key;
+      while Hashtbl.length t.table >= t.cap do
+        evict_lru t
+      done;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.table key { value; last_used = t.tick })
+
+let find_or_add t key fill =
+  match find t key with
+  | Some v -> (v, true)
+  | None ->
+      let v = fill () in
+      add t key v;
+      (v, false)
+
+let clear t = with_lock t (fun () -> Hashtbl.reset t.table)

@@ -1,0 +1,42 @@
+(** A small thread-safe LRU cache for compiled execution plans.
+
+    The serving layer keys entries by the canonicalized signature ×
+    {!Plr_factors.Opts.t} × scalar domain (see {!Serve.Make.cache_key});
+    the payload type is left polymorphic so each scalar instantiation
+    stores its own compiled entries.
+
+    Concurrency: every operation takes one short internal mutex, so
+    lookups and inserts from many domains interleave safely.  The miss
+    fill in {!find_or_add} runs *outside* the lock — two domains missing
+    the same key concurrently may both compute; the second insert wins
+    and the first value is simply dropped.  That duplicate work is benign
+    (plans are pure) and keeps a slow compile from blocking every other
+    caller's lookups. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64, clamped to ≥ 1) bounds the number of live
+    entries; inserting past it evicts the least-recently-used entry. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Bumps the entry's recency and the hit counter on success, the miss
+    counter otherwise. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, evicting the LRU entry when over capacity. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** [(value, hit)]: the cached value when present, otherwise the thunk's
+    result after inserting it.  The thunk runs without holding the cache
+    lock (see the module note on duplicate fills). *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drop every entry (counters are kept). *)

@@ -1,0 +1,396 @@
+module Pool = Plr_exec.Pool
+module Opts = Plr_factors.Opts
+module Stability = Plr_robust.Stability
+module Guard = Plr_robust.Guard
+
+type error = Overloaded | Deadline_exceeded | Failed of string
+
+let error_to_string = function
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline exceeded"
+  | Failed m -> "failed: " ^ m
+
+type config = {
+  max_inflight : int;
+  cache_capacity : int;
+  chunk_size : int;
+  parallel_threshold : int;
+  batching : bool;
+  batch_threshold : int;
+  batch_max : int;
+  batch_window : float;
+  guard : bool;
+  check_prefix : int;
+  opts : Opts.t;
+}
+
+let default_config =
+  {
+    max_inflight = 64;
+    cache_capacity = 64;
+    chunk_size = 4096;
+    parallel_threshold = 16384;
+    batching = true;
+    batch_threshold = 2048;
+    batch_max = 16;
+    batch_window = 5e-4;
+    guard = true;
+    check_prefix = 1024;
+    opts = Opts.all_on;
+  }
+
+let now () = Unix.gettimeofday ()
+
+(* Spin-then-yield wait used by batch followers: cheap while the wait is
+   short (the leader's linger window), friendly to oversubscribed
+   machines when it is not. *)
+let relax_step i =
+  if i land 255 = 255 then Unix.sleepf 5e-5 else Domain.cpu_relax ()
+
+module Make (S : Plr_util.Scalar.S) = struct
+  module FP = Plr_factors.Factor_plan.Make (S)
+  module M = Plr_multicore.Multicore.Make (S)
+  module Serial = Plr_serial.Serial.Make (S)
+  module G = Guard.Make (S)
+
+  type entry = {
+    stability : Stability.report;
+    plan : FP.t;
+    serial_cutoff : int;
+  }
+
+  type slot = {
+    input : S.t array;
+    slot_deadline : float option;
+    cell : (S.t array, error) result option Atomic.t;
+  }
+
+  type batch = {
+    sig_ : S.t Signature.t;
+    mutable slots : slot list; (* newest first *)
+    mutable count : int;
+    mutable sealed : bool;
+  }
+
+  type t = {
+    config : config;
+    pool_ : Pool.t;
+    metrics : Metrics.t;
+    cache : entry Plan_cache.t;
+    inflight : int Atomic.t;
+    exec_lock : Mutex.t; (* serializes jobs that occupy the pool *)
+    batch_lock : Mutex.t;
+    batches : (string, batch) Hashtbl.t;
+  }
+
+  let create ?(config = default_config) ?pool ?domains () =
+    let pool_ =
+      match pool with Some p -> p | None -> Pool.get ?domains ()
+    in
+    {
+      config;
+      pool_;
+      metrics = Metrics.create ();
+      cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      inflight = Atomic.make 0;
+      exec_lock = Mutex.create ();
+      batch_lock = Mutex.create ();
+      batches = Hashtbl.create 16;
+    }
+
+  let config t = t.config
+  let pool t = t.pool_
+  let metrics t = t.metrics
+
+  let cache_stats t =
+    (Plan_cache.hits t.cache, Plan_cache.misses t.cache,
+     Plan_cache.evictions t.cache)
+
+  let snapshot_json t = Metrics.snapshot_json ~pool:t.pool_ t.metrics
+
+  let floating = S.kind = Plr_util.Scalar.Floating
+
+  (* The canonical key: scalar domain × opts × signature.  [Opts.pp] and
+     [Signature.to_string] are both deterministic renderings, so equal
+     configurations collide exactly. *)
+  let cache_key t (s : S.t Signature.t) =
+    Format.asprintf "%s|%a|%s" S.ctype Opts.pp t.config.opts
+      (Signature.to_string S.to_string s)
+
+  (* Matches the multicore backend's bound so a cache hit compiles to the
+     exact plan the engine would have built for itself. *)
+  let cpu_max_period = 64
+
+  let compile_entry t (s : S.t Signature.t) =
+    let cfg = t.config in
+    let k = Signature.order s in
+    let stability = Stability.analyze (Signature.map S.to_float s) in
+    let m = max (max 1 k) cfg.chunk_size in
+    let plan =
+      FP.of_feedback ~opts:cfg.opts ~max_period:cpu_max_period
+        ~feedback:s.Signature.feedback ~m ()
+    in
+    (* The cached backend choice: a signature whose factors provably
+       overflow this scalar's float width gains nothing from the pooled
+       path (the guard would skip or degrade it) — pin it to the calling
+       domain. *)
+    let overflow =
+      if S.bytes <= 4 then stability.Stability.overflow_f32
+      else stability.Stability.overflow_f64
+    in
+    let doomed =
+      floating
+      && stability.Stability.cls = Stability.Unstable
+      && overflow <> None
+    in
+    let serial_cutoff = if doomed then max_int else cfg.parallel_threshold in
+    { stability; plan; serial_cutoff }
+
+  let plan_for t s =
+    let key = cache_key t s in
+    match Plan_cache.find t.cache key with
+    | Some e ->
+        Metrics.Counter.incr t.metrics.Metrics.plan_hits;
+        (e, true)
+    | None ->
+        Metrics.Counter.incr t.metrics.Metrics.plan_misses;
+        let t0 = now () in
+        let e = compile_entry t s in
+        Metrics.Histogram.observe t.metrics.Metrics.plan_build (now () -. t0);
+        Plan_cache.add t.cache key e;
+        (e, false)
+
+  let deadline_passed = function
+    | None -> false
+    | Some d -> now () > d
+
+  (* ------------------------------------------------------- execution *)
+
+  let scan_non_finite y =
+    if not floating then None
+    else begin
+      let bad = ref None in
+      (try
+         Array.iteri
+           (fun i v ->
+             if not (Float.is_finite (S.to_float v)) then begin
+               bad := Some i;
+               raise Exit
+             end)
+           y
+       with Exit -> ());
+      !bad
+    end
+
+  (* Small requests solve on the calling domain: at these lengths the
+     chunked protocol cannot win, and the serial evaluation *is* the
+     reference the guard would check against.  Only the non-finite scan
+     is meaningful on top. *)
+  let exec_local t s x =
+    match Serial.full s x with
+    | exception e -> Error (Failed (Printexc.to_string e))
+    | y -> (
+        if not t.config.guard then Ok y
+        else
+          match scan_non_finite y with
+          | None -> Ok y
+          | Some i ->
+              Error (Failed (Printf.sprintf "non-finite value at index %d" i)))
+
+  let last_violation (o : G.outcome) =
+    let rec last acc = function
+      | [] -> acc
+      | (a : Guard.attempt) :: rest ->
+          last (match a.Guard.violation with Some v -> Some v | None -> acc) rest
+    in
+    match last None o.G.attempts with
+    | Some v -> Guard.violation_to_string v
+    | None -> "rejected"
+
+  let exec_pooled t entry s x =
+    let cfg = t.config in
+    if cfg.guard then begin
+      let runner =
+        G.multicore_runner ~opts:cfg.opts ~plan:entry.plan ~pool:t.pool_
+          ~chunk_size:cfg.chunk_size ()
+      in
+      let o =
+        G.run ~check:(Guard.Prefix cfg.check_prefix)
+          ~stability:entry.stability runner s x
+      in
+      if o.G.ok then begin
+        if o.G.degraded then Metrics.Counter.incr t.metrics.Metrics.degraded;
+        Ok o.G.output
+      end
+      else Error (Failed (last_violation o))
+    end
+    else
+      match
+        M.run ~opts:cfg.opts ~plan:entry.plan ~pool:t.pool_
+          ~chunk_size:cfg.chunk_size s x
+      with
+      | y -> Ok y
+      | exception e -> Error (Failed (Printexc.to_string e))
+
+  (* Requests that occupy the pool serialize on [exec_lock]; the wait is
+     the request's queue time.  The deadline is re-checked after the
+     wait: a request that missed it is dropped before touching the pool. *)
+  let exec_serialized ~t0 ?deadline t f =
+    Mutex.lock t.exec_lock;
+    Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.exec_lock) @@ fun () ->
+    if deadline_passed deadline then Error Deadline_exceeded
+    else begin
+      let e0 = now () in
+      let r = f () in
+      Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
+      r
+    end
+
+  (* -------------------------------------------------------- batching *)
+
+  let fill_slot slot r =
+    match Atomic.get slot.cell with
+    | Some _ -> ()
+    | None -> Atomic.set slot.cell (Some r)
+
+  let run_batch t b =
+    let slots = Array.of_list (List.rev b.slots) in
+    Metrics.Counter.incr t.metrics.Metrics.batches;
+    Metrics.Counter.add t.metrics.Metrics.batched_requests (Array.length slots);
+    let body i =
+      let slot = slots.(i) in
+      let r =
+        if deadline_passed slot.slot_deadline then Error Deadline_exceeded
+        else
+          match Serial.full b.sig_ slot.input with
+          | exception e -> Error (Failed (Printexc.to_string e))
+          | y -> (
+              match (t.config.guard, scan_non_finite y) with
+              | true, Some i ->
+                  Error
+                    (Failed (Printf.sprintf "non-finite value at index %d" i))
+              | _ -> Ok y)
+      in
+      fill_slot slot r
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (* Whatever happened, no follower may be left spinning. *)
+        Array.iter
+          (fun slot -> fill_slot slot (Error (Failed "batch aborted")))
+          slots)
+    @@ fun () -> Pool.run t.pool_ ~tasks:(Array.length slots) body
+
+  let await_slot ~t0 t slot =
+    let hard_limit = Float.max 30.0 (1000.0 *. t.config.batch_window) in
+    let i = ref 0 in
+    let rec wait () =
+      match Atomic.get slot.cell with
+      | Some r ->
+          Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
+          r
+      | None ->
+          if now () -. t0 > hard_limit then
+            Error (Failed "batch leader stalled")
+          else begin
+            relax_step !i;
+            incr i;
+            wait ()
+          end
+    in
+    wait ()
+
+  let submit_batched ~t0 ?deadline t key s x =
+    let slot =
+      { input = x; slot_deadline = deadline; cell = Atomic.make None }
+    in
+    Mutex.lock t.batch_lock;
+    let role =
+      match Hashtbl.find_opt t.batches key with
+      | Some b when (not b.sealed) && b.count < t.config.batch_max ->
+          b.slots <- slot :: b.slots;
+          b.count <- b.count + 1;
+          `Follower
+      | _ ->
+          let b = { sig_ = s; slots = [ slot ]; count = 1; sealed = false } in
+          (* Displacing a sealed or full batch is fine: its leader holds
+             its own reference and only removes the table binding if it
+             still points at that batch. *)
+          Hashtbl.replace t.batches key b;
+          `Leader b
+    in
+    Mutex.unlock t.batch_lock;
+    match role with
+    | `Follower -> await_slot ~t0 t slot
+    | `Leader b ->
+        (* Linger for followers, then seal, detach, and execute. *)
+        let window_end = t0 +. t.config.batch_window in
+        let i = ref 0 in
+        let full () =
+          Mutex.lock t.batch_lock;
+          let f = b.count >= t.config.batch_max in
+          Mutex.unlock t.batch_lock;
+          f
+        in
+        while (not (full ())) && now () < window_end do
+          relax_step !i;
+          incr i
+        done;
+        Mutex.lock t.batch_lock;
+        b.sealed <- true;
+        (match Hashtbl.find_opt t.batches key with
+        | Some b' when b' == b -> Hashtbl.remove t.batches key
+        | _ -> ());
+        Mutex.unlock t.batch_lock;
+        exec_serialized ~t0 t (fun () ->
+            run_batch t b;
+            Ok [||])
+        |> ignore;
+        (match Atomic.get slot.cell with
+        | Some r -> r
+        | None -> Error (Failed "batch aborted"))
+
+  (* ---------------------------------------------------------- submit *)
+
+  let classify_result t = function
+    | Ok _ -> Metrics.Counter.incr t.metrics.Metrics.completed
+    | Error Overloaded -> Metrics.Counter.incr t.metrics.Metrics.rejected
+    | Error Deadline_exceeded ->
+        Metrics.Counter.incr t.metrics.Metrics.deadline_missed
+    | Error (Failed _) -> Metrics.Counter.incr t.metrics.Metrics.failed
+
+  let submit ?deadline t (s : S.t Signature.t) x =
+    let t0 = now () in
+    Metrics.Counter.incr t.metrics.Metrics.submitted;
+    let r =
+      if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
+        Atomic.decr t.inflight;
+        Error Overloaded
+      end
+      else
+        Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
+        let entry, _hit = plan_for t s in
+        let n = Array.length x in
+        if deadline_passed deadline then Error Deadline_exceeded
+        else if
+          t.config.batching && n <= t.config.batch_threshold
+          && Pool.size t.pool_ > 1
+        then submit_batched ~t0 ?deadline t (cache_key t s) s x
+        else if n <= entry.serial_cutoff then begin
+          if deadline_passed deadline then Error Deadline_exceeded
+          else begin
+            Metrics.Histogram.observe t.metrics.Metrics.queue_wait
+              (now () -. t0);
+            let e0 = now () in
+            let r = exec_local t s x in
+            Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
+            r
+          end
+        end
+        else exec_serialized ~t0 ?deadline t (fun () -> exec_pooled t entry s x)
+    in
+    classify_result t r;
+    Metrics.Histogram.observe t.metrics.Metrics.total (now () -. t0);
+    r
+end

@@ -1,0 +1,116 @@
+(** The concurrent serving layer: many clients, one shared domain pool.
+
+    [Serve.Make (S)] turns the existing engines into a multi-client
+    service.  Each {!Make.submit} call
+
+    + passes {b admission control}: beyond [max_inflight] concurrently
+      admitted requests the call is rejected with {!Overloaded} instead
+      of queuing without bound;
+    + resolves its {b compiled plan} through an LRU {!Plan_cache} keyed
+      by canonicalized signature × {!Plr_factors.Opts.t} × scalar domain.
+      A hit reuses the compiled {!Plr_factors.Factor_plan}, the
+      {!Plr_robust.Stability} verdict, and the tuned chunk-size/backend
+      choice; only a miss pays the O(ck²) precomputation;
+    + honours its {b deadline}: a request whose absolute deadline passes
+      before execution starts is cut with {!Deadline_exceeded} (never
+      started, so it cannot occupy the pool);
+    + may be {b batched}: small same-signature requests that arrive
+      within the batch window are fused into one pool job (one task per
+      request, each evaluated against the exact serial reference), which
+      amortizes pool wake-up across the batch;
+    + executes {b guarded} (when [guard] is on): the parallel engine runs
+      under {!Plr_robust.Guard} with the cached stability report, so a
+      poisoned request degrades to a fallback stage instead of wedging a
+      pool worker or returning silent garbage.
+
+    Every step feeds the {!Metrics} core; {!Make.snapshot_json} exports
+    the counters, latency histograms, and pool utilization in one JSON
+    object.
+
+    Concurrency model: [submit] is safe to call from any number of
+    domains.  Requests that need the pool serialize on one internal
+    mutex (the wait is recorded as queue time); small requests execute
+    on the calling domain and bypass that lock entirely. *)
+
+module Pool = Plr_exec.Pool
+module Opts = Plr_factors.Opts
+module Stability = Plr_robust.Stability
+
+type error =
+  | Overloaded  (** rejected by admission control; retry later *)
+  | Deadline_exceeded  (** deadline passed before execution started *)
+  | Failed of string  (** engine error, or the guard's last stage failed *)
+
+val error_to_string : error -> string
+
+type config = {
+  max_inflight : int;
+      (** admission bound: concurrently admitted requests beyond this are
+          rejected with {!Overloaded} (default 64) *)
+  cache_capacity : int;  (** plan-cache entries (default 64) *)
+  chunk_size : int;
+      (** serving chunk size; the cached factor plan is compiled once with
+          this many factors per list and reused for every request length
+          (default 4096) *)
+  parallel_threshold : int;
+      (** inputs longer than this use the pooled engine; at or below it
+          the request solves on the calling domain (default 16384) *)
+  batching : bool;  (** fuse small same-signature requests (default true) *)
+  batch_threshold : int;
+      (** inputs of at most this length are batchable (default 2048) *)
+  batch_max : int;  (** requests fused into one batch at most (default 16) *)
+  batch_window : float;
+      (** seconds a batch leader lingers for followers (default 500us) *)
+  guard : bool;
+      (** wrap pooled execution in {!Plr_robust.Guard} (default true) *)
+  check_prefix : int;
+      (** guard reference-prefix length (default 1024) *)
+  opts : Opts.t;  (** factor specializations (default {!Opts.all_on}) *)
+}
+
+val default_config : config
+
+module Make (S : Plr_util.Scalar.S) : sig
+  type t
+
+  type entry = {
+    stability : Stability.report;
+    plan : Plr_factors.Factor_plan.Make(S).t;
+        (** compiled with [config.chunk_size] factors per list *)
+    serial_cutoff : int;
+        (** request lengths at or below this execute on the calling
+            domain — the cached backend choice ([max_int] when the
+            stability verdict predicts the parallel path is doomed) *)
+  }
+
+  val create : ?config:config -> ?pool:Pool.t -> ?domains:int -> unit -> t
+  (** [pool] defaults to the {!Pool.get} registry pool for [domains]. *)
+
+  val config : t -> config
+  val pool : t -> Pool.t
+  val metrics : t -> Metrics.t
+
+  val cache_key : t -> S.t Signature.t -> string
+  (** The canonical cache key: scalar domain, factor options, and the
+      signature's coefficients rendered canonically. *)
+
+  val plan_for : t -> S.t Signature.t -> entry * bool
+  (** [(entry, hit)]: the cached (or freshly compiled) plan entry for
+      this signature.  Exposed for tests and warm-up; [submit] calls it
+      on every request. *)
+
+  val submit :
+    ?deadline:float -> t -> S.t Signature.t -> S.t array ->
+    (S.t array, error) result
+  (** Serve one request.  [deadline] is an absolute [Unix.gettimeofday]
+      instant.  On [Ok y], [y] is the full recurrence output, identical
+      to the serial reference (bitwise for integer scalars; within the
+      guard's tolerance for floating ones, and bitwise on every path that
+      does not degrade). *)
+
+  val cache_stats : t -> int * int * int
+  (** [(hits, misses, evictions)] of the plan cache. *)
+
+  val snapshot_json : t -> string
+  (** {!Metrics.snapshot_json} with this server's pool stats included. *)
+end

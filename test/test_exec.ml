@@ -140,6 +140,27 @@ let test_parallel_work_is_correct () =
       partial.(t) <- !acc);
   Alcotest.(check int) "sum" (n * (n - 1) / 2) (Array.fold_left ( + ) 0 partial)
 
+let test_stats () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let st = Pool.stats pool in
+  Alcotest.(check int) "size matches" (Pool.size pool) st.Pool.size;
+  Alcotest.(check int) "no jobs yet" 0 st.Pool.jobs_completed;
+  Alcotest.(check bool) "idle" false st.Pool.busy;
+  for _ = 1 to 5 do
+    Pool.run pool ~tasks:3 (fun _ -> ())
+  done;
+  Alcotest.(check int) "five jobs counted" 5 (Pool.stats pool).Pool.jobs_completed;
+  (* Inline paths count too: a single-task run never wakes the workers. *)
+  Pool.run pool ~tasks:1 (fun _ -> ());
+  Alcotest.(check int) "inline run counted" 6
+    (Pool.stats pool).Pool.jobs_completed;
+  (* A failed job still counts as completed work (the pool survived it). *)
+  (try Pool.run pool ~tasks:2 (fun _ -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "failed run counted" 7
+    (Pool.stats pool).Pool.jobs_completed;
+  Alcotest.(check bool) "idle again" false (Pool.stats pool).Pool.busy
+
 let () =
   Alcotest.run "plr_exec"
     [
@@ -164,5 +185,6 @@ let () =
             test_registry_shares_pools;
           Alcotest.test_case "parallel map-reduce" `Quick
             test_parallel_work_is_correct;
+          Alcotest.test_case "stats snapshot" `Quick test_stats;
         ] );
     ]

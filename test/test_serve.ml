@@ -1,0 +1,351 @@
+(* Tests for the serving layer: the N-domain hammer (every concurrent
+   response bitwise-identical to the serial reference), plan-cache
+   behaviour under stress and at capacity 1, admission control and
+   deadline pins, chaos alongside live traffic, the warm-vs-cold plan
+   latency win, and the CLI's exit-2 discipline on malformed flags. *)
+
+module Scalar = Plr_util.Scalar
+module Pool = Plr_exec.Pool
+module Serve = Plr_serve.Serve
+module Plan_cache = Plr_serve.Plan_cache
+module Metrics = Plr_serve.Metrics
+module Load = Plr_serve.Load
+module Chaos = Plr_robust.Chaos
+
+module Srv_i = Serve.Make (Scalar.Int)
+module Srv_f = Serve.Make (Scalar.F32)
+module Load_i = Load.Make (Scalar.Int)
+module Si = Plr_serial.Serial.Make (Scalar.Int)
+module Chaos_i = Chaos.Make (Scalar.Int)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let int_sig fwd fbk =
+  Signature.create ~is_zero:(fun c -> c = 0) ~forward:fwd ~feedback:fbk
+
+let float_sig fwd fbk =
+  Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:fwd ~feedback:fbk
+
+let random_input seed n =
+  let g = Plr_util.Splitmix.create seed in
+  Array.init n (fun _ -> Plr_util.Splitmix.int_in g ~lo:(-9) ~hi:9)
+
+(* Every execution path: batched (small), local (mid), pooled (large). *)
+let hammer_sizes = [| 64; 500; 3000; 20000 |]
+
+let signatures =
+  [ ("ps", int_sig [| 1 |] [| 1 |]);
+    ("order2", int_sig [| 1 |] [| 2; -1 |]);
+    ("tuple2", int_sig [| 1 |] [| 0; 1 |]);
+    ("order3", int_sig [| 1 |] [| 3; -3; 1 |]) ]
+
+(* ------------------------------------------------------------- hammer *)
+
+let test_hammer () =
+  let config =
+    { Serve.default_config with
+      Serve.parallel_threshold = 4096;
+      chunk_size = 1024;
+      batch_window = 2e-4 }
+  in
+  let server = Srv_i.create ~config ~domains:3 () in
+  (* Reference outputs, one per (signature, size), computed serially. *)
+  let expected =
+    List.map
+      (fun (name, s) ->
+        ( name,
+          Array.map
+            (fun n ->
+              let x = random_input (Hashtbl.hash name) n in
+              (x, Si.full s x))
+            hammer_sizes ))
+      signatures
+  in
+  let reqs_per_client = 40 in
+  let client idx =
+    let g = Plr_util.Splitmix.create (1000 + idx) in
+    let bad = ref [] in
+    for r = 1 to reqs_per_client do
+      let si = Plr_util.Splitmix.int_in g ~lo:0 ~hi:(List.length signatures - 1) in
+      let zi = Plr_util.Splitmix.int_in g ~lo:0 ~hi:(Array.length hammer_sizes - 1) in
+      let name, s = List.nth signatures si in
+      let x, want = (snd (List.nth expected si)).(zi) in
+      match Srv_i.submit server s x with
+      | Ok got ->
+          if got <> want then
+            bad := Printf.sprintf "%s n=%d req %d diverged" name (Array.length x) r :: !bad
+      | Error e ->
+          bad := Printf.sprintf "%s n=%d req %d: %s" name (Array.length x) r
+                   (Serve.error_to_string e) :: !bad
+    done;
+    !bad
+  in
+  let clients = 4 in
+  let domains = Array.init (clients - 1) (fun i -> Domain.spawn (fun () -> client (i + 1))) in
+  let bad = client 0 @ List.concat_map Domain.join (Array.to_list domains) in
+  (match bad with
+  | [] -> ()
+  | b :: _ -> Alcotest.failf "%d bad responses, e.g. %s" (List.length bad) b);
+  (* The mix has 4 signatures and 160 requests: the plan cache must be
+     nearly all hits. *)
+  let hits, misses, _ = Srv_i.cache_stats server in
+  let rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  if rate < 0.9 then
+    Alcotest.failf "plan cache hit rate %.2f (%d/%d), expected > 0.9" rate hits
+      (hits + misses);
+  (* Satellite: pool stats counted the work and expose the pool size. *)
+  let st = Pool.stats (Srv_i.pool server) in
+  Alcotest.(check int) "pool size" (Pool.size (Srv_i.pool server)) st.Pool.size;
+  if st.Pool.jobs_completed <= 0 then
+    Alcotest.failf "pool completed %d jobs, expected > 0" st.Pool.jobs_completed
+
+(* --------------------------------------------------------- plan cache *)
+
+let test_plan_cache_stress () =
+  let cache = Plan_cache.create ~capacity:4 () in
+  let keys = Array.init 16 (fun i -> Printf.sprintf "k%d" i) in
+  let nclients = 4 in
+  let per_client = 500 in
+  let client idx =
+    let g = Plr_util.Splitmix.create (77 + idx) in
+    for _ = 1 to per_client do
+      (* Zipf-ish: low keys much more popular, so hits and evictions mix. *)
+      let r = Plr_util.Splitmix.int_in g ~lo:0 ~hi:31 in
+      let ki = if r < 16 then r land 3 else r land 15 in
+      let key = keys.(ki) in
+      match Plan_cache.find_or_add cache key (fun () -> ki * 100) with
+      | v, _hit when v = ki * 100 -> ()
+      | v, _ -> Alcotest.failf "key %s returned %d" key v
+    done
+  in
+  let ds = Array.init (nclients - 1) (fun i -> Domain.spawn (fun () -> client (i + 1))) in
+  client 0;
+  Array.iter Domain.join ds;
+  let total = Plan_cache.hits cache + Plan_cache.misses cache in
+  Alcotest.(check int) "every lookup counted" (nclients * per_client) total;
+  if Plan_cache.length cache > 4 then
+    Alcotest.failf "cache grew to %d entries past its capacity" (Plan_cache.length cache);
+  if Plan_cache.evictions cache = 0 then
+    Alcotest.fail "16 keys through 4 slots must evict";
+  if Plan_cache.hits cache = 0 then Alcotest.fail "popular keys must hit"
+
+let test_plan_cache_capacity_one () =
+  (* A capacity-1 server is all misses and evictions — but stays correct. *)
+  let config =
+    { Serve.default_config with Serve.cache_capacity = 1; batching = false }
+  in
+  let server = Srv_i.create ~config ~domains:1 () in
+  let a = int_sig [| 1 |] [| 1 |] and b = int_sig [| 1 |] [| 2; -1 |] in
+  let x = random_input 5 300 in
+  for _ = 1 to 10 do
+    (match Srv_i.submit server a x with
+    | Ok y -> Alcotest.(check (array int)) "sig a" (Si.full a x) y
+    | Error e -> Alcotest.failf "a: %s" (Serve.error_to_string e));
+    match Srv_i.submit server b x with
+    | Ok y -> Alcotest.(check (array int)) "sig b" (Si.full b x) y
+    | Error e -> Alcotest.failf "b: %s" (Serve.error_to_string e)
+  done;
+  let _, misses, evictions = Srv_i.cache_stats server in
+  if misses < 20 then Alcotest.failf "expected every alternation to miss, got %d" misses;
+  if evictions < 19 then Alcotest.failf "expected ~19 evictions, got %d" evictions
+
+let test_warm_plan_is_faster () =
+  (* The point of the cache: a hit skips the O(ck^2) compile.  Coarse
+     assertion — 20 warm lookups together must beat one cold compile. *)
+  let config = { Serve.default_config with Serve.chunk_size = 8192 } in
+  let server = Srv_i.create ~config ~domains:1 () in
+  let s = int_sig [| 1 |] [| 3; -3; 1 |] in
+  let t0 = Unix.gettimeofday () in
+  let _, hit = Srv_i.plan_for server s in
+  let cold = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "first resolve is a miss" false hit;
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to 20 do
+    let _, hit = Srv_i.plan_for server s in
+    if not hit then Alcotest.fail "warm resolve must hit"
+  done;
+  let warm20 = Unix.gettimeofday () -. t1 in
+  if warm20 >= cold then
+    Alcotest.failf "20 warm lookups (%.6fs) not faster than one compile (%.6fs)"
+      warm20 cold
+
+(* --------------------------------------- admission control + deadlines *)
+
+let test_overloaded () =
+  let config = { Serve.default_config with Serve.max_inflight = 0 } in
+  let server = Srv_i.create ~config ~domains:1 () in
+  let s = int_sig [| 1 |] [| 1 |] in
+  (match Srv_i.submit server s [| 1; 2; 3 |] with
+  | Error Serve.Overloaded -> ()
+  | Ok _ -> Alcotest.fail "max_inflight 0 must reject"
+  | Error e -> Alcotest.failf "expected Overloaded, got %s" (Serve.error_to_string e));
+  let m = Srv_i.metrics server in
+  Alcotest.(check int) "rejection counted" 1
+    (Metrics.Counter.get m.Metrics.rejected)
+
+let test_deadline () =
+  let server = Srv_i.create ~domains:1 () in
+  let s = int_sig [| 1 |] [| 1 |] in
+  let past = Unix.gettimeofday () -. 1.0 in
+  (match Srv_i.submit ~deadline:past server s [| 1; 2; 3 |] with
+  | Error Serve.Deadline_exceeded -> ()
+  | Ok _ -> Alcotest.fail "expired deadline must be cut"
+  | Error e ->
+      Alcotest.failf "expected Deadline_exceeded, got %s" (Serve.error_to_string e));
+  let m = Srv_i.metrics server in
+  Alcotest.(check int) "miss counted" 1
+    (Metrics.Counter.get m.Metrics.deadline_missed);
+  (* A generous deadline passes. *)
+  let future = Unix.gettimeofday () +. 60.0 in
+  match Srv_i.submit ~deadline:future server s [| 1; 2; 3 |] with
+  | Ok y -> Alcotest.(check (array int)) "served" [| 1; 3; 6 |] y
+  | Error e -> Alcotest.failf "future deadline failed: %s" (Serve.error_to_string e)
+
+(* -------------------------------------------------------------- chaos *)
+
+let test_chaos_alongside_traffic () =
+  (* A seeded fault-injection campaign drives the multicore engine on the
+     same registry pool a live server is using.  Requirements: the chaos
+     trials report zero silent divergence, and every concurrently served
+     response stays bitwise-identical. *)
+  let server = Srv_i.create ~domains:2 () in
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let x = random_input 11 2000 in
+  let want = Si.full s x in
+  let chaos =
+    Domain.spawn (fun () ->
+        let summary, _ =
+          Chaos_i.campaign ~trials:40 ~n:384 ~domains:2 ~seed:21
+            ~target:Chaos.Multicore s
+        in
+        summary)
+  in
+  let bad = ref 0 in
+  for _ = 1 to 60 do
+    match Srv_i.submit server s x with
+    | Ok y -> if y <> want then incr bad
+    | Error (Serve.Failed m) -> Alcotest.failf "serve failed under chaos: %s" m
+    | Error _ -> ()
+  done;
+  let summary = Domain.join chaos in
+  Alcotest.(check int) "no silent divergence in chaos trials" 0
+    summary.Chaos.silent;
+  Alcotest.(check int) "no divergent responses" 0 !bad
+
+(* ----------------------------------------------------- load generator *)
+
+let test_zipf_weights () =
+  let w = Load.zipf_weights ~s:1.0 4 in
+  Alcotest.(check (float 1e-9)) "rank 0" 1.0 w.(0);
+  Alcotest.(check (float 1e-9)) "rank 3" 0.25 w.(3);
+  let u = Load.zipf_weights ~s:0.0 3 in
+  Array.iter (fun x -> Alcotest.(check (float 1e-9)) "uniform" 1.0 x) u
+
+let test_load_loop () =
+  let server = Srv_i.create ~domains:2 () in
+  let r =
+    Load_i.run ~clients:2 ~seconds:0.3 ~sizes:[| 128; 1024 |] ~seed:3 ~server
+      [ ("ps", int_sig [| 1 |] [| 1 |]); ("order2", int_sig [| 1 |] [| 2; -1 |]) ]
+  in
+  if r.Load.requests <= 0 then Alcotest.fail "load loop made no requests";
+  Alcotest.(check int) "every request accounted" r.Load.requests
+    (r.Load.ok + r.Load.rejected + r.Load.deadline_missed + r.Load.failed);
+  Alcotest.(check int) "no failures" 0 r.Load.failed;
+  let json = Load.to_json ~meta:{|{ "git": "test" }|} r in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle json) then
+        Alcotest.failf "JSON missing %s" needle)
+    [ {|"schema": "plr-serve-bench-1"|}; {|"meta"|}; {|"p99_ms"|}; {|"metrics"|} ]
+
+(* ------------------------------------------------------------ metrics *)
+
+let test_metrics_histogram () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0
+    (Metrics.Histogram.percentile h 0.99);
+  for _ = 1 to 90 do Metrics.Histogram.observe h 1e-4 done;
+  for _ = 1 to 10 do Metrics.Histogram.observe h 1e-1 done;
+  Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+  let p50 = Metrics.Histogram.percentile h 0.50 in
+  if p50 > 1e-3 then Alcotest.failf "p50 %.6f should be ~1e-4" p50;
+  let p99 = Metrics.Histogram.percentile h 0.99 in
+  if p99 < 1e-2 then Alcotest.failf "p99 %.6f should reach the slow bucket" p99;
+  let mean = Metrics.Histogram.mean h in
+  if mean < 5e-3 || mean > 2e-2 then
+    Alcotest.failf "mean %.6f, expected ~1.01e-2" mean
+
+let test_snapshot_json () =
+  let server = Srv_f.create ~domains:1 () in
+  let s = float_sig [| 0.2 |] [| 0.8 |] in
+  let x = Array.init 512 (fun i -> Plr_util.F32.round (float_of_int (i mod 7))) in
+  (match Srv_f.submit server s x with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit: %s" (Serve.error_to_string e));
+  let json = Srv_f.snapshot_json server in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle json) then
+        Alcotest.failf "snapshot missing %s in %s" needle json)
+    [ {|"submitted": 1|}; {|"completed": 1|}; {|"plan_cache_misses": 1|};
+      {|"pool"|}; {|"queue_wait"|} ]
+
+(* ------------------------------------------------------- CLI exit = 2 *)
+
+let plr_exe = "../bin/plr.exe"
+
+let test_cli_flag_errors () =
+  if not (Sys.file_exists plr_exe) then
+    print_endline "plr.exe not built next to the tests; skipping the CLI pins"
+  else begin
+    let check_exit2 label cmd =
+      let code = Sys.command (cmd ^ " >/dev/null 2>&1") in
+      Alcotest.(check int) (label ^ " exits 2") 2 code
+    in
+    check_exit2 "bad signature" (plr_exe ^ " info '(1: 0)'");
+    check_exit2 "negative n" (plr_exe ^ " run '(1: 1)' -n -5 --backend serial");
+    check_exit2 "unwritable output"
+      (plr_exe ^ " compile '(1: 2, -1)' -o /nonexistent/dir/x.cu");
+    check_exit2 "bad sched" (plr_exe ^ " execute '(1: 1)' -n 64 --sched bogus");
+    check_exit2 "serve-bench bad clients" (plr_exe ^ " serve-bench --clients -1");
+    check_exit2 "serve-bench bad zipf" (plr_exe ^ " serve-bench --zipf=-1");
+    check_exit2 "serve-bench bad deadline"
+      (plr_exe ^ " serve-bench --deadline-ms 0");
+    (* Type-level parse errors never reach our code: cmdliner reports
+       them itself with its documented CLI-error status. *)
+    let code =
+      Sys.command (plr_exe ^ " serve-bench --clients notanint >/dev/null 2>&1")
+    in
+    Alcotest.(check int) "unparsable flag uses cmdliner's CLI-error status"
+      124 code
+  end
+
+(* ---------------------------------------------------------------- run *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "hammer",
+        [ Alcotest.test_case "concurrent bitwise identity" `Quick test_hammer ] );
+      ( "plan cache",
+        [ Alcotest.test_case "concurrent stress" `Quick test_plan_cache_stress;
+          Alcotest.test_case "capacity 1" `Quick test_plan_cache_capacity_one;
+          Alcotest.test_case "warm beats cold" `Quick test_warm_plan_is_faster ] );
+      ( "admission",
+        [ Alcotest.test_case "overloaded" `Quick test_overloaded;
+          Alcotest.test_case "deadline" `Quick test_deadline ] );
+      ( "chaos",
+        [ Alcotest.test_case "alongside traffic" `Quick
+            test_chaos_alongside_traffic ] );
+      ( "load",
+        [ Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+          Alcotest.test_case "closed loop" `Quick test_load_loop ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "snapshot json" `Quick test_snapshot_json ] );
+      ( "cli",
+        [ Alcotest.test_case "flag errors exit 2" `Quick test_cli_flag_errors ] );
+    ]

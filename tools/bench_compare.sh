@@ -7,6 +7,10 @@
 # Usage: tools/bench_compare.sh [baseline.json]
 #   baseline.json defaults to the committed BENCH_PLR.json (via git show,
 #   falling back to the working-tree file).
+#
+# Schema compatibility: only `.rows` is read, so plr-bench-2 baselines
+# and plr-bench-3 files (which add a top-level `meta` provenance block)
+# compare against each other transparently.
 set -eu
 
 cd "$(dirname "$0")/.."
