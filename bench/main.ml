@@ -10,6 +10,7 @@
      main.exe micro           — only the Bechamel wall-clock suite
      main.exe csv [dir]       — every figure/table as CSV + BENCH_PLR.json
      main.exe json [path]     — smoke perf suite -> BENCH_PLR.json
+     main.exe trace-check     — disabled-tracing overhead budget (< 2%)
 *)
 
 module Spec = Plr_gpusim.Spec
@@ -64,6 +65,17 @@ let run_json path =
   Plr_bench.Perf.write_json ~path rows;
   Printf.printf "wrote %s\n" path
 
+(* Disabled-tracing overhead budget: the Plr_trace instrumentation must
+   cost the hot paths under 2% when the sink is off.  CI runs this
+   non-fatally (|| true) so a noisy shared runner cannot block a merge. *)
+let run_trace_check () =
+  let o = Plr_bench.Perf.trace_overhead () in
+  Plr_bench.Perf.render_overhead fmt o;
+  if o.Plr_bench.Perf.overhead_frac >= 0.02 then begin
+    Printf.eprintf "trace-check: disabled-tracing overhead over budget\n";
+    exit 1
+  end
+
 (* Write every figure and table as CSV for external plotting. *)
 let run_csv dir =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -94,6 +106,7 @@ let () =
   | [ "csv"; dir ] -> run_csv dir
   | [ "json" ] -> run_json "BENCH_PLR.json"
   | [ "json"; path ] -> run_json path
+  | [ "trace-check" ] -> run_trace_check ()
   | names ->
       List.iter
         (fun name ->
@@ -103,6 +116,8 @@ let () =
             | Some f -> f ()
             | None ->
                 Printf.eprintf
-                  "unknown target %s (try fig1..fig10, tab2, tab3, micro)\n" name;
+                  "unknown target %s (try fig1..fig10, tab2, tab3, micro, \
+                   trace-check)\n"
+                  name;
                 exit 1)
         names

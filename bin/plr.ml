@@ -10,8 +10,43 @@
 
 module Scalar = Plr_util.Scalar
 module Spec = Plr_gpusim.Spec
+module Trace = Plr_trace.Trace
+module Chrome = Plr_trace.Chrome
+module Report = Plr_trace.Report
 
 let spec = Spec.titan_x
+
+(* Shared by `plr trace` and the --trace flags: harvest the recorder,
+   export Chrome trace-event JSON (atomically), and tell the user where
+   to load it. *)
+let export_trace ~path =
+  Trace.set_enabled false;
+  let events = Trace.collect () in
+  let doc = Chrome.to_string events in
+  Plr_util.Fileio.atomic_write_string ~path doc;
+  Printf.printf "wrote %s (%d events%s; load at ui.perfetto.dev)\n" path
+    (List.length events)
+    (match Trace.dropped () with
+    | 0 -> ""
+    | d -> Printf.sprintf ", %d dropped" d);
+  (events, doc)
+
+(* Run [f] with the trace sink enabled when [path] is given, exporting
+   on the way out (including the failure path, so a crashed run still
+   leaves a loadable trace of how far it got). *)
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+      Trace.reset ();
+      Trace.set_enabled true;
+      (match f () with
+      | r ->
+          ignore (export_trace ~path);
+          r
+      | exception e ->
+          ignore (export_trace ~path);
+          raise e)
 
 (* Dispatch between the integer and floating-point pipelines based on the
    signature's coefficients, like the paper's PLR does. *)
@@ -476,6 +511,49 @@ let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
       Plr_serve.Load.write_json ~path ~meta r;
       Printf.printf "wrote %s\n" path
 
+(* --------------------------------------------------------------- trace *)
+
+(* One end-to-end traced exercise of the whole stack: the modeled GPU
+   engine (factors + engine spans), the multicore backend on the domain
+   pool (multicore + pool spans), and a handful of serving-layer requests
+   (serve spans, flow-linked to their pool jobs).  The result is a
+   Perfetto-loadable trace plus a self-profile summary. *)
+let cmd_trace text n domain domains out =
+  require_positive "-n" n;
+  require_positive_opt "--domains" domains;
+  let s = parse_signature text in
+  Trace.reset ();
+  Trace.set_enabled true;
+  let sim_n = min n 65536 in
+  (match resolve_domain domain s with
+  | `Int is ->
+      ignore (Engine_int.run ~spec is (random_int_input sim_n));
+      ignore (Multi_int.run ?domains is (random_int_input n))
+  | `Float ->
+      let fs = Signature.map Plr_util.F32.round s in
+      ignore (Engine_f32.run ~spec fs (random_f32_input sim_n));
+      ignore (Multi_f32.run ?domains fs (random_f32_input n)));
+  (* Serving layer: requests big enough for the pooled path (so the
+     serve→pool flow arrows appear) plus small ones for the batcher. *)
+  let fs = Signature.map Plr_util.F32.round s in
+  let server = Serve_f32.create ?domains () in
+  let cfg = Serve.default_config in
+  let big = max n (cfg.Serve.parallel_threshold + 1) in
+  for _ = 1 to 2 do
+    match Serve_f32.submit server fs (random_f32_input big) with
+    | Ok _ -> ()
+    | Error e -> failwith ("serve request failed: " ^ Serve.error_to_string e)
+  done;
+  for _ = 1 to 2 do
+    ignore (Serve_f32.submit server fs (random_f32_input 1024))
+  done;
+  let events, doc = export_trace ~path:out in
+  (match Chrome.validate doc with
+  | Ok k -> Printf.printf "trace validated: %d trace events\n" k
+  | Error e -> failwith ("exported trace failed validation: " ^ e));
+  print_newline ();
+  Report.render Format.std_formatter (Report.rows events)
+
 (* ------------------------------------------------------------ cmdliner *)
 
 open Cmdliner
@@ -520,6 +598,13 @@ let opt_off_arg =
                  "Disable one factor optimization by name (repeatable): %s."
                  opt_doc))
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a structured trace of this run (spans from every \
+               layer: factors, engine, pool, multicore, guard, serve) and \
+               write Chrome trace-event JSON to $(docv); load it at \
+               ui.perfetto.dev.")
+
 let wrap f =
   try `Ok (f ()) with
   | Failure m ->
@@ -554,14 +639,16 @@ let run_cmd =
          & info [ "backend" ] ~docv:"BACKEND"
              ~doc:"Execution backend: modeled GPU (sim), multicore CPU, or serial.")
   in
-  let run text n backend domain domains opts_off ons offs =
-    wrap (fun () -> cmd_run text n backend domain domains opts_off ons offs)
+  let run text n backend domain domains opts_off ons offs trace_path =
+    wrap (fun () ->
+        with_trace trace_path (fun () ->
+            cmd_run text n backend domain domains opts_off ons offs))
   in
   Cmd.v (Cmd.info "run" ~doc:"Compute a recurrence and validate against the serial code")
     Term.(
       ret
         (const run $ signature_arg $ n_arg $ backend $ domain_arg $ domains_arg
-        $ opts_off_arg $ opt_on_arg $ opt_off_arg))
+        $ opts_off_arg $ opt_on_arg $ opt_off_arg $ trace_arg))
 
 let bench_cmd =
   let n =
@@ -576,8 +663,10 @@ let bench_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Also write the rows as machine-readable JSON to $(docv).")
   in
-  let run n reps domains json opts_off ons offs =
-    wrap (fun () -> cmd_bench n reps domains json opts_off ons offs)
+  let run n reps domains json opts_off ons offs trace_path =
+    wrap (fun () ->
+        with_trace trace_path (fun () ->
+            cmd_bench n reps domains json opts_off ons offs))
   in
   Cmd.v
     (Cmd.info "bench"
@@ -589,7 +678,7 @@ let bench_cmd =
     Term.(
       ret
         (const run $ n $ reps $ domains_arg $ json $ opts_off_arg $ opt_on_arg
-        $ opt_off_arg))
+        $ opt_off_arg $ trace_arg))
 
 let info_cmd =
   let run text n domain = wrap (fun () -> cmd_info text n domain) in
@@ -721,10 +810,11 @@ let serve_bench_cmd =
            ~doc:"Also write the report as machine-readable JSON to $(docv).")
   in
   let run clients seconds zipf deadline_ms depth no_batch no_guard domains seed
-      json =
+      json trace_path =
     wrap (fun () ->
-        cmd_serve_bench clients seconds zipf deadline_ms depth no_batch
-          no_guard domains seed json)
+        with_trace trace_path (fun () ->
+            cmd_serve_bench clients seconds zipf deadline_ms depth no_batch
+              no_guard domains seed json))
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -737,7 +827,29 @@ let serve_bench_cmd =
     Term.(
       ret
         (const run $ clients $ seconds $ zipf $ deadline_ms $ depth $ no_batch
-        $ no_guard $ domains_arg $ seed $ json))
+        $ no_guard $ domains_arg $ seed $ json $ trace_arg))
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Where to write the Chrome trace-event JSON (default \
+                 trace.json).")
+  in
+  let n =
+    Arg.(value & opt int (1 lsl 17) & info [ "n" ] ~docv:"N"
+           ~doc:"Input length of the traced runs.")
+  in
+  let run text n domain domains out =
+    wrap (fun () -> cmd_trace text n domain domains out)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the signature through every layer of the stack (modeled GPU \
+          engine, multicore pool backend, serving layer) with the trace \
+          sink enabled, write a Perfetto-loadable Chrome trace-event JSON, \
+          validate it, and print a self-profile summary of the spans.")
+    Term.(ret (const run $ signature_arg $ n $ domain_arg $ domains_arg $ out))
 
 let () =
   let doc = "PLR — automatic hierarchical parallelization of linear recurrences" in
@@ -745,4 +857,4 @@ let () =
     (Cmd.eval ~term_err:2
        (Cmd.group (Cmd.info "plr" ~doc)
           [ compile_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd; execute_cmd;
-            check_cmd; chaos_cmd; serve_bench_cmd ]))
+            check_cmd; chaos_cmd; serve_bench_cmd; trace_cmd ]))

@@ -1,5 +1,7 @@
 exception Stopped
 
+module Trace = Plr_trace.Trace
+
 type stats = { size : int; jobs_completed : int; busy : bool }
 
 type t = {
@@ -16,6 +18,7 @@ type t = {
   stop : bool Atomic.t;
   busy : bool Atomic.t;
   completed : int Atomic.t; (* finished [run] calls, inline ones included *)
+  mutable job_flow : int; (* trace flow id of the posted job, 0 = none *)
   mutable closing : bool;
 }
 
@@ -33,20 +36,30 @@ let stats t =
    or cancelled.  [Atomic.fetch_and_add] hands out indices in strictly
    increasing order, which is the ordering guarantee documented in the
    interface. *)
-let claim t ~tasks ~body =
+let claim ?(flow = 0) t ~tasks ~body =
   let continue_ = ref true in
+  let first = ref true in
   while !continue_ do
     if Atomic.get t.stop then continue_ := false
     else
       let i = Atomic.fetch_and_add t.next 1 in
       if i >= tasks then continue_ := false
-      else
-        try body i
-        with e ->
-          Atomic.set t.stop true;
-          Mutex.lock t.lock;
-          t.failures <- (i, e) :: t.failures;
-          Mutex.unlock t.lock
+      else begin
+        Trace.begin_span2 Trace.Pool "pool.task" i flow;
+        (* Bind the serve request's flow to the first task this domain
+           claimed — one arrow per participating domain in the trace. *)
+        if !first then begin
+          first := false;
+          Trace.flow_finish Trace.Serve "serve.flow" flow
+        end;
+        (try body i
+         with e ->
+           Atomic.set t.stop true;
+           Mutex.lock t.lock;
+           t.failures <- (i, e) :: t.failures;
+           Mutex.unlock t.lock);
+        Trace.end_span ()
+      end
   done
 
 let rec worker t seen =
@@ -57,9 +70,9 @@ let rec worker t seen =
   if t.generation = seen then Mutex.unlock t.lock (* closing, no new job *)
   else begin
     let gen = t.generation in
-    let tasks = t.tasks and body = t.body in
+    let tasks = t.tasks and body = t.body and flow = t.job_flow in
     Mutex.unlock t.lock;
-    claim t ~tasks ~body;
+    claim ~flow t ~tasks ~body;
     Mutex.lock t.lock;
     t.running <- t.running - 1;
     if t.running = 0 then Condition.broadcast t.idle;
@@ -91,6 +104,7 @@ let create ?domains () =
       stop = Atomic.make false;
       busy = Atomic.make false;
       completed = Atomic.make 0;
+      job_flow = 0;
       closing = false;
     }
   in
@@ -103,35 +117,46 @@ let create ?domains () =
   t.workers <- !spawned;
   t
 
-let run_inline ~tasks body =
-  for i = 0 to tasks - 1 do
-    body i
-  done
+let run_inline ?(flow = 0) ~tasks body =
+  Trace.begin_span2 Trace.Pool "pool.job" tasks flow;
+  if flow <> 0 then Trace.flow_finish Trace.Serve "serve.flow" flow;
+  let finish () = Trace.end_span () in
+  (try
+     for i = 0 to tasks - 1 do
+       body i
+     done
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 let run t ~tasks body =
+  let flow = Trace.ambient_flow () in
   if tasks <= 0 then ()
   else if t.workers = [] || tasks = 1 then begin
-    run_inline ~tasks body;
+    run_inline ~flow ~tasks body;
     Atomic.incr t.completed
   end
   else if not (Atomic.compare_and_set t.busy false true) then begin
     (* Re-entrant or concurrent run: executing inline in index order
        satisfies every dependency a look-back body can have. *)
-    run_inline ~tasks body;
+    run_inline ~flow ~tasks body;
     Atomic.incr t.completed
   end
   else begin
+    Trace.begin_span2 Trace.Pool "pool.job" tasks flow;
     Mutex.lock t.lock;
     t.tasks <- tasks;
     t.body <- body;
     t.failures <- [];
+    t.job_flow <- flow;
     Atomic.set t.next 0;
     Atomic.set t.stop false;
     t.running <- List.length t.workers + 1;
     t.generation <- t.generation + 1;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
-    claim t ~tasks ~body;
+    claim ~flow t ~tasks ~body;
     Mutex.lock t.lock;
     t.running <- t.running - 1;
     if t.running = 0 then Condition.broadcast t.idle;
@@ -144,6 +169,7 @@ let run t ~tasks body =
     Mutex.unlock t.lock;
     Atomic.incr t.completed;
     Atomic.set t.busy false;
+    Trace.end_span ();
     if failures <> [] then begin
       let ordered = List.sort (fun (a, _) (b, _) -> compare a b) failures in
       let primary =

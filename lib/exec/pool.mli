@@ -15,7 +15,13 @@
     A pool of size 1 (or a [run] with a single task, or a re-entrant /
     concurrent [run] on a busy pool) executes the body inline on the
     calling domain in index order, which trivially satisfies the same
-    guarantee. *)
+    guarantee.
+
+    When the {!Plr_trace.Trace} sink is enabled, every [run] records a
+    ["pool.job"] span (args: task count, flow id) and every claimed index
+    a ["pool.task"] span on the claiming domain; the calling domain's
+    ambient flow id (set by the serving layer) is bound to the job so a
+    request's pool work is linked to it in the exported trace. *)
 
 type t
 

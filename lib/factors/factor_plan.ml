@@ -46,9 +46,18 @@ module Make (S : Plr_util.Scalar.S) = struct
       on_select = (fun () -> ());
     }
 
+  let class_code t j =
+    match t.compiled.(j) with
+    | All_equal _ -> 0
+    | Zero_one _ -> 1
+    | Repeating _ -> 2
+    | Decayed _ -> 3
+    | Dense _ -> 4
+
   let compile ?(opts = Opts.all_on) ?max_period raw =
     let order = Array.length raw in
     let m = if order = 0 then 0 else Array.length raw.(0) in
+    Plr_trace.Trace.begin_span2 Plr_trace.Trace.Factors "factor.compile" order m;
     let analyses = A.analyze_all ?max_period raw in
     let compile_list j a =
       let l = raw.(j) in
@@ -68,7 +77,14 @@ module Make (S : Plr_util.Scalar.S) = struct
     in
     let compiled = Array.mapi compile_list analyses in
     let zero_tail = if opts.Opts.flush_denormals then A.zero_tail analyses else None in
-    { order; m; opts; raw; analyses; compiled; zero_tail }
+    let t = { order; m; opts; raw; analyses; compiled; zero_tail } in
+    if Plr_trace.Trace.enabled () then
+      for j = 0 to order - 1 do
+        Plr_trace.Trace.instant Plr_trace.Trace.Factors "factor.specialize" j
+          (class_code t j)
+      done;
+    Plr_trace.Trace.end_span ();
+    t
 
   (* Correction factors are precomputed offline on the host (paper §3):
      integer factors with the target's wrap-around arithmetic, floating

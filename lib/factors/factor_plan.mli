@@ -106,4 +106,9 @@ module Make (S : Plr_util.Scalar.S) : sig
 
   val describe : t -> int -> string
   (** Human-readable tag of the compiled form (for summaries and logs). *)
+
+  val class_code : t -> int -> int
+  (** Stable small integer for the compiled form of list [j] — 0
+      all-equal, 1 zero-one, 2 repeating, 3 decayed, 4 dense.  Used as a
+      trace-event argument (see [docs/observability.md]). *)
 end

@@ -1,5 +1,6 @@
 module Faults = Plr_gpusim.Faults
 module Pool = Plr_exec.Pool
+module Trace = Plr_trace.Trace
 
 exception Fault_detected of string
 (* Raised (outside the functor, so one identity for every scalar instance)
@@ -116,12 +117,14 @@ module Make (S : Plr_util.Scalar.S) = struct
     for c = 0 to chunks - 1 do
       let base = c * m in
       let len = min m (n - base) in
+      Trace.begin_span2 Trace.Multicore "mc.chunk" c len;
       solve_chunk_fused ~forward ~feedback x y ~base ~len;
       if !g_prev <> [||] then
         for j = 0 to k - 1 do
           FP.apply_list fp ~j ~carry:!g_prev.(j) y ~base ~len
         done;
-      if c < chunks - 1 then g_prev := read_carries y ~base ~len ~k
+      if c < chunks - 1 then g_prev := read_carries y ~base ~len ~k;
+      Trace.end_span ()
     done
 
   (* The single-pass decoupled look-back schedule (Merrill–Garland,
@@ -164,17 +167,24 @@ module Make (S : Plr_util.Scalar.S) = struct
     let task c =
       let base = c * m in
       let len = min m (n - base) in
+      Trace.begin_span2 Trace.Multicore "mc.chunk" c len;
       solve_chunk_fused ~forward ~feedback x y ~base ~len;
       let local = read_carries y ~base ~len ~k in
       if c = 0 then begin
         write locals 0 local;
         write globals 0 local;
-        Atomic.set status.(0) status_inclusive
+        Atomic.set status.(0) status_inclusive;
+        Trace.instant Trace.Multicore "mc.publish" 0 status_inclusive
       end
       else begin
         write locals c local;
         Atomic.set status.(c) status_aggregate;
+        Trace.instant Trace.Multicore "mc.publish" c status_aggregate;
         let boundary = (c / window * window) - 1 in
+        let depth =
+          c - max 0 (boundary + 1) + (if boundary >= 0 then 1 else 0)
+        in
+        Trace.begin_span2 Trace.Multicore "mc.lookback" c depth;
         let g_prev =
           ref
             (if boundary >= 0 then begin
@@ -191,10 +201,16 @@ module Make (S : Plr_util.Scalar.S) = struct
         let g_prev = !g_prev in
         write globals c (combine fp ~k ~m ~local ~g_prev);
         Atomic.set status.(c) status_inclusive;
+        Trace.end_span ();
+        Trace.instant Trace.Multicore "mc.publish" c status_inclusive;
+        Trace.begin_span2 Trace.Multicore "mc.correct" c
+          (if k > 0 then FP.class_code fp 0 else -1);
         for j = 0 to k - 1 do
           FP.apply_list fp ~j ~carry:g_prev.(j) y ~base ~len
-        done
-      end
+        done;
+        Trace.end_span ()
+      end;
+      Trace.end_span ()
     in
     Pool.run pool ~tasks:chunks task
 
@@ -308,6 +324,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       let chunks = (n + m - 1) / m in
       let forward = s.Signature.forward and feedback = s.Signature.feedback in
       let y = Array.make n S.zero in
+      Trace.begin_span2 Trace.Multicore "mc.run" n chunks;
       if not (Faults.is_none faults) then
         run_faulted ~opts ~faults ~forward ~feedback input y ~n ~m ~k
       else if chunks = 1 then
@@ -317,6 +334,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       else if Pool.size pool = 1 then
         run_sequential ?plan ~opts ~forward ~feedback input y ~n ~m ~k ()
       else run_pooled ?plan ~opts ~pool ~forward ~feedback input y ~n ~m ~k ();
+      Trace.end_span ();
       y
     end
 

@@ -3,6 +3,7 @@ module Device = Plr_gpusim.Device
 module Counters = Plr_gpusim.Counters
 module Cost = Plr_gpusim.Cost
 module Faults = Plr_gpusim.Faults
+module Trace = Plr_trace.Trace
 
 exception Protocol_stall of string
 (* The fault-injected scheduler proved that no blocked chunk can ever make
@@ -87,12 +88,15 @@ module Make (S : Plr_util.Scalar.S) = struct
     let window = min plan.P.lookback_window plan.P.grid_blocks in
     let aux_read addr = Device.read dev Device.Aux ~addr ~bytes:S.bytes in
     let aux_write addr = Device.write dev Device.Aux ~addr ~bytes:S.bytes in
+    Trace.begin_span2 Trace.Engine "engine.chunk" b len;
     Device.atomic dev;
     for i = 0 to len - 1 do
       work.(i) <- read_input (start + i)
     done;
     K.fir_chunk ctx ~input ~start ~work ~len;
+    Trace.begin_span2 Trace.Engine "engine.phase1" b (K.phase1_levels plan);
     K.phase1_chunk ctx work ~len;
+    Trace.end_span ();
     (* Section 5: publish local carries. *)
     let local = K.carries_of_chunk plan work ~len in
     locals.(b) <- local;
@@ -107,6 +111,9 @@ module Make (S : Plr_util.Scalar.S) = struct
       else begin
         let wave = b / window in
         let bg = (wave * window) - 1 in
+        let depth = (b - if bg >= 0 then bg + 1 else 0)
+                    + (if bg >= 0 then 1 else 0) in
+        Trace.begin_span2 Trace.Engine "engine.lookback" b depth;
         let g0 =
           if bg >= 0 then begin
             Device.flag_poll dev;
@@ -129,10 +136,17 @@ module Make (S : Plr_util.Scalar.S) = struct
              | None -> Some (Array.copy locals.(t))
              | Some gp -> Some (K.correct_carries ctx ~local:locals.(t) ~g_prev:gp))
         done;
+        Trace.end_span ();
         !g
       end
     in
-    (match g_pred with None -> () | Some g -> K.apply_carries ctx work ~len ~g);
+    (match g_pred with
+    | None -> ()
+    | Some g ->
+        Trace.begin_span2 Trace.Engine "engine.correct" b
+          (if plan.P.order > 0 then P.F.class_code plan.P.fplan 0 else -1);
+        K.apply_carries ctx work ~len ~g;
+        Trace.end_span ());
     let global = K.carries_of_chunk plan work ~len in
     globals.(b) <- global;
     for j = 0 to k - 1 do
@@ -143,7 +157,8 @@ module Make (S : Plr_util.Scalar.S) = struct
     (* Section 7: emit results. *)
     for i = 0 to len - 1 do
       write_output (start + i) work.(i)
-    done
+    done;
+    Trace.end_span ()
 
   (* Shared device/buffer setup for both the default and the
      fault-injected execution paths.  The operation order here is part of
@@ -194,9 +209,11 @@ module Make (S : Plr_util.Scalar.S) = struct
     let dev, outbuf, _locals, _globals, chunks, run_block =
       setup_run ~with_l2 ~spec plan input
     in
+    Trace.begin_span2 Trace.Engine "engine.run" (Array.length input) chunks;
     for b = 0 to chunks - 1 do
       run_block b
     done;
+    Trace.end_span ();
     finish_run ~spec ~plan ~n:(Array.length input) dev outbuf
 
   let poison =
@@ -238,6 +255,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       !ok
     in
     let remaining = ref chunks in
+    Trace.begin_span2 Trace.Engine "engine.run" (Array.length input) chunks;
     (* Each loop iteration either completes a block or advances time to a
        strictly later publication, so [3·chunks] iterations suffice; the
        budget is a backstop against scheduler bugs, not faults. *)
@@ -295,6 +313,7 @@ module Make (S : Plr_util.Scalar.S) = struct
                     !remaining chunks))
           else step := !future
     done;
+    Trace.end_span ();
     finish_run ~spec ~plan ~n:(Array.length input) dev outbuf
 
   let run_plan ?(faults = Faults.none) ?(with_l2 = false) ~spec (plan : P.t)

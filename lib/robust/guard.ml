@@ -1,4 +1,5 @@
 module Faults = Plr_gpusim.Faults
+module Trace = Plr_trace.Trace
 
 type stage = Parallel | Sequential_fallback | Float64_serial
 
@@ -10,6 +11,17 @@ type violation =
 
 type attempt = { stage : stage; violation : violation option }
 type check = No_reference | Prefix of int | Full
+
+let stage_code = function
+  | Parallel -> 0
+  | Sequential_fallback -> 1
+  | Float64_serial -> 2
+
+let violation_code = function
+  | Non_finite _ -> 0
+  | Divergence _ -> 1
+  | Engine_error _ -> 2
+  | Predicted_overflow _ -> 3
 
 let stage_to_string = function
   | Parallel -> "parallel"
@@ -111,8 +123,16 @@ module Make (S : Plr_util.Scalar.S) = struct
       | Some i -> Some (Non_finite { index = i })
       | None -> compare_reference out
     in
+    Trace.begin_span2 Trace.Guard "guard.run" n 0;
     let attempts = ref [] in
-    let record stage violation = attempts := { stage; violation } :: !attempts in
+    let record stage violation =
+      (match violation with
+      | Some v ->
+          Trace.instant Trace.Guard "guard.degrade" (stage_code stage)
+            (violation_code v)
+      | None -> ());
+      attempts := { stage; violation } :: !attempts
+    in
     let try_stage stage f =
       match f () with
       | exception e ->
@@ -155,6 +175,7 @@ module Make (S : Plr_util.Scalar.S) = struct
         Serial.full s x
     in
     let finish output ~degraded ~ok =
+      Trace.end_span ();
       { output; stability; attempts = List.rev !attempts; degraded; ok }
     in
     let accepted =

@@ -81,9 +81,7 @@ let to_json ?meta r =
   Buffer.contents b
 
 let write_json ~path ?meta r =
-  let oc = open_out path in
-  output_string oc (to_json ?meta r);
-  close_out oc
+  Plr_util.Fileio.atomic_write_string ~path (to_json ?meta r)
 
 module Make (S : Plr_util.Scalar.S) = struct
   module Srv = Serve.Make (S)

@@ -159,17 +159,31 @@ let snapshot_json ?pool t =
       histogram "exec" t.exec;
       histogram "total" t.total;
     ]
+    @ (match pool with
+      | None -> []
+      | Some p ->
+          let s = Plr_exec.Pool.stats p in
+          [
+            Printf.sprintf
+              "  \"pool\": { \"size\": %d, \"jobs_completed\": %d, \"busy\": %b }"
+              s.Plr_exec.Pool.size s.Plr_exec.Pool.jobs_completed
+              s.Plr_exec.Pool.busy;
+          ])
     @
-    match pool with
-    | None -> []
-    | Some p ->
-        let s = Plr_exec.Pool.stats p in
-        [
-          Printf.sprintf
-            "  \"pool\": { \"size\": %d, \"jobs_completed\": %d, \"busy\": %b }"
-            s.Plr_exec.Pool.size s.Plr_exec.Pool.jobs_completed
-            s.Plr_exec.Pool.busy;
-        ]
+    (* When the trace sink is live, summarize it: event volume, loss, and
+       the top spans by inclusive time (same aggregation as [plr trace]). *)
+    if not (Plr_trace.Trace.enabled ()) then []
+    else begin
+      let events = Plr_trace.Trace.collect () in
+      let rows = Plr_trace.Report.rows events in
+      [
+        Printf.sprintf
+          "  \"trace\": { \"events\": %d, \"dropped\": %d, \"spans\": %s }"
+          (List.length events)
+          (Plr_trace.Trace.dropped ())
+          (Plr_trace.Report.to_json ~top:8 rows);
+      ]
+    end
   in
   Buffer.add_string b (String.concat ",\n" fields);
   Buffer.add_string b "\n}";

@@ -66,4 +66,8 @@ val create : unit -> t
 
 val snapshot_json : ?pool:Plr_exec.Pool.t -> t -> string
 (** One JSON object with every counter, every histogram, and — when
-    [pool] is given — the pool's {!Plr_exec.Pool.stats}. *)
+    [pool] is given — the pool's {!Plr_exec.Pool.stats}.  When the
+    {!Plr_trace.Trace} sink is enabled the snapshot also carries a
+    ["trace"] block: total recorded events, events dropped to full
+    rings, and the top spans by inclusive time as produced by
+    {!Plr_trace.Report.to_json}. *)

@@ -1,4 +1,5 @@
 module Pool = Plr_exec.Pool
+module Trace = Plr_trace.Trace
 module Opts = Plr_factors.Opts
 module Stability = Plr_robust.Stability
 module Guard = Plr_robust.Guard
@@ -236,13 +237,17 @@ module Make (S : Plr_util.Scalar.S) = struct
      the request's queue time.  The deadline is re-checked after the
      wait: a request that missed it is dropped before touching the pool. *)
   let exec_serialized ~t0 ?deadline t f =
+    Trace.begin_span Trace.Serve "serve.queue";
     Mutex.lock t.exec_lock;
+    Trace.end_span ();
     Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
     Fun.protect ~finally:(fun () -> Mutex.unlock t.exec_lock) @@ fun () ->
     if deadline_passed deadline then Error Deadline_exceeded
     else begin
       let e0 = now () in
+      Trace.begin_span Trace.Serve "serve.exec";
       let r = f () in
+      Trace.end_span ();
       Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
       r
     end
@@ -274,12 +279,14 @@ module Make (S : Plr_util.Scalar.S) = struct
       in
       fill_slot slot r
     in
+    Trace.begin_span2 Trace.Serve "serve.batch" (Array.length slots) 0;
     Fun.protect
       ~finally:(fun () ->
         (* Whatever happened, no follower may be left spinning. *)
         Array.iter
           (fun slot -> fill_slot slot (Error (Failed "batch aborted")))
-          slots)
+          slots;
+        Trace.end_span ())
     @@ fun () -> Pool.run t.pool_ ~tasks:(Array.length slots) body
 
   let await_slot ~t0 t slot =
@@ -299,7 +306,10 @@ module Make (S : Plr_util.Scalar.S) = struct
             wait ()
           end
     in
-    wait ()
+    Trace.begin_span Trace.Serve "serve.wait";
+    let r = wait () in
+    Trace.end_span ();
+    r
 
   let submit_batched ~t0 ?deadline t key s x =
     let slot =
@@ -363,6 +373,12 @@ module Make (S : Plr_util.Scalar.S) = struct
   let submit ?deadline t (s : S.t Signature.t) x =
     let t0 = now () in
     Metrics.Counter.incr t.metrics.Metrics.submitted;
+    (* One flow id per request links the request span to the pool tasks
+       that execute it (across domains) in the exported trace. *)
+    let flow = if Trace.enabled () then Trace.next_flow_id () else 0 in
+    Trace.begin_span2 Trace.Serve "serve.request" (Array.length x) flow;
+    Trace.flow_start Trace.Serve "serve.flow" flow;
+    Trace.set_ambient_flow flow;
     let r =
       if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
         Atomic.decr t.inflight;
@@ -392,5 +408,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     in
     classify_result t r;
     Metrics.Histogram.observe t.metrics.Metrics.total (now () -. t0);
+    Trace.set_ambient_flow 0;
+    Trace.end_span ();
     r
 end

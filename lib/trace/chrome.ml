@@ -1,0 +1,210 @@
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Per-domain export state: the open-span stack (to give E events their
+   matching name) and the last emitted timestamp (to place synthetic
+   closes after everything else on the track). *)
+type dstate = {
+  mutable stack : (Trace.cat * string) list;
+  mutable last_us : float;
+}
+
+let to_string ?(process_name = "plr") (events : Trace.event list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit fields =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b k;
+        Buffer.add_string b "\":";
+        Buffer.add_string b v)
+      fields;
+    Buffer.add_char b '}'
+  in
+  let str s = "\"" ^ escape s ^ "\"" in
+  emit
+    [
+      ("name", str "process_name");
+      ("ph", str "M");
+      ("pid", "0");
+      ("args", "{\"name\":" ^ str process_name ^ "}");
+    ];
+  let t0 =
+    List.fold_left (fun acc (e : Trace.event) -> min acc e.ts) infinity events
+  in
+  let domains : (int, dstate) Hashtbl.t = Hashtbl.create 8 in
+  let dstate dom =
+    match Hashtbl.find_opt domains dom with
+    | Some s -> s
+    | None ->
+        let label = if dom = 0 then "domain 0 (main)" else
+          Printf.sprintf "domain %d" dom
+        in
+        emit
+          [
+            ("name", str "thread_name");
+            ("ph", str "M");
+            ("pid", "0");
+            ("tid", string_of_int dom);
+            ("args", "{\"name\":" ^ str label ^ "}");
+          ];
+        let s = { stack = []; last_us = 0.0 } in
+        Hashtbl.add domains dom s;
+        s
+  in
+  let us (e : Trace.event) = (e.ts -. t0) *. 1e6 in
+  let num f = Printf.sprintf "%.3f" f in
+  List.iter
+    (fun (e : Trace.event) ->
+      let d = dstate e.domain in
+      let ts = us e in
+      d.last_us <- ts;
+      let base ph name cat =
+        [
+          ("name", str name);
+          ("cat", str (Trace.cat_name cat));
+          ("ph", str ph);
+          ("ts", num ts);
+          ("pid", "0");
+          ("tid", string_of_int e.domain);
+        ]
+      in
+      let args () =
+        ( "args",
+          Printf.sprintf "{\"a0\":%d,\"a1\":%d}" e.a0 e.a1 )
+      in
+      match e.kind with
+      | Trace.Begin ->
+          d.stack <- (e.cat, e.name) :: d.stack;
+          emit (base "B" e.name e.cat @ [ args () ])
+      | Trace.End ->
+          let cat, name =
+            match d.stack with
+            | (c, n) :: rest ->
+                d.stack <- rest;
+                (c, n)
+            | [] -> (e.cat, e.name)
+          in
+          emit (base "E" name cat)
+      | Trace.Instant ->
+          emit (base "i" e.name e.cat @ [ ("s", str "t"); args () ])
+      | Trace.Flow_start ->
+          emit (base "s" e.name e.cat @ [ ("id", string_of_int e.a0) ])
+      | Trace.Flow_finish ->
+          emit
+            (base "f" e.name e.cat
+            @ [ ("bp", str "e"); ("id", string_of_int e.a0) ]))
+    events;
+  (* Close anything still open so B/E always balance. *)
+  Hashtbl.iter
+    (fun dom d ->
+      List.iter
+        (fun (cat, name) ->
+          d.last_us <- d.last_us +. 0.001;
+          emit
+            [
+              ("name", str name);
+              ("cat", str (Trace.cat_name cat));
+              ("ph", str "E");
+              ("ts", num d.last_us);
+              ("pid", "0");
+              ("tid", string_of_int dom);
+            ])
+        d.stack;
+      d.stack <- [])
+    domains;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write ~path ?process_name events =
+  Plr_util.Fileio.atomic_write_string ~path (to_string ?process_name events)
+
+let validate (doc : string) =
+  match Json.parse doc with
+  | Error e -> Error e
+  | Ok root -> (
+      match Json.member "traceEvents" root with
+      | None -> Error "missing traceEvents"
+      | Some evs -> (
+          let evs = Json.to_list evs in
+          let field name ev = Json.member name ev in
+          let sfield name ev = Option.bind (field name ev) Json.str in
+          let nfield name ev = Option.bind (field name ev) Json.num in
+          let tracks : (float, float * int) Hashtbl.t = Hashtbl.create 8 in
+          let flow_starts = Hashtbl.create 8 in
+          let flow_finishes = ref [] in
+          let err = ref None in
+          let fail msg = if !err = None then err := Some msg in
+          List.iteri
+            (fun i ev ->
+              match sfield "ph" ev with
+              | None -> fail (Printf.sprintf "event %d: missing ph" i)
+              | Some "M" -> ()
+              | Some ph -> (
+                  match (nfield "ts" ev, nfield "tid" ev) with
+                  | Some ts, Some tid ->
+                      let last, depth =
+                        Option.value
+                          (Hashtbl.find_opt tracks tid)
+                          ~default:(neg_infinity, 0)
+                      in
+                      if ts <= last then
+                        fail
+                          (Printf.sprintf
+                             "event %d: ts %.3f not increasing on tid %.0f" i
+                             ts tid);
+                      let depth =
+                        match ph with
+                        | "B" -> depth + 1
+                        | "E" ->
+                            if depth = 0 then
+                              fail
+                                (Printf.sprintf
+                                   "event %d: E without open B on tid %.0f" i
+                                   tid);
+                            depth - 1
+                        | _ -> depth
+                      in
+                      Hashtbl.replace tracks tid (ts, depth);
+                      let flow_key () =
+                        ( Option.value (sfield "cat" ev) ~default:"",
+                          Option.value (sfield "name" ev) ~default:"",
+                          Option.value (nfield "id" ev) ~default:(-1.) )
+                      in
+                      if ph = "s" then Hashtbl.replace flow_starts (flow_key ()) ()
+                      else if ph = "f" then
+                        flow_finishes := (i, flow_key ()) :: !flow_finishes
+                  | _ -> fail (Printf.sprintf "event %d: missing ts/tid" i)))
+            evs;
+          Hashtbl.iter
+            (fun tid (_, depth) ->
+              if depth <> 0 then
+                fail
+                  (Printf.sprintf "tid %.0f: %d unclosed B events" tid depth))
+            tracks;
+          List.iter
+            (fun (i, key) ->
+              if not (Hashtbl.mem flow_starts key) then
+                fail (Printf.sprintf "event %d: flow finish without start" i))
+            !flow_finishes;
+          match !err with
+          | Some msg -> Error msg
+          | None -> Ok (List.length evs)))

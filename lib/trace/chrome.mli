@@ -1,0 +1,24 @@
+(** Chrome trace-event JSON exporter.
+
+    Produces the classic [{"traceEvents":[...]}] format understood by
+    Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and
+    [chrome://tracing]: every PLR domain becomes one named track
+    ([tid] = domain id) of duration ([B]/[E]), instant ([i]) and flow
+    ([s]/[f]) events, timestamps in microseconds rebased to the first
+    event.  Spans still open at export time are closed with synthetic
+    [E] events so the file always balances. *)
+
+val to_string : ?process_name:string -> Trace.event list -> string
+(** Render events (as returned by {!Trace.collect}) to a JSON document.
+    [process_name] defaults to ["plr"]. *)
+
+val write : path:string -> ?process_name:string -> Trace.event list -> unit
+(** {!to_string} written atomically (temp file + rename), so a crashed
+    run never leaves a truncated trace behind. *)
+
+val validate : string -> (int, string) result
+(** Structural check of an exported document: it must parse, every
+    non-metadata track must be strictly ordered by [ts], [B]/[E] events
+    must balance on every track, and every flow-finish ([f]) id must
+    have a matching flow-start ([s]).  Returns the number of trace
+    events on success. *)

@@ -1,0 +1,158 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+let parse (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* keep the code point as an escaped literal; the exporters
+                 never emit \u so exactness is not needed here *)
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              Buffer.add_string b (String.sub s (!pos + 1) 4);
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | '\255' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            if peek () = ',' then begin
+              advance ();
+              members ()
+            end
+            else expect '}'
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elems () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            if peek () = ',' then begin
+              advance ();
+              elems ()
+            end
+            else expect ']'
+          in
+          elems ();
+          Arr (List.rev !items)
+        end
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> Num (parse_number ())
+    | _ -> fail "unexpected character"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (p, msg) ->
+      Error (Printf.sprintf "JSON error at byte %d: %s" p msg)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_list = function Arr l -> l | _ -> []
+let str = function Str s -> Some s | _ -> None
+let num = function Num f -> Some f | _ -> None

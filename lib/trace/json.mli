@@ -1,0 +1,24 @@
+(** A minimal JSON reader, just big enough to validate this library's own
+    exporters (and the bench JSON artifacts) without an external
+    dependency.  Accepts standard JSON; numbers are parsed as [float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  The error string carries the byte
+    offset of the failure. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing fields or non-objects. *)
+
+val to_list : t -> t list
+(** The elements of an [Arr]; [] for anything else. *)
+
+val str : t -> string option
+val num : t -> float option

@@ -1,0 +1,157 @@
+type row = {
+  cat : Trace.cat;
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  p50_s : float;
+  p95_s : float;
+}
+
+type acc = {
+  a_cat : Trace.cat;
+  a_name : string;
+  mutable a_count : int;
+  mutable a_total : float;
+  mutable a_self : float;
+  mutable a_durs : float list;
+}
+
+(* One stack frame per open span: identity, start time, and the time
+   consumed by already-closed children (for exclusive time). *)
+type frame = {
+  f_cat : Trace.cat;
+  f_name : string;
+  f_start : float;
+  mutable f_child : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (p *. float_of_int n) in
+    sorted.(min (n - 1) i)
+
+let rows (events : Trace.event list) =
+  let table : (int * string, acc) Hashtbl.t = Hashtbl.create 32 in
+  let get cat name =
+    let key = (Trace.(match cat with
+      | Factors -> 0 | Engine -> 1 | Pool -> 2 | Multicore -> 3
+      | Guard -> 4 | Serve -> 5 | App -> 6), name)
+    in
+    match Hashtbl.find_opt table key with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_cat = cat;
+            a_name = name;
+            a_count = 0;
+            a_total = 0.0;
+            a_self = 0.0;
+            a_durs = [];
+          }
+        in
+        Hashtbl.add table key a;
+        a
+  in
+  let domains : (int, frame list ref * float ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let dstate dom =
+    match Hashtbl.find_opt domains dom with
+    | Some s -> s
+    | None ->
+        let s = (ref [], ref 0.0) in
+        Hashtbl.add domains dom s;
+        s
+  in
+  let close_frame (stack : frame list ref) (f : frame) ts =
+    let dur = ts -. f.f_start in
+    let a = get f.f_cat f.f_name in
+    a.a_count <- a.a_count + 1;
+    a.a_total <- a.a_total +. dur;
+    a.a_self <- a.a_self +. (dur -. f.f_child);
+    a.a_durs <- dur :: a.a_durs;
+    (match !stack with
+    | parent :: _ -> parent.f_child <- parent.f_child +. dur
+    | [] -> ())
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let stack, last = dstate e.domain in
+      last := e.ts;
+      match e.kind with
+      | Trace.Begin ->
+          stack :=
+            { f_cat = e.cat; f_name = e.name; f_start = e.ts; f_child = 0.0 }
+            :: !stack
+      | Trace.End -> (
+          match !stack with
+          | f :: rest ->
+              stack := rest;
+              close_frame stack f e.ts
+          | [] -> ())
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun _ (stack, last) ->
+      let rec drain () =
+        match !stack with
+        | f :: rest ->
+            stack := rest;
+            close_frame stack f !last;
+            drain ()
+        | [] -> ()
+      in
+      drain ())
+    domains;
+  let rows =
+    Hashtbl.fold
+      (fun _ a acc ->
+        let sorted = Array.of_list a.a_durs in
+        Array.sort compare sorted;
+        {
+          cat = a.a_cat;
+          name = a.a_name;
+          count = a.a_count;
+          total_s = a.a_total;
+          self_s = a.a_self;
+          p50_s = percentile sorted 0.50;
+          p95_s = percentile sorted 0.95;
+        }
+        :: acc)
+      table []
+  in
+  List.sort (fun a b -> compare b.total_s a.total_s) rows
+
+let render ppf rows =
+  Format.fprintf ppf "%-10s %-18s %8s %12s %12s %10s %10s@."
+    "cat" "span" "calls" "total(ms)" "self(ms)" "p50(us)" "p95(us)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-18s %8d %12.3f %12.3f %10.1f %10.1f@."
+        (Trace.cat_name r.cat) r.name r.count (r.total_s *. 1e3)
+        (r.self_s *. 1e3) (r.p50_s *. 1e6) (r.p95_s *. 1e6))
+    rows
+
+let to_json ?top rows =
+  let rows =
+    match top with
+    | None -> rows
+    | Some k -> List.filteri (fun i _ -> i < k) rows
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"cat\":\"%s\",\"name\":\"%s\",\"count\":%d,\"total_ms\":%.3f,\"self_ms\":%.3f,\"p50_us\":%.1f,\"p95_us\":%.1f}"
+           (Trace.cat_name r.cat) r.name r.count (r.total_s *. 1e3)
+           (r.self_s *. 1e3) (r.p50_s *. 1e6) (r.p95_s *. 1e6)))
+    rows;
+  Buffer.add_char b ']';
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** Self-profile built from a collected event stream: per-span-name
+    inclusive ("total") and exclusive ("self") time, call counts, and
+    p50/p95 inclusive latency.  The walk is per-domain — a child span's
+    time is subtracted from its parent's exclusive time on the same
+    domain. *)
+
+type row = {
+  cat : Trace.cat;
+  name : string;
+  count : int;
+  total_s : float;  (** summed inclusive duration, seconds *)
+  self_s : float;  (** summed exclusive duration, seconds *)
+  p50_s : float;  (** median inclusive duration of one call *)
+  p95_s : float;
+}
+
+val rows : Trace.event list -> row list
+(** Aggregate spans by (category, name), sorted by total time
+    descending.  Spans left open in the stream are closed at their
+    domain's last timestamp.  Instant and flow events are ignored. *)
+
+val render : Format.formatter -> row list -> unit
+(** Human-readable table (the [plr trace] summary). *)
+
+val to_json : ?top:int -> row list -> string
+(** JSON array of the first [top] rows (default: all) — embedded in the
+    serving {!Plr_serve.Metrics} snapshot. *)

@@ -1,0 +1,247 @@
+type cat = Factors | Engine | Pool | Multicore | Guard | Serve | App
+
+let cat_name = function
+  | Factors -> "factors"
+  | Engine -> "engine"
+  | Pool -> "pool"
+  | Multicore -> "multicore"
+  | Guard -> "guard"
+  | Serve -> "serve"
+  | App -> "app"
+
+let cat_to_int = function
+  | Factors -> 0
+  | Engine -> 1
+  | Pool -> 2
+  | Multicore -> 3
+  | Guard -> 4
+  | Serve -> 5
+  | App -> 6
+
+let cat_of_int = function
+  | 0 -> Factors
+  | 1 -> Engine
+  | 2 -> Pool
+  | 3 -> Multicore
+  | 4 -> Guard
+  | 5 -> Serve
+  | _ -> App
+
+type kind = Begin | End | Instant | Flow_start | Flow_finish
+
+let kind_to_int = function
+  | Begin -> 0
+  | End -> 1
+  | Instant -> 2
+  | Flow_start -> 3
+  | Flow_finish -> 4
+
+let kind_of_int = function
+  | 0 -> Begin
+  | 1 -> End
+  | 2 -> Instant
+  | 3 -> Flow_start
+  | _ -> Flow_finish
+
+type event = {
+  domain : int;
+  ts : float;
+  kind : kind;
+  cat : cat;
+  name : string;
+  a0 : int;
+  a1 : int;
+}
+
+(* The process-wide sink flag.  Every trace point loads it first; the
+   disabled path does nothing else, so instrumentation left in hot loops
+   is effectively free (and allocation-free — pinned by test_trace.ml). *)
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+let default_capacity = Atomic.make 32768
+let configure ?capacity () =
+  match capacity with
+  | Some c -> Atomic.set default_capacity (max 64 c)
+  | None -> ()
+
+(* One ring per domain: parallel arrays, single writer, no locking.  The
+   published count is an atomic store after the array writes, so a
+   concurrent [collect] sees only fully written events (release/acquire
+   on [count]). *)
+type ring = {
+  dom : int;
+  cap : int;
+  r_ts : float array;
+  r_kind : int array;
+  r_cat : int array;
+  r_name : string array;
+  r_a0 : int array;
+  r_a1 : int array;
+  count : int Atomic.t; (* published event count *)
+  mutable n : int; (* writer-side count *)
+  mutable depth : int; (* recorded open spans *)
+  mutable dropped_depth : int; (* open spans whose begin was dropped *)
+  drop_count : int Atomic.t;
+  mutable last_ts : float;
+  mutable flow : int; (* ambient flow id, 0 = none *)
+}
+
+let registry : ring list ref = ref []
+let registry_lock = Mutex.create ()
+
+let make_ring () =
+  let cap = Atomic.get default_capacity in
+  let r =
+    {
+      dom = (Domain.self () :> int);
+      cap;
+      r_ts = Array.make cap 0.0;
+      r_kind = Array.make cap 0;
+      r_cat = Array.make cap 0;
+      r_name = Array.make cap "";
+      r_a0 = Array.make cap 0;
+      r_a1 = Array.make cap 0;
+      count = Atomic.make 0;
+      n = 0;
+      depth = 0;
+      dropped_depth = 0;
+      drop_count = Atomic.make 0;
+      last_ts = 0.0;
+      flow = 0;
+    }
+  in
+  Mutex.lock registry_lock;
+  registry := r :: !registry;
+  Mutex.unlock registry_lock;
+  r
+
+let key : ring Domain.DLS.key = Domain.DLS.new_key make_ring
+let ring () = Domain.DLS.get key
+
+(* Timestamps are wall-clock relative to process start — kept small so
+   the 0.1 µs clamp tick is far above one float ulp (at epoch magnitude
+   it would round away) — and clamped strictly increasing per domain, so
+   every exported track is strictly ordered by construction. *)
+let epoch = Unix.gettimeofday ()
+
+let now_ts r =
+  let t = Unix.gettimeofday () -. epoch in
+  let t = if t <= r.last_ts then r.last_ts +. 1e-7 else t in
+  r.last_ts <- t;
+  t
+
+let push r kind cat name a0 a1 =
+  let i = r.n in
+  r.r_ts.(i) <- now_ts r;
+  r.r_kind.(i) <- kind_to_int kind;
+  r.r_cat.(i) <- cat_to_int cat;
+  r.r_name.(i) <- name;
+  r.r_a0.(i) <- a0;
+  r.r_a1.(i) <- a1;
+  r.n <- i + 1;
+  Atomic.set r.count r.n
+
+(* A begin records only if its end is guaranteed a slot: one slot for the
+   begin itself plus one reserved for the end of every span then open
+   ([depth + 1]).  This keeps the recorded stream properly nested even
+   when the ring fills mid-run. *)
+let record_begin cat name a0 a1 =
+  let r = ring () in
+  if r.n + r.depth + 2 <= r.cap then begin
+    push r Begin cat name a0 a1;
+    r.depth <- r.depth + 1
+  end
+  else begin
+    r.dropped_depth <- r.dropped_depth + 1;
+    Atomic.incr r.drop_count
+  end
+
+let begin_span cat name =
+  if Atomic.get enabled_flag then record_begin cat name 0 0
+
+let begin_span2 cat name a0 a1 =
+  if Atomic.get enabled_flag then record_begin cat name a0 a1
+
+let end_span () =
+  if Atomic.get enabled_flag then begin
+    let r = ring () in
+    if r.dropped_depth > 0 then r.dropped_depth <- r.dropped_depth - 1
+    else if r.depth > 0 then begin
+      push r End Pool "" 0 0;
+      r.depth <- r.depth - 1
+    end
+  end
+
+let record_point kind cat name a0 a1 =
+  let r = ring () in
+  if r.n + r.depth + 1 <= r.cap then push r kind cat name a0 a1
+  else Atomic.incr r.drop_count
+
+let instant cat name a0 a1 =
+  if Atomic.get enabled_flag then record_point Instant cat name a0 a1
+
+let with_span cat name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    record_begin cat name 0 0;
+    Fun.protect ~finally:end_span f
+  end
+
+let flow_ids = Atomic.make 0
+let next_flow_id () = Atomic.fetch_and_add flow_ids 1 + 1
+
+let set_ambient_flow id =
+  if Atomic.get enabled_flag then (ring ()).flow <- id
+
+let ambient_flow () =
+  if Atomic.get enabled_flag then (ring ()).flow else 0
+
+let flow_start cat name id =
+  if Atomic.get enabled_flag && id <> 0 then
+    record_point Flow_start cat name id 0
+
+let flow_finish cat name id =
+  if Atomic.get enabled_flag && id <> 0 then
+    record_point Flow_finish cat name id 0
+
+let snapshot_rings () =
+  Mutex.lock registry_lock;
+  let rings = !registry in
+  Mutex.unlock registry_lock;
+  List.rev rings
+
+let collect () =
+  let rings = snapshot_rings () in
+  List.concat_map
+    (fun r ->
+      let c = min (Atomic.get r.count) r.cap in
+      List.init c (fun i ->
+          {
+            domain = r.dom;
+            ts = r.r_ts.(i);
+            kind = kind_of_int r.r_kind.(i);
+            cat = cat_of_int r.r_cat.(i);
+            name = r.r_name.(i);
+            a0 = r.r_a0.(i);
+            a1 = r.r_a1.(i);
+          }))
+    rings
+
+let reset () =
+  List.iter
+    (fun r ->
+      Atomic.set r.count 0;
+      r.n <- 0;
+      r.depth <- 0;
+      r.dropped_depth <- 0;
+      Atomic.set r.drop_count 0;
+      r.last_ts <- 0.0;
+      r.flow <- 0)
+    (snapshot_rings ())
+
+let dropped () =
+  List.fold_left
+    (fun acc r -> acc + Atomic.get r.drop_count)
+    0 (snapshot_rings ())

@@ -1,0 +1,120 @@
+(** Low-overhead structured tracing for the PLR stack.
+
+    Every layer of the stack (factor compilation, the modeled GPU engine,
+    the domain pool, the multicore backend, the guard, the serving layer)
+    records begin/end spans, instant events, and flow events through this
+    module.  The recorder is designed around two constraints:
+
+    - {b Disabled is free.}  When the sink is off (the default), every
+      recording function is a single atomic load and an immediate return —
+      no allocation, no domain-local lookup.  Call sites pass static
+      strings and immediate integers, so a disabled trace point costs a
+      couple of nanoseconds and allocates nothing (pinned by
+      [test_trace.ml]).
+    - {b Recording is lock-free.}  Each domain owns a private ring of
+      parallel arrays (one writer, no locks, no allocation per event);
+      a process-wide registry remembers every ring so {!collect} can merge
+      them after the run.  Timestamps are forced strictly increasing per
+      domain, so every track of the exported trace is strictly ordered.
+
+    When a ring fills, new spans are dropped in matched begin/end pairs
+    (a begin only records if its end is guaranteed a slot), so the
+    recorded stream always nests properly; {!dropped} reports the loss.
+
+    Exporters live in {!Chrome} (trace-event JSON for Perfetto /
+    [chrome://tracing]) and {!Report} (self-profile text).  See
+    [docs/observability.md] for the span taxonomy. *)
+
+type cat =
+  | Factors  (** [Plr_factors.Factor_plan] compilation + specialization *)
+  | Engine  (** the modeled-GPU engine ([Plr_core.Engine]) *)
+  | Pool  (** the persistent domain pool ([Plr_exec.Pool]) *)
+  | Multicore  (** the CPU look-back backend ([Plr_multicore]) *)
+  | Guard  (** degradation ladder ([Plr_robust.Guard]) *)
+  | Serve  (** request lifecycle ([Plr_serve.Serve]) *)
+  | App  (** CLI / bench drivers and anything above the libraries *)
+
+val cat_name : cat -> string
+(** Lower-case category label used by the exporters ("factors", …). *)
+
+type kind = Begin | End | Instant | Flow_start | Flow_finish
+
+type event = {
+  domain : int;  (** the recording domain's id — one trace track each *)
+  ts : float;  (** seconds; strictly increasing within a domain *)
+  kind : kind;
+  cat : cat;
+  name : string;
+  a0 : int;  (** first integer argument (span-specific; flow id for flows) *)
+  a1 : int;  (** second integer argument *)
+}
+
+(** {1 Sink control} *)
+
+val set_enabled : bool -> unit
+(** Turn the process-wide sink on or off.  Trace points check this flag
+    first; flipping it mid-run is safe (spans whose begin was skipped
+    drop their end silently). *)
+
+val enabled : unit -> bool
+
+val configure : ?capacity:int -> unit -> unit
+(** Set the per-domain ring capacity (events) used by rings created
+    {e after} this call.  Default 32768.  Existing rings keep their size. *)
+
+(** {1 Recording}
+
+    All functions are no-ops (one atomic load) while the sink is
+    disabled.  [name] should be a static string — it is stored by
+    pointer, never copied. *)
+
+val begin_span : cat -> string -> unit
+val begin_span2 : cat -> string -> int -> int -> unit
+(** Open a span on the calling domain, with two integer arguments. *)
+
+val end_span : unit -> unit
+(** Close the most recent open span on the calling domain.  Unmatched
+    calls (no open span, or the begin was dropped/disabled) are ignored. *)
+
+val instant : cat -> string -> int -> int -> unit
+(** A zero-duration event with two integer arguments. *)
+
+val with_span : cat -> string -> (unit -> 'a) -> 'a
+(** [with_span cat name f] wraps [f] in a span, closing it on exceptions
+    too.  Allocates a closure — use on cold paths only. *)
+
+(** {1 Flows}
+
+    Flow events link spans across domains (e.g. a serve request to the
+    pool tasks that executed it).  The producer draws an id with
+    {!next_flow_id}, emits {!flow_start} inside its span, and publishes
+    the id as ambient state; the consumer (on any domain) emits
+    {!flow_finish} with the same id inside its own span. *)
+
+val next_flow_id : unit -> int
+(** Draw a fresh process-wide flow id (always > 0; 0 means "no flow"). *)
+
+val set_ambient_flow : int -> unit
+(** Set the calling domain's ambient flow id (0 clears it). *)
+
+val ambient_flow : unit -> int
+(** The calling domain's ambient flow id; 0 when unset or disabled. *)
+
+val flow_start : cat -> string -> int -> unit
+val flow_finish : cat -> string -> int -> unit
+(** Flow endpoints; [cat]/[name]/id must match between the two sides
+    (the Chrome flow-binding rule). *)
+
+(** {1 Harvest} *)
+
+val collect : unit -> event list
+(** Merge every domain's ring into one list (grouped by domain, in
+    recording order within a domain).  Safe to call while recording;
+    events published after the snapshot are simply not included. *)
+
+val reset : unit -> unit
+(** Clear every ring and drop counter.  Only call while no domain is
+    recording (between runs). *)
+
+val dropped : unit -> int
+(** Events dropped because a ring was full, across all domains. *)

@@ -1,0 +1,15 @@
+let atomic_write ~path writer =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out tmp in
+  match writer oc with
+  | () ->
+      close_out oc;
+      Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let atomic_write_string ~path s =
+  atomic_write ~path (fun oc -> output_string oc s)

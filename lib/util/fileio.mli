@@ -1,0 +1,18 @@
+(** Atomic file writes.
+
+    A crashed or failed export must never leave a half-written file where
+    a consumer (CI baseline comparison, a trace viewer) expects a complete
+    one.  [atomic_write] stages the content in a unique temporary file in
+    the destination directory and commits it with [Sys.rename] — on POSIX
+    a same-directory rename is atomic, so readers observe either the old
+    file or the complete new one, never a truncated intermediate. *)
+
+val atomic_write : path:string -> (out_channel -> unit) -> unit
+(** [atomic_write ~path writer] calls [writer] on a channel to a fresh
+    temporary file next to [path], then renames it over [path].  If
+    [writer] raises, the temporary file is removed, [path] is left
+    untouched (whatever it contained before, if anything), and the
+    exception is re-raised. *)
+
+val atomic_write_string : path:string -> string -> unit
+(** [atomic_write ~path (fun oc -> output_string oc s)]. *)

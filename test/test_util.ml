@@ -178,6 +178,40 @@ let prop_poly_eval_hom =
       let lhs = Poly.eval (Poly.mul p q) x and rhs = Poly.eval p x *. Poly.eval q x in
       Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1.0 (Float.abs rhs))
 
+(* --------------------------------------------------------------- fileio *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_fileio_atomic () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "plr_fileio_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir "out.json" in
+  Plr_util.Fileio.atomic_write_string ~path "first";
+  check "write lands" true (read_file path = "first");
+  (* A raising writer must leave the previous content untouched and no
+     temporary file behind — that is the whole point of the temp+rename
+     protocol used by the bench/serve/trace exporters. *)
+  (try
+     Plr_util.Fileio.atomic_write ~path (fun oc ->
+         output_string oc "partial";
+         failwith "boom");
+     check "writer exception propagates" true false
+   with Failure _ -> ());
+  check "old content survives a failed write" true (read_file path = "first");
+  check_int "no temp leftovers" 1 (Array.length (Sys.readdir dir));
+  Plr_util.Fileio.atomic_write_string ~path "second";
+  check "overwrite commits" true (read_file path = "second");
+  Sys.remove path;
+  Unix.rmdir dir
+
 let () =
   Alcotest.run "plr_util"
     [
@@ -217,4 +251,6 @@ let () =
           Alcotest.test_case "seeds differ" `Quick test_splitmix_seeds_differ;
           Alcotest.test_case "ranges" `Quick test_splitmix_ranges;
         ] );
+      ( "fileio",
+        [ Alcotest.test_case "atomic write" `Quick test_fileio_atomic ] );
     ]

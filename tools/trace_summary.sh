@@ -1,0 +1,70 @@
+#!/bin/sh
+# Summarize a Chrome trace_event JSON file (as written by `plr trace` or
+# any `--trace FILE` flag): top-N span names by total wall-clock time,
+# with call counts, plus the instant/flow event tallies.  Pure jq — no
+# OCaml build needed, so CI can run it against an artifact directly.
+#
+# Usage: tools/trace_summary.sh TRACE.json [TOP_N]
+#   TOP_N defaults to 12.
+#
+# Durations are recovered by pairing B/E events per track (pid,tid) with
+# a stack, exactly as a viewer would; still-open spans at end-of-trace
+# are ignored.  Exits 0 even when the file has no spans (a disabled-sink
+# run writes a valid but empty trace).
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: tools/trace_summary.sh TRACE.json [TOP_N]" >&2
+  exit 2
+fi
+
+trace="$1"
+top_n="${2:-12}"
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "trace_summary: jq not found; skipping summary" >&2
+  exit 0
+fi
+
+if [ ! -r "$trace" ]; then
+  echo "trace_summary: cannot read $trace" >&2
+  exit 2
+fi
+
+echo "== trace summary: $trace (top $top_n spans by total time) =="
+
+jq -r --argjson top "$top_n" '
+  # Pair B/E per (pid,tid) with a stack; accumulate total us per name.
+  [ .traceEvents[] | select(.ph == "B" or .ph == "E") ]
+  | sort_by(.ts)
+  | reduce .[] as $e (
+      { stacks: {}, tot: {} };
+      (($e.pid | tostring) + "/" + ($e.tid | tostring)) as $k
+      | if $e.ph == "B" then
+          .stacks[$k] = ((.stacks[$k] // []) + [$e])
+        else
+          (.stacks[$k] // []) as $s
+          | if ($s | length) == 0 then .
+            else
+              ($s[-1]) as $b
+              | .stacks[$k] = $s[:-1]
+              | ($b.cat + " " + $b.name) as $nm
+              | .tot[$nm] = {
+                  us: ((.tot[$nm].us // 0) + ($e.ts - $b.ts)),
+                  n: ((.tot[$nm].n // 0) + 1)
+                }
+            end
+        end)
+  | .tot
+  | to_entries
+  | sort_by(-.value.us)
+  | .[:$top]
+  | (["span", "calls", "total_ms"] | @tsv),
+    (.[] | [.key, (.value.n | tostring),
+            ((.value.us / 1000 * 1000 | round) / 1000 | tostring)] | @tsv)
+' "$trace" | awk -F '\t' '{ printf "%-28s %8s %12s\n", $1, $2, $3 }'
+
+instants=$(jq '[.traceEvents[] | select(.ph == "i")] | length' "$trace")
+flows=$(jq '[.traceEvents[] | select(.ph == "s" or .ph == "f")] | length' "$trace")
+total=$(jq '.traceEvents | length' "$trace")
+echo "events: $total total, $instants instants, $flows flow endpoints"
