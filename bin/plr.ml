@@ -429,9 +429,67 @@ let cmd_check text n domain =
   in
   if not ok then exit 1
 
+(* ------------------------------------------------------------------ at *)
+
+module Comp_int = Plr_robust.Companion.Make (Scalar.Int)
+module Comp_f32 = Plr_robust.Companion.Make (Scalar.F32)
+
+(* Single-point query: y(N) by companion-matrix skip-ahead, O(k³ log N)
+   instead of O(N) serial replay.  N arrives as a raw string so that a
+   malformed index is a one-line exit-2 diagnostic, not a cmdliner
+   usage dump or a backtrace. *)
+let cmd_at text nstr input domain =
+  let n =
+    match int_of_string_opt (String.trim nstr) with
+    | Some n when n >= 0 -> n
+    | Some n -> failwith (Printf.sprintf "N must be non-negative (got %d)" n)
+    | None ->
+        failwith
+          (Printf.sprintf "malformed index %S (expected a non-negative integer)"
+             nstr)
+  in
+  let s = parse_signature text in
+  let input_label = match input with `Impulse -> "impulse" | `Step -> "step" in
+  match resolve_domain domain s with
+  | `Int is ->
+      let c = Comp_int.compile is in
+      Printf.printf "y(%d) = %s  (%s input, int, order %d)\n" n
+        (Scalar.Int.to_string (Comp_int.at ~input c n))
+        input_label (Comp_int.order c)
+  | `Float ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let c = Comp_f32.compile fs in
+      Printf.printf "y(%d) = %s  (%s input, float32, order %d)\n" n
+        (Scalar.F32.to_string (Comp_f32.at ~input c n))
+        input_label (Comp_f32.order c)
+
 (* --------------------------------------------------------------- chaos *)
 
 type chaos_target = Both | Only of Chaos.target
+
+module Resilience = Plr_serve.Resilience
+
+(* Chaos through the front door: seeded fault campaigns driven through
+   the full session / retry / circuit-breaker stack rather than the bare
+   engines.  Exits 1 unless every trial was bitwise identical to the
+   serial pass and recovery was actually exercised. *)
+let cmd_chaos_serve ?domains ~trials ~seed () =
+  let session = Resilience.session_campaign ?domains ~trials ~seed () in
+  Format.printf "%-10s @[<v>%a@]@." "session" Resilience.pp_summary session;
+  let serve_trials = max 1 (trials / 10) in
+  let serve = Resilience.serve_campaign ?domains ~trials:serve_trials ~seed () in
+  Format.printf "%-10s @[<v>%a@]@." "serve" Resilience.pp_summary serve;
+  let merged = Resilience.merge session serve in
+  if not (Resilience.ok merged) then begin
+    Printf.eprintf "plr: %d chaos trial(s) failed\n"
+      (List.length merged.Resilience.failures);
+    exit 1
+  end;
+  if merged.Resilience.recoveries = 0 then begin
+    Printf.eprintf
+      "plr: no session recovery was exercised — the campaign proved nothing\n";
+    exit 1
+  end
 
 let cmd_chaos text n domain domains target trials seed =
   require_positive "-n" n;
@@ -756,8 +814,35 @@ let chaos_cmd =
     Arg.(value & opt int 384 & info [ "n" ] ~docv:"N"
            ~doc:"Input length per trial.")
   in
-  let run text n domain domains target trials seed =
-    wrap (fun () -> cmd_chaos text n domain domains target trials seed)
+  let signature_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SIGNATURE"
+           ~doc:"Recurrence signature, e.g. '(1: 2, -1)'.  Required unless \
+                 $(b,--serve) is given (the serve campaign draws its own \
+                 random signatures from the seed).")
+  in
+  let serve =
+    Arg.(value & flag & info [ "serve" ]
+           ~doc:"Drive the campaign through the front door instead of the \
+                 bare engines: streaming sessions with mid-stream crashes, \
+                 state corruption, and injected engine faults (recovered \
+                 from the last checkpoint plus companion fast-forward), and \
+                 retry/circuit-breaker exercises through $(b,submit).  \
+                 Every output must be bitwise identical to the serial pass.")
+  in
+  let run text n domain domains target trials seed serve trace_path =
+    wrap (fun () ->
+        with_trace trace_path (fun () ->
+            if serve then begin
+              require_positive "--trials" trials;
+              require_positive_opt "--domains" domains;
+              cmd_chaos_serve ?domains ~trials ~seed ()
+            end
+            else
+              match text with
+              | None ->
+                  failwith "a SIGNATURE is required unless --serve is given"
+              | Some text ->
+                  cmd_chaos text n domain domains target trials seed))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -765,11 +850,35 @@ let chaos_cmd =
          "Deterministic fault-injection campaign: perturb the look-back \
           pipelines (reordering, delayed flags, dropped or corrupted \
           carries, poisoned chunks) under the guard and report how every \
-          trial was classified.  Exits 1 on any silent divergence.")
+          trial was classified.  With $(b,--serve), drive seeded faults \
+          through the full session/retry/breaker stack instead.  Exits 1 \
+          on any silent divergence.")
     Term.(
       ret
-        (const run $ signature_arg $ n_arg $ domain_arg $ domains_arg $ target
-        $ trials $ seed))
+        (const run $ signature_opt $ n_arg $ domain_arg $ domains_arg $ target
+        $ trials $ seed $ serve $ trace_arg))
+
+let at_cmd =
+  let n_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"N"
+           ~doc:"Index to query (a non-negative integer; parsed by plr so a \
+                 malformed value is a clean diagnostic).")
+  in
+  let input =
+    Arg.(value
+         & opt (enum [ ("impulse", `Impulse); ("step", `Step) ]) `Impulse
+         & info [ "input" ] ~docv:"KIND"
+             ~doc:"Driving input: a unit impulse at index 0 (default) or a \
+                   unit step.")
+  in
+  let run text nstr input domain = wrap (fun () -> cmd_at text nstr input domain) in
+  Cmd.v
+    (Cmd.info "at"
+       ~doc:
+         "Single-point query: compute y(N) of the signature driven by a unit \
+          impulse or step in O(k³ log N) via companion-matrix skip-ahead, \
+          without materializing the first N elements.")
+    Term.(ret (const run $ signature_arg $ n_arg $ input $ domain_arg))
 
 let serve_bench_cmd =
   let clients =
@@ -857,4 +966,4 @@ let () =
     (Cmd.eval ~term_err:2
        (Cmd.group (Cmd.info "plr" ~doc)
           [ compile_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd; execute_cmd;
-            check_cmd; chaos_cmd; serve_bench_cmd; trace_cmd ]))
+            check_cmd; chaos_cmd; at_cmd; serve_bench_cmd; trace_cmd ]))

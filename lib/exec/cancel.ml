@@ -1,0 +1,28 @@
+exception Cancelled
+
+type t = {
+  flag : bool Atomic.t;
+  deadline : float; (* nan = none *)
+  immune : bool; (* the shared [none] token ignores [cancel] *)
+}
+
+let create ?deadline () =
+  let deadline = match deadline with Some d -> d | None -> Float.nan in
+  { flag = Atomic.make false; deadline; immune = false }
+
+let none = { flag = Atomic.make false; deadline = Float.nan; immune = true }
+
+let cancel t = if not t.immune then Atomic.set t.flag true
+
+let fired t =
+  Atomic.get t.flag
+  || ((not (Float.is_nan t.deadline))
+     && Unix.gettimeofday () > t.deadline
+     &&
+     (* latch: later polls skip the clock read *)
+     (Atomic.set t.flag true;
+      true))
+
+let check t = if fired t then raise Cancelled
+
+let deadline t = if Float.is_nan t.deadline then None else Some t.deadline

@@ -1,0 +1,39 @@
+(** Cooperative cancellation tokens for pool jobs and chunked engines.
+
+    A token carries an explicit cancel flag plus an optional absolute
+    deadline ([Unix.gettimeofday] instant).  Engines poll {!fired} (or
+    call {!check}) at chunk boundaries — the natural preemption points of
+    the chunked algorithms — so a request whose deadline passes {e during}
+    execution stops burning domains instead of running to completion.
+
+    Deadline observation latches: once a token has been seen past its
+    deadline it stays fired, and subsequent {!fired} calls are a single
+    atomic load with no clock read. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check} (and out of {!Pool.run} / the multicore engine)
+    when the token has fired.  Distinct from {!Pool.Stopped}: [Stopped]
+    marks a task torn down because {e some other} task failed, [Cancelled]
+    marks the job's own cooperative abort. *)
+
+val create : ?deadline:float -> unit -> t
+(** A fresh token.  [deadline] is an absolute [Unix.gettimeofday] instant
+    after which the token counts as fired. *)
+
+val none : t
+(** A shared token that never fires (no deadline, never cancelled).
+    Engines use it as the default so the hot path is one atomic load. *)
+
+val cancel : t -> unit
+(** Fire the token explicitly.  Idempotent; {!none} is immune. *)
+
+val fired : t -> bool
+(** True once the token was cancelled or its deadline has passed.  The
+    deadline comparison reads the clock only until it first fires. *)
+
+val check : t -> unit
+(** @raise Cancelled when {!fired}. *)
+
+val deadline : t -> float option

@@ -12,6 +12,7 @@ type t = {
   mutable generation : int;
   mutable tasks : int;
   mutable body : int -> unit;
+  mutable cancel : Cancel.t; (* the posted job's cancellation token *)
   mutable running : int;
   mutable failures : (int * exn) list;
   next : int Atomic.t;
@@ -36,11 +37,20 @@ let stats t =
    or cancelled.  [Atomic.fetch_and_add] hands out indices in strictly
    increasing order, which is the ordering guarantee documented in the
    interface. *)
-let claim ?(flow = 0) t ~tasks ~body =
+let claim ?(flow = 0) ?(cancel = Cancel.none) t ~tasks ~body =
   let continue_ = ref true in
   let first = ref true in
   while !continue_ do
     if Atomic.get t.stop then continue_ := false
+    else if Cancel.fired cancel then begin
+      (* Cooperative abort: tear the job down exactly like a task failure,
+         but record it at [max_int] so any real failure sorts first. *)
+      Atomic.set t.stop true;
+      Mutex.lock t.lock;
+      t.failures <- (max_int, Cancel.Cancelled) :: t.failures;
+      Mutex.unlock t.lock;
+      continue_ := false
+    end
     else
       let i = Atomic.fetch_and_add t.next 1 in
       if i >= tasks then continue_ := false
@@ -71,8 +81,9 @@ let rec worker t seen =
   else begin
     let gen = t.generation in
     let tasks = t.tasks and body = t.body and flow = t.job_flow in
+    let cancel = t.cancel in
     Mutex.unlock t.lock;
-    claim ~flow t ~tasks ~body;
+    claim ~flow ~cancel t ~tasks ~body;
     Mutex.lock t.lock;
     t.running <- t.running - 1;
     if t.running = 0 then Condition.broadcast t.idle;
@@ -98,6 +109,7 @@ let create ?domains () =
       generation = 0;
       tasks = 0;
       body = ignore;
+      cancel = Cancel.none;
       running = 0;
       failures = [];
       next = Atomic.make 0;
@@ -117,12 +129,13 @@ let create ?domains () =
   t.workers <- !spawned;
   t
 
-let run_inline ?(flow = 0) ~tasks body =
+let run_inline ?(flow = 0) ?(cancel = Cancel.none) ~tasks body =
   Trace.begin_span2 Trace.Pool "pool.job" tasks flow;
   if flow <> 0 then Trace.flow_finish Trace.Serve "serve.flow" flow;
   let finish () = Trace.end_span () in
   (try
      for i = 0 to tasks - 1 do
+       Cancel.check cancel;
        body i
      done
    with e ->
@@ -130,17 +143,17 @@ let run_inline ?(flow = 0) ~tasks body =
      raise e);
   finish ()
 
-let run t ~tasks body =
+let run ?(cancel = Cancel.none) t ~tasks body =
   let flow = Trace.ambient_flow () in
   if tasks <= 0 then ()
   else if t.workers = [] || tasks = 1 then begin
-    run_inline ~flow ~tasks body;
+    run_inline ~flow ~cancel ~tasks body;
     Atomic.incr t.completed
   end
   else if not (Atomic.compare_and_set t.busy false true) then begin
     (* Re-entrant or concurrent run: executing inline in index order
        satisfies every dependency a look-back body can have. *)
-    run_inline ~flow ~tasks body;
+    run_inline ~flow ~cancel ~tasks body;
     Atomic.incr t.completed
   end
   else begin
@@ -148,6 +161,7 @@ let run t ~tasks body =
     Mutex.lock t.lock;
     t.tasks <- tasks;
     t.body <- body;
+    t.cancel <- cancel;
     t.failures <- [];
     t.job_flow <- flow;
     Atomic.set t.next 0;
@@ -156,7 +170,7 @@ let run t ~tasks body =
     t.generation <- t.generation + 1;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
-    claim ~flow t ~tasks ~body;
+    claim ~flow ~cancel t ~tasks ~body;
     Mutex.lock t.lock;
     t.running <- t.running - 1;
     if t.running = 0 then Condition.broadcast t.idle;
@@ -166,18 +180,30 @@ let run t ~tasks body =
     let failures = t.failures in
     t.failures <- [];
     t.body <- ignore;
+    t.cancel <- Cancel.none;
     Mutex.unlock t.lock;
     Atomic.incr t.completed;
     Atomic.set t.busy false;
     Trace.end_span ();
     if failures <> [] then begin
+      (* Priority: a real task failure (lowest index) is the primary error;
+         cooperative cancellation is secondary; [Stopped] — tasks torn down
+         because of one of the former — is tertiary. *)
       let ordered = List.sort (fun (a, _) (b, _) -> compare a b) failures in
       let primary =
-        List.find_opt (function _, Stopped -> false | _ -> true) ordered
+        List.find_opt
+          (function _, (Stopped | Cancel.Cancelled) -> false | _ -> true)
+          ordered
       in
       match primary with
       | Some (_, e) -> raise e
-      | None -> raise Stopped
+      | None ->
+          if
+            List.exists
+              (function _, Cancel.Cancelled -> true | _ -> false)
+              ordered
+          then raise Cancel.Cancelled
+          else raise Stopped
     end
   end
 

@@ -58,14 +58,20 @@ val get : ?domains:int -> unit -> t
     subsystems share workers instead of over-subscribing the machine.
     Registered pools are shut down by an [at_exit] hook. *)
 
-val run : t -> tasks:int -> (int -> unit) -> unit
+val run : ?cancel:Cancel.t -> t -> tasks:int -> (int -> unit) -> unit
 (** [run pool ~tasks body] executes [body 0 .. body (tasks - 1)],
     distributing indices over the pool, and returns when all claimed
     tasks have finished.  If any body raises, the job is cancelled
     (remaining unclaimed indices are abandoned), every participant is
     joined, and the recorded exception with the lowest task index that
-    is not {!Stopped} is re-raised ({!Stopped} itself if cancellation is
-    all that was recorded). *)
+    is not {!Stopped} and not {!Cancel.Cancelled} is re-raised; with no
+    such real failure, {!Cancel.Cancelled} is re-raised if the job was
+    cooperatively cancelled, else {!Stopped}.
+
+    [cancel] (default {!Cancel.none}) is polled by every participant
+    before each claim, so a token that fires mid-job — explicitly or by
+    deadline — abandons the remaining indices and raises
+    {!Cancel.Cancelled} out of [run]. *)
 
 val cancelled : t -> bool
 (** True while the current job is being torn down after a failure.  Task

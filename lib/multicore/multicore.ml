@@ -1,5 +1,6 @@
 module Faults = Plr_gpusim.Faults
 module Pool = Plr_exec.Pool
+module Cancel = Plr_exec.Cancel
 module Trace = Plr_trace.Trace
 
 exception Fault_detected of string
@@ -110,11 +111,13 @@ module Make (S : Plr_util.Scalar.S) = struct
      order, so each chunk is corrected immediately and its global carries
      are simply its last k corrected elements — no combine chain at all.
      Used for one-domain pools and as the guard's fallback stage. *)
-  let run_sequential ?plan ~opts ~forward ~feedback x y ~n ~m ~k () =
+  let run_sequential ?plan ?(cancel = Cancel.none) ~opts ~forward ~feedback x
+      y ~n ~m ~k () =
     let chunks = (n + m - 1) / m in
     let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
     let g_prev = ref [||] in
     for c = 0 to chunks - 1 do
+      Cancel.check cancel;
       let base = c * m in
       let len = min m (n - base) in
       Trace.begin_span2 Trace.Multicore "mc.chunk" c len;
@@ -149,7 +152,8 @@ module Make (S : Plr_util.Scalar.S) = struct
   let status_aggregate = 1
   let status_inclusive = 2
 
-  let run_pooled ?plan ~opts ~pool ~forward ~feedback x y ~n ~m ~k () =
+  let run_pooled ?plan ?(cancel = Cancel.none) ~opts ~pool ~forward ~feedback
+      x y ~n ~m ~k () =
     let chunks = (n + m - 1) / m in
     let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
     let locals = Array.make (chunks * k) S.zero in
@@ -165,6 +169,9 @@ module Make (S : Plr_util.Scalar.S) = struct
     let read a c = Array.init k (fun j -> a.((c * k) + j)) in
     let write a c v = Array.blit v 0 a (c * k) k in
     let task c =
+      (* Chunk boundary is the cooperative preemption point: a fired
+         deadline aborts here instead of solving another whole chunk. *)
+      Cancel.check cancel;
       let base = c * m in
       let len = min m (n - base) in
       Trace.begin_span2 Trace.Multicore "mc.chunk" c len;
@@ -212,7 +219,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       end;
       Trace.end_span ()
     in
-    Pool.run pool ~tasks:chunks task
+    Pool.run ~cancel pool ~tasks:chunks task
 
   (* Deterministic faulted pipeline for the chaos harness: the same
      windowed look-back protocol executed sequentially under the fault
@@ -313,8 +320,8 @@ module Make (S : Plr_util.Scalar.S) = struct
       end
     done
 
-  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ?plan ~pool
-      ~chunk_size (s : S.t Signature.t) input =
+  let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ?plan
+      ?(cancel = Cancel.none) ~pool ~chunk_size (s : S.t Signature.t) input =
     let n = Array.length input in
     if n = 0 then [||]
     else begin
@@ -325,23 +332,33 @@ module Make (S : Plr_util.Scalar.S) = struct
       let forward = s.Signature.forward and feedback = s.Signature.feedback in
       let y = Array.make n S.zero in
       Trace.begin_span2 Trace.Multicore "mc.run" n chunks;
-      if not (Faults.is_none faults) then
-        run_faulted ~opts ~faults ~forward ~feedback input y ~n ~m ~k
-      else if chunks = 1 then
-        (* Degenerate single chunk: the fused solve is already the whole
-           answer — no factor plan, no protocol. *)
-        solve_chunk_fused ~forward ~feedback input y ~base:0 ~len:n
-      else if Pool.size pool = 1 then
-        run_sequential ?plan ~opts ~forward ~feedback input y ~n ~m ~k ()
-      else run_pooled ?plan ~opts ~pool ~forward ~feedback input y ~n ~m ~k ();
-      Trace.end_span ();
+      let finish () = Trace.end_span () in
+      (try
+         if not (Faults.is_none faults) then
+           run_faulted ~opts ~faults ~forward ~feedback input y ~n ~m ~k
+         else if chunks = 1 then begin
+           (* Degenerate single chunk: the fused solve is already the whole
+              answer — no factor plan, no protocol. *)
+           Cancel.check cancel;
+           solve_chunk_fused ~forward ~feedback input y ~base:0 ~len:n
+         end
+         else if Pool.size pool = 1 then
+           run_sequential ?plan ~cancel ~opts ~forward ~feedback input y ~n
+             ~m ~k ()
+         else
+           run_pooled ?plan ~cancel ~opts ~pool ~forward ~feedback input y ~n
+             ~m ~k ()
+       with e ->
+         finish ();
+         raise e);
+      finish ();
       y
     end
 
   let resolve_pool ?pool ?domains () =
     match pool with Some p -> p | None -> Pool.get ?domains ()
 
-  let run ?opts ?faults ?plan ?pool ?domains ?chunk_size s input =
+  let run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size s input =
     let pool = resolve_pool ?pool ?domains () in
     let chunk_size =
       match (chunk_size, plan) with
@@ -353,7 +370,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       | None, None ->
           default_chunk_size ~domains:(Pool.size pool) (Array.length input)
     in
-    run_with ?opts ?faults ?plan ~pool ~chunk_size s input
+    run_with ?opts ?faults ?plan ?cancel ~pool ~chunk_size s input
 
   let sequential_pool = lazy (Pool.get ~domains:1 ())
 

@@ -31,6 +31,7 @@
 
 module Faults = Plr_gpusim.Faults
 module Pool = Plr_exec.Pool
+module Cancel = Plr_exec.Cancel
 
 exception Fault_detected of string
 (** Raised when an injected fault leaves the pipeline unable to make
@@ -55,6 +56,7 @@ module Make (S : Plr_util.Scalar.S) : sig
     ?opts:Plr_factors.Opts.t ->
     ?faults:Faults.plan ->
     ?plan:Plr_factors.Factor_plan.Make(S).t ->
+    ?cancel:Cancel.t ->
     ?pool:Pool.t ->
     ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
   (** [run s x] computes the recurrence in parallel on a persistent
@@ -80,7 +82,13 @@ module Make (S : Plr_util.Scalar.S) : sig
       publications make their flags invisible — benign when the window
       never reads them, {!Fault_detected} when the protocol would stall.
       With the default plan the code path — and therefore the parallel
-      execution — is exactly the unfaulted algorithm. *)
+      execution — is exactly the unfaulted algorithm.
+
+      [cancel] (default {!Plr_exec.Cancel.none}) is a cooperative
+      cancellation token polled at every chunk boundary (and by the pool
+      before every task claim): when it fires mid-run — explicitly or
+      because its deadline passed — the run abandons its remaining chunks
+      and raises {!Plr_exec.Cancel.Cancelled}. *)
 
   val run_sequential_fallback :
     ?opts:Plr_factors.Opts.t ->

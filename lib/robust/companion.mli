@@ -1,0 +1,87 @@
+(** Companion-matrix skip-ahead for classified signatures.
+
+    An order-k linear recurrence's state — the window
+    [(y(i-1), …, y(i-k))] — advances by one zero-input step when
+    multiplied by the companion matrix [C] of the feedback coefficients
+    ({!Plr_util.Smat.companion}).  Binary exponentiation of [C] therefore
+    fast-forwards the state across [s] input-free steps in
+    O(k³ log s) scalar operations instead of O(k·s) — the Khomovsky
+    matrix-power trick (PAPERS.md), and the recovery primitive behind
+    {!Plr_serve.Session}: a crashed stream restores its last checkpoint
+    and skips ahead instead of replaying from zero.
+
+    A constant input [d] per step (the steady state of a step input once
+    the FIR taps are saturated) is handled by the augmented
+    [(k+1)×(k+1)] matrix [[C d·e₀; 0 1]] acting on [(state, 1)].
+
+    Exactness: over the integer scalars, native wrap-around makes [( + ),
+    ( * )] a commutative ring, so the reassociated products of the matrix
+    power are {e bitwise} equal to serial replay.  Over floats the
+    reassociation changes rounding; agreement is within tolerance only
+    (validated against {!replay} in the tests). *)
+
+module Make (S : Plr_util.Scalar.S) : sig
+  module M : module type of Plr_util.Smat.Make (S)
+
+  type t
+  (** A signature compiled for skip-ahead: feedback order [k], FIR tap
+      count, and the (lazily built) companion matrix. *)
+
+  val compile : S.t Signature.t -> t
+  val order : t -> int
+  (** Feedback order [k] — the state dimension. *)
+
+  val taps : t -> int
+  (** FIR tap count of the forward stage. *)
+
+  val matrix : t -> M.mat
+  (** The k×k companion matrix of the feedback coefficients. *)
+
+  val power : t -> int -> M.mat
+  (** [power t e] is [C^e] by binary exponentiation, O(k³ log e).
+      [power t 0] is the identity.  @raise Invalid_argument on [e < 0]. *)
+
+  val advance : t -> state:S.t array -> steps:int -> S.t array
+  (** [advance t ~state ~steps] fast-forwards the state window
+      [(y(i-1), …, y(i-k))] across [steps] zero-input steps — valid
+      whenever every skipped index [i'] satisfies [x(i'-t) = 0] for all
+      taps [t], e.g. a gap in a stream once [taps - 1] zero inputs have
+      already been consumed serially.  O(k³ log steps).
+      @raise Invalid_argument if [state] is not [k] long or [steps < 0]. *)
+
+  val advance_const : t -> state:S.t array -> input:S.t -> steps:int -> S.t array
+  (** Like {!advance} but every skipped step receives the same total
+      forward contribution [input] (for a step input past the FIR warm-up,
+      [input = Σ forward]).  Uses the augmented matrix; O(k³ log steps). *)
+
+  val replay : ?input:S.t -> t -> state:S.t array -> steps:int -> S.t array
+  (** Serial reference for the two functions above: [steps] explicit
+      recurrence steps with constant forward contribution [input]
+      (default zero).  O(k·steps); the validation baseline. *)
+
+  val at : ?input:[ `Impulse | `Step ] -> t -> int -> S.t
+  (** [at t n] is [y(n)] of the signature driven by a unit impulse
+      (default) or unit step — the O(k³ log n) single-point query: a
+      serial warm-up of [max k taps] elements, then one skip-ahead.
+      @raise Invalid_argument on [n < 0]. *)
+
+  module Checkpoint : sig
+    type state = t
+
+    type t = {
+      pos : int;  (** elements consumed when the snapshot was taken *)
+      carries : S.t array;  (** [carries.(j) = y(pos-1-j)], length [k] *)
+      input_tail : S.t array;
+          (** most-recent-last tail of raw inputs feeding the FIR stage,
+              length [min pos (taps - 1)] *)
+      digest : int;  (** integrity hash of the three fields above *)
+    }
+
+    val make : state -> pos:int -> carries:S.t array -> input_tail:S.t array -> t
+    (** Snapshot (arrays are copied) with the digest filled in. *)
+
+    val valid : t -> bool
+    (** Recomputes the digest; [false] means the snapshot was corrupted
+        in place and must not be restored. *)
+  end
+end

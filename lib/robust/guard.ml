@@ -135,6 +135,12 @@ module Make (S : Plr_util.Scalar.S) = struct
     in
     let try_stage stage f =
       match f () with
+      | exception Plr_exec.Cancel.Cancelled ->
+          (* Cooperative cancellation is the caller's abort, not an engine
+             fault: close the guard span and let it propagate instead of
+             burning the fallback stages on a request nobody wants. *)
+          Trace.end_span ();
+          raise Plr_exec.Cancel.Cancelled
       | exception e ->
           record stage (Some (Engine_error (Printexc.to_string e)));
           None
@@ -229,10 +235,11 @@ module Make (S : Plr_util.Scalar.S) = struct
       (Engine.run_plan ?faults ~spec plan input).Engine.output
     end
 
-  let multicore_runner ?opts ?faults ?plan ?pool ?domains ?chunk_size () :
-      runner =
+  let multicore_runner ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size
+      () : runner =
    fun s input ->
-    Multicore.run ?opts ?faults ?plan ?pool ?domains ?chunk_size s input
+    Multicore.run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size s
+      input
 
   let stream_runner ?pool ?domains ?opts ~buffer () : runner =
    fun s input ->

@@ -109,10 +109,17 @@ type t = {
   deadline_missed : Counter.t;
   degraded : Counter.t;
   failed : Counter.t;
+  retries : Counter.t;
+  cancelled_midflight : Counter.t;
+  breaker_trips : Counter.t;
+  breaker_shorted : Counter.t;
   plan_hits : Counter.t;
   plan_misses : Counter.t;
   batches : Counter.t;
   batched_requests : Counter.t;
+  session_checkpoints : Counter.t;
+  session_recoveries : Counter.t;
+  session_fastforwards : Counter.t;
   queue_wait : Histogram.t;
   plan_build : Histogram.t;
   exec : Histogram.t;
@@ -127,10 +134,17 @@ let create () =
     deadline_missed = Counter.create ();
     degraded = Counter.create ();
     failed = Counter.create ();
+    retries = Counter.create ();
+    cancelled_midflight = Counter.create ();
+    breaker_trips = Counter.create ();
+    breaker_shorted = Counter.create ();
     plan_hits = Counter.create ();
     plan_misses = Counter.create ();
     batches = Counter.create ();
     batched_requests = Counter.create ();
+    session_checkpoints = Counter.create ();
+    session_recoveries = Counter.create ();
+    session_fastforwards = Counter.create ();
     queue_wait = Histogram.create ();
     plan_build = Histogram.create ();
     exec = Histogram.create ();
@@ -150,10 +164,17 @@ let snapshot_json ?pool t =
       counter "deadline_missed" t.deadline_missed;
       counter "degraded" t.degraded;
       counter "failed" t.failed;
+      counter "retries" t.retries;
+      counter "cancelled_midflight" t.cancelled_midflight;
+      counter "breaker_trips" t.breaker_trips;
+      counter "breaker_shorted" t.breaker_shorted;
       counter "plan_cache_hits" t.plan_hits;
       counter "plan_cache_misses" t.plan_misses;
       counter "batches" t.batches;
       counter "batched_requests" t.batched_requests;
+      counter "session_checkpoints" t.session_checkpoints;
+      counter "session_recoveries" t.session_recoveries;
+      counter "session_fastforwards" t.session_fastforwards;
       histogram "queue_wait" t.queue_wait;
       histogram "plan_build" t.plan_build;
       histogram "exec" t.exec;

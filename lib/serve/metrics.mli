@@ -52,10 +52,22 @@ type t = {
   deadline_missed : Counter.t;(** requests cut by their deadline *)
   degraded : Counter.t;       (** guard accepted a fallback stage's output *)
   failed : Counter.t;         (** engine errors / guard gave up *)
+  retries : Counter.t;        (** retry attempts after a retryable error *)
+  cancelled_midflight : Counter.t;
+      (** pooled executions aborted at a chunk boundary by a deadline that
+          fired after the run started *)
+  breaker_trips : Counter.t;  (** circuit-breaker transitions to open *)
+  breaker_shorted : Counter.t;
+      (** requests short-circuited to the serial backend by an open
+          breaker *)
   plan_hits : Counter.t;      (** plan-cache lookups served from cache *)
   plan_misses : Counter.t;    (** lookups that compiled a fresh plan *)
   batches : Counter.t;        (** fused batch executions *)
   batched_requests : Counter.t; (** requests served through a fused batch *)
+  session_checkpoints : Counter.t; (** session state snapshots taken *)
+  session_recoveries : Counter.t;  (** session checkpoint restorations *)
+  session_fastforwards : Counter.t;
+      (** companion-matrix skip-aheads (gap processing and recovery) *)
   queue_wait : Histogram.t;   (** admission to execution start *)
   plan_build : Histogram.t;   (** plan-cache miss fill time *)
   exec : Histogram.t;         (** backend execution time *)

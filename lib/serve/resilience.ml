@@ -1,0 +1,276 @@
+module Splitmix = Plr_util.Splitmix
+module Faults = Plr_gpusim.Faults
+module S = Plr_util.Scalar.Int
+module Serve_ = Serve.Make (S)
+module Session_ = Session.Make (S)
+module Serial = Plr_serial.Serial.Make (S)
+
+type summary = {
+  trials : int;
+  faults_injected : int;
+  recoveries : int;
+  fastforwards : int;
+  checkpoints : int;
+  retries : int;
+  breaker_trips : int;
+  bitwise_ok : int;
+  failures : (int * string) list;
+}
+
+let ok s = s.failures = []
+
+let empty trials =
+  {
+    trials;
+    faults_injected = 0;
+    recoveries = 0;
+    fastforwards = 0;
+    checkpoints = 0;
+    retries = 0;
+    breaker_trips = 0;
+    bitwise_ok = 0;
+    failures = [];
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d trials (%d with injected faults): %d bitwise-identical, %d \
+     recoveries, %d fast-forwards, %d checkpoints, %d retries, %d breaker \
+     trips, %d failures"
+    s.trials s.faults_injected s.bitwise_ok s.recoveries s.fastforwards
+    s.checkpoints s.retries s.breaker_trips (List.length s.failures);
+  List.iter
+    (fun (seed, msg) -> Format.fprintf ppf "@,  seed %d: %s" seed msg)
+    s.failures
+
+(* Campaigns run over the integer scalar on purpose: native wrap-around
+   makes every engine path — pooled, serial, recovered, fast-forwarded —
+   a computation in the same commutative ring, so "recovered correctly"
+   is checkable as bitwise equality, with no tolerance to hide behind. *)
+
+let random_signature gen =
+  let k = Splitmix.int_in gen ~lo:1 ~hi:3 in
+  let taps = Splitmix.int_in gen ~lo:1 ~hi:3 in
+  (* Signature.create requires the trailing coefficient of each side to
+     be non-zero (otherwise the order/tap count would lie). *)
+  let nonzero_last len lo hi =
+    Array.init len (fun i ->
+        let v = Splitmix.int_in gen ~lo ~hi in
+        S.of_int (if i = len - 1 && v = 0 then 1 else v))
+  in
+  let feedback = nonzero_last k (-2) 2 in
+  let forward = nonzero_last taps (-3) 3 in
+  Signature.create ~is_zero:S.is_zero ~forward ~feedback
+
+type seg = Data of int | Gap of int
+
+let random_segments gen =
+  let n = Splitmix.int_in gen ~lo:3 ~hi:8 in
+  List.init n (fun _ ->
+      if Splitmix.int_in gen ~lo:0 ~hi:3 = 0 then
+        Gap (Splitmix.int_in gen ~lo:5 ~hi:300)
+      else Data (Splitmix.int_in gen ~lo:1 ~hi:80))
+
+let random_fault gen =
+  match Splitmix.int_in gen ~lo:0 ~hi:2 with
+  | 0 -> Session.Crash
+  | 1 -> Session.Corrupt_state
+  | _ -> Session.Engine_fault (Splitmix.int_in gen ~lo:0 ~hi:1_000_000)
+
+(* One session trial: a random signature streamed in random segments
+   (data chunks and zero-input gaps) with one fault injected mid-stream,
+   checked bitwise against one offline serial pass over the whole
+   input. *)
+let session_trial ?pool ?domains ~checkpoint_every seed =
+  let gen = Splitmix.create seed in
+  let s = random_signature gen in
+  let segs = random_segments gen in
+  let nsegs = List.length segs in
+  let fault_at = Splitmix.int_in gen ~lo:1 ~hi:(nsegs - 1) in
+  let fault_kind = random_fault gen in
+  let data =
+    List.map
+      (function
+        | Gap g -> (Array.make g S.zero, true)
+        | Data len ->
+            ( Array.init len (fun _ ->
+                  S.of_int (Splitmix.int_in gen ~lo:(-9) ~hi:9)),
+              false ))
+      segs
+  in
+  let full = Array.concat (List.map fst data) in
+  let expected = Serial.full s full in
+  let session =
+    Session_.create ?pool ?domains ~checkpoint_every s
+  in
+  let pos = ref 0 in
+  let bad = ref None in
+  List.iteri
+    (fun i (x, is_gap) ->
+      let fault = if i = fault_at then Some fault_kind else None in
+      if is_gap then begin
+        Session_.skip ?fault session (Array.length x);
+        pos := !pos + Array.length x
+      end
+      else begin
+        let y = Session_.process ?fault session x in
+        Array.iteri
+          (fun j v ->
+            if !bad = None && not (S.equal v expected.(!pos + j)) then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "segment %d diverged at absolute index %d (fault %s)" i
+                     (!pos + j)
+                     (Session.fault_to_string fault_kind)))
+          y;
+        pos := !pos + Array.length x
+      end)
+    data;
+  let st = Session_.stats session in
+  (st, fault_kind, !bad)
+
+let session_campaign ?pool ?domains ?(trials = 200) ?(checkpoint_every = 64)
+    ~seed () =
+  let acc = ref (empty trials) in
+  for i = 0 to trials - 1 do
+    let trial_seed = seed + i in
+    let a = !acc in
+    match session_trial ?pool ?domains ~checkpoint_every trial_seed with
+    | st, _fault, bad ->
+        acc :=
+          {
+            a with
+            faults_injected = a.faults_injected + 1;
+            recoveries = a.recoveries + st.Session_.recoveries;
+            fastforwards = a.fastforwards + st.Session_.fastforwards;
+            checkpoints = a.checkpoints + st.Session_.checkpoints;
+            bitwise_ok = (a.bitwise_ok + if bad = None then 1 else 0);
+            failures =
+              (match bad with
+              | None -> a.failures
+              | Some msg -> (trial_seed, msg) :: a.failures);
+          }
+    | exception e ->
+        acc :=
+          { a with failures = (trial_seed, Printexc.to_string e) :: a.failures }
+  done;
+  { !acc with failures = List.rev !acc.failures }
+
+(* One serve trial: hammer one signature through [Serve.submit] with an
+   injected engine fault plan on every request until the breaker trips,
+   keep going while it is open (short-circuited to serial), then let the
+   cooldown pass and confirm a clean probe closes it.  Every response —
+   faulted, degraded, shorted, or probed — must be bitwise identical to
+   the serial reference. *)
+let serve_trial ?pool ?domains ~(config : Serve.config) seed =
+  let gen = Splitmix.create seed in
+  let s = random_signature gen in
+  let n = Splitmix.int_in gen ~lo:600 ~hi:1500 in
+  let x =
+    Array.init n (fun _ -> S.of_int (Splitmix.int_in gen ~lo:(-9) ~hi:9))
+  in
+  let expected = Serial.full s x in
+  let server = Serve_.create ~config ?pool ?domains () in
+  let k = max 1 (Signature.order s) in
+  let m = max (Signature.order s) (min config.chunk_size n) in
+  let chunks = (n + m - 1) / m in
+  let bad = ref None in
+  let submit ?faults tag =
+    match Serve_.submit ?faults server s x with
+    | Ok y ->
+        if y <> expected && !bad = None then
+          bad := Some (Printf.sprintf "%s response diverged from serial" tag)
+    | Error e ->
+        if !bad = None then
+          bad :=
+            Some (Printf.sprintf "%s failed: %s" tag (Serve.error_to_string e))
+  in
+  (* Trip: consecutive faulted requests past the threshold.  A purely
+     random plan can be benign (no events, or only reorders/delays the
+     protocol tolerates), and one clean pooled outcome resets the
+     consecutive count — so every plan is seeded with one guaranteed
+     carry corruption on a non-final chunk on top of the random draw. *)
+  for i = 0 to config.breaker_threshold do
+    let base =
+      Faults.random ~seed:(seed + (31 * i)) ~chunks ~lanes:k ~max_events:2 ()
+    in
+    let faults =
+      Faults.of_events
+        ({
+           Faults.kind = Faults.Corrupt_carry;
+           chunk = i mod max 1 (chunks - 1);
+           lane = i mod k;
+           delay = 1;
+         }
+        :: base.Faults.events)
+    in
+    submit ~faults (Printf.sprintf "faulted #%d" i)
+  done;
+  let tripped = Serve_.breaker_state server s = Serve.Open in
+  (* Shorted traffic while open. *)
+  submit "shorted";
+  (* Cooldown, then a clean probe must close it again. *)
+  Unix.sleepf (config.breaker_cooldown +. 0.01);
+  submit "probe";
+  let closed = Serve_.breaker_state server s = Serve.Closed in
+  if not tripped && !bad = None then
+    bad := Some "breaker did not trip after threshold faulty outcomes";
+  if not closed && !bad = None then
+    bad := Some "breaker did not close after a clean half-open probe";
+  let mts = Serve_.metrics server in
+  ( Metrics.Counter.get mts.Metrics.retries,
+    Metrics.Counter.get mts.Metrics.breaker_trips,
+    !bad )
+
+let serve_config =
+  {
+    Serve.default_config with
+    parallel_threshold = 256;
+    chunk_size = 64;
+    batching = false;
+    check_prefix = 4096;
+    retries = 2;
+    retry_backoff = 1e-4;
+    breaker_threshold = 3;
+    breaker_cooldown = 2e-2;
+  }
+
+let serve_campaign ?pool ?domains ?(trials = 20) ?(config = serve_config)
+    ~seed () =
+  let acc = ref (empty trials) in
+  for i = 0 to trials - 1 do
+    let trial_seed = seed + (1000 * i) in
+    let a = !acc in
+    match serve_trial ?pool ?domains ~config trial_seed with
+    | retries, trips, bad ->
+        acc :=
+          {
+            a with
+            faults_injected = a.faults_injected + 1;
+            retries = a.retries + retries;
+            breaker_trips = a.breaker_trips + trips;
+            bitwise_ok = (a.bitwise_ok + if bad = None then 1 else 0);
+            failures =
+              (match bad with
+              | None -> a.failures
+              | Some msg -> (trial_seed, msg) :: a.failures);
+          }
+    | exception e ->
+        acc :=
+          { a with failures = (trial_seed, Printexc.to_string e) :: a.failures }
+  done;
+  { !acc with failures = List.rev !acc.failures }
+
+let merge a b =
+  {
+    trials = a.trials + b.trials;
+    faults_injected = a.faults_injected + b.faults_injected;
+    recoveries = a.recoveries + b.recoveries;
+    fastforwards = a.fastforwards + b.fastforwards;
+    checkpoints = a.checkpoints + b.checkpoints;
+    retries = a.retries + b.retries;
+    breaker_trips = a.breaker_trips + b.breaker_trips;
+    bitwise_ok = a.bitwise_ok + b.bitwise_ok;
+    failures = a.failures @ b.failures;
+  }

@@ -1,0 +1,51 @@
+(** Chaos through the front door: seeded fault campaigns driven through
+    the full session / retry / circuit-breaker stack, not just the bare
+    engines (that is {!Plr_robust.Chaos}'s job).
+
+    Campaigns run over the integer scalar so correctness is bitwise
+    equality against one offline serial pass — no tolerance to hide
+    behind.  Every trial is derived from its seed alone and is therefore
+    reproducible from the command line ([plr chaos --serve]) and in CI. *)
+
+type summary = {
+  trials : int;
+  faults_injected : int;  (** trials that injected at least one fault *)
+  recoveries : int;  (** session checkpoint restorations *)
+  fastforwards : int;  (** companion skip-aheads *)
+  checkpoints : int;  (** session snapshots taken *)
+  retries : int;  (** serve-layer retry attempts *)
+  breaker_trips : int;  (** circuit-breaker open transitions *)
+  bitwise_ok : int;  (** trials bitwise identical to the serial pass *)
+  failures : (int * string) list;  (** (trial seed, what went wrong) *)
+}
+
+val ok : summary -> bool
+(** No trial failed: every output was bitwise identical and every
+    expected state-machine transition happened. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val session_campaign :
+  ?pool:Plr_exec.Pool.t ->
+  ?domains:int ->
+  ?trials:int -> ?checkpoint_every:int -> seed:int -> unit -> summary
+(** [trials] (default 200) streaming sessions, each a random signature
+    fed in random data segments and zero-input gaps with one fault
+    (crash, state corruption, or seeded engine fault) injected
+    mid-stream; every produced output must be bitwise identical to the
+    unfaulted serial pass over the concatenated input. *)
+
+val serve_config : Serve.config
+(** The aggressive configuration the serve campaign uses: small
+    parallel threshold and chunks, fast breaker, short cooldown. *)
+
+val serve_campaign :
+  ?pool:Plr_exec.Pool.t ->
+  ?domains:int ->
+  ?trials:int -> ?config:Serve.config -> seed:int -> unit -> summary
+(** [trials] (default 20) retry/breaker exercises: consecutive faulted
+    submits must trip the signature's breaker, traffic while open is
+    short-circuited to serial, and a clean probe after the cooldown must
+    close it — with every response bitwise identical to serial. *)
+
+val merge : summary -> summary -> summary

@@ -1,8 +1,10 @@
 module Pool = Plr_exec.Pool
+module Cancel = Plr_exec.Cancel
 module Trace = Plr_trace.Trace
 module Opts = Plr_factors.Opts
 module Stability = Plr_robust.Stability
 module Guard = Plr_robust.Guard
+module Faults = Plr_gpusim.Faults
 
 type error = Overloaded | Deadline_exceeded | Failed of string
 
@@ -10,6 +12,13 @@ let error_to_string = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline exceeded"
   | Failed m -> "failed: " ^ m
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
 
 type config = {
   max_inflight : int;
@@ -23,6 +32,10 @@ type config = {
   guard : bool;
   check_prefix : int;
   opts : Opts.t;
+  retries : int;
+  retry_backoff : float;
+  breaker_threshold : int;
+  breaker_cooldown : float;
 }
 
 let default_config =
@@ -38,6 +51,10 @@ let default_config =
     guard = true;
     check_prefix = 1024;
     opts = Opts.all_on;
+    retries = 2;
+    retry_backoff = 1e-3;
+    breaker_threshold = 4;
+    breaker_cooldown = 5e-2;
   }
 
 let now () = Unix.gettimeofday ()
@@ -53,11 +70,22 @@ module Make (S : Plr_util.Scalar.S) = struct
   module M = Plr_multicore.Multicore.Make (S)
   module Serial = Plr_serial.Serial.Make (S)
   module G = Guard.Make (S)
+  module Session = Session.Make (S)
 
   type entry = {
     stability : Stability.report;
     plan : FP.t;
     serial_cutoff : int;
+  }
+
+  (* Per-signature circuit breaker.  [Closed] counts consecutive faulty
+     pooled outcomes (guard degradations and failures); at the threshold
+     it opens and pooled-path requests short-circuit to the serial
+     backend until the cooldown elapses, when a single half-open probe is
+     let through — success closes the breaker, failure re-opens it. *)
+  type breaker = {
+    mutable consecutive : int;
+    mutable bstate : [ `Closed | `Open of float (* retry-at *) | `Half_open ];
   }
 
   type slot = {
@@ -82,6 +110,8 @@ module Make (S : Plr_util.Scalar.S) = struct
     exec_lock : Mutex.t; (* serializes jobs that occupy the pool *)
     batch_lock : Mutex.t;
     batches : (string, batch) Hashtbl.t;
+    breaker_lock : Mutex.t;
+    breakers : (string, breaker) Hashtbl.t;
   }
 
   let create ?(config = default_config) ?pool ?domains () =
@@ -97,6 +127,8 @@ module Make (S : Plr_util.Scalar.S) = struct
       exec_lock = Mutex.create ();
       batch_lock = Mutex.create ();
       batches = Hashtbl.create 16;
+      breaker_lock = Mutex.create ();
+      breakers = Hashtbl.create 16;
     }
 
   let config t = t.config
@@ -165,6 +197,81 @@ module Make (S : Plr_util.Scalar.S) = struct
     | None -> false
     | Some d -> now () > d
 
+  (* -------------------------------------------------- circuit breaker *)
+
+  let breaker_for t key =
+    Mutex.lock t.breaker_lock;
+    let b =
+      match Hashtbl.find_opt t.breakers key with
+      | Some b -> b
+      | None ->
+          let b = { consecutive = 0; bstate = `Closed } in
+          Hashtbl.add t.breakers key b;
+          b
+    in
+    Mutex.unlock t.breaker_lock;
+    b
+
+  let breaker_state t s =
+    let b = breaker_for t (cache_key t s) in
+    Mutex.lock t.breaker_lock;
+    let s =
+      match b.bstate with
+      | `Closed -> Closed
+      | `Open _ -> Open
+      | `Half_open -> Half_open
+    in
+    Mutex.unlock t.breaker_lock;
+    s
+
+  (* Route decision for a pooled-path request: [`Pooled] while closed,
+     [`Serial] while open (and while another request's half-open probe is
+     in flight), [`Pooled] again for the single probe that finds the
+     cooldown expired. *)
+  let breaker_route t key =
+    let b = breaker_for t key in
+    Mutex.lock t.breaker_lock;
+    let r =
+      match b.bstate with
+      | `Closed -> `Pooled
+      | `Half_open -> `Serial
+      | `Open retry_at ->
+          if now () >= retry_at then begin
+            b.bstate <- `Half_open;
+            `Pooled
+          end
+          else `Serial
+    in
+    Mutex.unlock t.breaker_lock;
+    r
+
+  let trip t b =
+    b.bstate <- `Open (now () +. t.config.breaker_cooldown);
+    Metrics.Counter.incr t.metrics.Metrics.breaker_trips;
+    Trace.instant Trace.Serve "breaker.trip" b.consecutive 0
+
+  (* Fold a pooled outcome into the breaker.  [`Neutral] outcomes (a
+     deadline cut, not an engine verdict) leave the state untouched. *)
+  let breaker_report t key verdict =
+    match verdict with
+    | `Neutral -> ()
+    | (`Clean | `Faulty) as v ->
+        let b = breaker_for t key in
+        Mutex.lock t.breaker_lock;
+        (match (b.bstate, v) with
+        | `Half_open, `Clean ->
+            b.bstate <- `Closed;
+            b.consecutive <- 0
+        | `Half_open, `Faulty ->
+            b.consecutive <- b.consecutive + 1;
+            trip t b
+        | `Closed, `Clean -> b.consecutive <- 0
+        | `Closed, `Faulty ->
+            b.consecutive <- b.consecutive + 1;
+            if b.consecutive >= t.config.breaker_threshold then trip t b
+        | `Open _, _ -> ());
+        Mutex.unlock t.breaker_lock
+
   (* ------------------------------------------------------- execution *)
 
   let scan_non_finite y =
@@ -208,30 +315,43 @@ module Make (S : Plr_util.Scalar.S) = struct
     | Some v -> Guard.violation_to_string v
     | None -> "rejected"
 
-  let exec_pooled t entry s x =
+  (* Pooled execution returns the serving result plus the breaker verdict:
+     [`Clean] for an undegraded success, [`Faulty] for a degradation or
+     failure, [`Neutral] for a mid-flight cancellation (the caller's
+     deadline, not an engine fault). *)
+  let exec_pooled ?faults ?(cancel = Cancel.none) t entry s x =
     let cfg = t.config in
-    if cfg.guard then begin
-      let runner =
-        G.multicore_runner ~opts:cfg.opts ~plan:entry.plan ~pool:t.pool_
-          ~chunk_size:cfg.chunk_size ()
-      in
-      let o =
-        G.run ~check:(Guard.Prefix cfg.check_prefix)
-          ~stability:entry.stability runner s x
-      in
-      if o.G.ok then begin
-        if o.G.degraded then Metrics.Counter.incr t.metrics.Metrics.degraded;
-        Ok o.G.output
+    match
+      if cfg.guard then begin
+        let runner =
+          G.multicore_runner ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel
+            ~pool:t.pool_ ~chunk_size:cfg.chunk_size ()
+        in
+        let o =
+          G.run ~check:(Guard.Prefix cfg.check_prefix)
+            ~stability:entry.stability runner s x
+        in
+        if o.G.ok then begin
+          if o.G.degraded then Metrics.Counter.incr t.metrics.Metrics.degraded;
+          (Ok o.G.output, if o.G.degraded then `Faulty else `Clean)
+        end
+        else (Error (Failed (last_violation o)), `Faulty)
       end
-      else Error (Failed (last_violation o))
-    end
-    else
-      match
-        M.run ~opts:cfg.opts ~plan:entry.plan ~pool:t.pool_
-          ~chunk_size:cfg.chunk_size s x
-      with
-      | y -> Ok y
-      | exception e -> Error (Failed (Printexc.to_string e))
+      else
+        match
+          M.run ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel ~pool:t.pool_
+            ~chunk_size:cfg.chunk_size s x
+        with
+        | y -> (Ok y, `Clean)
+        | exception Cancel.Cancelled -> raise Cancel.Cancelled
+        | exception e -> (Error (Failed (Printexc.to_string e)), `Faulty)
+    with
+    | r -> r
+    | exception Cancel.Cancelled ->
+        (* The token fired at a chunk boundary: stop billing the pool and
+           report the cut to the client as a missed deadline. *)
+        Metrics.Counter.incr t.metrics.Metrics.cancelled_midflight;
+        (Error Deadline_exceeded, `Neutral)
 
   (* Requests that occupy the pool serialize on [exec_lock]; the wait is
      the request's queue time.  The deadline is re-checked after the
@@ -370,7 +490,73 @@ module Make (S : Plr_util.Scalar.S) = struct
         Metrics.Counter.incr t.metrics.Metrics.deadline_missed
     | Error (Failed _) -> Metrics.Counter.incr t.metrics.Metrics.failed
 
-  let submit ?deadline t (s : S.t Signature.t) x =
+  (* One admitted attempt: admission control, then routing — batched,
+     local-serial, breaker-shorted serial, or pooled (with the breaker
+     verdict folded back in and the deadline armed as a mid-flight
+     cancellation token). *)
+  let attempt_once ~t0 ?deadline ?faults t key s x =
+    if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
+      Atomic.decr t.inflight;
+      Error Overloaded
+    end
+    else
+      Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
+      let entry, _hit = plan_for t s in
+      let n = Array.length x in
+      let local () =
+        Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
+        let e0 = now () in
+        let r = exec_local t s x in
+        Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
+        r
+      in
+      if deadline_passed deadline then Error Deadline_exceeded
+      else if
+        t.config.batching && n <= t.config.batch_threshold
+        && Pool.size t.pool_ > 1
+      then submit_batched ~t0 ?deadline t key s x
+      else if n <= entry.serial_cutoff then
+        if deadline_passed deadline then Error Deadline_exceeded else local ()
+      else begin
+        match breaker_route t key with
+        | `Serial ->
+            Metrics.Counter.incr t.metrics.Metrics.breaker_shorted;
+            local ()
+        | `Pooled ->
+            let cancel =
+              match deadline with
+              | None -> Cancel.none
+              | Some d -> Cancel.create ~deadline:d ()
+            in
+            exec_serialized ~t0 ?deadline t (fun () ->
+                let r, verdict = exec_pooled ?faults ~cancel t entry s x in
+                breaker_report t key verdict;
+                r)
+      end
+
+  let retryable = function
+    | Error Overloaded | Error (Failed _) -> true
+    | Ok _ | Error Deadline_exceeded -> false
+
+  let error_code = function
+    | Ok _ -> -1
+    | Error Overloaded -> 0
+    | Error Deadline_exceeded -> 1
+    | Error (Failed _) -> 2
+
+  (* Exponential backoff with deterministic jitter: the delay sequence of
+     a given (signature, attempt) pair is reproducible run to run, which
+     keeps the chaos campaigns and their pinned tests deterministic. *)
+  let backoff_delay t ~key ~attempt =
+    let gen =
+      Plr_util.Splitmix.create (Hashtbl.hash key lxor ((attempt + 1) * 0x9E3779B9))
+    in
+    let jitter =
+      float_of_int (Plr_util.Splitmix.int_in gen ~lo:0 ~hi:1000) /. 1000.0
+    in
+    t.config.retry_backoff *. float_of_int (1 lsl attempt) *. (0.5 +. jitter)
+
+  let submit ?deadline ?faults t (s : S.t Signature.t) x =
     let t0 = now () in
     Metrics.Counter.incr t.metrics.Metrics.submitted;
     (* One flow id per request links the request span to the pool tasks
@@ -379,36 +565,34 @@ module Make (S : Plr_util.Scalar.S) = struct
     Trace.begin_span2 Trace.Serve "serve.request" (Array.length x) flow;
     Trace.flow_start Trace.Serve "serve.flow" flow;
     Trace.set_ambient_flow flow;
-    let r =
-      if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
-        Atomic.decr t.inflight;
-        Error Overloaded
+    let key = cache_key t s in
+    let rec go attempt faults =
+      let r = attempt_once ~t0 ?deadline ?faults t key s x in
+      if
+        attempt < t.config.retries && retryable r
+        && not (deadline_passed deadline)
+      then begin
+        Metrics.Counter.incr t.metrics.Metrics.retries;
+        Trace.instant Trace.Serve "serve.retry" attempt (error_code r);
+        let d = backoff_delay t ~key ~attempt in
+        let d =
+          match deadline with None -> d | Some dl -> min d (dl -. now ())
+        in
+        if d > 0.0 then Unix.sleepf d;
+        (* Injected fault plans model transient faults: they apply to the
+           first attempt only, so a retry is a genuinely clean re-run. *)
+        go (attempt + 1) None
       end
-      else
-        Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
-        let entry, _hit = plan_for t s in
-        let n = Array.length x in
-        if deadline_passed deadline then Error Deadline_exceeded
-        else if
-          t.config.batching && n <= t.config.batch_threshold
-          && Pool.size t.pool_ > 1
-        then submit_batched ~t0 ?deadline t (cache_key t s) s x
-        else if n <= entry.serial_cutoff then begin
-          if deadline_passed deadline then Error Deadline_exceeded
-          else begin
-            Metrics.Histogram.observe t.metrics.Metrics.queue_wait
-              (now () -. t0);
-            let e0 = now () in
-            let r = exec_local t s x in
-            Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
-            r
-          end
-        end
-        else exec_serialized ~t0 ?deadline t (fun () -> exec_pooled t entry s x)
+      else r
     in
+    let r = go 0 faults in
     classify_result t r;
     Metrics.Histogram.observe t.metrics.Metrics.total (now () -. t0);
     Trace.set_ambient_flow 0;
     Trace.end_span ();
     r
+
+  let session ?checkpoint_every t s =
+    Session.create ~pool:t.pool_ ~opts:t.config.opts ~metrics:t.metrics
+      ?checkpoint_every s
 end

@@ -35,13 +35,24 @@
 module Pool = Plr_exec.Pool
 module Opts = Plr_factors.Opts
 module Stability = Plr_robust.Stability
+module Faults = Plr_gpusim.Faults
 
 type error =
   | Overloaded  (** rejected by admission control; retry later *)
-  | Deadline_exceeded  (** deadline passed before execution started *)
+  | Deadline_exceeded
+      (** deadline passed before execution started, or fired mid-flight
+          and cancelled the run at a chunk boundary *)
   | Failed of string  (** engine error, or the guard's last stage failed *)
 
 val error_to_string : error -> string
+
+type breaker_state = Closed | Open | Half_open
+(** Per-signature circuit-breaker state: [Closed] counts consecutive
+    faulty pooled outcomes, [Open] short-circuits the pooled path to the
+    serial backend until the cooldown elapses, [Half_open] admits exactly
+    one probe whose outcome closes or re-opens the breaker. *)
+
+val breaker_state_to_string : breaker_state -> string
 
 type config = {
   max_inflight : int;
@@ -66,6 +77,19 @@ type config = {
   check_prefix : int;
       (** guard reference-prefix length (default 1024) *)
   opts : Opts.t;  (** factor specializations (default {!Opts.all_on}) *)
+  retries : int;
+      (** bounded retries after a retryable error ({!Overloaded} or
+          {!Failed}); 0 disables (default 2) *)
+  retry_backoff : float;
+      (** base of the exponential backoff between retries, in seconds;
+          the delay for attempt [a] is [retry_backoff · 2^a · (0.5 + j)]
+          with deterministic jitter [j ∈ \[0, 1)] (default 1 ms) *)
+  breaker_threshold : int;
+      (** consecutive faulty pooled outcomes that trip the per-signature
+          circuit breaker (default 4) *)
+  breaker_cooldown : float;
+      (** seconds an open breaker short-circuits to the serial backend
+          before admitting a half-open probe (default 50 ms) *)
 }
 
 val default_config : config
@@ -100,17 +124,35 @@ module Make (S : Plr_util.Scalar.S) : sig
       on every request. *)
 
   val submit :
-    ?deadline:float -> t -> S.t Signature.t -> S.t array ->
-    (S.t array, error) result
+    ?deadline:float -> ?faults:Faults.plan -> t -> S.t Signature.t ->
+    S.t array -> (S.t array, error) result
   (** Serve one request.  [deadline] is an absolute [Unix.gettimeofday]
-      instant.  On [Ok y], [y] is the full recurrence output, identical
-      to the serial reference (bitwise for integer scalars; within the
-      guard's tolerance for floating ones, and bitwise on every path that
-      does not degrade). *)
+      instant, enforced both before execution starts and — through a
+      cooperative cancellation token polled at chunk boundaries — while
+      the pooled engine runs.  On [Ok y], [y] is the full recurrence
+      output, identical to the serial reference (bitwise for integer
+      scalars; within the guard's tolerance for floating ones, and
+      bitwise on every path that does not degrade).
+
+      Retryable errors ({!Overloaded}, {!Failed}) are retried up to
+      [config.retries] times with exponential backoff and deterministic
+      jitter; a passed deadline stops retrying.  [faults] injects a
+      deterministic engine fault plan into the pooled path (the chaos
+      harness's front door); it models a transient fault and applies to
+      the first attempt only. *)
+
+  val breaker_state : t -> S.t Signature.t -> breaker_state
+  (** The signature's circuit-breaker state right now. *)
 
   val cache_stats : t -> int * int * int
   (** [(hits, misses, evictions)] of the plan cache. *)
 
   val snapshot_json : t -> string
   (** {!Metrics.snapshot_json} with this server's pool stats included. *)
+
+  module Session : module type of Session.Make (S)
+
+  val session : ?checkpoint_every:int -> t -> S.t Signature.t -> Session.t
+  (** A sticky streaming session on this server's pool, options, and
+      metrics — see {!Session.Make.create}. *)
 end

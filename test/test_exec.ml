@@ -1,8 +1,9 @@
 (* Tests for the persistent domain pool: task coverage, reuse across many
-   runs, the increasing-claim-order guarantee, exception propagation, and
-   the registry. *)
+   runs, the increasing-claim-order guarantee, exception propagation,
+   cooperative cancellation, and the registry. *)
 
 module Pool = Plr_exec.Pool
+module Cancel = Plr_exec.Cancel
 
 exception Boom of int
 
@@ -140,6 +141,88 @@ let test_parallel_work_is_correct () =
       partial.(t) <- !acc);
   Alcotest.(check int) "sum" (n * (n - 1) / 2) (Array.fold_left ( + ) 0 partial)
 
+(* ------------------------------------------------------- cancellation *)
+
+let test_cancel_token () =
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh token quiet" false (Cancel.fired t);
+  Cancel.check t;
+  Cancel.cancel t;
+  Alcotest.(check bool) "fired after cancel" true (Cancel.fired t);
+  (match Cancel.check t with
+  | () -> Alcotest.fail "check must raise once fired"
+  | exception Cancel.Cancelled -> ());
+  (* deadlines latch *)
+  let past = Cancel.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  Alcotest.(check bool) "past deadline fires" true (Cancel.fired past);
+  let future = Cancel.create ~deadline:(Unix.gettimeofday () +. 60.0) () in
+  Alcotest.(check bool) "future deadline quiet" false (Cancel.fired future);
+  (* [none] is immune, even to an explicit cancel *)
+  Cancel.cancel Cancel.none;
+  Alcotest.(check bool) "none never fires" false (Cancel.fired Cancel.none)
+
+let test_cancel_stops_run () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let cancel = Cancel.create () in
+  let ran = Atomic.make 0 in
+  (match
+     Pool.run ~cancel pool ~tasks:10_000 (fun i ->
+         Atomic.incr ran;
+         if i = 5 then Cancel.cancel cancel)
+   with
+  | () -> Alcotest.fail "expected Cancelled to propagate"
+  | exception Cancel.Cancelled -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e));
+  Alcotest.(check bool) "cancellation cut the run short" true
+    (Atomic.get ran < 10_000);
+  (* the pool survives a cancelled job *)
+  let total = Atomic.make 0 in
+  Pool.run pool ~tasks:10 (fun _ -> Atomic.incr total);
+  Alcotest.(check int) "pool survives cancellation" 10 (Atomic.get total)
+
+let test_failure_beats_cancellation_race () =
+  (* A worker dies with a real failure while a later-index task is firing
+     the cancel token: both teardown paths race, and the job must still
+     report the real failure, never the cancellation echo. *)
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  for round = 1 to 20 do
+    let cancel = Cancel.create () in
+    match
+      Pool.run ~cancel pool ~tasks:64 (fun i ->
+          if i = 0 then begin
+            (* hold the failure until the cancellation is in flight, so
+               the two genuinely overlap *)
+            let t0 = Unix.gettimeofday () in
+            while (not (Cancel.fired cancel)) && Unix.gettimeofday () -. t0 < 5.0
+            do
+              Domain.cpu_relax ()
+            done;
+            failwith "primary"
+          end
+          else if i = 10 then Cancel.cancel cancel)
+    with
+    | () -> Alcotest.failf "round %d: expected a failure" round
+    | exception Failure m ->
+        Alcotest.(check string)
+          (Printf.sprintf "round %d: real failure wins" round)
+          "primary" m
+    | exception e ->
+        Alcotest.failf "round %d: real failure masked by %s" round
+          (Printexc.to_string e)
+  done
+
+let test_deadline_cancels_inline_run () =
+  (* Single-task jobs run inline on the caller; the token must cut them
+     at the same chunk-boundary points. *)
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let cancel = Cancel.create ~deadline:(Unix.gettimeofday () -. 0.001) () in
+  match Pool.run ~cancel pool ~tasks:1 (fun _ -> ()) with
+  | () -> Alcotest.fail "expired deadline must cancel the inline run"
+  | exception Cancel.Cancelled -> ()
+
 let test_stats () =
   let pool = Pool.create ~domains:2 () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
@@ -186,5 +269,15 @@ let () =
           Alcotest.test_case "parallel map-reduce" `Quick
             test_parallel_work_is_correct;
           Alcotest.test_case "stats snapshot" `Quick test_stats;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "token basics" `Quick test_cancel_token;
+          Alcotest.test_case "cancellation stops a run" `Quick
+            test_cancel_stops_run;
+          Alcotest.test_case "real failure beats racing cancellation" `Quick
+            test_failure_beats_cancellation_race;
+          Alcotest.test_case "deadline cancels an inline run" `Quick
+            test_deadline_cancels_inline_run;
         ] );
     ]

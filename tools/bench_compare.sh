@@ -8,9 +8,12 @@
 #   baseline.json defaults to the committed BENCH_PLR.json (via git show,
 #   falling back to the working-tree file).
 #
-# Schema compatibility: only `.rows` is read, so plr-bench-2 baselines
-# and plr-bench-3 files (which add a top-level `meta` provenance block)
-# compare against each other transparently.
+# Schema compatibility: written for plr-bench-3 (top-level `meta`
+# provenance block, per-row `domains` and `median_ns_per_elem`) — rows
+# are keyed by suite/variant@domains and compared on the median, which
+# is far less noisy than the best-of-reps number.  plr-bench-2 baselines
+# (no meta, no domains/median) degrade gracefully: domains defaults to
+# 1 and the comparison falls back to `ns_per_elem`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,25 +41,52 @@ fi
 fresh="$tmpdir/fresh.json"
 dune exec bench/main.exe -- json "$fresh"
 
+# One provenance line per file: schema plus the plr-bench-3 meta block
+# (git revision, host, OCaml version, timestamp) when present.
+describe() {
+  jq -r '
+    "schema \(.schema // "plr-bench-2?")"
+    + if .meta then
+        " | git \(.meta.git // "?") on \(.meta.hostname // "?")"
+        + " | ocaml \(.meta.ocaml_version // "?")"
+        + " | \(.meta.timestamp // "?")"
+      else " | no meta block" end
+  ' "$2" | sed "s/^/bench_compare: $1: /"
+}
+
 echo
-echo "bench_compare: fresh run vs baseline (ns/elem, negative delta = faster)"
+describe baseline "$baseline"
+describe fresh "$fresh"
+
+echo
+echo "bench_compare: fresh vs baseline (median ns/elem, negative delta = faster)"
 jq -r -n --slurpfile base "$baseline" --slurpfile new "$fresh" '
-  ($base[0].rows | map({key: "\(.suite)/\(.variant)", value: .ns_per_elem})
-   | from_entries) as $old
+  def rowkey: "\(.suite)/\(.variant)@\(.domains // 1)";
+  def metric: .median_ns_per_elem // .ns_per_elem;
+  ($base[0].rows | map({key: rowkey, value: metric}) | from_entries) as $old
   | $new[0].rows[]
-  | "\(.suite)/\(.variant)" as $k
+  | rowkey as $k
   | ($old[$k] // null) as $b
+  | metric as $m
   | if $b == null then
-      [$k, "-", (.ns_per_elem | tostring), "new row"]
+      [$k, "-", ($m | tostring), "new row"]
     else
-      [$k, ($b | tostring), (.ns_per_elem | tostring),
-       (((.ns_per_elem - $b) / $b * 100 * 100 | round) / 100
-        | tostring) + "%"]
+      [$k, ($b | tostring), ($m | tostring),
+       ((($m - $b) / $b * 100 * 100 | round) / 100 | tostring) + "%"]
     end
   | @tsv
 ' | awk -F'\t' '
-  BEGIN { printf "%-28s %12s %12s %10s\n", "suite/variant", "baseline", "fresh", "delta" }
-  { printf "%-28s %12s %12s %10s\n", $1, $2, $3, $4 }
+  BEGIN { printf "%-34s %12s %12s %10s\n", "suite/variant@domains", "baseline", "fresh", "delta" }
+  { printf "%-34s %12s %12s %10s\n", $1, $2, $3, $4 }
 '
+
+# Rows that vanished (e.g. a baseline recorded at a different domain
+# count) would otherwise disappear silently from the table.
+jq -r -n --slurpfile base "$baseline" --slurpfile new "$fresh" '
+  def rowkey: "\(.suite)/\(.variant)@\(.domains // 1)";
+  ($new[0].rows | map(rowkey)) as $have
+  | $base[0].rows[] | rowkey | select([.] | inside($have) | not)
+' | sed 's/^/bench_compare: baseline-only row (not regenerated): /'
+
 echo
 echo "bench_compare: done (informational only; never fails the build)"
