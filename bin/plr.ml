@@ -346,6 +346,80 @@ let cmd_execute text n domain threads x sched trace_path =
 
 module Tune_int = Plr_core.Tune.Make (Scalar.Int)
 module Tune_f32 = Plr_core.Tune.Make (Scalar.F32)
+module Tune_cpu_int = Plr_core.Tune.Cpu (Scalar.Int)
+module Tune_cpu_f32 = Plr_core.Tune.Cpu (Scalar.F32)
+module Tune_registry = Plr_core.Tune.Registry
+
+(* `plr tune --measure`: instead of the GPU model's predicted launch
+   shapes, time the real multicore backend and persist the winning
+   schedule in the process-wide registry — optionally loaded from /
+   saved to a plr-tuning-1 JSON file so CI and the serving layer can
+   share measured tunings across processes. *)
+let cmd_tune_measure text n domain domains budget reps load_path save_path =
+  require_positive "--budget" budget;
+  require_positive "--reps" reps;
+  require_positive_opt "--domains" domains;
+  let s = parse_signature text in
+  (match load_path with
+  | None -> ()
+  | Some path ->
+      let doc = In_channel.with_open_bin path In_channel.input_all in
+      (match Tune_registry.of_json doc with
+      | Ok k -> Printf.printf "loaded %d cached tuning(s) from %s\n" k path
+      | Error e -> failwith (Printf.sprintf "%s: %s" path e)));
+  let pool = Plr_exec.Pool.get ?domains () in
+  let to_s = Plr_core.Tune.cpu_tuning_to_string in
+  let print_cached key t =
+    Printf.printf "key: %s\n" key;
+    Printf.printf "cached: %s (no search run; delete the registry entry or \
+                   use a fresh key to re-measure)\n" (to_s t);
+    t
+  in
+  let print_searched key ~tuning ~ns ~heuristic ~heuristic_ns ~trials =
+    Printf.printf "key: %s\n" key;
+    Printf.printf "%-10s %-32s %12s\n" "config" "knobs" "ns/elem";
+    Printf.printf "%-10s %-32s %12.2f\n" "heuristic" (to_s heuristic) heuristic_ns;
+    Printf.printf "%-10s %-32s %12.2f\n" "tuned" (to_s tuning) ns;
+    Printf.printf "measured %d candidate(s); tuned is %+.1f%% vs heuristic\n"
+      trials ((ns -. heuristic_ns) /. heuristic_ns *. 100.0);
+    tuning
+  in
+  let tuning =
+    match resolve_domain domain s with
+    | `Int is -> (
+        let key = Tune_cpu_int.key ~n is in
+        match Tune_registry.find key with
+        | Some t -> print_cached key t
+        | None ->
+            let r = Tune_cpu_int.search ~reps ~budget ~pool ~n is in
+            Tune_registry.store key r.Tune_cpu_int.tuning;
+            print_searched key ~tuning:r.Tune_cpu_int.tuning
+              ~ns:r.Tune_cpu_int.ns_per_elem ~heuristic:r.Tune_cpu_int.heuristic
+              ~heuristic_ns:r.Tune_cpu_int.heuristic_ns_per_elem
+              ~trials:r.Tune_cpu_int.trials)
+    | `Float -> (
+        let fs = Signature.map Plr_util.F32.round s in
+        let key = Tune_cpu_f32.key ~n fs in
+        match Tune_registry.find key with
+        | Some t -> print_cached key t
+        | None ->
+            let r = Tune_cpu_f32.search ~reps ~budget ~pool ~n fs in
+            Tune_registry.store key r.Tune_cpu_f32.tuning;
+            print_searched key ~tuning:r.Tune_cpu_f32.tuning
+              ~ns:r.Tune_cpu_f32.ns_per_elem ~heuristic:r.Tune_cpu_f32.heuristic
+              ~heuristic_ns:r.Tune_cpu_f32.heuristic_ns_per_elem
+              ~trials:r.Tune_cpu_f32.trials)
+  in
+  Format.printf "opts: %a@."
+    (Plr_core.Opts.pp_with_tuning ~tuning:(to_s tuning))
+    Plr_core.Opts.all_on;
+  match save_path with
+  | None -> ()
+  | Some path ->
+      Plr_util.Fileio.atomic_write_string ~path (Tune_registry.to_json ());
+      Printf.printf "wrote %s (%d registry entr%s)\n" path
+        (List.length (Tune_registry.entries ()))
+        (if List.length (Tune_registry.entries ()) = 1 then "y" else "ies")
 
 let cmd_tune text n domain top =
   require_positive "-n" n;
@@ -533,7 +607,7 @@ module Serve_f32 = Plr_serve.Serve.Make (Scalar.F32)
 module Load_f32 = Plr_serve.Load.Make (Scalar.F32)
 
 let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
-    domains seed json_path =
+    autotune domains seed json_path =
   require_positive "--clients" clients;
   require_positive "--depth" depth;
   require_positive "--seed" seed;
@@ -547,6 +621,7 @@ let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
       Serve.max_inflight = depth;
       batching = not no_batch;
       guard = not no_guard;
+      autotune;
     }
   in
   let server = Serve_f32.create ~config ?domains () in
@@ -748,11 +823,50 @@ let tune_cmd =
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
            ~doc:"Show the $(docv) best configurations.")
   in
-  let run text n domain top = wrap (fun () -> cmd_tune text n domain top) in
+  let measure =
+    Arg.(value & flag & info [ "measure" ]
+           ~doc:"Tune the multicore CPU backend by timing real runs \
+                 (chunk size × pool size × look-back window, objective \
+                 median ns/element) instead of querying the GPU model, \
+                 and persist the winner in the tuning registry.")
+  in
+  let budget =
+    Arg.(value & opt int 16 & info [ "budget" ] ~docv:"B"
+           ~doc:"Candidate configurations a $(b,--measure) search may time.")
+  in
+  let reps =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"R"
+           ~doc:"Timed runs per candidate in $(b,--measure) mode (after \
+                 one warm-up; the median is the objective).")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"After $(b,--measure), write the whole tuning registry as \
+                 plr-tuning-1 JSON to $(docv) (atomically).")
+  in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Before $(b,--measure), merge a previously $(b,--save)d \
+                 plr-tuning-1 JSON file into the registry; a cached key \
+                 skips the search.")
+  in
+  let run text n domain top measure domains budget reps load save =
+    wrap (fun () ->
+        require_positive "-n" n;
+        if measure then
+          cmd_tune_measure text n domain domains budget reps load save
+        else cmd_tune text n domain top)
+  in
   Cmd.v
     (Cmd.info "tune"
-       ~doc:"Auto-tune the launch shape against the paper's default heuristics")
-    Term.(ret (const run $ signature_arg $ n_arg $ domain_arg $ top))
+       ~doc:
+         "Auto-tune the launch shape against the paper's default heuristics \
+          (GPU model), or with $(b,--measure) time the real multicore \
+          backend and persist the winning schedule")
+    Term.(
+      ret
+        (const run $ signature_arg $ n_arg $ domain_arg $ top $ measure
+        $ domains_arg $ budget $ reps $ load $ save))
 
 let execute_cmd =
   let threads =
@@ -910,6 +1024,13 @@ let serve_bench_cmd =
     Arg.(value & flag & info [ "no-guard" ]
            ~doc:"Run pooled requests without the stability guard.")
   in
+  let autotune =
+    Arg.(value & flag & info [ "autotune" ]
+           ~doc:"Run a bounded measured tuning search on plan-cache misses \
+                 with no cached tuning; the winning schedule is persisted \
+                 in the tuning registry and reused by every later request \
+                 of the same shape.")
+  in
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S"
            ~doc:"Base seed for the load generator's draws.")
@@ -918,12 +1039,12 @@ let serve_bench_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Also write the report as machine-readable JSON to $(docv).")
   in
-  let run clients seconds zipf deadline_ms depth no_batch no_guard domains seed
-      json trace_path =
+  let run clients seconds zipf deadline_ms depth no_batch no_guard autotune
+      domains seed json trace_path =
     wrap (fun () ->
         with_trace trace_path (fun () ->
             cmd_serve_bench clients seconds zipf deadline_ms depth no_batch
-              no_guard domains seed json))
+              no_guard autotune domains seed json))
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -936,7 +1057,7 @@ let serve_bench_cmd =
     Term.(
       ret
         (const run $ clients $ seconds $ zipf $ deadline_ms $ depth $ no_batch
-        $ no_guard $ domains_arg $ seed $ json $ trace_arg))
+        $ no_guard $ autotune $ domains_arg $ seed $ json $ trace_arg))
 
 let trace_cmd =
   let out =

@@ -17,12 +17,17 @@ module Mi = Plr_multicore.Multicore.Make (Scalar.Int)
 module Mf = Plr_multicore.Multicore.Make (Scalar.F32)
 module Stream_i = Plr_multicore.Stream.Make (Scalar.Int)
 module Stream_f = Plr_multicore.Stream.Make (Scalar.F32)
+module Tune = Plr_core.Tune
+module Tc_int = Tune.Cpu (Scalar.Int)
+module Tc_f32 = Tune.Cpu (Scalar.F32)
 
 type row = {
   suite : string;
   variant : string;
   n : int;
   domains : int;
+  chunk_size : int;
+  window : int;
   ns_per_elem : float;
   median_ns_per_elem : float;
   speedup_vs_serial : float;
@@ -55,20 +60,30 @@ let measure reps f =
   ignore (Sys.opaque_identity (f ()));
   time_stats reps f
 
-let suite_rows ~reps ~domains suite n variants =
-  let timed = List.map (fun (name, f) -> (name, measure reps f)) variants in
+(* Each variant carries the schedule knobs it ran with — the tuning a
+   reader needs to attribute a row ([(0, 0)] marks "not applicable":
+   the serial code has no chunking and the stream re-chooses per
+   piece). *)
+let suite_rows ~reps suite n variants =
+  let timed =
+    List.map (fun (name, knobs, f) -> (name, knobs, measure reps f)) variants
+  in
   let serial_t =
-    match List.assoc_opt "serial" timed with
-    | Some (best, _) -> best
+    match
+      List.find_opt (fun (name, _, _) -> name = "serial") timed
+    with
+    | Some (_, _, (best, _)) -> best
     | None -> invalid_arg "suite_rows: no serial variant"
   in
   List.map
-    (fun (variant, (best, median)) ->
+    (fun (variant, (vdomains, chunk_size, window), (best, median)) ->
       {
         suite;
         variant;
         n;
-        domains = (if variant = "serial" then 1 else domains);
+        domains = vdomains;
+        chunk_size;
+        window;
         ns_per_elem = best *. 1e9 /. float_of_int n;
         median_ns_per_elem = median *. 1e9 /. float_of_int n;
         speedup_vs_serial = serial_t /. best;
@@ -101,14 +116,32 @@ let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) ?domains () =
     Array.init n (fun _ -> Plr_util.Splitmix.float_in gf ~lo:(-1.0) ~hi:1.0)
   in
   let lp2 = Signature.map Plr_util.F32.round Table1.low_pass2.Table1.signature in
+  (* The knobs the untuned parallel variants actually run with. *)
+  let dchunk = Mi.default_chunk_size ~domains n in
+  let dwindow = Plr_multicore.Multicore.default_window ~pool_size:domains in
+  let heuristic = (domains, dchunk, dwindow) in
   let int_suite name s =
-    suite_rows ~reps ~domains name n
+    (* The tuned variant reports what a small measured search finds for
+       this suite (heuristic-vs-tuned is the delta bench_compare.sh
+       surfaces); like the heuristic variant it recompiles factors per
+       call, so only the schedule differs. *)
+    let tuned = (Tc_int.search ~opts ~reps:2 ~budget:8 ~pool ~n s).Tc_int.tuning in
+    let tpool = Pool.get ~domains:tuned.Tune.domains () in
+    suite_rows ~reps name n
       [
-        ("serial", fun () -> ignore (Si.full s xi));
-        ("multicore", fun () -> ignore (Mi.run ~opts ~pool s xi));
+        ("serial", (1, 0, 0), fun () -> ignore (Si.full s xi));
+        ("multicore", heuristic, fun () -> ignore (Mi.run ~opts ~pool s xi));
         ( "multicore-noopt",
+          heuristic,
           fun () -> ignore (Mi.run ~opts:Opts.all_off ~pool s xi) );
+        ( "multicore-tuned",
+          (tuned.Tune.domains, tuned.Tune.chunk_size, tuned.Tune.window),
+          fun () ->
+            ignore
+              (Mi.run ~opts ~pool:tpool ~chunk_size:tuned.Tune.chunk_size
+                 ~window:tuned.Tune.window s xi) );
         ( "stream",
+          (domains, 0, 0),
           fun () ->
             stream_chunks Stream_i.process
               (fun s -> Stream_i.create ~opts ~pool s)
@@ -116,13 +149,23 @@ let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) ?domains () =
       ]
   in
   let float_suite name s =
-    suite_rows ~reps ~domains name n
+    let tuned = (Tc_f32.search ~opts ~reps:2 ~budget:8 ~pool ~n s).Tc_f32.tuning in
+    let tpool = Pool.get ~domains:tuned.Tune.domains () in
+    suite_rows ~reps name n
       [
-        ("serial", fun () -> ignore (Sf.full s xf));
-        ("multicore", fun () -> ignore (Mf.run ~opts ~pool s xf));
+        ("serial", (1, 0, 0), fun () -> ignore (Sf.full s xf));
+        ("multicore", heuristic, fun () -> ignore (Mf.run ~opts ~pool s xf));
         ( "multicore-noopt",
+          heuristic,
           fun () -> ignore (Mf.run ~opts:Opts.all_off ~pool s xf) );
+        ( "multicore-tuned",
+          (tuned.Tune.domains, tuned.Tune.chunk_size, tuned.Tune.window),
+          fun () ->
+            ignore
+              (Mf.run ~opts ~pool:tpool ~chunk_size:tuned.Tune.chunk_size
+                 ~window:tuned.Tune.window s xf) );
         ( "stream",
+          (domains, 0, 0),
           fun () ->
             stream_chunks Stream_f.process
               (fun s -> Stream_f.create ~opts ~pool s)
@@ -135,13 +178,15 @@ let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) ?domains () =
   @ float_suite "lp2" lp2
 
 let render fmt rows =
-  Format.fprintf fmt "@[<v>%-12s %-16s %10s %8s %14s %14s %10s@,"
-    "suite" "variant" "n" "domains" "ns/elem" "median" "speedup";
+  Format.fprintf fmt "@[<v>%-12s %-16s %10s %8s %9s %7s %12s %12s %10s@,"
+    "suite" "variant" "n" "domains" "chunk" "window" "ns/elem" "median"
+    "speedup";
+  let knob v = if v = 0 then "-" else string_of_int v in
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-12s %-16s %10d %8d %14.2f %14.2f %9.2fx@," r.suite
-        r.variant r.n r.domains r.ns_per_elem r.median_ns_per_elem
-        r.speedup_vs_serial)
+      Format.fprintf fmt "%-12s %-16s %10d %8d %9s %7s %12.2f %12.2f %9.2fx@,"
+        r.suite r.variant r.n r.domains (knob r.chunk_size) (knob r.window)
+        r.ns_per_elem r.median_ns_per_elem r.speedup_vs_serial)
     rows;
   Format.fprintf fmt "@]@."
 
@@ -152,7 +197,7 @@ let to_json ?meta rows =
     match meta with Some m -> m | None -> Meta.to_json (Meta.collect ())
   in
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"plr-bench-3\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"plr-bench-4\",\n";
   Buffer.add_string b (Printf.sprintf "  \"meta\": %s,\n" meta);
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
@@ -164,9 +209,11 @@ let to_json ?meta rows =
       Buffer.add_string b
         (Printf.sprintf
            "    { \"suite\": %S, \"variant\": %S, \"n\": %d, \"domains\": %d, \
+            \"chunk_size\": %d, \"window\": %d, \
             \"ns_per_elem\": %s, \"median_ns_per_elem\": %s, \
             \"speedup_vs_serial\": %s }"
-           r.suite r.variant r.n r.domains (json_float r.ns_per_elem)
+           r.suite r.variant r.n r.domains r.chunk_size r.window
+           (json_float r.ns_per_elem)
            (json_float r.median_ns_per_elem)
            (json_float r.speedup_vs_serial)))
     rows;

@@ -11,9 +11,14 @@
 type row = {
   suite : string;  (** "prefix-sum", "order2", "tuple2", "lp2" *)
   variant : string;
-      (** "serial", "multicore", "multicore-noopt", "stream" *)
+      (** "serial", "multicore", "multicore-noopt", "multicore-tuned",
+          "stream" *)
   n : int;
   domains : int;  (** pool size used by this variant (1 for "serial") *)
+  chunk_size : int;
+      (** chunk size the variant ran with (0 = not applicable: serial
+          has no chunking, stream re-chooses per piece) *)
+  window : int;  (** look-back window (0 = not applicable) *)
   ns_per_elem : float;  (** best of the timed reps *)
   median_ns_per_elem : float;  (** median of the timed reps *)
   speedup_vs_serial : float;  (** > 1 means faster than the serial code *)
@@ -35,17 +40,22 @@ val smoke :
     share (default [Domain.recommended_domain_count ()]).  [opts] (default
     {!Plr_factors.Opts.all_on}) is applied to the "multicore" and "stream"
     variants; "multicore-noopt" always runs with
-    {!Plr_factors.Opts.all_off} so the delta is visible in one report. *)
+    {!Plr_factors.Opts.all_off} so the delta is visible in one report.
+    "multicore-tuned" first runs a small measured
+    {!Plr_core.Tune.Cpu.search} (budget 8) for the suite's signature and
+    times the winner, so the tuned-vs-heuristic delta is visible in the
+    same report. *)
 
 val render : Format.formatter -> row list -> unit
 (** Human-readable table. *)
 
 val to_json : ?meta:string -> row list -> string
-(** The BENCH_PLR.json payload: [{"schema": "plr-bench-3", "meta": {...},
-    "recommended_domains": d, "rows": [...]}].  [meta] is a pre-rendered
-    JSON object; by default {!Meta.collect} supplies one.  Consumers that
-    only read [.rows] (e.g. [tools/bench_compare.sh]) accept both
-    plr-bench-2 and plr-bench-3 files. *)
+(** The BENCH_PLR.json payload: [{"schema": "plr-bench-4", "meta": {...},
+    "recommended_domains": d, "rows": [...]}].  plr-bench-4 adds the
+    per-row [chunk_size]/[window] schedule knobs.  [meta] is a
+    pre-rendered JSON object; by default {!Meta.collect} supplies one.
+    Consumers that only read [.rows] (e.g. [tools/bench_compare.sh])
+    accept plr-bench-2 through plr-bench-4 files. *)
 
 val write_json : path:string -> ?meta:string -> row list -> unit
 (** {!to_json} written atomically (temp file + rename): a crashed run

@@ -103,7 +103,14 @@ module Make (S : Plr_util.Scalar.S) = struct
             let r = S.of_float v in
             if flush then S.flush_denormal r else r
           in
-          Array.map (Array.map convert) (N64.factor_lists ~feedback:fb64 ~m ())
+          (* Generate under FTZ too (paper §3): a decaying sequence can get
+             stuck hovering at the minimum subnormal (1.6x - 0.64x rounds
+             back to x there), which both defeats the zero-tail early exit
+             and runs the whole tail on slow microcoded denormal
+             arithmetic.  Flushing inside the recurrence reaches the exact
+             zeros the conversion below would produce anyway. *)
+          Array.map (Array.map convert)
+            (N64.factor_lists ~flush_denormals:flush ~feedback:fb64 ~m ())
       | Plr_util.Scalar.Floating ->
           (* semiring scalars: generate with the semiring's own operations *)
           Nnacci.factor_lists ~feedback ~m ()
@@ -204,6 +211,121 @@ module Make (S : Plr_util.Scalar.S) = struct
         for q = 0 to len - 1 do
           y.(base + q) <- S.add y.(base + q) (S.mul l.(q0 + q) carry)
         done
+
+  (* Monomorphic sweeps for the unboxed CPU backends.  Matching on [S.rep]
+     refines [S.t], so [stored : S.t array] below really is a flat
+     [float array] / [int array] and every operation compiles without
+     boxing.  The accumulation order (and, for F32, the round-after-every-
+     operation sequence) replicates [apply_list] exactly, so results are
+     bitwise identical to the generic evaluator. *)
+
+  let apply_list_f ?(q0 = 0) t ~j ~(carry : S.t) (y : Plr_util.Buf.t) ~base ~len =
+    match S.rep with
+    | Plr_util.Scalar.Float_rep rounding ->
+        if base < 0 || len < 0 || base + len > Plr_util.Buf.length y then
+          invalid_arg "Factor_plan.apply_list_f: range out of bounds";
+        let f32 = rounding = Plr_util.Scalar.Round_f32 in
+        let open Bigarray.Array1 in
+        (match t.compiled.(j) with
+        | All_equal f ->
+            if S.is_zero f then ()
+            else if S.is_one f then
+              for q = 0 to len - 1 do
+                let i = base + q in
+                let v = unsafe_get y i +. carry in
+                unsafe_set y i
+                  (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+              done
+            else begin
+              (* [S.mul f carry] is loop-invariant (same rounded product every
+                 iteration in the boxed evaluator), so hoisting preserves bits. *)
+              let fc =
+                let p = f *. carry in
+                if f32 then Int32.float_of_bits (Int32.bits_of_float p) else p
+              in
+              for q = 0 to len - 1 do
+                let i = base + q in
+                let v = unsafe_get y i +. fc in
+                unsafe_set y i
+                  (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+              done
+            end
+        | Zero_one { ones; _ } ->
+            for q = 0 to len - 1 do
+              if mask_get ones (q0 + q) then begin
+                let i = base + q in
+                let v = unsafe_get y i +. carry in
+                unsafe_set y i
+                  (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+              end
+            done
+        | Repeating { period; stored } ->
+            for q = 0 to len - 1 do
+              let s = stored.((q0 + q) mod period) in
+              let p = s *. carry in
+              let p = if f32 then Int32.float_of_bits (Int32.bits_of_float p) else p in
+              let i = base + q in
+              let v = unsafe_get y i +. p in
+              unsafe_set y i
+                (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+            done
+        | Decayed { cutoff; stored } ->
+            let hi = min len (cutoff - q0) in
+            for q = 0 to hi - 1 do
+              let s = stored.(q0 + q) in
+              let p = s *. carry in
+              let p = if f32 then Int32.float_of_bits (Int32.bits_of_float p) else p in
+              let i = base + q in
+              let v = unsafe_get y i +. p in
+              unsafe_set y i
+                (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+            done
+        | Dense l ->
+            for q = 0 to len - 1 do
+              let s = l.(q0 + q) in
+              let p = s *. carry in
+              let p = if f32 then Int32.float_of_bits (Int32.bits_of_float p) else p in
+              let i = base + q in
+              let v = unsafe_get y i +. p in
+              unsafe_set y i
+                (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+            done)
+    | _ -> invalid_arg "Factor_plan.apply_list_f: not a float scalar"
+
+  let apply_list_int ?(q0 = 0) t ~j ~(carry : S.t) (y : int array) ~base ~len =
+    match S.rep with
+    | Plr_util.Scalar.Int_rep -> (
+        match t.compiled.(j) with
+        | All_equal f ->
+            if f = 0 then ()
+            else if f = 1 then
+              for q = 0 to len - 1 do
+                y.(base + q) <- y.(base + q) + carry
+              done
+            else begin
+              let fc = f * carry in
+              for q = 0 to len - 1 do
+                y.(base + q) <- y.(base + q) + fc
+              done
+            end
+        | Zero_one { ones; _ } ->
+            for q = 0 to len - 1 do
+              if mask_get ones (q0 + q) then y.(base + q) <- y.(base + q) + carry
+            done
+        | Repeating { period; stored } ->
+            for q = 0 to len - 1 do
+              y.(base + q) <- y.(base + q) + (stored.((q0 + q) mod period) * carry)
+            done
+        | Decayed { cutoff; stored } ->
+            let hi = min len (cutoff - q0) in
+            for q = 0 to hi - 1 do
+              y.(base + q) <- y.(base + q) + (stored.(q0 + q) * carry)
+            done
+        | Dense l ->
+            for q = 0 to len - 1 do
+              y.(base + q) <- y.(base + q) + (l.(q0 + q) * carry)
+            done)
+    | _ -> invalid_arg "Factor_plan.apply_list_int: not an int scalar"
 
   let table t j =
     match t.compiled.(j) with

@@ -80,6 +80,35 @@ module Make (S : Plr_util.Scalar.S) : sig
       moving the output window, so a long sweep can be split into
       independent ranges and run in parallel. *)
 
+  val apply_list_f :
+    ?q0:int ->
+    t ->
+    j:int ->
+    carry:S.t ->
+    Plr_util.Buf.t ->
+    base:int ->
+    len:int ->
+    unit
+  (** {!apply_list} monomorphized onto unboxed {!Plr_util.Buf.t} storage.
+      Only valid when [S.rep] is [Float_rep] (raises [Invalid_argument]
+      otherwise); the refined branch replicates the generic evaluator's
+      operation/rounding sequence exactly, so results are bitwise
+      identical — including the emulated-binary32 round after every add
+      and multiply. *)
+
+  val apply_list_int :
+    ?q0:int ->
+    t ->
+    j:int ->
+    carry:S.t ->
+    int array ->
+    base:int ->
+    len:int ->
+    unit
+  (** {!apply_list} monomorphized onto a flat [int array].  Only valid
+      when [S.rep] is [Int_rep] (raises [Invalid_argument] otherwise);
+      bitwise identical to the generic evaluator. *)
+
   val effective : t -> int -> S.t Analysis.t
   (** The analysis of list [j] as the optimizer sees it after [opts]
       gating — [General] when the matching toggle is off. *)

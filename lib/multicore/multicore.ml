@@ -2,6 +2,8 @@ module Faults = Plr_gpusim.Faults
 module Pool = Plr_exec.Pool
 module Cancel = Plr_exec.Cancel
 module Trace = Plr_trace.Trace
+module Buf = Plr_util.Buf
+module A1 = Bigarray.Array1
 
 exception Fault_detected of string
 (* Raised (outside the functor, so one identity for every scalar instance)
@@ -17,6 +19,66 @@ module Opts = Plr_factors.Opts
    few hundred elements span several waves in the chaos tests. *)
 let faulted_lookback_window = 4
 
+let default_window ~pool_size = max faulted_lookback_window (2 * pool_size)
+
+(* Monomorphic fused chunk solve on unboxed float64 storage.  The FIR part
+   reads the immutable input (including the tail of the previous chunk)
+   and the feedback part reads only this chunk's own output, exactly like
+   the generic [solve_chunk_fused] below.  The accumulator lives in the
+   destination slot, so every operation is an unboxed bigarray load/store
+   — no boxed float is allocated anywhere in the loop.  With [f32] set,
+   every add and multiply is rounded to binary32 through the
+   [Int32.bits_of_float] round-trip (both externals are
+   [@@unboxed] [@@noalloc]), replicating the {!Plr_util.Scalar.F32}
+   emulation operation for operation so results stay bitwise identical to
+   the boxed kernels. *)
+let solve_chunk_f ~f32 ~(forward : float array) ~(feedback : float array)
+    (x : Buf.t) (y : Buf.t) ~base ~len =
+  let taps = Array.length forward in
+  let k = Array.length feedback in
+  for i = base to base + len - 1 do
+    A1.unsafe_set y i 0.0;
+    let tmax = if i < taps - 1 then i else taps - 1 in
+    for t = 0 to tmax do
+      let p = Array.unsafe_get forward t *. A1.unsafe_get x (i - t) in
+      let p = if f32 then Int32.float_of_bits (Int32.bits_of_float p) else p in
+      let v = A1.unsafe_get y i +. p in
+      A1.unsafe_set y i
+        (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+    done;
+    let d = i - base in
+    let jmax = if d < k then d else k in
+    for j = 1 to jmax do
+      let p = Array.unsafe_get feedback (j - 1) *. A1.unsafe_get y (i - j) in
+      let p = if f32 then Int32.float_of_bits (Int32.bits_of_float p) else p in
+      let v = A1.unsafe_get y i +. p in
+      A1.unsafe_set y i
+        (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+    done
+  done
+
+(* Same fused solve monomorphized onto flat [int array] storage: int
+   arrays are already unboxed, so the win over the generic kernel is the
+   removal of the indirect [S.add]/[S.mul] calls (which box nothing but
+   cost a call per operation). *)
+let solve_chunk_i ~(forward : int array) ~(feedback : int array)
+    (x : int array) (y : int array) ~base ~len =
+  let taps = Array.length forward in
+  let k = Array.length feedback in
+  for i = base to base + len - 1 do
+    let acc = ref 0 in
+    let tmax = if i < taps - 1 then i else taps - 1 in
+    for t = 0 to tmax do
+      acc := !acc + (Array.unsafe_get forward t * Array.unsafe_get x (i - t))
+    done;
+    let d = i - base in
+    let jmax = if d < k then d else k in
+    for j = 1 to jmax do
+      acc := !acc + (Array.unsafe_get feedback (j - 1) * Array.unsafe_get y (i - j))
+    done;
+    Array.unsafe_set y i !acc
+  done
+
 module Make (S : Plr_util.Scalar.S) = struct
   module Serial = Plr_serial.Serial.Make (S)
   module FP = Plr_factors.Factor_plan.Make (S)
@@ -29,7 +91,9 @@ module Make (S : Plr_util.Scalar.S) = struct
   (* Chunk-size policy.  Chunks below [min_chunk_size] lose more to
      protocol overhead than they gain in parallelism; with
      [chunks_per_domain] chunks per participant the dynamic counter can
-     balance uneven progress without shrinking chunks further. *)
+     balance uneven progress without shrinking chunks further.  These are
+     the heuristic defaults — a measured [Plr_core.Tune] search can beat
+     them and its winners are threaded through [?chunk_size]/[?window]. *)
   let min_chunk_size = 1024
   let chunks_per_domain = 8
   let default_chunk_size ~domains n =
@@ -107,26 +171,52 @@ module Make (S : Plr_util.Scalar.S) = struct
         fp
     | _ -> FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m ()
 
+  (* The chunk-level operations of one run, specialized to the storage the
+     scalar representation admits: unboxed [Buf.t] for floats, flat
+     [int array] for native ints, boxed [S.t array] otherwise.  The
+     look-back schedules below are written once against this record, so
+     every storage backend runs the identical protocol. *)
+  type chunk_kernel = {
+    ksolve : base:int -> len:int -> unit;
+    ksweep : FP.t -> j:int -> carry:S.t -> base:int -> len:int -> unit;
+    kcarry : base:int -> len:int -> j:int -> S.t;
+  }
+
+  let generic_kernel ~forward ~feedback x y =
+    {
+      ksolve = (fun ~base ~len -> solve_chunk_fused ~forward ~feedback x y ~base ~len);
+      ksweep = (fun fp ~j ~carry ~base ~len -> FP.apply_list fp ~j ~carry y ~base ~len);
+      kcarry =
+        (fun ~base ~len ~j ->
+          if len - 1 - j >= 0 then y.(base + len - 1 - j) else S.zero);
+    }
+
   (* Sequential schedule of the same single-pass algorithm: chunks run in
      order, so each chunk is corrected immediately and its global carries
      are simply its last k corrected elements — no combine chain at all.
+     One [g_prev] scratch array is reused across all chunks (the per-chunk
+     [read_carries] allocation used to show up in the trace self-profile).
      Used for one-domain pools and as the guard's fallback stage. *)
-  let run_sequential ?plan ?(cancel = Cancel.none) ~opts ~forward ~feedback x
-      y ~n ~m ~k () =
+  let run_sequential_k ~cancel ~fp ~kernel ~n ~m ~k () =
     let chunks = (n + m - 1) / m in
-    let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
-    let g_prev = ref [||] in
+    let g_prev = Array.make k S.zero in
+    let have_prev = ref false in
     for c = 0 to chunks - 1 do
       Cancel.check cancel;
       let base = c * m in
       let len = min m (n - base) in
       Trace.begin_span2 Trace.Multicore "mc.chunk" c len;
-      solve_chunk_fused ~forward ~feedback x y ~base ~len;
-      if !g_prev <> [||] then
+      kernel.ksolve ~base ~len;
+      if !have_prev then
         for j = 0 to k - 1 do
-          FP.apply_list fp ~j ~carry:!g_prev.(j) y ~base ~len
+          kernel.ksweep fp ~j ~carry:g_prev.(j) ~base ~len
         done;
-      if c < chunks - 1 then g_prev := read_carries y ~base ~len ~k;
+      if c < chunks - 1 then begin
+        for j = 0 to k - 1 do
+          g_prev.(j) <- kernel.kcarry ~base ~len ~j
+        done;
+        have_prev := true
+      end;
       Trace.end_span ()
     done
 
@@ -152,14 +242,16 @@ module Make (S : Plr_util.Scalar.S) = struct
   let status_aggregate = 1
   let status_inclusive = 2
 
-  let run_pooled ?plan ?(cancel = Cancel.none) ~opts ~pool ~forward ~feedback
-      x y ~n ~m ~k () =
+  let run_pooled_k ?window ~cancel ~pool ~fp ~kernel ~n ~m ~k () =
     let chunks = (n + m - 1) / m in
-    let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
     let locals = Array.make (chunks * k) S.zero in
     let globals = Array.make (chunks * k) S.zero in
     let status = Array.init chunks (fun _ -> Atomic.make 0) in
-    let window = max faulted_lookback_window (2 * Pool.size pool) in
+    let window =
+      match window with
+      | Some w -> max 1 w
+      | None -> default_window ~pool_size:(Pool.size pool)
+    in
     let wait c v =
       while Atomic.get status.(c) < v do
         if Pool.cancelled pool then raise Pool.Stopped;
@@ -175,8 +267,8 @@ module Make (S : Plr_util.Scalar.S) = struct
       let base = c * m in
       let len = min m (n - base) in
       Trace.begin_span2 Trace.Multicore "mc.chunk" c len;
-      solve_chunk_fused ~forward ~feedback x y ~base ~len;
-      let local = read_carries y ~base ~len ~k in
+      kernel.ksolve ~base ~len;
+      let local = Array.init k (fun j -> kernel.kcarry ~base ~len ~j) in
       if c = 0 then begin
         write locals 0 local;
         write globals 0 local;
@@ -213,13 +305,77 @@ module Make (S : Plr_util.Scalar.S) = struct
         Trace.begin_span2 Trace.Multicore "mc.correct" c
           (if k > 0 then FP.class_code fp 0 else -1);
         for j = 0 to k - 1 do
-          FP.apply_list fp ~j ~carry:g_prev.(j) y ~base ~len
+          kernel.ksweep fp ~j ~carry:g_prev.(j) ~base ~len
         done;
         Trace.end_span ()
       end;
       Trace.end_span ()
     in
     Pool.run ~cancel pool ~tasks:chunks task
+
+  (* Storage-agnostic driver: resolve the factor plan once, then run the
+     schedule the pool size selects.  [chunks = 1] needs neither a plan
+     nor the protocol — the fused solve is the whole answer. *)
+  let run_kernel ?plan ?window ~cancel ~opts ~pool ~feedback ~n ~m ~k ~kernel
+      () =
+    let chunks = (n + m - 1) / m in
+    if chunks = 1 then begin
+      Cancel.check cancel;
+      kernel.ksolve ~base:0 ~len:n
+    end
+    else begin
+      let fp = resolve_plan ?plan ~opts ~feedback ~m ~k () in
+      if Pool.size pool = 1 then run_sequential_k ~cancel ~fp ~kernel ~n ~m ~k ()
+      else run_pooled_k ?window ~cancel ~pool ~fp ~kernel ~n ~m ~k ()
+    end
+
+  (* Unboxed float64 core: build the monomorphic kernel in a context where
+     matching the representation witness has refined [S.t] to [float].
+     Raises for non-float scalars (the public entry points dispatch). *)
+  let run_float_core ?plan ?window ~cancel ~opts ~pool
+      ~(forward : S.t array) ~(feedback : S.t array) ~n ~m ~k (x : Buf.t)
+      (y : Buf.t) =
+    match S.rep with
+    | Plr_util.Scalar.Float_rep rounding ->
+        let f32 = rounding = Plr_util.Scalar.Round_f32 in
+        let kernel =
+          {
+            ksolve =
+              (fun ~base ~len ->
+                solve_chunk_f ~f32 ~forward ~feedback x y ~base ~len);
+            ksweep =
+              (fun fp ~j ~carry ~base ~len ->
+                FP.apply_list_f fp ~j ~carry y ~base ~len);
+            kcarry =
+              (fun ~base ~len ~j ->
+                if len - 1 - j >= 0 then A1.unsafe_get y (base + len - 1 - j)
+                else S.zero);
+          }
+        in
+        run_kernel ?plan ?window ~cancel ~opts ~pool ~feedback ~n ~m ~k ~kernel
+          ()
+    | _ -> invalid_arg "Multicore.run_float_core: not a float scalar"
+
+  let run_int_core ?plan ?window ~cancel ~opts ~pool ~(forward : S.t array)
+      ~(feedback : S.t array) ~n ~m ~k (x : S.t array) (y : S.t array) =
+    match S.rep with
+    | Plr_util.Scalar.Int_rep ->
+        let kernel =
+          {
+            ksolve =
+              (fun ~base ~len -> solve_chunk_i ~forward ~feedback x y ~base ~len);
+            ksweep =
+              (fun fp ~j ~carry ~base ~len ->
+                FP.apply_list_int fp ~j ~carry y ~base ~len);
+            kcarry =
+              (fun ~base ~len ~j ->
+                if len - 1 - j >= 0 then Array.unsafe_get y (base + len - 1 - j)
+                else S.zero);
+          }
+        in
+        run_kernel ?plan ?window ~cancel ~opts ~pool ~feedback ~n ~m ~k ~kernel
+          ()
+    | _ -> invalid_arg "Multicore.run_int_core: not an int scalar"
 
   (* Deterministic faulted pipeline for the chaos harness: the same
      windowed look-back protocol executed sequentially under the fault
@@ -230,7 +386,9 @@ module Make (S : Plr_util.Scalar.S) = struct
      Drops that the window never reads (an aggregate nobody folds over, an
      inclusive flag off a window boundary) are routed around by the
      look-back exactly as on the modeled GPU — the run stays bit-exact.
-     [Delay_flag] is benign by construction in this untimed model. *)
+     [Delay_flag] is benign by construction in this untimed model.
+     Stays on the boxed kernels on purpose: chaos determinism is pinned
+     against them, and the path is never performance-critical. *)
   let run_faulted ~opts ~faults ~forward ~feedback x y ~n ~m ~k =
     let chunks = (n + m - 1) / m in
     let fp = FP.of_feedback ~opts ~max_period:cpu_max_period ~feedback ~m () in
@@ -321,7 +479,8 @@ module Make (S : Plr_util.Scalar.S) = struct
     done
 
   let run_with ?(opts = Opts.all_on) ?(faults = Faults.none) ?plan
-      ?(cancel = Cancel.none) ~pool ~chunk_size (s : S.t Signature.t) input =
+      ?(cancel = Cancel.none) ?window ~pool ~chunk_size (s : S.t Signature.t)
+      input =
     let n = Array.length input in
     if n = 0 then [||]
     else begin
@@ -330,35 +489,53 @@ module Make (S : Plr_util.Scalar.S) = struct
       let m = max k (min chunk_size n) in
       let chunks = (n + m - 1) / m in
       let forward = s.Signature.forward and feedback = s.Signature.feedback in
-      let y = Array.make n S.zero in
       Trace.begin_span2 Trace.Multicore "mc.run" n chunks;
       let finish () = Trace.end_span () in
-      (try
-         if not (Faults.is_none faults) then
-           run_faulted ~opts ~faults ~forward ~feedback input y ~n ~m ~k
-         else if chunks = 1 then begin
-           (* Degenerate single chunk: the fused solve is already the whole
-              answer — no factor plan, no protocol. *)
-           Cancel.check cancel;
-           solve_chunk_fused ~forward ~feedback input y ~base:0 ~len:n
-         end
-         else if Pool.size pool = 1 then
-           run_sequential ?plan ~cancel ~opts ~forward ~feedback input y ~n
-             ~m ~k ()
-         else
-           run_pooled ?plan ~cancel ~opts ~pool ~forward ~feedback input y ~n
-             ~m ~k ()
-       with e ->
-         finish ();
-         raise e);
-      finish ();
-      y
+      match
+        if not (Faults.is_none faults) then begin
+          (* Chaos replay stays on the boxed reference kernels. *)
+          let y = Array.make n S.zero in
+          run_faulted ~opts ~faults ~forward ~feedback input y ~n ~m ~k;
+          y
+        end
+        else begin
+          (* Storage dispatch: floats convert to unboxed Buf storage at
+             this API boundary only; native ints run in place on their
+             (already flat) arrays; everything else takes the generic
+             boxed kernels.  All paths run the identical schedule and
+             operation order, so outputs are bitwise identical. *)
+          match S.rep with
+          | Plr_util.Scalar.Float_rep _ ->
+              let x = Buf.of_array input in
+              let y = Buf.create n in
+              run_float_core ?plan ?window ~cancel ~opts ~pool ~forward
+                ~feedback ~n ~m ~k x y;
+              Buf.to_array y
+          | Plr_util.Scalar.Int_rep ->
+              let y = Array.make n S.zero in
+              run_int_core ?plan ?window ~cancel ~opts ~pool ~forward ~feedback
+                ~n ~m ~k input y;
+              y
+          | Plr_util.Scalar.Other_rep ->
+              let y = Array.make n S.zero in
+              run_kernel ?plan ?window ~cancel ~opts ~pool ~feedback ~n ~m ~k
+                ~kernel:(generic_kernel ~forward ~feedback input y) ();
+              y
+        end
+      with
+      | y ->
+          finish ();
+          y
+      | exception e ->
+          finish ();
+          raise e
     end
 
   let resolve_pool ?pool ?domains () =
     match pool with Some p -> p | None -> Pool.get ?domains ()
 
-  let run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size s input =
+  let run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size ?window s
+      input =
     let pool = resolve_pool ?pool ?domains () in
     let chunk_size =
       match (chunk_size, plan) with
@@ -370,7 +547,38 @@ module Make (S : Plr_util.Scalar.S) = struct
       | None, None ->
           default_chunk_size ~domains:(Pool.size pool) (Array.length input)
     in
-    run_with ?opts ?faults ?plan ?cancel ~pool ~chunk_size s input
+    run_with ?opts ?faults ?plan ?cancel ?window ~pool ~chunk_size s input
+
+  (* Buf-in/Buf-out entry for float scalars: no boxed conversion at all.
+     [dst] is caller-allocated (and reusable across calls — [Stream] keeps
+     one), so a warmed-up run performs no per-element allocation. *)
+  let run_into ?(opts = Opts.all_on) ?plan ?(cancel = Cancel.none) ?pool
+      ?domains ?chunk_size ?window (s : S.t Signature.t) ~(src : Buf.t)
+      ~(dst : Buf.t) =
+    let n = Buf.length src in
+    if Buf.length dst < n then invalid_arg "Multicore.run_into: dst too short";
+    if n > 0 then begin
+      let pool = resolve_pool ?pool ?domains () in
+      let k = Signature.order s in
+      let chunk_size =
+        match (chunk_size, plan) with
+        | Some c, _ -> max 1 c
+        | None, Some (fp : FP.t) -> max 1 fp.FP.m
+        | None, None -> default_chunk_size ~domains:(Pool.size pool) n
+      in
+      let m = max k (min chunk_size n) in
+      let chunks = (n + m - 1) / m in
+      let forward = s.Signature.forward and feedback = s.Signature.feedback in
+      Trace.begin_span2 Trace.Multicore "mc.run" n chunks;
+      match
+        run_float_core ?plan ?window ~cancel ~opts ~pool ~forward ~feedback ~n
+          ~m ~k src dst
+      with
+      | () -> Trace.end_span ()
+      | exception e ->
+          Trace.end_span ();
+          raise e
+    end
 
   let sequential_pool = lazy (Pool.get ~domains:1 ())
 

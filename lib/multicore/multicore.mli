@@ -27,7 +27,18 @@
     {!Plr_factors.Factor_plan}, so the CPU hot path inherits the paper's
     §3.1 specializations (all-equal folding, 0/1 conditional add,
     decayed-tail skipping) under the same {!Plr_factors.Opts} toggles as
-    the GPU model. *)
+    the GPU model.
+
+    {2 Storage}
+
+    The schedules are written once against a per-run chunk kernel and
+    dispatch on {!Plr_util.Scalar.S.rep}: float scalars run on unboxed
+    {!Plr_util.Buf.t} float64 storage (conversion from/to boxed
+    [float array] happens only at the [run] API boundary; {!Make.run_into}
+    skips it entirely), native ints run monomorphic kernels on their
+    already-flat arrays, and every other scalar keeps the generic boxed
+    kernels.  All storage paths execute the identical operation and
+    rounding sequence, so outputs are bitwise identical across them. *)
 
 module Faults = Plr_gpusim.Faults
 module Pool = Plr_exec.Pool
@@ -46,6 +57,11 @@ val faulted_lookback_window : int
     around (bit-exact output); drops inside it stall and raise
     {!Fault_detected}. *)
 
+val default_window : pool_size:int -> int
+(** The look-back window the pooled schedule uses when [?window] is not
+    given: [max faulted_lookback_window (2 × pool_size)].  A measured
+    tuning ({!Plr_core.Tune}) may override it per run. *)
+
 module Make (S : Plr_util.Scalar.S) : sig
   val default_chunk_size : domains:int -> int -> int
   (** The chunk size [run] uses when none is given: the input length split
@@ -58,14 +74,18 @@ module Make (S : Plr_util.Scalar.S) : sig
     ?plan:Plr_factors.Factor_plan.Make(S).t ->
     ?cancel:Cancel.t ->
     ?pool:Pool.t ->
-    ?domains:int -> ?chunk_size:int -> S.t Signature.t -> S.t array -> S.t array
+    ?domains:int ->
+    ?chunk_size:int ->
+    ?window:int -> S.t Signature.t -> S.t array -> S.t array
   (** [run s x] computes the recurrence in parallel on a persistent
       domain pool.  [pool] (default: the registry pool for [domains],
       itself defaulting to [Domain.recommended_domain_count ()]) supplies
       the worker domains — no domain is spawned per call.  [chunk_size]
-      defaults to {!default_chunk_size}.  [opts] (default
-      {!Plr_factors.Opts.all_on}) selects the factor specializations
-      applied during carry promotion and correction.
+      defaults to {!default_chunk_size}; [window] overrides the pooled
+      schedule's look-back window ({!default_window}) — both are the
+      knobs the measured autotuner ([Plr_core.Tune]) searches.  [opts]
+      (default {!Plr_factors.Opts.all_on}) selects the factor
+      specializations applied during carry promotion and correction.
 
       [plan] supplies a precompiled factor plan (the serve layer's plan
       cache) and skips the per-call {!Plr_factors.Factor_plan.of_feedback}
@@ -89,6 +109,25 @@ module Make (S : Plr_util.Scalar.S) : sig
       before every task claim): when it fires mid-run — explicitly or
       because its deadline passed — the run abandons its remaining chunks
       and raises {!Plr_exec.Cancel.Cancelled}. *)
+
+  val run_into :
+    ?opts:Plr_factors.Opts.t ->
+    ?plan:Plr_factors.Factor_plan.Make(S).t ->
+    ?cancel:Cancel.t ->
+    ?pool:Pool.t ->
+    ?domains:int ->
+    ?chunk_size:int ->
+    ?window:int ->
+    S.t Signature.t ->
+    src:Plr_util.Buf.t ->
+    dst:Plr_util.Buf.t ->
+    unit
+  (** Unboxed entry point for float scalars: reads [src] and writes the
+      first [Buf.length src] elements of the caller-allocated [dst]
+      (which may be reused across calls), with no boxed-float conversion
+      on either side.  Raises [Invalid_argument] for non-float scalars or
+      when [dst] is shorter than [src].  Results are bitwise identical to
+      {!run} on the same input. *)
 
   val run_sequential_fallback :
     ?opts:Plr_factors.Opts.t ->

@@ -1,3 +1,6 @@
+module Buf = Plr_util.Buf
+module A1 = Bigarray.Array1
+
 module Make (S : Plr_util.Scalar.S) = struct
   module Multicore = Multicore.Make (S)
   module FP = Plr_factors.Factor_plan.Make (S)
@@ -10,10 +13,15 @@ module Make (S : Plr_util.Scalar.S) = struct
     taps : int;
     pool : Pool.t;
     opts : Plr_factors.Opts.t;
-    mutable carries : S.t array;     (* carry j = j-th from last output *)
-    mutable input_tail : S.t array;  (* last taps-1 inputs, most recent last *)
+    carries : S.t array;             (* carry j = j-th from last output *)
+    input_tail : S.t array;          (* last taps-1 inputs, most recent last *)
     mutable fplan : FP.t option;     (* compiled factor plan, grown on demand *)
     mutable started : bool;
+    (* Unboxed scratch for the float path, grown geometrically and reused
+       across [process] calls: FIR output (the multicore solve's input)
+       and the corrected chunk output.  Length 0 for non-float scalars. *)
+    mutable fbuf_in : Buf.t;
+    mutable fbuf_out : Buf.t;
   }
 
   let create ?pool ?domains ?(opts = Plr_factors.Opts.all_on)
@@ -34,13 +42,15 @@ module Make (S : Plr_util.Scalar.S) = struct
       input_tail = Array.make (max 0 (Signature.fir_taps signature - 1)) S.zero;
       fplan = None;
       started = false;
+      fbuf_in = Buf.create 0;
+      fbuf_out = Buf.create 0;
     }
 
   let signature t = t.signature
 
   let reset t =
-    t.carries <- Array.make t.k S.zero;
-    t.input_tail <- Array.make (max 0 (t.taps - 1)) S.zero;
+    Array.fill t.carries 0 t.k S.zero;
+    Array.fill t.input_tail 0 (Array.length t.input_tail) S.zero;
     t.started <- false
 
   let ensure_plan t len =
@@ -51,6 +61,13 @@ module Make (S : Plr_util.Scalar.S) = struct
           (FP.of_feedback ~opts:t.opts ~max_period:64
              ~feedback:t.signature.Signature.feedback
              ~m:(max len (2 * max 1 have)) ())
+
+  let ensure_fbufs t n =
+    if Buf.length t.fbuf_in < n then begin
+      let cap = max n (2 * max 1 (Buf.length t.fbuf_in)) in
+      t.fbuf_in <- Buf.create cap;
+      t.fbuf_out <- Buf.create cap
+    end
 
   (* FIR with the saved input history standing in for x(i < 0 of this
      chunk). *)
@@ -82,16 +99,17 @@ module Make (S : Plr_util.Scalar.S) = struct
      pool. *)
   let parallel_sweep_threshold = 8192
 
+  let sweep_parts t n =
+    if n < parallel_sweep_threshold then 1
+    else min (Pool.size t.pool) (n / (parallel_sweep_threshold / 2))
+
   (* The boundary-correction sweep: one specialized whole-list sweep per
      factor list.  Factor positions are absolute chunk positions, so a
      range split passes its offset as [q0]; each range sums the lists in
      the same order, keeping the output bit-identical to the serial
      sweep. *)
   let correct_boundary t fp y ~n =
-    let parts =
-      if n < parallel_sweep_threshold then 1
-      else min (Pool.size t.pool) (n / (parallel_sweep_threshold / 2))
-    in
+    let parts = sweep_parts t n in
     if parts <= 1 then
       for j = 0 to t.k - 1 do
         FP.apply_list fp ~j ~carry:t.carries.(j) y ~base:0 ~len:n
@@ -107,33 +125,125 @@ module Make (S : Plr_util.Scalar.S) = struct
             done)
     end
 
+  (* Save the new carry/input-tail state in place (no per-call
+     reallocation).  Carries walk downward because slot j may read old
+     slot j-n (a smaller index, still unwritten on the way down); the
+     input tail walks upward because slot h may read old slot h+n. *)
+  let save_carries_with t ~n read_out =
+    for j = t.k - 1 downto 0 do
+      t.carries.(j) <-
+        (if n - 1 - j >= 0 then read_out (n - 1 - j) else t.carries.(j - n))
+    done
+
+  let save_input_tail t x ~n =
+    let tail = t.input_tail in
+    let nh = Array.length tail in
+    for h = 0 to nh - 1 do
+      let back = nh - 1 - h in
+      tail.(h) <-
+        (if n - 1 - back >= 0 then x.(n - 1 - back)
+         else tail.(nh - 1 - (back - n)))
+    done
+
+  (* Unboxed float path: FIR into the reused [fbuf_in] scratch, solve into
+     [fbuf_out] through [Multicore.run_into] (no boxed conversion), sweep
+     the boundary correction directly on the output buffer.  Only the
+     returned chunk is a fresh boxed array — the caller owns it. *)
+  let process_f t (x : S.t array) ~n : S.t array =
+    match S.rep with
+    | Plr_util.Scalar.Float_rep rounding ->
+        let f32 = rounding = Plr_util.Scalar.Round_f32 in
+        ensure_fbufs t n;
+        let src = Buf.sub t.fbuf_in ~pos:0 ~len:n in
+        let dst = Buf.sub t.fbuf_out ~pos:0 ~len:n in
+        let fwd = t.signature.Signature.forward in
+        let taps = t.taps in
+        if taps = 1 && fwd.(0) = 1.0 then Buf.blit_from_array x src
+        else begin
+          let hist = t.input_tail in
+          let nh = Array.length hist in
+          for i = 0 to n - 1 do
+            A1.unsafe_set src i 0.0;
+            for j = 0 to taps - 1 do
+              let f = Array.unsafe_get fwd j in
+              if f <> 0.0 then begin
+                let v =
+                  if i - j >= 0 then Array.unsafe_get x (i - j)
+                  else begin
+                    let h = nh + (i - j) in
+                    if h >= 0 then Array.unsafe_get hist h else 0.0
+                  end
+                in
+                let p = f *. v in
+                let p =
+                  if f32 then Int32.float_of_bits (Int32.bits_of_float p)
+                  else p
+                in
+                let acc = A1.unsafe_get src i +. p in
+                A1.unsafe_set src i
+                  (if f32 then Int32.float_of_bits (Int32.bits_of_float acc)
+                   else acc)
+              end
+            done
+          done
+        end;
+        ensure_plan t n;
+        let plan = t.fplan in
+        Multicore.run_into ~opts:t.opts ?plan ~pool:t.pool
+          ~chunk_size:
+            (Multicore.default_chunk_size ~domains:(Pool.size t.pool) n)
+          t.pure ~src ~dst;
+        (if t.started then
+           match plan with
+           | None -> assert false (* ensure_plan always installs a plan *)
+           | Some fp ->
+               let parts = sweep_parts t n in
+               if parts <= 1 then
+                 for j = 0 to t.k - 1 do
+                   FP.apply_list_f fp ~j ~carry:t.carries.(j) dst ~base:0 ~len:n
+                 done
+               else begin
+                 let per = (n + parts - 1) / parts in
+                 Pool.run t.pool ~tasks:parts (fun p ->
+                     let lo = p * per in
+                     let len = min per (n - lo) in
+                     if len > 0 then
+                       for j = 0 to t.k - 1 do
+                         FP.apply_list_f ~q0:lo fp ~j ~carry:t.carries.(j) dst
+                           ~base:lo ~len
+                       done)
+               end);
+        save_carries_with t ~n (fun i -> A1.unsafe_get dst i);
+        save_input_tail t x ~n;
+        t.started <- true;
+        Buf.to_array dst
+    | _ -> invalid_arg "Stream.process_f: not a float scalar"
+
   let process t x =
     let n = Array.length x in
     if n = 0 then [||]
-    else begin
-      let tseq = fir_with_history t x in
-      (* local parallel solve of the pure recurrence *)
-      let y = Multicore.run ~opts:t.opts ~pool:t.pool t.pure tseq in
-      (* correct with the carries from everything processed so far *)
-      if t.started then begin
-        ensure_plan t n;
-        match t.fplan with
-        | None -> assert false (* ensure_plan always installs a plan *)
-        | Some fp -> correct_boundary t fp y ~n
-      end;
-      (* save the new state *)
-      t.carries <-
-        Array.init t.k (fun j ->
-            if n - 1 - j >= 0 then y.(n - 1 - j) else t.carries.(j - n));
-      let nh = Array.length t.input_tail in
-      if nh > 0 then
-        t.input_tail <-
-          Array.init nh (fun h ->
-              (* most recent last: slot nh-1 = x(n-1) *)
-              let back = nh - 1 - h in
-              if n - 1 - back >= 0 then x.(n - 1 - back)
-              else t.input_tail.(nh - 1 - (back - n)));
-      t.started <- true;
-      y
-    end
+    else
+      match S.rep with
+      | Plr_util.Scalar.Float_rep _ -> process_f t x ~n
+      | _ ->
+          let tseq = fir_with_history t x in
+          ensure_plan t n;
+          (* local parallel solve of the pure recurrence; the grown factor
+             plan is shared with the boundary sweep *)
+          let y =
+            Multicore.run ~opts:t.opts ?plan:t.fplan ~pool:t.pool
+              ~chunk_size:
+                (Multicore.default_chunk_size ~domains:(Pool.size t.pool) n)
+              t.pure tseq
+          in
+          (* correct with the carries from everything processed so far *)
+          (if t.started then
+             match t.fplan with
+             | None -> assert false (* ensure_plan always installs a plan *)
+             | Some fp -> correct_boundary t fp y ~n);
+          (* save the new state *)
+          save_carries_with t ~n (fun i -> y.(i));
+          save_input_tail t x ~n;
+          t.started <- true;
+          y
   end

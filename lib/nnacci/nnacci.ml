@@ -1,31 +1,91 @@
+(* Monomorphic binary64 generation.  The generic loop below spends most
+   of its time boxing float intermediates and making indirect
+   [S.add]/[S.mul] calls, and for long chunks that cost dominates
+   per-call factor compilation.  [Make] dispatches here when [S.rep]
+   witnesses exact native-float arithmetic; the operation order is
+   identical to the generic loop, so the outputs are bitwise the same.
+
+   [flush] is the scalar's own [flush_denormal], applied once per
+   output when [flush_denormals] is set.  Flushing matters beyond
+   numerics: a decaying recurrence can get stuck hovering at the
+   minimum subnormal (e.g. [1.6 x - 0.64 x] rounds back to [x] there),
+   and flushing is what lets the tail reach the exact zeros that
+   trigger the early exit. *)
+let generate_float ~flush_denormals ~(flush : float -> float)
+    ~(feedback : float array) ~m ~carry =
+  let k = Array.length feedback in
+  assert (carry >= 0 && carry < k);
+  let window = Array.make k 0.0 in
+  window.(k - 1 - carry) <- 1.0;
+  let out = Array.make m 0.0 in
+  let zero_run = ref 0 in
+  let q = ref 0 in
+  while !q < m && !zero_run < k do
+    let acc = ref 0.0 in
+    for t = 0 to k - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get feedback t *. Array.unsafe_get window (k - 1 - t))
+    done;
+    let v = if flush_denormals then flush !acc else !acc in
+    Array.unsafe_set out !q v;
+    if v = 0.0 then incr zero_run else zero_run := 0;
+    for i = 0 to k - 2 do
+      Array.unsafe_set window i (Array.unsafe_get window (i + 1))
+    done;
+    Array.unsafe_set window (k - 1) v;
+    incr q
+  done;
+  out
+
 module Make (S : Plr_util.Scalar.S) = struct
   let seed ~k ~carry =
     assert (carry >= 0 && carry < k);
     Array.init k (fun i -> if i = k - 1 - carry then S.one else S.zero)
 
   (* Run the recurrence (0 : feedback) over a sliding window of the last k
-     values, starting from the one-hot seed, and collect m factors. *)
-  let generate ?(flush_denormals = false) ~feedback ~m ~carry () =
+     values, starting from the one-hot seed, and collect m factors.
+
+     Once k consecutive outputs are exactly zero the window is all zero,
+     and a linear recurrence started from the zero state stays zero
+     forever — the remaining entries keep [out]'s S.zero fill and the
+     loop stops.  For decaying feedback (whose double-precision values
+     underflow to exact zeros — the same tail the paper's §3 FTZ trick
+     exploits) this turns the O(m·k) generation into O(cutoff·k), which
+     is what keeps per-call factor compilation cheap for long chunks. *)
+  let generate_boxed ~flush_denormals ~feedback ~m ~carry =
     let k = Array.length feedback in
     let window = seed ~k ~carry in
     (* window.(i) holds the value k - 1 - i steps back; keep it ordered so
        window.(k-1) is the most recent value. *)
     let out = Array.make m S.zero in
-    for q = 0 to m - 1 do
+    let zero_run = ref 0 in
+    let q = ref 0 in
+    while !q < m && !zero_run < k do
       let acc = ref S.zero in
       for t = 0 to k - 1 do
         (* feedback.(t) = c-(t+1) multiplies the value (t+1) steps back. *)
         acc := S.add !acc (S.mul feedback.(t) window.(k - 1 - t))
       done;
       let v = if flush_denormals then S.flush_denormal !acc else !acc in
-      out.(q) <- v;
+      out.(!q) <- v;
+      if S.is_zero v then incr zero_run else zero_run := 0;
       (* slide *)
       for i = 0 to k - 2 do
         window.(i) <- window.(i + 1)
       done;
-      window.(k - 1) <- v
+      window.(k - 1) <- v;
+      incr q
     done;
     out
+
+  let generate ?(flush_denormals = false) ~(feedback : S.t array) ~m ~carry ()
+      : S.t array =
+    match S.rep with
+    | Plr_util.Scalar.Float_rep Plr_util.Scalar.Exact ->
+        generate_float ~flush_denormals ~flush:S.flush_denormal ~feedback ~m
+          ~carry
+    | _ -> generate_boxed ~flush_denormals ~feedback ~m ~carry
 
   let factor_list ~feedback ~m ~carry = generate ~feedback ~m ~carry ()
 

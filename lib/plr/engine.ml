@@ -91,7 +91,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     Trace.begin_span2 Trace.Engine "engine.chunk" b len;
     Device.atomic dev;
     for i = 0 to len - 1 do
-      work.(i) <- read_input (start + i)
+      work.K.wset i (read_input (start + i))
     done;
     K.fir_chunk ctx ~input ~start ~work ~len;
     Trace.begin_span2 Trace.Engine "engine.phase1" b (K.phase1_levels plan);
@@ -156,7 +156,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     Device.write dev Device.Aux ~addr:(global_flag_addr b) ~bytes:4;
     (* Section 7: emit results. *)
     for i = 0 to len - 1 do
-      write_output (start + i) work.(i)
+      write_output (start + i) (work.K.wget i)
     done;
     Trace.end_span ()
 
@@ -177,7 +177,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     let chunks = P.num_chunks plan in
     let locals = Array.make chunks [||] in
     let globals = Array.make chunks [||] in
-    let work = Array.make plan.P.m S.zero in
+    let work = K.work_make plan.P.m in
     let local_addr b j = local_base + ((((b mod c) * k) + j) * S.bytes) in
     let global_addr b j = global_base + ((((b mod c) * k) + j) * S.bytes) in
     let local_flag_addr b = flag_base + (b mod c * 4) in
@@ -348,7 +348,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       let dev = Device.create spec in
       let ctx = K.make_ctx ~dev ~plan ~factor_base:0 ~input_base:0 in
       let input = Array.make (min plan.P.m len + plan.P.m) S.zero in
-      let work = Array.make plan.P.m S.zero in
+      let work = K.work_make plan.P.m in
       let locals = Array.make (max 1 (b + 1)) [||] in
       let globals = Array.make (max 1 (b + 1)) [||] in
       (* Fake a start so FIR boundary reads behave like an interior chunk. *)

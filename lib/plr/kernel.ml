@@ -4,6 +4,31 @@ module Analysis = Plr_nnacci.Analysis
 module Make (S : Plr_util.Scalar.S) = struct
   module P = Plan.Make (S)
 
+  (* Per-chunk working storage of the modeled device's registers/shared
+     memory.  Float scalars back it with unboxed {!Plr_util.Buf.t}
+     float64 storage (binary64 holds every emulated-binary32 value
+     exactly, so values are unchanged); everything else keeps a boxed
+     [S.t array].  The kernels only see the accessors, so the device
+     counters they charge are identical either way. *)
+  type work = { wget : int -> S.t; wset : int -> S.t -> unit }
+
+  let work_make m : work =
+    match S.rep with
+    | Plr_util.Scalar.Float_rep _ ->
+        let b = Plr_util.Buf.create m in
+        {
+          wget = (fun i -> Bigarray.Array1.get b i);
+          wset = (fun i v -> Bigarray.Array1.set b i v);
+        }
+    | _ ->
+        let a = Array.make m S.zero in
+        { wget = (fun i -> a.(i)); wset = (fun i v -> a.(i) <- v) }
+
+  (* View an existing boxed array as working storage (in place) — used by
+     the worked-example tests to inspect intermediate states. *)
+  let work_of_array (a : S.t array) : work =
+    { wget = (fun i -> a.(i)); wset = (fun i v -> a.(i) <- v) }
+
   type ctx = {
     dev : Device.t;
     plan : P.t;
@@ -58,7 +83,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       S.add acc (S.mul coeff value)
     end
 
-  let fir_chunk ctx ~input ~start ~work ~len =
+  let fir_chunk ctx ~input ~start ~(work : work) ~len =
     let plan = ctx.plan in
     let fwd = plan.P.signature.Signature.forward in
     let taps = Array.length fwd in
@@ -72,7 +97,7 @@ module Make (S : Plr_util.Scalar.S) = struct
         let acc = ref S.zero in
         for j = 0 to min gidx (taps - 1) do
           let v =
-            if j <= i then work.(i - j)
+            if j <= i then work.wget (i - j)
             else begin
               (* Boundary value from the preceding chunk: re-read it from
                  the input buffer in global memory. *)
@@ -84,7 +109,7 @@ module Make (S : Plr_util.Scalar.S) = struct
           in
           acc := coeff_term dev fwd.(j) !acc v
         done;
-        work.(i) <- !acc
+        work.wset i !acc
       done
     end
 
@@ -95,7 +120,7 @@ module Make (S : Plr_util.Scalar.S) = struct
 
   (* Per-thread sequential solve of each x-element slice (chunks of size 1
      merged serially inside a thread's registers). *)
-  let serial_slices ctx work ~len =
+  let serial_slices ctx (work : work) ~len =
     let plan = ctx.plan in
     let dev = ctx.dev in
     let fb = plan.P.signature.Signature.feedback in
@@ -105,16 +130,16 @@ module Make (S : Plr_util.Scalar.S) = struct
     while !lo < len do
       let hi = min len (!lo + x) in
       for i = !lo to hi - 1 do
-        let acc = ref work.(i) in
+        let acc = ref (work.wget i) in
         for j = 1 to min (i - !lo) k do
-          acc := coeff_term dev fb.(j - 1) !acc work.(i - j)
+          acc := coeff_term dev fb.(j - 1) !acc (work.wget (i - j))
         done;
-        work.(i) <- !acc
+        work.wset i !acc
       done;
       lo := hi
     done
 
-  let phase1_merge_level ctx work ~len ~group =
+  let phase1_merge_level ctx (work : work) ~len ~group =
     let plan = ctx.plan in
     let dev = ctx.dev in
     let k = plan.P.order in
@@ -149,16 +174,16 @@ module Make (S : Plr_util.Scalar.S) = struct
       end;
       for q = 0 to limit - 1 do
         let idx = sc_start + q in
-        let acc = ref work.(idx) in
+        let acc = ref (work.wget idx) in
         for j = 0 to carries_present - 1 do
-          acc := correct_term ctx j q !acc work.(sc_start - 1 - j)
+          acc := correct_term ctx j q !acc (work.wget (sc_start - 1 - j))
         done;
-        work.(idx) <- !acc
+        work.wset idx !acc
       done;
       base := !base + pair
     done
 
-  let phase1_chunk ctx work ~len =
+  let phase1_chunk ctx (work : work) ~len =
     serial_slices ctx work ~len;
     let group = ref ctx.plan.P.x in
     while !group < ctx.plan.P.m do
@@ -166,18 +191,18 @@ module Make (S : Plr_util.Scalar.S) = struct
       group := 2 * !group
     done
 
-  let apply_carries ctx work ~len ~g =
+  let apply_carries ctx (work : work) ~len ~g =
     let plan = ctx.plan in
     let k = plan.P.order in
     let limit =
       match P.zero_tail plan with Some z -> min len z | None -> len
     in
     for q = 0 to limit - 1 do
-      let acc = ref work.(q) in
+      let acc = ref (work.wget q) in
       for j = 0 to k - 1 do
         acc := correct_term ctx j q !acc g.(j)
       done;
-      work.(q) <- !acc
+      work.wset q !acc
     done
 
   let correct_carries ctx ~local ~g_prev =
@@ -192,7 +217,8 @@ module Make (S : Plr_util.Scalar.S) = struct
         done;
         !acc)
 
-  let carries_of_chunk plan work ~len =
+  let carries_of_chunk plan (work : work) ~len =
     let k = plan.P.order in
-    Array.init k (fun j -> if len - 1 - j >= 0 then work.(len - 1 - j) else S.zero)
+    Array.init k (fun j ->
+        if len - 1 - j >= 0 then work.wget (len - 1 - j) else S.zero)
 end

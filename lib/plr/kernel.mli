@@ -13,6 +13,20 @@ module Analysis = Plr_nnacci.Analysis
 module Make (S : Plr_util.Scalar.S) : sig
   module P : module type of Plan.Make (S)
 
+  type work = { wget : int -> S.t; wset : int -> S.t -> unit }
+  (** Accessors over one chunk's working storage (the modeled device's
+      registers/shared memory).  {!work_make} backs it with unboxed
+      {!Plr_util.Buf.t} float64 storage for float scalars (binary64 holds
+      every emulated-binary32 value exactly) and a boxed [S.t array]
+      otherwise; the kernels below only see the accessors, so the charged
+      device counters are identical either way. *)
+
+  val work_make : int -> work
+
+  val work_of_array : S.t array -> work
+  (** View an existing boxed array as working storage, in place (no
+      copy) — lets tests inspect intermediate chunk states. *)
+
   type ctx = {
     dev : Device.t;
     plan : P.t;
@@ -30,7 +44,7 @@ module Make (S : Plr_util.Scalar.S) : sig
       against [dev]. *)
 
   val fir_chunk :
-    ctx -> input:S.t array -> start:int -> work:S.t array -> len:int -> unit
+    ctx -> input:S.t array -> start:int -> work:work -> len:int -> unit
   (** Map stage (equation 2): fills [work.(0..len-1)] with the FIR of the
       input at global positions [start..start+len-1].  Reads of the up-to-p
       boundary values preceding [start] are charged as global reads; the
@@ -40,17 +54,17 @@ module Make (S : Plr_util.Scalar.S) : sig
   (** Number of doubling levels (10 for 1024-thread blocks). *)
 
   val phase1_merge_level :
-    ctx -> S.t array -> len:int -> group:int -> unit
+    ctx -> work -> len:int -> group:int -> unit
   (** One doubling iteration: merges adjacent pairs of [group]-sized chunks
       within [work] (paper §2.1), applying correction factors with the
       plan's specializations.  Exposed for the worked-example tests. *)
 
-  val phase1_chunk : ctx -> S.t array -> len:int -> unit
+  val phase1_chunk : ctx -> work -> len:int -> unit
   (** Full Phase 1 on one chunk: per-thread serial solve of x-element
       slices, then all doubling levels (intra-warp via shuffles, then
       across warps via shared memory). *)
 
-  val apply_carries : ctx -> S.t array -> len:int -> g:S.t array -> unit
+  val apply_carries : ctx -> work -> len:int -> g:S.t array -> unit
   (** Phase 2 correction: [work.(q) += Σ_j factors.(j).(q) · g.(j)] for all
       [q], with the same specializations and zero-tail suppression.
       [g.(j)] is carry [j] of the predecessor chunk ([j = 0] is its last
@@ -61,7 +75,7 @@ module Make (S : Plr_util.Scalar.S) : sig
       carries into global carries given the predecessor's global carries,
       using the last k correction factors — O(k²) work. *)
 
-  val carries_of_chunk : P.t -> S.t array -> len:int -> S.t array
+  val carries_of_chunk : P.t -> work -> len:int -> S.t array
   (** The last [min k len] values of a chunk in carry order (index 0 = last
       element), zero-padded to k. *)
 end

@@ -236,10 +236,10 @@ module Make (S : Plr_util.Scalar.S) = struct
     end
 
   let multicore_runner ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size
-      () : runner =
+      ?window () : runner =
    fun s input ->
-    Multicore.run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size s
-      input
+    Multicore.run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size
+      ?window s input
 
   let stream_runner ?pool ?domains ?opts ~buffer () : runner =
    fun s input ->

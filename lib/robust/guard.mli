@@ -86,10 +86,12 @@ module Make (S : Plr_util.Scalar.S) : sig
     ?opts:Plr_core.Opts.t -> ?faults:Faults.plan ->
     ?plan:Plr_factors.Factor_plan.Make(S).t -> ?cancel:Plr_exec.Cancel.t ->
     ?pool:Plr_exec.Pool.t ->
-    ?domains:int -> ?chunk_size:int -> unit -> runner
+    ?domains:int -> ?chunk_size:int -> ?window:int -> unit -> runner
   (** The single-pass CPU engine; [pool]/[domains] select the persistent
-      domain pool and [plan] injects a precompiled factor plan (the serve
-      layer's cache) exactly as in {!Plr_multicore.Multicore.Make.run}.
+      domain pool, [plan] injects a precompiled factor plan (the serve
+      layer's cache), and [chunk_size]/[window] carry a measured tuning
+      ({!Plr_core.Tune.cpu_tuning}) exactly as in
+      {!Plr_multicore.Multicore.Make.run}.
       [cancel] is polled at chunk boundaries; when it fires, the guard
       re-raises {!Plr_exec.Cancel.Cancelled} instead of degrading — a
       cancelled request is the caller's abort, not an engine fault. *)

@@ -19,6 +19,14 @@ module Make (S : Plr_util.Scalar.S) : sig
   val full : S.t Signature.t -> S.t array -> S.t array
   (** Equation (1): [fir] then [recurrence]. *)
 
+  val full_into : S.t Signature.t -> src:Plr_util.Buf.t -> dst:Plr_util.Buf.t -> unit
+  (** {!full} on unboxed {!Plr_util.Buf.t} float64 storage (float scalars
+      only — raises [Invalid_argument] otherwise).  Writes the first
+      [Buf.length src] elements of the caller-allocated [dst]; the
+      operation and rounding sequence replicates {!full} exactly, so the
+      result is bitwise identical.  The boxed {!full} remains the
+      reference every backend is validated against. *)
+
   val validate : ?tol:float -> expected:S.t array -> S.t array -> (unit, string) result
   (** Element-wise comparison in the paper's style.  [tol] defaults to
       [1e-3] and only matters for floating scalars.  On failure the message

@@ -115,6 +115,9 @@ type t = {
   breaker_shorted : Counter.t;
   plan_hits : Counter.t;
   plan_misses : Counter.t;
+  tune_searched : Counter.t;
+  tune_cached : Counter.t;
+  tune_heuristic : Counter.t;
   batches : Counter.t;
   batched_requests : Counter.t;
   session_checkpoints : Counter.t;
@@ -140,6 +143,9 @@ let create () =
     breaker_shorted = Counter.create ();
     plan_hits = Counter.create ();
     plan_misses = Counter.create ();
+    tune_searched = Counter.create ();
+    tune_cached = Counter.create ();
+    tune_heuristic = Counter.create ();
     batches = Counter.create ();
     batched_requests = Counter.create ();
     session_checkpoints = Counter.create ();
@@ -151,7 +157,7 @@ let create () =
     total = Histogram.create ();
   }
 
-let snapshot_json ?pool t =
+let snapshot_json ?pool ?tuning t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   let counter name c = Printf.sprintf "  \"%s\": %d" name (Counter.get c) in
@@ -170,6 +176,9 @@ let snapshot_json ?pool t =
       counter "breaker_shorted" t.breaker_shorted;
       counter "plan_cache_hits" t.plan_hits;
       counter "plan_cache_misses" t.plan_misses;
+      counter "tune_searched" t.tune_searched;
+      counter "tune_cached" t.tune_cached;
+      counter "tune_heuristic" t.tune_heuristic;
       counter "batches" t.batches;
       counter "batched_requests" t.batched_requests;
       counter "session_checkpoints" t.session_checkpoints;
@@ -180,6 +189,9 @@ let snapshot_json ?pool t =
       histogram "exec" t.exec;
       histogram "total" t.total;
     ]
+    @ (match tuning with
+      | None | Some "" -> []
+      | Some s -> [ Printf.sprintf "  \"tuning\": %S" s ])
     @ (match pool with
       | None -> []
       | Some p ->

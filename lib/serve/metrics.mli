@@ -62,6 +62,12 @@ type t = {
           breaker *)
   plan_hits : Counter.t;      (** plan-cache lookups served from cache *)
   plan_misses : Counter.t;    (** lookups that compiled a fresh plan *)
+  tune_searched : Counter.t;
+      (** plan compiles that ran a measured autotuner search *)
+  tune_cached : Counter.t;
+      (** plan compiles that reused a tuning from the registry *)
+  tune_heuristic : Counter.t;
+      (** plan compiles that fell back to the built-in heuristics *)
   batches : Counter.t;        (** fused batch executions *)
   batched_requests : Counter.t; (** requests served through a fused batch *)
   session_checkpoints : Counter.t; (** session state snapshots taken *)
@@ -76,9 +82,13 @@ type t = {
 
 val create : unit -> t
 
-val snapshot_json : ?pool:Plr_exec.Pool.t -> t -> string
+val snapshot_json : ?pool:Plr_exec.Pool.t -> ?tuning:string -> t -> string
 (** One JSON object with every counter, every histogram, and — when
-    [pool] is given — the pool's {!Plr_exec.Pool.stats}.  When the
+    [pool] is given — the pool's {!Plr_exec.Pool.stats}.  [tuning]
+    (when non-empty) is echoed as a ["tuning"] field: the active
+    schedule tuning and its source (cached | searched |
+    heuristic-fallback), so serve-bench snapshots are attributable to
+    the configuration that produced them.  When the
     {!Plr_trace.Trace} sink is enabled the snapshot also carries a
     ["trace"] block: total recorded events, events dropped to full
     rings, and the top spans by inclusive time as produced by

@@ -2,6 +2,7 @@ module Pool = Plr_exec.Pool
 module Cancel = Plr_exec.Cancel
 module Trace = Plr_trace.Trace
 module Opts = Plr_factors.Opts
+module Tune = Plr_core.Tune
 module Stability = Plr_robust.Stability
 module Guard = Plr_robust.Guard
 module Faults = Plr_gpusim.Faults
@@ -36,6 +37,8 @@ type config = {
   retry_backoff : float;
   breaker_threshold : int;
   breaker_cooldown : float;
+  autotune : bool;
+  tune_budget : int;
 }
 
 let default_config =
@@ -55,6 +58,8 @@ let default_config =
     retry_backoff = 1e-3;
     breaker_threshold = 4;
     breaker_cooldown = 5e-2;
+    autotune = false;
+    tune_budget = 8;
   }
 
 let now () = Unix.gettimeofday ()
@@ -71,11 +76,14 @@ module Make (S : Plr_util.Scalar.S) = struct
   module Serial = Plr_serial.Serial.Make (S)
   module G = Guard.Make (S)
   module Session = Session.Make (S)
+  module TC = Tune.Cpu (S)
 
   type entry = {
     stability : Stability.report;
     plan : FP.t;
     serial_cutoff : int;
+    tuning : Tune.cpu_tuning;
+    tuning_source : Tune.cpu_source;
   }
 
   (* Per-signature circuit breaker.  [Closed] counts consecutive faulty
@@ -112,6 +120,9 @@ module Make (S : Plr_util.Scalar.S) = struct
     batches : (string, batch) Hashtbl.t;
     breaker_lock : Mutex.t;
     breakers : (string, breaker) Hashtbl.t;
+    last_tuning : string Atomic.t;
+        (* latest tuning applied by a plan compile, for the metrics
+           snapshot's attribution line *)
   }
 
   let create ?(config = default_config) ?pool ?domains () =
@@ -129,6 +140,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       batches = Hashtbl.create 16;
       breaker_lock = Mutex.create ();
       breakers = Hashtbl.create 16;
+      last_tuning = Atomic.make "";
     }
 
   let config t = t.config
@@ -139,7 +151,11 @@ module Make (S : Plr_util.Scalar.S) = struct
     (Plan_cache.hits t.cache, Plan_cache.misses t.cache,
      Plan_cache.evictions t.cache)
 
-  let snapshot_json t = Metrics.snapshot_json ~pool:t.pool_ t.metrics
+  let snapshot_json t =
+    Metrics.snapshot_json ~pool:t.pool_
+      ?tuning:
+        (match Atomic.get t.last_tuning with "" -> None | s -> Some s)
+      t.metrics
 
   let floating = S.kind = Plr_util.Scalar.Floating
 
@@ -154,11 +170,44 @@ module Make (S : Plr_util.Scalar.S) = struct
      exact plan the engine would have built for itself. *)
   let cpu_max_period = 64
 
-  let compile_entry t (s : S.t Signature.t) =
+  let compile_entry t ~n (s : S.t Signature.t) =
     let cfg = t.config in
     let k = Signature.order s in
     let stability = Stability.analyze (Signature.map S.to_float s) in
-    let m = max (max 1 k) cfg.chunk_size in
+    (* The schedule tuning: a registry hit (or, with [autotune], a
+       bounded measured search whose winner lands in the registry) —
+       otherwise the serving defaults.  The counters and the snapshot's
+       attribution line record which one this entry got. *)
+    let tuning, tuning_source =
+      if cfg.autotune then
+        TC.get_or_search ~opts:cfg.opts ~budget:cfg.tune_budget ~pool:t.pool_
+          ~n s
+      else
+        match Tune.Registry.find (TC.key ~n s) with
+        | Some tu -> (tu, Tune.Cached)
+        | None ->
+            ( {
+                Tune.chunk_size = cfg.chunk_size;
+                domains = Pool.size t.pool_;
+                window =
+                  Plr_multicore.Multicore.default_window
+                    ~pool_size:(Pool.size t.pool_);
+              },
+              Tune.Heuristic )
+    in
+    Metrics.Counter.incr
+      (match tuning_source with
+      | Tune.Searched -> t.metrics.Metrics.tune_searched
+      | Tune.Cached -> t.metrics.Metrics.tune_cached
+      | Tune.Heuristic -> t.metrics.Metrics.tune_heuristic);
+    Atomic.set t.last_tuning
+      (Printf.sprintf "%s (%s)"
+         (Tune.cpu_tuning_to_string tuning)
+         (Tune.cpu_source_to_string tuning_source));
+    (* The plan covers the larger of the serving and tuned chunk sizes,
+       so applying the tuning never forces a silent recompile inside
+       [Multicore.run]. *)
+    let m = max (max 1 k) (max cfg.chunk_size tuning.Tune.chunk_size) in
     let plan =
       FP.of_feedback ~opts:cfg.opts ~max_period:cpu_max_period
         ~feedback:s.Signature.feedback ~m ()
@@ -177,9 +226,16 @@ module Make (S : Plr_util.Scalar.S) = struct
       && overflow <> None
     in
     let serial_cutoff = if doomed then max_int else cfg.parallel_threshold in
-    { stability; plan; serial_cutoff }
+    { stability; plan; serial_cutoff; tuning; tuning_source }
 
-  let plan_for t s =
+  let plan_for ?n t s =
+    (* [n] sizes the tuning lookup; entries are cached per signature, so
+       the first request's length picks the bucket (serving mixes are
+       homogeneous per signature in practice).  The default is the first
+       pooled length, the path tunings matter for. *)
+    let n =
+      match n with Some n -> n | None -> t.config.parallel_threshold + 1
+    in
     let key = cache_key t s in
     match Plan_cache.find t.cache key with
     | Some e ->
@@ -188,7 +244,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     | None ->
         Metrics.Counter.incr t.metrics.Metrics.plan_misses;
         let t0 = now () in
-        let e = compile_entry t s in
+        let e = compile_entry t ~n s in
         Metrics.Histogram.observe t.metrics.Metrics.plan_build (now () -. t0);
         Plan_cache.add t.cache key e;
         (e, false)
@@ -321,11 +377,15 @@ module Make (S : Plr_util.Scalar.S) = struct
      deadline, not an engine fault). *)
   let exec_pooled ?faults ?(cancel = Cancel.none) t entry s x =
     let cfg = t.config in
+    (* The entry's tuning supplies the schedule knobs; its plan was
+       compiled to cover the tuned chunk size, so no recompile here. *)
+    let chunk_size = max 1 entry.tuning.Tune.chunk_size in
+    let window = max 1 entry.tuning.Tune.window in
     match
       if cfg.guard then begin
         let runner =
           G.multicore_runner ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel
-            ~pool:t.pool_ ~chunk_size:cfg.chunk_size ()
+            ~pool:t.pool_ ~chunk_size ~window ()
         in
         let o =
           G.run ~check:(Guard.Prefix cfg.check_prefix)
@@ -340,7 +400,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       else
         match
           M.run ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel ~pool:t.pool_
-            ~chunk_size:cfg.chunk_size s x
+            ~chunk_size ~window s x
         with
         | y -> (Ok y, `Clean)
         | exception Cancel.Cancelled -> raise Cancel.Cancelled
@@ -501,8 +561,8 @@ module Make (S : Plr_util.Scalar.S) = struct
     end
     else
       Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
-      let entry, _hit = plan_for t s in
       let n = Array.length x in
+      let entry, _hit = plan_for ~n t s in
       let local () =
         Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
         let e0 = now () in

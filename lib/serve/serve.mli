@@ -90,6 +90,16 @@ type config = {
   breaker_cooldown : float;
       (** seconds an open breaker short-circuits to the serial backend
           before admitting a half-open probe (default 50 ms) *)
+  autotune : bool;
+      (** run a bounded measured {!Plr_core.Tune.Cpu} search on a
+          plan-cache miss with no cached tuning, persisting the winner
+          in the process-wide {!Plr_core.Tune.Registry}; off by default
+          (the heuristics — or a previously cached tuning — are used
+          instead).  Tunings only reshape the schedule, never the
+          computed values. *)
+  tune_budget : int;
+      (** candidate configurations an autotune search may measure
+          (default 8) *)
 }
 
 val default_config : config
@@ -100,11 +110,17 @@ module Make (S : Plr_util.Scalar.S) : sig
   type entry = {
     stability : Stability.report;
     plan : Plr_factors.Factor_plan.Make(S).t;
-        (** compiled with [config.chunk_size] factors per list *)
+        (** compiled with [max config.chunk_size tuning.chunk_size]
+            factors per list, so applying the tuning never recompiles *)
     serial_cutoff : int;
         (** request lengths at or below this execute on the calling
             domain — the cached backend choice ([max_int] when the
             stability verdict predicts the parallel path is doomed) *)
+    tuning : Plr_core.Tune.cpu_tuning;
+        (** the schedule knobs pooled execution uses: a cached or
+            freshly searched measured tuning, else the serving
+            defaults *)
+    tuning_source : Plr_core.Tune.cpu_source;
   }
 
   val create : ?config:config -> ?pool:Pool.t -> ?domains:int -> unit -> t
@@ -118,10 +134,12 @@ module Make (S : Plr_util.Scalar.S) : sig
   (** The canonical cache key: scalar domain, factor options, and the
       signature's coefficients rendered canonically. *)
 
-  val plan_for : t -> S.t Signature.t -> entry * bool
+  val plan_for : ?n:int -> t -> S.t Signature.t -> entry * bool
   (** [(entry, hit)]: the cached (or freshly compiled) plan entry for
       this signature.  Exposed for tests and warm-up; [submit] calls it
-      on every request. *)
+      on every request.  [n] (default just past the parallel threshold)
+      sizes the tuning lookup on a miss; hits return the entry — and
+      the tuning — compiled for the first request's length. *)
 
   val submit :
     ?deadline:float -> ?faults:Faults.plan -> t -> S.t Signature.t ->
@@ -148,7 +166,8 @@ module Make (S : Plr_util.Scalar.S) : sig
   (** [(hits, misses, evictions)] of the plan cache. *)
 
   val snapshot_json : t -> string
-  (** {!Metrics.snapshot_json} with this server's pool stats included. *)
+  (** {!Metrics.snapshot_json} with this server's pool stats and the
+      most recently applied schedule tuning (with its source) included. *)
 
   module Session : module type of Session.Make (S)
 

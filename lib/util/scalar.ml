@@ -10,10 +10,29 @@ type kind =
   | Integer  (** exact arithmetic, validated with equality *)
   | Floating (** rounded arithmetic, validated with a tolerance *)
 
+type rounding =
+  | Exact     (** native binary64 arithmetic, no extra rounding *)
+  | Round_f32 (** round every operation to binary32 (the {!F32} emulation) *)
+
+(* Representation witness: matching on [S.rep] refines [S.t] statically,
+   so kernels can be monomorphized onto flat [int array]s or unboxed
+   [Buf.t] storage without any copy or [Obj.magic]. *)
+type _ rep =
+  | Int_rep : int rep
+  | Float_rep : rounding -> float rep
+  | Other_rep : 'a rep
+
 module type S = sig
   type t
 
   val kind : kind
+
+  val rep : t rep
+  (** Runtime witness of the representation of [t], used to dispatch the
+      CPU backends onto monomorphic unboxed kernels.  [Float_rep r] and
+      [Int_rep] promise that [add]/[sub]/[mul]/[neg] are exactly the
+      native operations (composed with the [r] rounding step for floats)
+      — semirings with exotic operations must use [Other_rep]. *)
 
   val exact_f64_embedding : bool
   (** True when the scalar's [add]/[mul] agree with IEEE binary64 [+]/[×]
@@ -70,6 +89,7 @@ module Int : S with type t = int = struct
   type t = int
 
   let kind = Integer
+  let rep = Int_rep
   let exact_f64_embedding = true
   let bytes = 4
   let ctype = "int"
@@ -96,6 +116,10 @@ module Int32s : S with type t = int32 = struct
   type t = int32
 
   let kind = Integer
+
+  (* Int32 values are boxed; the monomorphic backends have no unboxed
+     storage for them, so they stay on the generic kernels. *)
+  let rep = Other_rep
   let exact_f64_embedding = true
   let bytes = 4
   let ctype = "int"
@@ -122,6 +146,7 @@ module F32 : S with type t = float = struct
   type t = float
 
   let kind = Floating
+  let rep = Float_rep Round_f32
   let exact_f64_embedding = true
   let bytes = 4
   let ctype = "float"
@@ -148,6 +173,7 @@ module F64 : S with type t = float = struct
   type t = float
 
   let kind = Floating
+  let rep = Float_rep Exact
   let exact_f64_embedding = true
   let bytes = 8
   let ctype = "double"

@@ -11,10 +11,29 @@ type kind =
   | Integer   (** exact arithmetic, validated with equality *)
   | Floating  (** rounded arithmetic, validated with a tolerance *)
 
+type rounding =
+  | Exact     (** native binary64 arithmetic, no extra rounding *)
+  | Round_f32 (** round every operation to binary32 (the {!F32} emulation) *)
+
+type _ rep =
+  | Int_rep : int rep
+  | Float_rep : rounding -> float rep
+  | Other_rep : 'a rep
+      (** Representation witness.  Matching on [S.rep] refines [S.t]
+          statically, so the CPU backends can monomorphize their kernels
+          onto flat [int array]s or unboxed {!Buf.t} storage with no copy
+          and no [Obj.magic].  [Int_rep]/[Float_rep] additionally promise
+          that [add]/[sub]/[mul]/[neg] are exactly the native operations
+          (composed with the given rounding step for floats); semirings
+          with exotic operations must declare [Other_rep]. *)
+
 module type S = sig
   type t
 
   val kind : kind
+
+  val rep : t rep
+  (** Witness of the representation of [t]; see {!type:rep}. *)
 
   val exact_f64_embedding : bool
   (** True when [add]/[mul] agree with IEEE binary64 [+]/[×] up to

@@ -6,6 +6,10 @@ module Max_plus : Scalar.S with type t = float = struct
   type t = float
 
   let kind = Scalar.Floating
+
+  (* t = float, but max/+ is not IEEE (+,×): the monomorphic float
+     kernels would compute the wrong thing, so stay on the generic path. *)
+  let rep = Scalar.Other_rep
   let exact_f64_embedding = false
   let bytes = 4
   let ctype = "float"
@@ -42,6 +46,7 @@ module Bool_or_and : Scalar.S with type t = bool = struct
   type t = bool
 
   let kind = Scalar.Integer
+  let rep = Scalar.Other_rep
   let exact_f64_embedding = false
   let bytes = 4
   let ctype = "int"

@@ -72,7 +72,7 @@ let test_example_phase1_iterations () =
     while !b < Array.length state do
       let len = min plan.P.m (Array.length state - !b) in
       let chunk = Array.sub state !b len in
-      K.phase1_merge_level ctx chunk ~len ~group;
+      K.phase1_merge_level ctx (K.work_of_array chunk) ~len ~group;
       Array.blit chunk 0 state !b len;
       b := !b + plan.P.m
     done

@@ -111,6 +111,7 @@ let test_perf_write_json () =
   let path = Filename.concat dir "BENCH_PLR.json" in
   let row variant speedup =
     { Perf.suite = "lp2"; variant; n = 1 lsl 18; domains = 4;
+      chunk_size = 4096; window = 8;
       ns_per_elem = 10.0; median_ns_per_elem = 11.0;
       speedup_vs_serial = speedup }
   in
@@ -124,7 +125,7 @@ let test_perf_write_json () =
       (match Plr_trace.Json.member "schema" j with
       | Some s ->
           check_bool "schema tag" true
-            (Plr_trace.Json.str s = Some "plr-bench-3")
+            (Plr_trace.Json.str s = Some "plr-bench-4")
       | None -> Alcotest.fail "missing schema field");
       (match Plr_trace.Json.member "rows" j with
       | Some rows ->

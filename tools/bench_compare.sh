@@ -8,12 +8,16 @@
 #   baseline.json defaults to the committed BENCH_PLR.json (via git show,
 #   falling back to the working-tree file).
 #
-# Schema compatibility: written for plr-bench-3 (top-level `meta`
-# provenance block, per-row `domains` and `median_ns_per_elem`) — rows
-# are keyed by suite/variant@domains and compared on the median, which
-# is far less noisy than the best-of-reps number.  plr-bench-2 baselines
-# (no meta, no domains/median) degrade gracefully: domains defaults to
-# 1 and the comparison falls back to `ns_per_elem`.
+# Schema compatibility: written for plr-bench-4 (per-row
+# `chunk_size`/`window` schedule knobs and a "multicore-tuned" variant)
+# and plr-bench-3 (top-level `meta` provenance block, per-row `domains`
+# and `median_ns_per_elem`) — rows are keyed by suite/variant@domains
+# and compared on the median, which is far less noisy than the
+# best-of-reps number.  plr-bench-2 baselines (no meta, no
+# domains/median) degrade gracefully: domains defaults to 1 and the
+# comparison falls back to `ns_per_elem`.  When the fresh run carries
+# plr-bench-4 rows, a second table reports the measured-tuning deltas
+# (multicore-tuned vs multicore) per suite.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -87,6 +91,35 @@ jq -r -n --slurpfile base "$baseline" --slurpfile new "$fresh" '
   ($new[0].rows | map(rowkey)) as $have
   | $base[0].rows[] | rowkey | select([.] | inside($have) | not)
 ' | sed 's/^/bench_compare: baseline-only row (not regenerated): /'
+
+# Tuned-vs-heuristic deltas (plr-bench-4 rows only): for every suite
+# with both a multicore and a multicore-tuned row, show what the
+# measured search bought over the built-in heuristics, and the knobs it
+# picked.
+echo
+echo "bench_compare: tuned vs heuristic (median ns/elem; negative delta = tuner wins)"
+jq -r -n --slurpfile new "$fresh" '
+  def metric: .median_ns_per_elem // .ns_per_elem;
+  ($new[0].rows | map(select(.variant == "multicore"))
+     | map({key: .suite, value: metric}) | from_entries) as $heur
+  | $new[0].rows[]
+  | select(.variant == "multicore-tuned")
+  | ($heur[.suite] // null) as $h
+  | metric as $m
+  | if $h == null then empty
+    else
+      [.suite,
+       ($h | tostring), ($m | tostring),
+       ((($m - $h) / $h * 100 * 100 | round) / 100 | tostring) + "%",
+       "chunk=\(.chunk_size // "?") window=\(.window // "?") domains=\(.domains // "?")"]
+    end
+  | @tsv
+' | awk -F'\t' '
+  BEGIN { n = 0 }
+  { if (n == 0) printf "%-14s %12s %12s %10s   %s\n", "suite", "heuristic", "tuned", "delta", "winning knobs"
+    n = 1; printf "%-14s %12s %12s %10s   %s\n", $1, $2, $3, $4, $5 }
+  END { if (n == 0) print "(no multicore-tuned rows in the fresh run — pre-plr-bench-4 build)" }
+'
 
 echo
 echo "bench_compare: done (informational only; never fails the build)"
