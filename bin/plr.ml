@@ -88,6 +88,10 @@ module Emit_int = Plr_codegen.Emit.Make (Scalar.Int)
 module Emit_f32 = Plr_codegen.Emit.Make (Scalar.F32)
 module Plan_int = Emit_int.P
 module Plan_f32 = Emit_f32.P
+module Cemit_int = Plr_codegen.Cemit.Make (Scalar.Int)
+module Cemit_f32 = Plr_codegen.Cemit.Make (Scalar.F32)
+module Jit_int = Plr_jit.Backend.Make (Scalar.Int)
+module Jit_f32 = Plr_jit.Backend.Make (Scalar.F32)
 
 let cmd_compile text output domain n quiet =
   require_positive "-n" n;
@@ -121,7 +125,7 @@ module Serial_f32 = Plr_serial.Serial.Make (Scalar.F32)
 module Multi_int = Plr_multicore.Multicore.Make (Scalar.Int)
 module Multi_f32 = Plr_multicore.Multicore.Make (Scalar.F32)
 
-type backend = Sim | Cpu | Serial_backend
+type backend = Sim | Cpu | Serial_backend | Jit_backend
 
 let random_int_input n =
   let gen = Plr_util.Splitmix.create 1234 in
@@ -227,6 +231,111 @@ let cmd_run text n backend domain domains opts_off ons offs =
       let _, st = time_wall (fun () -> Serial_f32.full fs input) in
       Printf.printf "serial: %.3f ms (%.2f M words/s)\n" (st *. 1e3)
         (float_of_int n /. st /. 1e6)
+  | `Int is, Jit_backend ->
+      let input = random_int_input n in
+      let m = Multi_int.default_chunk_size ~domains:(pool_size domains) n in
+      let fplan =
+        Jit_int.F.of_feedback ~opts ~feedback:is.Signature.feedback ~m ()
+      in
+      (match Jit_int.prepare ~mode:`Sync ~fplan is with
+      | None ->
+          Printf.printf
+            "backend: jit unavailable (disabled, or no C toolchain) — \
+             serial fallback\n";
+          let _, st = time_wall (fun () -> Serial_int.full is input) in
+          Printf.printf "serial: %.3f ms\n" (st *. 1e3)
+      | Some jb -> (
+          (* First call compiles nothing further but verifies the kernel
+             bitwise against the serial reference; time the second. *)
+          match Jit_int.run jb input with
+          | None ->
+              Printf.printf "backend: jit build failed — serial fallback\n";
+              let _, st = time_wall (fun () -> Serial_int.full is input) in
+              Printf.printf "serial: %.3f ms\n" (st *. 1e3)
+          | Some _ ->
+              let output, dt =
+                time_wall (fun () -> Option.get (Jit_int.run jb input))
+              in
+              let expected, st = time_wall (fun () -> Serial_int.full is input) in
+              Printf.printf "backend: native JIT (C, verified bitwise)\n";
+              Printf.printf "jit: %.3f ms, serial: %.3f ms, speedup %.2fx\n"
+                (dt *. 1e3) (st *. 1e3) (st /. dt);
+              Printf.printf "validation: %s\n"
+                (match Serial_int.validate ~expected output with
+                | Ok () -> "PASSED"
+                | Error m -> "FAILED — " ^ m)))
+  | `Float, Jit_backend ->
+      let fs = Signature.map Plr_util.F32.round s in
+      let input = random_f32_input n in
+      let m = Multi_f32.default_chunk_size ~domains:(pool_size domains) n in
+      let fplan =
+        Jit_f32.F.of_feedback ~opts ~feedback:fs.Signature.feedback ~m ()
+      in
+      (match Jit_f32.prepare ~mode:`Sync ~fplan fs with
+      | None ->
+          Printf.printf
+            "backend: jit unavailable (disabled, or no C toolchain) — \
+             serial fallback\n";
+          let _, st = time_wall (fun () -> Serial_f32.full fs input) in
+          Printf.printf "serial: %.3f ms\n" (st *. 1e3)
+      | Some jb -> (
+          match Jit_f32.run jb input with
+          | None ->
+              Printf.printf "backend: jit build failed — serial fallback\n";
+              let _, st = time_wall (fun () -> Serial_f32.full fs input) in
+              Printf.printf "serial: %.3f ms\n" (st *. 1e3)
+          | Some _ ->
+              let output, dt =
+                time_wall (fun () -> Option.get (Jit_f32.run jb input))
+              in
+              let expected, st = time_wall (fun () -> Serial_f32.full fs input) in
+              Printf.printf "backend: native JIT (C, verified bitwise)\n";
+              Printf.printf "jit: %.3f ms, serial: %.3f ms, speedup %.2fx\n"
+                (dt *. 1e3) (st *. 1e3) (st /. dt);
+              Printf.printf "validation: %s\n"
+                (match Serial_f32.validate ~expected output with
+                | Ok () -> "PASSED"
+                | Error m -> "FAILED — " ^ m)))
+
+(* ------------------------------------------------------------- emit *)
+
+(* `plr emit SIG --target c|cuda`: print the generated source for either
+   back end.  The C target shares the JIT's emitter, so what this prints
+   is exactly the translation unit the JIT compiles and caches. *)
+let cmd_emit text target domain n =
+  require_positive "-n" n;
+  let s = parse_signature text in
+  let source =
+    match target with
+    | "cuda" -> (
+        match resolve_domain domain s with
+        | `Int is -> Emit_int.cuda (Plan_int.compile ~spec ~n is)
+        | `Float ->
+            let fs = Signature.map Plr_util.F32.round s in
+            Emit_f32.cuda (Plan_f32.compile ~spec ~n fs))
+    | "c" -> (
+        let m =
+          Multi_int.default_chunk_size
+            ~domains:(Domain.recommended_domain_count ())
+            n
+        in
+        match resolve_domain domain s with
+        | `Int is ->
+            Cemit_int.emit
+              ~fplan:
+                (Cemit_int.P.F.of_feedback ~feedback:is.Signature.feedback ~m
+                   ())
+              is
+        | `Float ->
+            let fs = Signature.map Plr_util.F32.round s in
+            Cemit_f32.emit
+              ~fplan:
+                (Cemit_f32.P.F.of_feedback ~feedback:fs.Signature.feedback ~m
+                   ())
+              fs)
+    | t -> failwith (Printf.sprintf "unknown --target %S (expected c or cuda)" t)
+  in
+  print_string source
 
 (* --------------------------------------------------------------- bench *)
 
@@ -765,12 +874,30 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Translate a signature into CUDA code")
     Term.(ret (const run $ signature_arg $ output $ domain_arg $ n_arg $ quiet))
 
+let emit_cmd =
+  let target =
+    Arg.(value & opt string "c" & info [ "target" ] ~docv:"TARGET"
+           ~doc:"Code generator to print: $(b,c) (the JIT's native-CPU \
+                 translation unit) or $(b,cuda) (the paper's GPU kernel).")
+  in
+  let run text target domain n = wrap (fun () -> cmd_emit text target domain n) in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Print the generated source for a signature (C or CUDA)")
+    Term.(ret (const run $ signature_arg $ target $ domain_arg $ n_arg))
+
 let run_cmd =
   let backend =
     Arg.(value
-         & opt (enum [ ("sim", Sim); ("cpu", Cpu); ("serial", Serial_backend) ]) Sim
+         & opt
+             (enum
+                [ ("sim", Sim); ("cpu", Cpu); ("serial", Serial_backend);
+                  ("jit", Jit_backend) ])
+             Sim
          & info [ "backend" ] ~docv:"BACKEND"
-             ~doc:"Execution backend: modeled GPU (sim), multicore CPU, or serial.")
+             ~doc:"Execution backend: modeled GPU (sim), multicore CPU, \
+                   serial, or the native C JIT (jit — falls back to serial \
+                   without a C toolchain).")
   in
   let run text n backend domain domains opts_off ons offs trace_path =
     wrap (fun () ->
@@ -1086,5 +1213,6 @@ let () =
   exit
     (Cmd.eval ~term_err:2
        (Cmd.group (Cmd.info "plr" ~doc)
-          [ compile_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd; execute_cmd;
-            check_cmd; chaos_cmd; at_cmd; serve_bench_cmd; trace_cmd ]))
+          [ compile_cmd; emit_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd;
+            execute_cmd; check_cmd; chaos_cmd; at_cmd; serve_bench_cmd;
+            trace_cmd ]))

@@ -44,18 +44,23 @@ val smoke :
     "multicore-tuned" first runs a small measured
     {!Plr_core.Tune.Cpu.search} (budget 8) for the suite's signature and
     times the winner, so the tuned-vs-heuristic delta is visible in the
-    same report. *)
+    same report.  "jit" compiles the suite's per-signature native kernel
+    up front ({!Plr_jit.Backend}) and times the verified function-pointer
+    call; when the JIT is disabled, the toolchain is missing, or the
+    build fails, the row is skipped with a notice on stderr. *)
 
 val render : Format.formatter -> row list -> unit
 (** Human-readable table. *)
 
 val to_json : ?meta:string -> row list -> string
-(** The BENCH_PLR.json payload: [{"schema": "plr-bench-4", "meta": {...},
-    "recommended_domains": d, "rows": [...]}].  plr-bench-4 adds the
-    per-row [chunk_size]/[window] schedule knobs.  [meta] is a
-    pre-rendered JSON object; by default {!Meta.collect} supplies one.
-    Consumers that only read [.rows] (e.g. [tools/bench_compare.sh])
-    accept plr-bench-2 through plr-bench-4 files. *)
+(** The BENCH_PLR.json payload: [{"schema": "plr-bench-5", "meta": {...},
+    "recommended_domains": d, "rows": [...]}].  plr-bench-4 added the
+    per-row [chunk_size]/[window] schedule knobs; plr-bench-5 adds the
+    [jit] variant rows (present only when a C toolchain compiled and
+    verified the native kernel).  [meta] is a pre-rendered JSON object;
+    by default {!Meta.collect} supplies one.  Consumers that only read
+    [.rows] (e.g. [tools/bench_compare.sh]) accept plr-bench-2 through
+    plr-bench-5 files. *)
 
 val write_json : path:string -> ?meta:string -> row list -> unit
 (** {!to_json} written atomically (temp file + rename): a crashed run

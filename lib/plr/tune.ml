@@ -15,6 +15,22 @@ let cpu_tuning_to_string t =
   Printf.sprintf "chunk=%d,domains=%d,window=%d" t.chunk_size t.domains
     t.window
 
+(* Selection policy for the measured search: a searched winner replaces
+   the measured heuristic configuration only when it beats it by a noise
+   margin (5% by default).  Without the margin, one noisy fast sample can
+   crown a configuration that is slower in steady state — and, persisted
+   through the registry, stay slower for every later run of that shape
+   (the regression BENCH_PLR.json exposed on prefix-sum and tuple2, where
+   "multicore-tuned" lost to the plain heuristic).  Ties and
+   within-margin wins keep the heuristic. *)
+let select_cpu_tuning ?(margin = 0.05) ~heuristic ~heuristic_ns_per_elem
+    ~searched ~searched_ns_per_elem () =
+  if
+    searched_ns_per_elem < heuristic_ns_per_elem *. (1.0 -. margin)
+    || heuristic = searched
+  then (searched, searched_ns_per_elem)
+  else (heuristic, heuristic_ns_per_elem)
+
 module Registry = struct
   (* One process-wide table: tunings are keyed by the structural problem
      shape (scalar domain, signature class, order, taps, n-bucket), not
@@ -232,9 +248,13 @@ module Cpu (S : Plr_util.Scalar.S) = struct
         (fun (bc, bt) (c, t) -> if t < bt then (c, t) else (bc, bt))
         (List.hd scored) (List.tl scored)
     in
+    let tuning, ns_per_elem =
+      select_cpu_tuning ~heuristic ~heuristic_ns_per_elem ~searched:best
+        ~searched_ns_per_elem:best_ns ()
+    in
     {
-      tuning = best;
-      ns_per_elem = best_ns;
+      tuning;
+      ns_per_elem;
       heuristic;
       heuristic_ns_per_elem;
       trials = List.length scored;

@@ -38,6 +38,18 @@ val cpu_tuning_to_string : cpu_tuning -> string
 (** ["chunk=C,domains=D,window=W"] — for logs and metrics, {e never} for
     cache keys (plan-cache keys must not depend on measurements). *)
 
+val select_cpu_tuning :
+  ?margin:float ->
+  heuristic:cpu_tuning -> heuristic_ns_per_elem:float ->
+  searched:cpu_tuning -> searched_ns_per_elem:float ->
+  unit -> cpu_tuning * float
+(** The search's selection policy, pure and exposed for the regression
+    pin: the searched winner replaces the measured heuristic
+    configuration only when it beats it by the noise [margin] (default
+    0.05, i.e. ≥ 5% faster); otherwise the heuristic — and its measured
+    time — win.  One noisy fast sample must never persist a
+    steady-state-slower schedule in the {!Registry}. *)
+
 (** Process-wide store of measured tunings, keyed by the structural
     problem shape ({!Cpu.key}).  Thread-safe; shared by every server
     instance and CLI command in the process so one search benefits all
@@ -96,8 +108,12 @@ module Cpu (S : Plr_util.Scalar.S) : sig
       (default 3) runs each after one warm-up, on [n] elements of seeded
       synthetic input; factor plans are compiled per chunk size outside
       the timed region.  The heuristic configuration is always the first
-      candidate, so [result.heuristic_ns_per_elem] is always measured.
-      Does {e not} store the winner — see {!get_or_search}. *)
+      candidate, so [result.heuristic_ns_per_elem] is always measured —
+      and [result.tuning] is the searched winner only when it beats the
+      heuristic by {!select_cpu_tuning}'s margin; otherwise it {e is}
+      the heuristic, so persisting it can never regress below the
+      untuned backend.  Does {e not} store the winner — see
+      {!get_or_search}. *)
 
   val get :
     pool:Plr_exec.Pool.t -> n:int -> S.t Signature.t ->

@@ -1,6 +1,6 @@
 module Faults = Plr_gpusim.Faults
 
-type target = Gpusim | Multicore
+type target = Gpusim | Multicore | Jit
 
 type outcome =
   | Exact
@@ -19,7 +19,10 @@ type summary = {
 
 let benign_kinds = [ Faults.Reorder; Faults.Delay_flag ]
 
-let target_to_string = function Gpusim -> "gpusim" | Multicore -> "multicore"
+let target_to_string = function
+  | Gpusim -> "gpusim"
+  | Multicore -> "multicore"
+  | Jit -> "jit"
 
 let outcome_to_string = function
   | Exact -> "exact"
@@ -58,7 +61,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     let chunks =
       match target with
       | Gpusim -> (n + gpusim_m - 1) / gpusim_m
-      | Multicore -> (n + multicore_chunk - 1) / multicore_chunk
+      | Multicore | Jit -> (n + multicore_chunk - 1) / multicore_chunk
     in
     let plan =
       Faults.random ~seed:((seed * 31) + 7) ~chunks ~lanes:k ?kinds ~max_events ()
@@ -70,6 +73,28 @@ module Make (S : Plr_util.Scalar.S) = struct
             ~x:gpusim_x ~lookback_window:gpusim_lookback ~spec ()
       | Multicore ->
           G.multicore_runner ~faults:plan ?domains ~chunk_size:multicore_chunk ()
+      | Jit -> (
+          (* The native kernel itself is never faulted; what chaos must
+             prove is that the JIT-first dispatch degrades through the
+             faulted OCaml path without losing the guard's guarantees.
+             Odd seeds bypass the JIT deterministically so every campaign
+             exercises the faulted fallback too; any real-world
+             unavailability (no cc, build failed) takes the same route. *)
+          let fallback =
+            G.multicore_runner ~faults:plan ?domains
+              ~chunk_size:multicore_chunk ()
+          in
+          let jit =
+            if seed land 1 = 1 then None
+            else
+              let fplan =
+                G.JB.F.of_feedback ~feedback:s.Signature.feedback ~m:64 ()
+              in
+              G.JB.prepare ~mode:`Sync ~fplan s
+          in
+          match jit with
+          | Some jb -> G.jit_runner ~jit:jb ~fallback
+          | None -> fallback)
     in
     let expected = Serial.full s input in
     let o = G.run ~tol ~check:Guard.Full runner s input in

@@ -23,7 +23,12 @@
 
 module Faults = Plr_gpusim.Faults
 
-type target = Gpusim | Multicore
+type target = Gpusim | Multicore | Jit
+(** [Jit] exercises the native-kernel-first dispatch
+    ({!Guard.Make.jit_runner}) over the faulted multicore fallback; odd
+    seeds bypass the JIT deterministically so every campaign also drives
+    the faulted OCaml path, and trials complete identically when no C
+    toolchain is present (the dispatch degrades). *)
 
 type outcome =
   | Exact

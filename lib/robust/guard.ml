@@ -44,6 +44,7 @@ module Make (S : Plr_util.Scalar.S) = struct
   module Stream = Plr_multicore.Stream.Make (S)
   module Serial = Plr_serial.Serial.Make (S)
   module Serial64 = Plr_serial.Serial.Make (Plr_util.Scalar.F64)
+  module JB = Plr_jit.Backend.Make (S)
 
   type runner = S.t Signature.t -> S.t array -> S.t array
 
@@ -240,6 +241,16 @@ module Make (S : Plr_util.Scalar.S) = struct
    fun s input ->
     Multicore.run ?opts ?faults ?plan ?cancel ?pool ?domains ?chunk_size
       ?window s input
+
+  (* Try the native JIT kernel first; any unavailability (still building,
+     build failed, poisoned, …) already recorded its [jit.fallback]
+     instant inside [JB.run], so this simply hands the input to the OCaml
+     fallback runner.  The JIT's own first-use bitwise validation against
+     the serial reference runs before the guard's check ladder ever sees
+     its output. *)
+  let jit_runner ~jit ~(fallback : runner) : runner =
+   fun s input ->
+    match JB.run jit input with Some y -> y | None -> fallback s input
 
   let stream_runner ?pool ?domains ?opts ~buffer () : runner =
    fun s input ->

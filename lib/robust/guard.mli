@@ -96,6 +96,16 @@ module Make (S : Plr_util.Scalar.S) : sig
       re-raises {!Plr_exec.Cancel.Cancelled} instead of degrading — a
       cancelled request is the caller's abort, not an engine fault. *)
 
+  module JB : module type of Plr_jit.Backend.Make (S)
+
+  val jit_runner : jit:JB.t -> fallback:runner -> runner
+  (** Try the native JIT kernel first, handing the input to [fallback]
+      whenever it is unavailable (still building, build failed, poisoned
+      by its first-use bitwise validation, …) — the [jit.fallback] trace
+      instant is recorded by the backend itself.  A JIT result is already
+      bitwise-identical to the serial reference by construction, so the
+      guard's check ladder passes it untouched. *)
+
   val stream_runner :
     ?pool:Plr_exec.Pool.t -> ?domains:int -> ?opts:Plr_core.Opts.t ->
     buffer:int -> unit -> runner

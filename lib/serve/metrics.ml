@@ -118,6 +118,8 @@ type t = {
   tune_searched : Counter.t;
   tune_cached : Counter.t;
   tune_heuristic : Counter.t;
+  jit_used : Counter.t;
+  jit_fallback : Counter.t;
   batches : Counter.t;
   batched_requests : Counter.t;
   session_checkpoints : Counter.t;
@@ -146,6 +148,8 @@ let create () =
     tune_searched = Counter.create ();
     tune_cached = Counter.create ();
     tune_heuristic = Counter.create ();
+    jit_used = Counter.create ();
+    jit_fallback = Counter.create ();
     batches = Counter.create ();
     batched_requests = Counter.create ();
     session_checkpoints = Counter.create ();
@@ -179,6 +183,8 @@ let snapshot_json ?pool ?tuning t =
       counter "tune_searched" t.tune_searched;
       counter "tune_cached" t.tune_cached;
       counter "tune_heuristic" t.tune_heuristic;
+      counter "jit_used" t.jit_used;
+      counter "jit_fallback" t.jit_fallback;
       counter "batches" t.batches;
       counter "batched_requests" t.batched_requests;
       counter "session_checkpoints" t.session_checkpoints;

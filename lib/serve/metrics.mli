@@ -68,6 +68,12 @@ type t = {
       (** plan compiles that reused a tuning from the registry *)
   tune_heuristic : Counter.t;
       (** plan compiles that fell back to the built-in heuristics *)
+  jit_used : Counter.t;
+      (** executions answered by the native JIT kernel *)
+  jit_fallback : Counter.t;
+      (** executions where a compiled entry's JIT declined (still
+          building, build failed, poisoned) and the portable backend
+          answered instead *)
   batches : Counter.t;        (** fused batch executions *)
   batched_requests : Counter.t; (** requests served through a fused batch *)
   session_checkpoints : Counter.t; (** session state snapshots taken *)

@@ -84,6 +84,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     serial_cutoff : int;
     tuning : Tune.cpu_tuning;
     tuning_source : Tune.cpu_source;
+    jit : G.JB.t option;
   }
 
   (* Per-signature circuit breaker.  [Closed] counts consecutive faulty
@@ -226,7 +227,13 @@ module Make (S : Plr_util.Scalar.S) = struct
       && overflow <> None
     in
     let serial_cutoff = if doomed then max_int else cfg.parallel_threshold in
-    { stability; plan; serial_cutoff; tuning; tuning_source }
+    (* The native kernel compiles in the background off the same plan;
+       until (unless) it is ready and verified, every dispatch below
+       falls through to the portable backends.  [prepare] is [None] —
+       and has already traced why — when the JIT is disabled, the
+       scalar is unsupported, or no C toolchain exists. *)
+    let jit = G.JB.prepare ~mode:`Async ~fplan:plan s in
+    { stability; plan; serial_cutoff; tuning; tuning_source; jit }
 
   let plan_for ?n t s =
     (* [n] sizes the tuning lookup; entries are cached per signature, so
@@ -349,9 +356,27 @@ module Make (S : Plr_util.Scalar.S) = struct
   (* Small requests solve on the calling domain: at these lengths the
      chunked protocol cannot win, and the serial evaluation *is* the
      reference the guard would check against.  Only the non-finite scan
-     is meaningful on top. *)
-  let exec_local t s x =
-    match Serial.full s x with
+     is meaningful on top.  A ready JIT kernel answers first — its
+     output is verified bitwise-identical to [Serial.full], so the
+     non-finite scan applies unchanged. *)
+  let try_jit t jit x =
+    match jit with
+    | None -> None
+    | Some jb -> (
+        match G.JB.run jb x with
+        | Some y ->
+            Metrics.Counter.incr t.metrics.Metrics.jit_used;
+            Some y
+        | None ->
+            Metrics.Counter.incr t.metrics.Metrics.jit_fallback;
+            None)
+
+  let exec_local ?jit t s x =
+    match
+      match try_jit t jit x with
+      | Some y -> y
+      | None -> Serial.full s x
+    with
     | exception e -> Error (Failed (Printexc.to_string e))
     | y -> (
         if not t.config.guard then Ok y
@@ -381,11 +406,25 @@ module Make (S : Plr_util.Scalar.S) = struct
        compiled to cover the tuned chunk size, so no recompile here. *)
     let chunk_size = max 1 entry.tuning.Tune.chunk_size in
     let window = max 1 entry.tuning.Tune.window in
+    (* Injected faults target the portable backend; letting the native
+       kernel answer would silently route around the fault site, so
+       fault-injected runs (chaos, tests) skip the JIT here.  Chaos
+       exercises the JIT path through its own [Jit] target instead. *)
+    let jit = if faults = None then entry.jit else None in
     match
       if cfg.guard then begin
-        let runner =
+        let mc =
           G.multicore_runner ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel
             ~pool:t.pool_ ~chunk_size ~window ()
+        in
+        (* JIT-first under the guard: a ready, verified native kernel
+           answers (still subject to the guard's own checks below);
+           otherwise the pooled runner does.  Inlined rather than
+           [G.jit_runner] so the serving metrics see which branch ran. *)
+        let runner sg input =
+          match try_jit t jit input with
+          | Some y -> y
+          | None -> mc sg input
         in
         let o =
           G.run ~check:(Guard.Prefix cfg.check_prefix)
@@ -398,13 +437,16 @@ module Make (S : Plr_util.Scalar.S) = struct
         else (Error (Failed (last_violation o)), `Faulty)
       end
       else
-        match
-          M.run ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel ~pool:t.pool_
-            ~chunk_size ~window s x
-        with
-        | y -> (Ok y, `Clean)
-        | exception Cancel.Cancelled -> raise Cancel.Cancelled
-        | exception e -> (Error (Failed (Printexc.to_string e)), `Faulty)
+        match try_jit t jit x with
+        | Some y -> (Ok y, `Clean)
+        | None -> (
+            match
+              M.run ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel
+                ~pool:t.pool_ ~chunk_size ~window s x
+            with
+            | y -> (Ok y, `Clean)
+            | exception Cancel.Cancelled -> raise Cancel.Cancelled
+            | exception e -> (Error (Failed (Printexc.to_string e)), `Faulty))
     with
     | r -> r
     | exception Cancel.Cancelled ->
@@ -566,7 +608,11 @@ module Make (S : Plr_util.Scalar.S) = struct
       let local () =
         Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
         let e0 = now () in
-        let r = exec_local t s x in
+        let r =
+          exec_local
+            ?jit:(if faults = None then entry.jit else None)
+            t s x
+        in
         Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
         r
       in

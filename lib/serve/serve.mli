@@ -121,6 +121,13 @@ module Make (S : Plr_util.Scalar.S) : sig
             freshly searched measured tuning, else the serving
             defaults *)
     tuning_source : Plr_core.Tune.cpu_source;
+    jit : Plr_jit.Backend.Make(S).t option;
+        (** the per-signature native kernel, compiling asynchronously
+            off the same plan; [None] when the JIT is disabled, the
+            scalar is unsupported, or no C toolchain exists.  Dispatch
+            treats it as opportunistic: any non-ready state falls back
+            to the portable backends (counted by
+            {!Metrics.t.jit_fallback}). *)
   }
 
   val create : ?config:config -> ?pool:Pool.t -> ?domains:int -> unit -> t

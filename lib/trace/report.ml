@@ -38,7 +38,7 @@ let rows (events : Trace.event list) =
   let get cat name =
     let key = (Trace.(match cat with
       | Factors -> 0 | Engine -> 1 | Pool -> 2 | Multicore -> 3
-      | Guard -> 4 | Serve -> 5 | App -> 6), name)
+      | Guard -> 4 | Serve -> 5 | Jit -> 6 | App -> 7), name)
     in
     match Hashtbl.find_opt table key with
     | Some a -> a

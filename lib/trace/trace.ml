@@ -1,4 +1,4 @@
-type cat = Factors | Engine | Pool | Multicore | Guard | Serve | App
+type cat = Factors | Engine | Pool | Multicore | Guard | Serve | Jit | App
 
 let cat_name = function
   | Factors -> "factors"
@@ -7,6 +7,7 @@ let cat_name = function
   | Multicore -> "multicore"
   | Guard -> "guard"
   | Serve -> "serve"
+  | Jit -> "jit"
   | App -> "app"
 
 let cat_to_int = function
@@ -16,7 +17,8 @@ let cat_to_int = function
   | Multicore -> 3
   | Guard -> 4
   | Serve -> 5
-  | App -> 6
+  | Jit -> 6
+  | App -> 7
 
 let cat_of_int = function
   | 0 -> Factors
@@ -25,6 +27,7 @@ let cat_of_int = function
   | 3 -> Multicore
   | 4 -> Guard
   | 5 -> Serve
+  | 6 -> Jit
   | _ -> App
 
 type kind = Begin | End | Instant | Flow_start | Flow_finish

@@ -32,6 +32,7 @@ type cat =
   | Multicore  (** the CPU look-back backend ([Plr_multicore]) *)
   | Guard  (** degradation ladder ([Plr_robust.Guard]) *)
   | Serve  (** request lifecycle ([Plr_serve.Serve]) *)
+  | Jit  (** native code generation + dispatch ([Plr_jit]) *)
   | App  (** CLI / bench drivers and anything above the libraries *)
 
 val cat_name : cat -> string

@@ -294,6 +294,43 @@ let test_get_or_search_caches () =
   check_bool "unknown bucket is heuristic" true (src3 = Tune.Heuristic);
   Tune.Registry.clear ()
 
+(* Regression pin for the tuned-slower-than-heuristic bug BENCH_PLR.json
+   exposed (prefix-sum 13.4 vs 11.3 ns/elem, tuple2 36.3 vs 19.4): the
+   search's selection policy must keep the measured heuristic unless the
+   searched winner beats it by a real margin, so a persisted tuning can
+   never regress below the untuned backend. *)
+let test_search_never_persists_slower () =
+  let h = Tune.{ chunk_size = 4096; domains = 4; window = 4 } in
+  let w = Tune.{ chunk_size = 64; domains = 2; window = 1 } in
+  let pick ~h_ns ~w_ns =
+    fst
+      (Tune.select_cpu_tuning ~heuristic:h ~heuristic_ns_per_elem:h_ns
+         ~searched:w ~searched_ns_per_elem:w_ns ())
+  in
+  (* a noisy near-tie must NOT displace the heuristic *)
+  check_bool "tie keeps heuristic" true (pick ~h_ns:10.0 ~w_ns:10.0 = h);
+  check_bool "within-margin win keeps heuristic" true
+    (pick ~h_ns:10.0 ~w_ns:9.8 = h);
+  check_bool "slower winner is impossible" true (pick ~h_ns:10.0 ~w_ns:13.4 = h);
+  check_bool "clear win switches" true (pick ~h_ns:10.0 ~w_ns:8.0 = w);
+  (* when the heuristic itself wins the search, it is of course kept *)
+  check_bool "heuristic self-win" true
+    (fst
+       (Tune.select_cpu_tuning ~heuristic:h ~heuristic_ns_per_elem:10.0
+          ~searched:h ~searched_ns_per_elem:10.0 ())
+    = h);
+  (* end-to-end: a real search's persisted result is never slower than
+     the measured heuristic configuration *)
+  let module TC = Tune.Cpu (Scalar.F64) in
+  let pool = Pool.get ~domains:2 () in
+  let s =
+    Signature.create ~is_zero:(fun c -> c = 0.0) ~forward:[| 1.0 |]
+      ~feedback:[| 1.0 |]
+  in
+  let r = TC.search ~reps:1 ~budget:4 ~pool ~n:20000 s in
+  check_bool "persisted tuning not slower than measured heuristic" true
+    (r.TC.ns_per_elem <= r.TC.heuristic_ns_per_elem)
+
 (* ---------------------------------------------- serve warm autotune *)
 
 (* The serving contract: autotune searches exactly once per signature
@@ -374,6 +411,8 @@ let () =
             test_registry_roundtrip;
           Alcotest.test_case "get_or_search caches" `Quick
             test_get_or_search_caches;
+          Alcotest.test_case "search never persists slower" `Quick
+            test_search_never_persists_slower;
           Alcotest.test_case "serve warm-cache autotune" `Quick
             test_serve_autotune_warm_cache;
         ] );

@@ -17,7 +17,10 @@
 # domains/median) degrade gracefully: domains defaults to 1 and the
 # comparison falls back to `ns_per_elem`.  When the fresh run carries
 # plr-bench-4 rows, a second table reports the measured-tuning deltas
-# (multicore-tuned vs multicore) per suite.
+# (multicore-tuned vs multicore) per suite.  When it carries plr-bench-5
+# `jit` rows, a third table reports the native-JIT deltas (jit vs the
+# best non-jit parallel variant) per suite; older runs print a notice
+# instead.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -119,6 +122,40 @@ jq -r -n --slurpfile new "$fresh" '
   { if (n == 0) printf "%-14s %12s %12s %10s   %s\n", "suite", "heuristic", "tuned", "delta", "winning knobs"
     n = 1; printf "%-14s %12s %12s %10s   %s\n", $1, $2, $3, $4, $5 }
   END { if (n == 0) print "(no multicore-tuned rows in the fresh run — pre-plr-bench-4 build)" }
+'
+
+# JIT-vs-multicore deltas (plr-bench-5 rows only): for every suite with
+# a jit row, compare the native kernel against the best non-jit,
+# non-serial variant (multicore, multicore-tuned, or stream — whichever
+# measured fastest), so the column answers "what did compiling to C buy
+# over the best portable parallel schedule".
+echo
+echo "bench_compare: jit vs best non-jit parallel variant (median ns/elem; negative delta = jit wins)"
+jq -r -n --slurpfile new "$fresh" '
+  def metric: .median_ns_per_elem // .ns_per_elem;
+  ($new[0].rows
+     | map(select(.variant != "jit" and .variant != "serial"))
+     | group_by(.suite)
+     | map({key: .[0].suite,
+            value: (min_by(metric) | {v: .variant, m: metric})})
+     | from_entries) as $best
+  | $new[0].rows[]
+  | select(.variant == "jit")
+  | ($best[.suite] // null) as $b
+  | metric as $m
+  | if $b == null then empty
+    else
+      [.suite,
+       "\($b.v) (\($b.m))", ($m | tostring),
+       ((($m - $b.m) / $b.m * 100 * 100 | round) / 100 | tostring) + "%",
+       (($b.m / $m * 100 | round) / 100 | tostring) + "x"]
+    end
+  | @tsv
+' | awk -F'\t' '
+  BEGIN { n = 0 }
+  { if (n == 0) printf "%-14s %26s %12s %10s %8s\n", "suite", "best non-jit", "jit", "delta", "speedup"
+    n = 1; printf "%-14s %26s %12s %10s %8s\n", $1, $2, $3, $4, $5 }
+  END { if (n == 0) print "(no jit rows in the fresh run — pre-plr-bench-5 build, no C toolchain, or PLR_JIT=off)" }
 '
 
 echo
