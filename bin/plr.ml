@@ -709,6 +709,225 @@ let cmd_chaos text n domain domains target trials seed =
     exit 1
   end
 
+(* ----------------------------------------------------------------- scan *)
+
+module Scan_int = Plr_scan.Scan.Make (Scalar.Int)
+module Scan_f32 = Plr_scan.Scan.Make (Scalar.F32)
+
+type scan_backend = Scan_serial | Scan_multicore | Scan_sparse | Scan_stream
+
+(* Parsed by hand (not a Cmdliner enum) so an unknown backend ends as the
+   same one-line exit-2 diagnostic as every other user mistake. *)
+let scan_backend_of_string = function
+  | "serial" -> Scan_serial
+  | "multicore" -> Scan_multicore
+  | "sparse" -> Scan_sparse
+  | "stream" -> Scan_stream
+  | other ->
+      failwith
+        (Printf.sprintf
+           "unknown scan backend %S (expected serial, multicore, sparse, or \
+            stream)"
+           other)
+
+let parse_stream name text =
+  let parts =
+    String.split_on_char ',' text |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then failwith (name ^ ": empty coefficient list");
+  Array.of_list parts
+
+(* Run-structured coefficient streams: identity runs (a=1, b=0) cover
+   roughly [identity] of the stream; the rest draws small dense
+   coefficients.  Runs are at least 8 long, the sparse classifier's
+   minimum segment. *)
+let scan_streams ~n ~identity ~seed =
+  let gen = Plr_util.Splitmix.create seed in
+  let a = Array.make n 1 and b = Array.make n 0 in
+  let i = ref 0 in
+  while !i < n do
+    let len = min (n - !i) (8 + Plr_util.Splitmix.int gen ~bound:25) in
+    if Plr_util.Splitmix.float gen >= identity then
+      for j = !i to !i + len - 1 do
+        a.(j) <- Plr_util.Splitmix.int_in gen ~lo:(-2) ~hi:2;
+        b.(j) <- Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9
+      done;
+    i := !i + len
+  done;
+  (a, b)
+
+let scan_stream_piece = 4096
+
+let cmd_scan n seed identity domain backend_s domains chunk window a_text
+    b_text =
+  require_positive_opt "--domains" domains;
+  require_positive_opt "--chunk" chunk;
+  require_positive_opt "--window" window;
+  if not (Float.is_finite identity) || identity < 0.0 || identity > 1.0 then
+    failwith (Printf.sprintf "--identity must be in [0, 1] (got %g)" identity);
+  let backend = scan_backend_of_string backend_s in
+  let texts =
+    match (a_text, b_text) with
+    | None, None ->
+        require_positive "-n" n;
+        None
+    | Some a, Some b -> Some (parse_stream "-a" a, parse_stream "-b" b)
+    | Some _, None | None, Some _ ->
+        failwith "-a and -b must be given together"
+  in
+  (match texts with
+  | Some (a, b) when Array.length a <> Array.length b ->
+      failwith
+        (Printf.sprintf "-a has %d coefficient(s) but -b has %d"
+           (Array.length a) (Array.length b))
+  | _ -> ());
+  let use_float =
+    match domain with
+    | Force_float -> true
+    | Force_int -> false
+    | Auto -> (
+        match texts with
+        | None -> false
+        | Some (a, b) ->
+            let is_int s = int_of_string_opt s <> None in
+            not (Array.for_all is_int a && Array.for_all is_int b))
+  in
+  let int_streams () =
+    match texts with
+    | None -> scan_streams ~n ~identity ~seed
+    | Some (ta, tb) ->
+        let conv name s =
+          match int_of_string_opt s with
+          | Some v -> v
+          | None ->
+              failwith
+                (Printf.sprintf "%s: %S is not an integer (use --float)" name s)
+        in
+        (Array.map (conv "-a") ta, Array.map (conv "-b") tb)
+  in
+  let float_streams () =
+    match texts with
+    | None ->
+        let a, b = scan_streams ~n ~identity ~seed in
+        (Array.map float_of_int a, Array.map float_of_int b)
+    | Some (ta, tb) ->
+        let conv name s =
+          match float_of_string_opt s with
+          | Some v -> Plr_util.F32.round v
+          | None ->
+              failwith (Printf.sprintf "%s: %S is not a number" name s)
+        in
+        (Array.map (conv "-a") ta, Array.map (conv "-b") tb)
+  in
+  let backend_label =
+    match backend with
+    | Scan_serial -> "serial"
+    | Scan_multicore -> Printf.sprintf "multicore (%d domains)" (pool_size domains)
+    | Scan_sparse -> "sparse"
+    | Scan_stream -> "stream"
+  in
+  let report ~scalar ~nn ~dt ~st ~extra ~ok =
+    Printf.printf "backend: scan %s\n" backend_label;
+    Printf.printf "domain: %s, n = %d\n" scalar nn;
+    Printf.printf "scan: %.3f ms (%.1f ns/elem), serial reference: %.3f ms\n"
+      (dt *. 1e3)
+      (dt *. 1e9 /. float_of_int (max 1 nn))
+      (st *. 1e3);
+    List.iter (fun line -> Printf.printf "%s\n" line) extra;
+    Printf.printf "validation: %s\n"
+      (if ok then "PASSED" else "FAILED — diverged from serial")
+  in
+  if use_float then begin
+    let module Sc = Scan_f32 in
+    let a, b = float_streams () in
+    let nn = Array.length a in
+    let expected, st = time_wall (fun () -> Sc.serial a b) in
+    let extra = ref [] in
+    let output, dt =
+      time_wall (fun () ->
+          match backend with
+          | Scan_serial -> Sc.serial a b
+          | Scan_multicore -> Sc.run ?domains ?chunk_size:chunk ?window a b
+          | Scan_sparse ->
+              let runs = Sc.Runs.build a b in
+              extra :=
+                [
+                  Printf.sprintf "sparse plan: %d segment(s), %.0f%% identity"
+                    (Sc.Runs.segments runs)
+                    (100.0 *. Sc.Runs.identity_fraction runs);
+                ];
+              Sc.sparse ~runs a b
+          | Scan_stream ->
+              let t = Sc.Stream.create ?domains () in
+              let out = Array.make nn 0.0 in
+              let i = ref 0 in
+              while !i < nn do
+                let len = min scan_stream_piece (nn - !i) in
+                let y =
+                  Sc.Stream.process t (Array.sub a !i len) (Array.sub b !i len)
+                in
+                Array.blit y 0 out !i len;
+                i := !i + len
+              done;
+              out)
+    in
+    (* The multicore engine reassociates float carries, so it validates
+       to the guard's tolerance; every other backend is bitwise serial. *)
+    let ok =
+      match backend with
+      | Scan_multicore ->
+          let ok = ref (Array.length output = nn) in
+          Array.iteri
+            (fun i v ->
+              if not (Scalar.F32.approx_equal ~tol:1e-3 v output.(i)) then
+                ok := false)
+            expected;
+          !ok
+      | Scan_serial | Scan_sparse | Scan_stream -> output = expected
+    in
+    report ~scalar:"float32" ~nn ~dt ~st ~extra:!extra ~ok;
+    if not ok then exit 1
+  end
+  else begin
+    let module Sc = Scan_int in
+    let a, b = int_streams () in
+    let nn = Array.length a in
+    let expected, st = time_wall (fun () -> Sc.serial a b) in
+    let extra = ref [] in
+    let output, dt =
+      time_wall (fun () ->
+          match backend with
+          | Scan_serial -> Sc.serial a b
+          | Scan_multicore -> Sc.run ?domains ?chunk_size:chunk ?window a b
+          | Scan_sparse ->
+              let runs = Sc.Runs.build a b in
+              extra :=
+                [
+                  Printf.sprintf "sparse plan: %d segment(s), %.0f%% identity"
+                    (Sc.Runs.segments runs)
+                    (100.0 *. Sc.Runs.identity_fraction runs);
+                ];
+              Sc.sparse ~runs a b
+          | Scan_stream ->
+              let t = Sc.Stream.create ?domains () in
+              let out = Array.make nn 0 in
+              let i = ref 0 in
+              while !i < nn do
+                let len = min scan_stream_piece (nn - !i) in
+                let y =
+                  Sc.Stream.process t (Array.sub a !i len) (Array.sub b !i len)
+                in
+                Array.blit y 0 out !i len;
+                i := !i + len
+              done;
+              out)
+    in
+    let ok = output = expected in
+    report ~scalar:"int" ~nn ~dt ~st ~extra:!extra ~ok;
+    if not ok then exit 1
+  end
+
 (* --------------------------------------------------------- serve-bench *)
 
 module Serve = Plr_serve.Serve
@@ -1038,10 +1257,12 @@ let chaos_cmd =
          & opt
              (enum
                 [ ("both", Both); ("gpusim", Only Chaos.Gpusim);
-                  ("multicore", Only Chaos.Multicore) ])
+                  ("multicore", Only Chaos.Multicore);
+                  ("scan", Only Chaos.Scan) ])
              Both
          & info [ "target" ] ~docv:"TARGET"
-             ~doc:"Engine to perturb: gpusim, multicore, or both.")
+             ~doc:"Engine to perturb: gpusim, multicore, scan, or both \
+                   (= gpusim + multicore).")
   in
   let trials =
     Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T"
@@ -1070,7 +1291,16 @@ let chaos_cmd =
                  retry/circuit-breaker exercises through $(b,submit).  \
                  Every output must be bitwise identical to the serial pass.")
   in
-  let run text n domain domains target trials seed serve trace_path =
+  let scan =
+    Arg.(value & flag & info [ "scan" ]
+           ~doc:"Target the time-varying scan subsystem (shorthand for \
+                 $(b,--target scan)).  Scan trials need no signature: the \
+                 coefficient streams are drawn from the trial seeds with \
+                 run-length structure, and the subsystem's carry \
+                 verification and serial fallback are classified against \
+                 the scan serial reference.")
+  in
+  let run text n domain domains target trials seed serve scan trace_path =
     wrap (fun () ->
         with_trace trace_path (fun () ->
             if serve then begin
@@ -1079,9 +1309,15 @@ let chaos_cmd =
               cmd_chaos_serve ?domains ~trials ~seed ()
             end
             else
+              let target = if scan then Only Chaos.Scan else target in
               match text with
+              | None when target = Only Chaos.Scan ->
+                  (* Scan trials draw their own streams; the signature
+                     below is a placeholder the target never reads. *)
+                  cmd_chaos "(1: 1)" n domain domains target trials seed
               | None ->
-                  failwith "a SIGNATURE is required unless --serve is given"
+                  failwith
+                    "a SIGNATURE is required unless --serve or --scan is given"
               | Some text ->
                   cmd_chaos text n domain domains target trials seed))
   in
@@ -1097,7 +1333,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ signature_opt $ n_arg $ domain_arg $ domains_arg $ target
-        $ trials $ seed $ serve $ trace_arg))
+        $ trials $ seed $ serve $ scan $ trace_arg))
 
 let at_cmd =
   let n_arg =
@@ -1186,6 +1422,60 @@ let serve_bench_cmd =
         (const run $ clients $ seconds $ zipf $ deadline_ms $ depth $ no_batch
         $ no_guard $ autotune $ domains_arg $ seed $ json $ trace_arg))
 
+let scan_cmd =
+  let n =
+    Arg.(value & opt int (1 lsl 20) & info [ "n" ] ~docv:"N"
+           ~doc:"Stream length when $(b,-a)/$(b,-b) are not given.")
+  in
+  let seed =
+    Arg.(value & opt int 1234 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for the generated coefficient streams.")
+  in
+  let identity =
+    Arg.(value & opt float 0.0 & info [ "identity" ] ~docv:"FRAC"
+           ~doc:"Fraction (in [0, 1]) of the generated stream covered by \
+                 identity runs (a=1, b=0) — the sparse fast-path's food.")
+  in
+  let backend =
+    Arg.(value & opt string "multicore" & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Evaluation path: serial (the reference chain), multicore \
+                 (chunked look-back engine on the domain pool), sparse \
+                 (run-length fast path), or stream (checkpointed streaming \
+                 session fed in pieces).")
+  in
+  let chunk =
+    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"C"
+           ~doc:"Multicore chunk size (default: the length heuristic).")
+  in
+  let window =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"W"
+           ~doc:"Multicore look-back window (default: 2x the pool size).")
+  in
+  let a_arg =
+    Arg.(value & opt (some string) None & info [ "a" ] ~docv:"LIST"
+           ~doc:"Explicit comma-separated a[i] coefficients (with \
+                 $(b,-b); overrides $(b,-n)/$(b,--seed)).")
+  in
+  let b_arg =
+    Arg.(value & opt (some string) None & info [ "b" ] ~docv:"LIST"
+           ~doc:"Explicit comma-separated b[i] coefficients (with $(b,-a)).")
+  in
+  let run n seed identity domain backend domains chunk window a b trace_path =
+    wrap (fun () ->
+        with_trace trace_path (fun () ->
+            cmd_scan n seed identity domain backend domains chunk window a b))
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Evaluate a time-varying first-order recurrence y[i] = a[i]*y[i-1] \
+          + b[i] as an associative scan over the (a, b) operator pairs, and \
+          validate against the serial reference.  Exits 1 on divergence.")
+    Term.(
+      ret
+        (const run $ n $ seed $ identity $ domain_arg $ backend $ domains_arg
+        $ chunk $ window $ a_arg $ b_arg $ trace_arg))
+
 let trace_cmd =
   let out =
     Arg.(value & opt string "trace.json" & info [ "o"; "out" ] ~docv:"FILE"
@@ -1213,6 +1503,6 @@ let () =
   exit
     (Cmd.eval ~term_err:2
        (Cmd.group (Cmd.info "plr" ~doc)
-          [ compile_cmd; emit_cmd; run_cmd; bench_cmd; info_cmd; tune_cmd;
-            execute_cmd; check_cmd; chaos_cmd; at_cmd; serve_bench_cmd;
-            trace_cmd ]))
+          [ compile_cmd; emit_cmd; run_cmd; scan_cmd; bench_cmd; info_cmd;
+            tune_cmd; execute_cmd; check_cmd; chaos_cmd; at_cmd;
+            serve_bench_cmd; trace_cmd ]))

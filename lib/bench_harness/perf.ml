@@ -24,6 +24,7 @@ module Ji = Plr_jit.Backend.Make (Scalar.Int)
 module Jf = Plr_jit.Backend.Make (Scalar.F32)
 module Fpi = Plr_factors.Factor_plan.Make (Scalar.Int)
 module Fpf = Plr_factors.Factor_plan.Make (Scalar.F32)
+module Sci = Plr_scan.Scan.Make (Scalar.Int)
 
 (* Matches the multicore backend's factor-period bound (and the serve
    layer's), so a precompiled plan is exactly what the engine would have
@@ -245,10 +246,71 @@ let smoke ?(n = default_n) ?(reps = 3) ?(opts = Opts.all_on) ?domains () =
       ]
     @ jit
   in
+  (* Time-varying scans: a dense coefficient stream ("scan") and a
+     90%-identity one ("scan-sparse", the run-length fast path's target
+     shape).  Both suites share the serial chain as their baseline, so
+     the sparse row's speedup_vs_serial is the fast-path headline. *)
+  let scan_streams ~identity seed =
+    (* Each 320-element period opens with an identity run covering
+       exactly [identity] of it and closes dense, so the advertised
+       fraction is what the fast path actually sees. *)
+    let g = Plr_util.Splitmix.create seed in
+    let sa = Array.make n 1 and sb = Array.make n 0 in
+    let period = 320 in
+    let ident_len = int_of_float (identity *. float_of_int period) in
+    let i = ref 0 in
+    while !i < n do
+      let stop = min n (!i + period) in
+      for j = min stop (!i + ident_len) to stop - 1 do
+        sa.(j) <- Plr_util.Splitmix.int_in g ~lo:(-2) ~hi:2;
+        sb.(j) <- Plr_util.Splitmix.int_in g ~lo:(-9) ~hi:9
+      done;
+      i := stop
+    done;
+    (sa, sb)
+  in
+  let scan_suite name ~identity seed =
+    let sa, sb = scan_streams ~identity seed in
+    let schunk = Plr_scan.Scan.default_chunk_size ~domains n in
+    let swindow = Plr_scan.Scan.default_window ~pool_size:domains in
+    let runs = Sci.Runs.build sa sb in
+    (* The serial and sparse rows both run the steady-state shape (a
+       precompiled runs plan, a caller-owned destination), so their
+       ratio is the fast path's honest headline rather than a
+       measurement of the allocator. *)
+    let dst = Array.make n 0 in
+    suite_rows ~reps name n
+      [
+        ("serial", (1, 0, 0), fun () -> Sci.serial_into sa sb ~dst);
+        ( "sparse",
+          (1, 0, 0),
+          fun () -> Sci.sparse_into ~runs sa sb ~dst );
+        ( "multicore",
+          (domains, schunk, swindow),
+          fun () ->
+            ignore
+              (Sci.run ~pool ~chunk_size:schunk ~window:swindow sa sb) );
+        ( "stream",
+          (domains, 0, 0),
+          fun () ->
+            let t = Sci.Stream.create ~pool () in
+            let chunk = max 1 ((n + 7) / 8) in
+            let pos = ref 0 in
+            while !pos < n do
+              let len = min chunk (n - !pos) in
+              ignore
+                (Sci.Stream.process t (Array.sub sa !pos len)
+                   (Array.sub sb !pos len));
+              pos := !pos + len
+            done );
+      ]
+  in
   int_suite "prefix-sum" (int_sig [| 1 |] [| 1 |])
   @ int_suite "order2" (int_sig [| 1 |] [| 2; -1 |])
   @ int_suite "tuple2" (int_sig [| 1 |] [| 0; 1 |])
   @ float_suite "lp2" lp2
+  @ scan_suite "scan" ~identity:0.0 93
+  @ scan_suite "scan-sparse" ~identity:0.9 94
 
 let render fmt rows =
   Format.fprintf fmt "@[<v>%-12s %-16s %10s %8s %9s %7s %12s %12s %10s@,"
@@ -270,7 +332,7 @@ let to_json ?meta rows =
     match meta with Some m -> m | None -> Meta.to_json (Meta.collect ())
   in
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"plr-bench-5\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"plr-bench-6\",\n";
   Buffer.add_string b (Printf.sprintf "  \"meta\": %s,\n" meta);
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n"

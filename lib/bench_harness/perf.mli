@@ -3,16 +3,21 @@
 
     This is the suite CI runs on every push (as opposed to the Bechamel
     {!Micro} suite, which is slower and statistically careful).  The four
-    suites each exercise one specialization of the shared
-    {!Plr_factors.Factor_plan}: prefix-sum (all-equal), order2
+    constant-coefficient suites each exercise one specialization of the
+    shared {!Plr_factors.Factor_plan}: prefix-sum (all-equal), order2
     (dense/periodic), tuple2 (0/1 conditional add), and lp2 (decaying
-    float filter, where the zero-tail skip pays off). *)
+    float filter, where the zero-tail skip pays off).  Two further suites
+    cover the time-varying subsystem ({!Plr_scan.Scan}): "scan" on a
+    dense coefficient stream and "scan-sparse" on a 90%-identity one,
+    whose "sparse" row is the run-length fast path's headline number. *)
 
 type row = {
-  suite : string;  (** "prefix-sum", "order2", "tuple2", "lp2" *)
+  suite : string;
+      (** "prefix-sum", "order2", "tuple2", "lp2", "scan", "scan-sparse" *)
   variant : string;
       (** "serial", "multicore", "multicore-noopt", "multicore-tuned",
-          "stream" *)
+          "stream", "jit"; the scan suites add "sparse" (run-length fast
+          path over a precompiled {!Plr_scan.Scan.Make.Runs} plan) *)
   n : int;
   domains : int;  (** pool size used by this variant (1 for "serial") *)
   chunk_size : int;
@@ -53,14 +58,16 @@ val render : Format.formatter -> row list -> unit
 (** Human-readable table. *)
 
 val to_json : ?meta:string -> row list -> string
-(** The BENCH_PLR.json payload: [{"schema": "plr-bench-5", "meta": {...},
+(** The BENCH_PLR.json payload: [{"schema": "plr-bench-6", "meta": {...},
     "recommended_domains": d, "rows": [...]}].  plr-bench-4 added the
-    per-row [chunk_size]/[window] schedule knobs; plr-bench-5 adds the
+    per-row [chunk_size]/[window] schedule knobs; plr-bench-5 added the
     [jit] variant rows (present only when a C toolchain compiled and
-    verified the native kernel).  [meta] is a pre-rendered JSON object;
+    verified the native kernel); plr-bench-6 adds the time-varying
+    "scan"/"scan-sparse" suites.  [meta] is a pre-rendered JSON object;
     by default {!Meta.collect} supplies one.  Consumers that only read
     [.rows] (e.g. [tools/bench_compare.sh]) accept plr-bench-2 through
-    plr-bench-5 files. *)
+    plr-bench-6 files — older files simply have no scan rows, and the
+    comparison degrades to a notice. *)
 
 val write_json : path:string -> ?meta:string -> row list -> unit
 (** {!to_json} written atomically (temp file + rename): a crashed run

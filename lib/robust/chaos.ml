@@ -1,6 +1,6 @@
 module Faults = Plr_gpusim.Faults
 
-type target = Gpusim | Multicore | Jit
+type target = Gpusim | Multicore | Jit | Scan
 
 type outcome =
   | Exact
@@ -23,6 +23,7 @@ let target_to_string = function
   | Gpusim -> "gpusim"
   | Multicore -> "multicore"
   | Jit -> "jit"
+  | Scan -> "scan"
 
 let outcome_to_string = function
   | Exact -> "exact"
@@ -33,6 +34,7 @@ let outcome_to_string = function
 module Make (S : Plr_util.Scalar.S) = struct
   module G = Guard.Make (S)
   module Serial = Plr_serial.Serial.Make (S)
+  module Sc = Plr_scan.Scan.Make (S)
 
   type trial = {
     seed : int;
@@ -51,8 +53,77 @@ module Make (S : Plr_util.Scalar.S) = struct
 
   let spec = Plr_gpusim.Spec.titan_x
 
+  (* Scan trials have no signature: the coefficient streams themselves
+     are drawn from the seed, with run-length structure (identity runs,
+     reset runs, dense stretches) so the trials also cross the segment
+     shapes the sparse path classifies. *)
+  let scan_chunk = 16
+
+  let scan_inputs gen n =
+    let a = Array.make n S.zero and b = Array.make n S.zero in
+    let i = ref 0 in
+    while !i < n do
+      let run_len = min (n - !i) (1 + Plr_util.Splitmix.int gen ~bound:24) in
+      let kind = Plr_util.Splitmix.int gen ~bound:4 in
+      for j = !i to !i + run_len - 1 do
+        match kind with
+        | 0 ->
+            a.(j) <- S.one;
+            b.(j) <- S.zero
+        | 1 ->
+            a.(j) <- S.zero;
+            b.(j) <- S.of_int (Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9)
+        | _ ->
+            a.(j) <- S.of_int (Plr_util.Splitmix.int_in gen ~lo:(-2) ~hi:2);
+            b.(j) <- S.of_int (Plr_util.Splitmix.int_in gen ~lo:(-9) ~hi:9)
+      done;
+      i := !i + run_len
+    done;
+    (a, b)
+
+  (* The scan subsystem carries its own verify-and-fall-back ladder
+     (carry verification inside the engine, serial fallback outside), so
+     scan trials classify that ladder directly instead of going through
+     {!Guard}: a loud failure that the serial fallback recovers is
+     [Degraded]; an accepted output is re-checked independently against
+     the serial reference and any mismatch is [Silent]. *)
+  let run_scan_trial ~n ?kinds ~max_events ~tol ?domains ~seed () =
+    let gen = Plr_util.Splitmix.create seed in
+    let a, b = scan_inputs gen n in
+    let chunks = (n + scan_chunk - 1) / scan_chunk in
+    let plan =
+      Faults.random ~seed:((seed * 31) + 7) ~chunks ~lanes:2 ?kinds
+        ~max_events ()
+    in
+    let expected = Sc.serial a b in
+    let matches out =
+      Array.length out = Array.length expected
+      && (let ok = ref true in
+          Array.iteri
+            (fun i v -> if not (S.approx_equal ~tol v out.(i)) then ok := false)
+            expected;
+          !ok)
+    in
+    let accepted, why =
+      match Sc.run ~faults:plan ?domains ~chunk_size:scan_chunk a b with
+      | y ->
+          if matches y then (y, None)
+          else
+            ( expected,
+              Some "scan verify: faulted output diverged from serial" )
+      | exception Plr_scan.Scan.Fault_detected msg -> (expected, Some msg)
+    in
+    let outcome =
+      if not (matches accepted) then
+        Silent "scan ladder accepted an output that differs from serial"
+      else match why with Some w -> Degraded w | None -> Exact
+    in
+    { seed; target = Scan; plan; outcome }
+
   let run_trial ?(n = 384) ?kinds ?(max_events = 3) ?(tol = 1e-3) ?domains
       ~seed ~target s =
+    if target = Scan then run_scan_trial ~n ?kinds ~max_events ~tol ?domains ~seed ()
+    else
     let k = max 1 (Signature.order s) in
     let gen = Plr_util.Splitmix.create seed in
     let input =
@@ -62,6 +133,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       match target with
       | Gpusim -> (n + gpusim_m - 1) / gpusim_m
       | Multicore | Jit -> (n + multicore_chunk - 1) / multicore_chunk
+      | Scan -> assert false (* dispatched to run_scan_trial above *)
     in
     let plan =
       Faults.random ~seed:((seed * 31) + 7) ~chunks ~lanes:k ?kinds ~max_events ()
@@ -95,6 +167,7 @@ module Make (S : Plr_util.Scalar.S) = struct
           match jit with
           | Some jb -> G.jit_runner ~jit:jb ~fallback
           | None -> fallback)
+      | Scan -> assert false (* dispatched to run_scan_trial above *)
     in
     let expected = Serial.full s input in
     let o = G.run ~tol ~check:Guard.Full runner s input in

@@ -23,12 +23,19 @@
 
 module Faults = Plr_gpusim.Faults
 
-type target = Gpusim | Multicore | Jit
+type target = Gpusim | Multicore | Jit | Scan
 (** [Jit] exercises the native-kernel-first dispatch
     ({!Guard.Make.jit_runner}) over the faulted multicore fallback; odd
     seeds bypass the JIT deterministically so every campaign also drives
     the faulted OCaml path, and trials complete identically when no C
-    toolchain is present (the dispatch degrades). *)
+    toolchain is present (the dispatch degrades).
+
+    [Scan] exercises the time-varying scan subsystem ({!Plr_scan.Scan})
+    under its deterministic faulted pipeline.  Scan trials ignore the
+    signature argument: the coefficient streams are drawn from the seed
+    with run-length structure (identity runs, reset runs, dense
+    stretches), and the subsystem's own verify-and-fall-back ladder is
+    classified against the scan serial reference. *)
 
 type outcome =
   | Exact

@@ -1,0 +1,972 @@
+module Faults = Plr_gpusim.Faults
+module Pool = Plr_exec.Pool
+module Cancel = Plr_exec.Cancel
+module Trace = Plr_trace.Trace
+module Buf = Plr_util.Buf
+module A1 = Bigarray.Array1
+
+exception Fault_detected of string
+(* Raised (outside the functor, so one identity for every scalar instance)
+   when a carry fails its before-commit verification or when an injected
+   fault makes forward progress impossible — the real protocol would spin
+   forever on a dropped publication, so the deterministic pipeline fails
+   loudly instead. *)
+
+(* Look-back window of the deterministic faulted pipeline, matching the
+   multicore backend's chaos shape: small, so a few hundred elements span
+   several waves. *)
+let faulted_lookback_window = 4
+
+let default_window ~pool_size = max faulted_lookback_window (2 * pool_size)
+
+(* Chunk-size policy, shared with the multicore backend: chunks below
+   [min_chunk_size] lose more to protocol overhead than they gain in
+   parallelism. *)
+let min_chunk_size = 1024
+let chunks_per_domain = 8
+
+let default_chunk_size ~domains n =
+  max min_chunk_size (n / (domains * chunks_per_domain))
+
+let fallback_chunks = 8
+let fallback_chunk_size n =
+  max min_chunk_size ((n + fallback_chunks - 1) / fallback_chunks)
+
+(* Monomorphic phase-1 kernel on unboxed float64 storage: the chunk's
+   composed affine operator (A, B) — A the ordered product of the a's, B
+   the chain from zero, i.e. exactly the chunk's output if the incoming
+   carry were zero.  With [f32] every operation is rounded to binary32
+   through the [Int32.bits_of_float] round-trip (both externals are
+   [@@unboxed] [@@noalloc]), replicating the {!Plr_util.Scalar.F32}
+   emulation operation for operation.  The accumulators are float refs,
+   which the compiler stores flat, so the loop allocates nothing. *)
+let aggregate_f ~f32 (a : Buf.t) (b : Buf.t) ~base ~len =
+  let p = ref 1.0 and y = ref 0.0 in
+  for i = base to base + len - 1 do
+    let ai = A1.unsafe_get a i in
+    let pv = ai *. !p in
+    p := (if f32 then Int32.float_of_bits (Int32.bits_of_float pv) else pv);
+    let m = ai *. !y in
+    let m = if f32 then Int32.float_of_bits (Int32.bits_of_float m) else m in
+    let v = m +. A1.unsafe_get b i in
+    y := (if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+  done;
+  (!p, !y)
+
+(* Phase 2 on unboxed storage: recompute the chunk's outputs with the
+   plain serial chain from the received carry, so the within-chunk
+   operation order is exactly the serial reference's. *)
+let chain_f ~f32 (a : Buf.t) (b : Buf.t) (y : Buf.t) ~base ~len ~y0 =
+  let prev = ref y0 in
+  for i = base to base + len - 1 do
+    let m = A1.unsafe_get a i *. !prev in
+    let m = if f32 then Int32.float_of_bits (Int32.bits_of_float m) else m in
+    let v = m +. A1.unsafe_get b i in
+    let v = if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v in
+    A1.unsafe_set y i v;
+    prev := v
+  done
+
+(* [chain_f] on flat [float array] storage (OCaml float arrays are
+   already unboxed), returning the final carry — the sparse path's dense
+   segments run on the caller's arrays directly. *)
+let chain_fa ~f32 (a : float array) (b : float array) (y : float array) ~base
+    ~len ~y0 =
+  let prev = ref y0 in
+  for i = base to base + len - 1 do
+    let m = Array.unsafe_get a i *. !prev in
+    let m = if f32 then Int32.float_of_bits (Int32.bits_of_float m) else m in
+    let v = m +. Array.unsafe_get b i in
+    let v = if f32 then Int32.float_of_bits (Int32.bits_of_float v) else v in
+    Array.unsafe_set y i v;
+    prev := v
+  done;
+  !prev
+
+(* The same two kernels monomorphized onto flat [int array] storage. *)
+let aggregate_i (a : int array) (b : int array) ~base ~len =
+  let p = ref 1 and y = ref 0 in
+  for i = base to base + len - 1 do
+    let ai = Array.unsafe_get a i in
+    p := ai * !p;
+    y := (ai * !y) + Array.unsafe_get b i
+  done;
+  (!p, !y)
+
+let chain_i (a : int array) (b : int array) (y : int array) ~base ~len ~y0 =
+  let prev = ref y0 in
+  for i = base to base + len - 1 do
+    let v = (Array.unsafe_get a i * !prev) + Array.unsafe_get b i in
+    Array.unsafe_set y i v;
+    prev := v
+  done
+
+module Make (S : Plr_util.Scalar.S) = struct
+  let poison =
+    match S.kind with
+    | Plr_util.Scalar.Floating -> S.of_float Float.nan
+    | Plr_util.Scalar.Integer -> S.of_int 0x5EED_BAD
+
+  (* A deterministic wrong value for carry corruption: distinguishable
+     from the original for every scalar domain. *)
+  let corrupt v = S.add (S.mul v (S.of_int 3)) (S.of_int 41)
+
+  let check_lengths name (a : S.t array) (b : S.t array) =
+    if Array.length a <> Array.length b then
+      invalid_arg (name ^ ": coefficient streams differ in length")
+
+  (* Bitwise equality refined by the representation witness, used by the
+     run-length fixpoint fill and the carry verification.  [None] means
+     the scalar offers no cheap bit view; both fast paths degrade to the
+     plain chain / skip the check. *)
+  let bitwise_equal : (S.t -> S.t -> bool) option =
+    match S.rep with
+    | Plr_util.Scalar.Int_rep -> Some (fun u v -> u = v)
+    | Plr_util.Scalar.Float_rep _ ->
+        Some (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v)
+    | Plr_util.Scalar.Other_rep -> None
+
+  let carry_eq = match bitwise_equal with Some eq -> eq | None -> fun _ _ -> true
+
+  (* ------------------------------------------------- serial reference *)
+
+  let serial_chain ?(y0 = S.zero) ~(a : S.t array) ~(b : S.t array)
+      (y : S.t array) =
+    let prev = ref y0 in
+    for i = 0 to Array.length a - 1 do
+      let v = S.add (S.mul a.(i) !prev) b.(i) in
+      y.(i) <- v;
+      prev := v
+    done
+
+  let check_dst name n (dst : S.t array) =
+    if Array.length dst < n then invalid_arg (name ^ ": dst too short")
+
+  let serial_into ?y0 a b ~dst =
+    check_lengths "Scan.serial_into" a b;
+    check_dst "Scan.serial_into" (Array.length a) dst;
+    serial_chain ?y0 ~a ~b dst
+
+  let serial ?y0 a b =
+    check_lengths "Scan.serial" a b;
+    let y = Array.make (Array.length a) S.zero in
+    serial_chain ?y0 ~a ~b y;
+    y
+
+  (* ------------------------------------------- run-length sparse path *)
+
+  module Runs = struct
+    type seg =
+      | Identity of { off : int; len : int }
+      | Reset of { off : int; len : int }
+      | Dense of { off : int; len : int }
+
+    type t = { n : int; segs : seg array; identity_elems : int }
+
+    (* Below this length the segment bookkeeping costs more than the
+       skipped multiplies. *)
+    let min_run = 8
+
+    let classify (a : S.t array) (b : S.t array) j =
+      if S.is_zero a.(j) then `Reset
+      else if S.is_one a.(j) && S.is_zero b.(j) then `Identity
+      else `Dense
+
+    let build (a : S.t array) (b : S.t array) =
+      if Array.length a <> Array.length b then
+        invalid_arg "Scan.Runs.build: coefficient streams differ in length";
+      let n = Array.length a in
+      let segs = ref [] and identity_elems = ref 0 in
+      let flush_dense off stop =
+        if stop > off then segs := Dense { off; len = stop - off } :: !segs
+      in
+      let dstart = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        match classify a b !i with
+        | `Dense -> incr i
+        | (`Identity | `Reset) as c ->
+            let j = ref !i in
+            while !j < n && classify a b !j = c do incr j done;
+            let len = !j - !i in
+            if len >= min_run then begin
+              flush_dense !dstart !i;
+              (segs :=
+                 (if c = `Identity then begin
+                    identity_elems := !identity_elems + len;
+                    Identity { off = !i; len }
+                  end
+                  else Reset { off = !i; len })
+                 :: !segs);
+              dstart := !j
+            end;
+            i := !j
+      done;
+      flush_dense !dstart n;
+      { n; segs = Array.of_list (List.rev !segs); identity_elems = !identity_elems }
+
+    let length t = t.n
+    let segments t = Array.length t.segs
+
+    let identity_fraction t =
+      if t.n = 0 then 0.0 else float_of_int t.identity_elems /. float_of_int t.n
+  end
+
+  let sparse_into ?(y0 = S.zero) ?runs a b ~dst =
+    check_lengths "Scan.sparse" a b;
+    let n = Array.length a in
+    check_dst "Scan.sparse_into" n dst;
+    let y = dst in
+    if n > 0 then begin
+      let runs =
+        match runs with
+        | Some r when r.Runs.n = n -> r
+        | Some r ->
+            invalid_arg
+              (Printf.sprintf
+                 "Scan.sparse: runs plan is for length %d, streams have %d"
+                 r.Runs.n n)
+        | None -> Runs.build a b
+      in
+      Trace.instant Trace.Scan "scan.sparse" n (Runs.segments runs);
+      (* Segment execution specializes on the representation witness the
+         same way the chunked engine dispatches its kernels: the arrays
+         refine to flat int/float storage, dense segments run the
+         monomorphic chains, and skipped runs are plain blits/fills — the
+         per-element functor-closure cost would otherwise eat the O(1)
+         win the run-length plan buys. *)
+      let exec () : unit =
+        match S.rep with
+        | Plr_util.Scalar.Int_rep ->
+            let prev = ref y0 in
+            Array.iter
+              (function
+                | Runs.Dense { off; len } ->
+                    chain_i a b y ~base:off ~len ~y0:!prev;
+                    prev := y.(off + len - 1)
+                | Runs.Reset { off; len } ->
+                    (* 0*y + b = b exactly in the wrap-around ring. *)
+                    Array.blit b off y off len;
+                    prev := y.(off + len - 1)
+                | Runs.Identity { off; len } ->
+                    (* 1*y + 0 = y exactly: the whole run is a fill. *)
+                    Array.fill y off len !prev)
+              runs.Runs.segs
+        | Plr_util.Scalar.Float_rep r ->
+            let f32 = r = Plr_util.Scalar.Round_f32 in
+            let prev = ref y0 in
+            Array.iter
+              (function
+                | Runs.Dense { off; len } | Runs.Reset { off; len } ->
+                    (* Float resets stay on the real operations: 0*y
+                       depends on the sign and finiteness of y. *)
+                    prev := chain_fa ~f32 a b y ~base:off ~len ~y0:!prev
+                | Runs.Identity { off; len } ->
+                    (* Fixpoint fill: the identity step f(v) = 1*v + (+-0)
+                       satisfies f(f(v)) = f(v), so after at most two real
+                       steps the output repeats bitwise and the rest of the
+                       run is a fill (this is what keeps b = +0.0 against a
+                       -0.0 state, and every rounding mode, bitwise equal
+                       to the serial chain). *)
+                    let stop = off + len in
+                    let i = ref off in
+                    let fixed = ref false in
+                    while (not !fixed) && !i < stop do
+                      let m = a.(!i) *. !prev in
+                      let m =
+                        if f32 then
+                          Int32.float_of_bits (Int32.bits_of_float m)
+                        else m
+                      in
+                      let v = m +. b.(!i) in
+                      let v =
+                        if f32 then
+                          Int32.float_of_bits (Int32.bits_of_float v)
+                        else v
+                      in
+                      y.(!i) <- v;
+                      fixed :=
+                        Int64.bits_of_float v = Int64.bits_of_float !prev;
+                      prev := v;
+                      incr i
+                    done;
+                    if !i < stop then Array.fill y !i (stop - !i) !prev)
+              runs.Runs.segs
+        | Plr_util.Scalar.Other_rep ->
+            (* No cheap bit view, so no fill is provably bitwise: the
+               plan degrades to the plain chain (segment order is the
+               element order, so this is exactly the serial chain). *)
+            serial_chain ~y0 ~a ~b y
+      in
+      exec ()
+    end
+
+  let sparse ?y0 ?runs a b =
+    check_lengths "Scan.sparse" a b;
+    let y = Array.make (Array.length a) S.zero in
+    sparse_into ?y0 ?runs a b ~dst:y;
+    y
+
+  (* -------------------------------------------- two-phase chunked run *)
+
+  (* The chunk-level operations of one run, specialized to the storage
+     the scalar representation admits; the look-back schedule below is
+     written once against this record. *)
+  type kernel = {
+    kaggregate : base:int -> len:int -> S.t * S.t;
+    kchain : base:int -> len:int -> y0:S.t -> unit;
+  }
+
+  let generic_kernel ~(a : S.t array) ~(b : S.t array) (y : S.t array) =
+    {
+      kaggregate =
+        (fun ~base ~len ->
+          let p = ref S.one and acc = ref S.zero in
+          for i = base to base + len - 1 do
+            p := S.mul a.(i) !p;
+            acc := S.add (S.mul a.(i) !acc) b.(i)
+          done;
+          (!p, !acc));
+      kchain =
+        (fun ~base ~len ~y0 ->
+          let prev = ref y0 in
+          for i = base to base + len - 1 do
+            let v = S.add (S.mul a.(i) !prev) b.(i) in
+            y.(i) <- v;
+            prev := v
+          done);
+    }
+
+  (* The decoupled look-back schedule (Merrill-Garland, PAPERS.md) over
+     operator pairs.  One task per chunk; each task
+
+     1. reduces its chunk to the aggregate pair (A, B);
+     2. publishes it and flags itself [`Aggregate`];
+     3. looks back: reads the inclusive carry of the last chunk of the
+        previous window, then folds the aggregates of the chunks between
+        that boundary and itself, in ascending order — verifying each
+        folded inclusive against the chunk's own published inclusive
+        whenever one is already visible (same boundary, same fold order,
+        hence bitwise comparable; a mismatch is a corrupted carry and
+        raises {!Fault_detected} before anything is committed);
+     4. publishes its own inclusive carry (a_prod, y_incl) — *before*
+        step 5, so successors never wait on a whole-chunk recompute;
+     5. recomputes its outputs with the serial chain from the received
+        carry.
+
+     Status flags are the only atomics; carry payloads are plain writes
+     made visible by the release/acquire pair on the flag.  Every
+     schedule folds in the same fixed order, so outputs are bitwise
+     identical across pool sizes and completion orders; a pool of size 1
+     executes the same tasks inline in index order. *)
+  let status_aggregate = 1
+  let status_inclusive = 2
+
+  let run_pooled_k ?window ~cancel ~pool ~kernel ~n ~m ~y0 () =
+    let chunks = (n + m - 1) / m in
+    let lp = Array.make chunks S.zero and lb = Array.make chunks S.zero in
+    let gp = Array.make chunks S.zero and gy = Array.make chunks S.zero in
+    let status = Array.init chunks (fun _ -> Atomic.make 0) in
+    let window =
+      match window with
+      | Some w -> max 1 w
+      | None -> default_window ~pool_size:(Pool.size pool)
+    in
+    let wait c v =
+      while Atomic.get status.(c) < v do
+        if Pool.cancelled pool then raise Pool.Stopped;
+        Domain.cpu_relax ()
+      done
+    in
+    let task c =
+      (* Chunk boundary is the cooperative preemption point: a fired
+         deadline aborts here instead of reducing another whole chunk. *)
+      Cancel.check cancel;
+      let base = c * m in
+      let len = min m (n - base) in
+      Trace.begin_span2 Trace.Scan "scan.chunk" c len;
+      let pa, pb = kernel.kaggregate ~base ~len in
+      lp.(c) <- pa;
+      lb.(c) <- pb;
+      if c > 0 then begin
+        Atomic.set status.(c) status_aggregate;
+        Trace.instant Trace.Scan "scan.publish" c status_aggregate
+      end;
+      let boundary = (c / window * window) - 1 in
+      Trace.begin_span2 Trace.Scan "scan.lookback" c (c - max 0 (boundary + 1));
+      let p = ref S.one and yv = ref y0 in
+      if boundary >= 0 then begin
+        wait boundary status_inclusive;
+        p := gp.(boundary);
+        yv := gy.(boundary)
+      end;
+      for t = max 0 (boundary + 1) to c - 1 do
+        wait t status_aggregate;
+        let p' = S.mul lp.(t) !p and y' = S.add (S.mul lp.(t) !yv) lb.(t) in
+        (* Before-commit verification: chunks in the same window fold
+           from the same boundary in the same order, so a predecessor's
+           published inclusive carry must match ours bitwise. *)
+        if
+          Atomic.get status.(t) >= status_inclusive
+          && not (carry_eq gp.(t) p' && carry_eq gy.(t) y')
+        then
+          raise
+            (Fault_detected
+               (Printf.sprintf
+                  "carry verification failed: chunk %d's published \
+                   inclusive carry disagrees with the look-back fold"
+                  t));
+        p := p';
+        yv := y'
+      done;
+      Trace.end_span ();
+      gp.(c) <- S.mul pa !p;
+      gy.(c) <- S.add (S.mul pa !yv) pb;
+      Atomic.set status.(c) status_inclusive;
+      Trace.instant Trace.Scan "scan.publish" c status_inclusive;
+      kernel.kchain ~base ~len ~y0:!yv;
+      Trace.end_span ()
+    in
+    Pool.run ~cancel pool ~tasks:chunks task
+
+  let run_kernel ?window ~cancel ~pool ~kernel ~n ~m ~y0 () =
+    let chunks = (n + m - 1) / m in
+    if chunks = 1 then begin
+      Cancel.check cancel;
+      kernel.kchain ~base:0 ~len:n ~y0
+    end
+    else run_pooled_k ?window ~cancel ~pool ~kernel ~n ~m ~y0 ()
+
+  (* Unboxed float64 core: build the monomorphic kernel in a context
+     where matching the representation witness has refined [S.t] to
+     [float].  Raises for non-float scalars (the entry points dispatch). *)
+  let run_float_core ?window ~cancel ~pool ~n ~m ~y0 (a : Buf.t) (b : Buf.t)
+      (y : Buf.t) =
+    match S.rep with
+    | Plr_util.Scalar.Float_rep rounding ->
+        let f32 = rounding = Plr_util.Scalar.Round_f32 in
+        let kernel =
+          {
+            kaggregate = (fun ~base ~len -> aggregate_f ~f32 a b ~base ~len);
+            kchain = (fun ~base ~len ~y0 -> chain_f ~f32 a b y ~base ~len ~y0);
+          }
+        in
+        run_kernel ?window ~cancel ~pool ~kernel ~n ~m ~y0 ()
+    | _ -> invalid_arg "Scan.run_float_core: not a float scalar"
+
+  let run_int_core ?window ~cancel ~pool ~n ~m ~y0 (a : S.t array)
+      (b : S.t array) (y : S.t array) =
+    match S.rep with
+    | Plr_util.Scalar.Int_rep ->
+        let kernel =
+          {
+            kaggregate = (fun ~base ~len -> aggregate_i a b ~base ~len);
+            kchain = (fun ~base ~len ~y0 -> chain_i a b y ~base ~len ~y0);
+          }
+        in
+        run_kernel ?window ~cancel ~pool ~kernel ~n ~m ~y0 ()
+    | _ -> invalid_arg "Scan.run_int_core: not an int scalar"
+
+  (* ----------------------------------------- deterministic fault model *)
+
+  (* The same windowed look-back protocol executed sequentially under the
+     fault plan's completion permutation, with publication *visibility*
+     gated by Drop events — the scan twin of the multicore backend's
+     [run_faulted].  A chunk is runnable when every publication it would
+     spin on is visible; when no incomplete chunk is runnable the real
+     protocol would spin forever, so we raise [Fault_detected] instead.
+     The carry verification of the live protocol runs here too, against
+     every visible inclusive publication, so a corrupted carry inside the
+     window is caught before the reader commits anything. *)
+  let run_faulted ~faults ~(a : S.t array) ~(b : S.t array) ~y0
+      (y : S.t array) ~n ~m =
+    let chunks = (n + m - 1) / m in
+    let lp = Array.make chunks S.zero and lb = Array.make chunks S.zero in
+    let gp = Array.make chunks S.zero and gy = Array.make chunks S.zero in
+    let local_vis = Array.make chunks false in
+    let global_vis = Array.make chunks false in
+    let finished = Array.make chunks false in
+    let w = faulted_lookback_window in
+    let boundary c = (c / w * w) - 1 in
+    let ready c =
+      let bnd = boundary c in
+      (bnd < 0 || global_vis.(bnd))
+      && begin
+           let ok = ref true in
+           for t = max 0 (bnd + 1) to c - 1 do
+             if not local_vis.(t) then ok := false
+           done;
+           !ok
+         end
+    in
+    let run_chunk c =
+      let base = c * m in
+      let len = min m (n - base) in
+      let pa = ref S.one and pb = ref S.zero in
+      for i = base to base + len - 1 do
+        pa := S.mul a.(i) !pa;
+        pb := S.add (S.mul a.(i) !pb) b.(i)
+      done;
+      let pa = !pa in
+      (* Poison models a corrupted partial result: the published fold and
+         the chunk's own output both carry it. *)
+      let poisoned =
+        Faults.events_at faults ~chunks Faults.Poison_chunk c <> []
+      in
+      let pb = if poisoned then poison else !pb in
+      let bnd = boundary c in
+      let p = ref S.one and yv = ref y0 in
+      if bnd >= 0 then begin
+        p := gp.(bnd);
+        yv := gy.(bnd)
+      end;
+      for t = max 0 (bnd + 1) to c - 1 do
+        let p' = S.mul lp.(t) !p and y' = S.add (S.mul lp.(t) !yv) lb.(t) in
+        if global_vis.(t) && not (carry_eq gp.(t) p' && carry_eq gy.(t) y')
+        then
+          raise
+            (Fault_detected
+               (Printf.sprintf
+                  "carry verification failed: chunk %d's published \
+                   inclusive carry disagrees with the look-back fold"
+                  t));
+        p := p';
+        yv := y'
+      done;
+      let gpub_p = ref (S.mul pa !p) in
+      let gpub_y = ref (S.add (S.mul pa !yv) pb) in
+      let lpub_p = ref pa and lpub_b = ref pb in
+      (* Corrupt both published forms after the chunk's own computation,
+         so only successors observe the damage. *)
+      List.iter
+        (fun (e : Faults.event) ->
+          if e.Faults.lane land 1 = 0 then begin
+            lpub_p := corrupt !lpub_p;
+            gpub_p := corrupt !gpub_p
+          end
+          else begin
+            lpub_b := corrupt !lpub_b;
+            gpub_y := corrupt !gpub_y
+          end)
+        (Faults.events_at faults ~chunks Faults.Corrupt_carry c);
+      lp.(c) <- !lpub_p;
+      lb.(c) <- !lpub_b;
+      gp.(c) <- !gpub_p;
+      gy.(c) <- !gpub_y;
+      if Faults.events_at faults ~chunks Faults.Drop_local c = [] then
+        local_vis.(c) <- true;
+      if Faults.events_at faults ~chunks Faults.Drop_global c = [] then
+        global_vis.(c) <- true;
+      let prev = ref !yv in
+      for i = base to base + len - 1 do
+        let v = S.add (S.mul a.(i) !prev) b.(i) in
+        y.(i) <- v;
+        prev := v
+      done;
+      if poisoned then begin
+        y.(base) <- poison;
+        y.(base + len - 1) <- poison
+      end
+    in
+    let order = Faults.permutation faults chunks in
+    let completed = ref 0 in
+    while !completed < chunks do
+      let picked = ref (-1) in
+      Array.iter
+        (fun c ->
+          if !picked < 0 && (not finished.(c)) && ready c then picked := c)
+        order;
+      if !picked < 0 then
+        raise
+          (Fault_detected
+             (Printf.sprintf
+                "look-back stall: %d of %d chunks blocked on carry \
+                 publications that were dropped"
+                (chunks - !completed) chunks))
+      else begin
+        run_chunk !picked;
+        finished.(!picked) <- true;
+        incr completed
+      end
+    done
+
+  (* ---------------------------------------------------- entry points *)
+
+  let resolve_pool ?pool ?domains () =
+    match pool with Some p -> p | None -> Pool.get ?domains ()
+
+  let run ?(faults = Faults.none) ?(cancel = Cancel.none) ?pool ?domains
+      ?chunk_size ?window ?(y0 = S.zero) a b =
+    check_lengths "Scan.run" a b;
+    let n = Array.length a in
+    if n = 0 then [||]
+    else if not (Faults.is_none faults) then begin
+      (* Chaos replay stays on the boxed reference kernels, sequentially,
+         and needs no pool. *)
+      let chunk_size =
+        match chunk_size with
+        | Some c -> max 1 c
+        | None -> fallback_chunk_size n
+      in
+      let m = min chunk_size n in
+      Trace.begin_span2 Trace.Scan "scan.run" n ((n + m - 1) / m);
+      let y = Array.make n S.zero in
+      match run_faulted ~faults ~a ~b ~y0 y ~n ~m with
+      | () ->
+          Trace.end_span ();
+          y
+      | exception e ->
+          Trace.end_span ();
+          raise e
+    end
+    else begin
+      let pool = resolve_pool ?pool ?domains () in
+      let chunk_size =
+        match chunk_size with
+        | Some c -> max 1 c
+        | None -> default_chunk_size ~domains:(Pool.size pool) n
+      in
+      let m = min chunk_size n in
+      Trace.begin_span2 Trace.Scan "scan.run" n ((n + m - 1) / m);
+      (* Storage dispatch: floats convert to unboxed Buf storage at
+         this API boundary only; native ints run in place on their
+         (already flat) arrays; everything else takes the generic
+         boxed kernels.  All paths run the identical schedule and
+         operation order, so outputs are bitwise identical. *)
+      let dispatch () : S.t array =
+        match S.rep with
+        | Plr_util.Scalar.Float_rep _ ->
+            let ab = Buf.of_array a and bb = Buf.of_array b in
+            let yb = Buf.create n in
+            run_float_core ?window ~cancel ~pool ~n ~m ~y0 ab bb yb;
+            Buf.to_array yb
+        | Plr_util.Scalar.Int_rep ->
+            let y = Array.make n S.zero in
+            run_int_core ?window ~cancel ~pool ~n ~m ~y0 a b y;
+            y
+        | Plr_util.Scalar.Other_rep ->
+            let y = Array.make n S.zero in
+            run_kernel ?window ~cancel ~pool
+              ~kernel:(generic_kernel ~a ~b y)
+              ~n ~m ~y0 ();
+            y
+      in
+      match dispatch () with
+      | y ->
+          Trace.end_span ();
+          y
+      | exception e ->
+          Trace.end_span ();
+          raise e
+    end
+
+  (* Buf-in/Buf-out entry for float scalars: no boxed conversion at all,
+     and [dst] is caller-allocated (reusable across calls), so a
+     warmed-up run performs no per-element allocation. *)
+  let run_into ?(cancel = Cancel.none) ?pool ?domains ?chunk_size ?window
+      ?(y0 = S.zero) (a : Buf.t) (b : Buf.t) ~(dst : Buf.t) =
+    let n = Buf.length a in
+    if Buf.length b <> n then
+      invalid_arg "Scan.run_into: coefficient streams differ in length";
+    if Buf.length dst < n then invalid_arg "Scan.run_into: dst too short";
+    if n > 0 then begin
+      let pool = resolve_pool ?pool ?domains () in
+      let chunk_size =
+        match chunk_size with
+        | Some c -> max 1 c
+        | None -> default_chunk_size ~domains:(Pool.size pool) n
+      in
+      let m = min chunk_size n in
+      Trace.begin_span2 Trace.Scan "scan.run" n ((n + m - 1) / m);
+      match run_float_core ?window ~cancel ~pool ~n ~m ~y0 a b dst with
+      | () -> Trace.end_span ()
+      | exception e ->
+          Trace.end_span ();
+          raise e
+    end
+
+  (* -------------------------------------------------------- streaming *)
+
+  module Stream = struct
+    type fault = Crash | Corrupt_state | Engine_fault of int
+
+    let fault_to_string = function
+      | Crash -> "crash"
+      | Corrupt_state -> "corrupt-state"
+      | Engine_fault seed -> Printf.sprintf "engine-fault(seed %d)" seed
+
+    type segment =
+      | Data of S.t array * S.t array
+      | Gap of int
+      | Ff of S.t * S.t * int
+
+    type checkpoint = { cp_pos : int; cp_y : S.t; cp_digest : int }
+
+    type stats = {
+      position : int;
+      checkpoints : int;
+      recoveries : int;
+      fastforwards : int;
+      detected : int;
+      replayed : int;
+    }
+
+    type t = {
+      pool : Pool.t;
+      tol : float;
+      checkpoint_every : int;
+      mutable y : S.t;
+      mutable pos : int;
+      mutable digest : int; (* of the live state; a mismatch = corruption *)
+      mutable checkpoint : checkpoint; (* last good snapshot *)
+      mutable journal : segment list; (* since the checkpoint, newest first *)
+      mutable armed : fault option;
+      mutable n_checkpoints : int;
+      mutable n_recoveries : int;
+      mutable n_fastforwards : int;
+      mutable n_detected : int;
+      mutable n_replayed : int;
+    }
+
+    (* Engine-fault injections run with this fixed chunk size (the chaos
+       harness's choice) so small stream pieces still span several chunks
+       of the look-back protocol. *)
+    let faulted_chunk = 16
+
+    let default_checkpoint_every = 1024
+
+    let stream_poison = S.of_int 0x5EED_BAD
+
+    (* The state is two words, so the digest is simply a hash of the pair
+       (rendered, so floats hash by value, not address). *)
+    let state_digest ~pos ~y = Hashtbl.hash (pos, S.to_string y)
+
+    let create ?pool ?domains ?(checkpoint_every = default_checkpoint_every)
+        ?(tol = 1e-3) ?(y0 = S.zero) () =
+      let pool = match pool with Some p -> p | None -> Pool.get ?domains () in
+      let digest = state_digest ~pos:0 ~y:y0 in
+      {
+        pool;
+        tol;
+        checkpoint_every = max 1 checkpoint_every;
+        y = y0;
+        pos = 0;
+        digest;
+        checkpoint = { cp_pos = 0; cp_y = y0; cp_digest = digest };
+        journal = [];
+        armed = None;
+        n_checkpoints = 0;
+        n_recoveries = 0;
+        n_fastforwards = 0;
+        n_detected = 0;
+        n_replayed = 0;
+      }
+
+    let position t = t.pos
+    let value t = t.y
+
+    let stats t =
+      {
+        position = t.pos;
+        checkpoints = t.n_checkpoints;
+        recoveries = t.n_recoveries;
+        fastforwards = t.n_fastforwards;
+        detected = t.n_detected;
+        replayed = t.n_replayed;
+      }
+
+    let live_digest t = state_digest ~pos:t.pos ~y:t.y
+
+    exception Detected of string
+
+    (* The faulted solve: run the engine under the injected plan and
+       check the whole piece against the serial reference.  Anything
+       that raised or diverged is [Detected] — the stream never lets a
+       faulted piece's output (or state update) through unverified, so
+       silent divergence is structurally impossible on this path. *)
+    let solve_piece t ~fault_seed ~a ~b =
+      match fault_seed with
+      | None ->
+          (* The serial chain from the exact carry: bitwise identical to
+             the serial reference over the concatenated stream. *)
+          let y = Array.make (Array.length a) S.zero in
+          serial_chain ~y0:t.y ~a ~b y;
+          y
+      | Some seed ->
+          let n = Array.length a in
+          let m = max 1 (min faulted_chunk n) in
+          let chunks = (n + m - 1) / m in
+          let faults =
+            Faults.random ~seed ~chunks ~lanes:2 ~max_events:3 ()
+          in
+          let y =
+            match
+              run ~faults ~pool:t.pool ~chunk_size:faulted_chunk ~y0:t.y a b
+            with
+            | y -> y
+            | exception Fault_detected msg -> raise (Detected msg)
+            | exception e -> raise (Detected (Printexc.to_string e))
+          in
+          let expected = serial ~y0:t.y a b in
+          Array.iteri
+            (fun i v ->
+              if not (S.approx_equal ~tol:t.tol v y.(i)) then
+                raise
+                  (Detected
+                     (Printf.sprintf "faulted scan diverged at index %d" i)))
+            expected;
+          y
+
+    (* Process one data piece: no journaling, no checkpointing — exactly
+       the state transition, so recovery replay goes through this same
+       code and reproduces the state bit-for-bit. *)
+    let process_data ?fault_seed t ~a ~b =
+      let n = Array.length a in
+      if n = 0 then [||]
+      else begin
+        let y = solve_piece t ~fault_seed ~a ~b in
+        t.y <- y.(n - 1);
+        t.pos <- t.pos + n;
+        y
+      end
+
+    (* A gap of [n] identity steps: the carry is the fast-forward
+       operator's fixpoint, so nothing moves but the position. *)
+    let gap_advance t n =
+      Trace.begin_span2 Trace.Scan "scan.session.ff" t.pos n;
+      t.pos <- t.pos + n;
+      t.n_fastforwards <- t.n_fastforwards + 1;
+      Trace.end_span ()
+
+    (* One compose: the carry pair *is* the fast-forward operator. *)
+    let ff_advance t ~a_prod ~b_fold ~steps =
+      Trace.begin_span2 Trace.Scan "scan.session.ff" t.pos steps;
+      t.y <- S.add (S.mul a_prod t.y) b_fold;
+      t.pos <- t.pos + steps;
+      t.n_fastforwards <- t.n_fastforwards + 1;
+      Trace.end_span ()
+
+    (* ---------------------------------------------- checkpoint/recover *)
+
+    let take_checkpoint t =
+      Trace.begin_span2 Trace.Scan "scan.session.checkpoint" t.pos
+        (List.length t.journal);
+      t.checkpoint <-
+        { cp_pos = t.pos; cp_y = t.y; cp_digest = live_digest t };
+      t.journal <- [];
+      t.n_checkpoints <- t.n_checkpoints + 1;
+      Trace.end_span ()
+
+    let maybe_checkpoint t =
+      if t.pos - t.checkpoint.cp_pos >= t.checkpoint_every then
+        take_checkpoint t
+
+    let segment_data_length = function
+      | Data (a, _) -> Array.length a
+      | Gap _ | Ff _ -> 0
+
+    (* Restore the last checkpoint and bring the state back to the
+       current position by replaying the journal — data pieces re-run
+       through the exact original code path (bitwise-identical state),
+       gaps and fast-forwards re-run the same O(1) composes. *)
+    let recover t =
+      let cp = t.checkpoint in
+      if state_digest ~pos:cp.cp_pos ~y:cp.cp_y <> cp.cp_digest then
+        failwith "Scan.Stream: last checkpoint is corrupted, cannot recover";
+      let journal = List.rev t.journal in
+      let replayed =
+        List.fold_left (fun acc s -> acc + segment_data_length s) 0 journal
+      in
+      Trace.begin_span2 Trace.Scan "scan.session.recover" cp.cp_pos replayed;
+      t.y <- cp.cp_y;
+      t.pos <- cp.cp_pos;
+      List.iter
+        (function
+          | Data (a, b) -> ignore (process_data t ~a ~b : S.t array)
+          | Gap n -> gap_advance t n
+          | Ff (a_prod, b_fold, steps) -> ff_advance t ~a_prod ~b_fold ~steps)
+        journal;
+      t.n_recoveries <- t.n_recoveries + 1;
+      t.n_replayed <- t.n_replayed + replayed;
+      Trace.end_span ()
+
+    (* ---------------------------------------------------- fault intake *)
+
+    let inject t fault = t.armed <- Some fault
+
+    (* State-corrupting faults strike before the call's work; the digest
+       check below then discovers them exactly as it would discover real
+       memory corruption. *)
+    let apply_armed_corruption t =
+      match t.armed with
+      | Some Crash ->
+          t.armed <- None;
+          t.y <- stream_poison;
+          t.pos <- t.pos + 1 (* a lost position is part of losing memory *)
+      | Some Corrupt_state ->
+          t.armed <- None;
+          t.y <- corrupt t.y
+      | _ -> ()
+
+    let verify_state t =
+      if live_digest t <> t.digest then begin
+        t.n_detected <- t.n_detected + 1;
+        recover t;
+        t.digest <- live_digest t
+      end
+
+    let enter t fault =
+      (match fault with Some f -> inject t f | None -> ());
+      apply_armed_corruption t;
+      verify_state t;
+      match t.armed with
+      | Some (Engine_fault seed) ->
+          t.armed <- None;
+          Some seed
+      | _ -> None
+
+    let finish_segment t seg =
+      t.journal <- seg :: t.journal;
+      maybe_checkpoint t;
+      t.digest <- live_digest t
+
+    let process ?fault t a b =
+      check_lengths "Scan.Stream.process" a b;
+      let fault_seed = enter t fault in
+      let n = Array.length a in
+      if n = 0 then [||]
+      else begin
+        let y =
+          match process_data ?fault_seed t ~a ~b with
+          | y -> y
+          | exception Detected _ ->
+              (* The faulted engine raised or diverged before any state
+                 was committed; rebuild from the checkpoint anyway (the
+                 state is no longer trusted) and re-run cleanly. *)
+              t.n_detected <- t.n_detected + 1;
+              recover t;
+              process_data t ~a ~b
+        in
+        finish_segment t (Data (Array.copy a, Array.copy b));
+        y
+      end
+
+    let skip ?fault t n =
+      if n < 0 then invalid_arg "Scan.Stream.skip: negative gap";
+      ignore (enter t fault : int option);
+      if n > 0 then begin
+        gap_advance t n;
+        finish_segment t (Gap n)
+      end
+
+    let fast_forward ?fault t ~a_prod ~b_fold ~steps =
+      if steps < 0 then invalid_arg "Scan.Stream.fast_forward: negative steps";
+      ignore (enter t fault : int option);
+      if steps > 0 then begin
+        ff_advance t ~a_prod ~b_fold ~steps;
+        finish_segment t (Ff (a_prod, b_fold, steps))
+      end
+
+    let checkpoint_now t = take_checkpoint t
+  end
+end

@@ -125,6 +125,13 @@ type t = {
   session_checkpoints : Counter.t;
   session_recoveries : Counter.t;
   session_fastforwards : Counter.t;
+  (* Per-request-kind attribution.  [submitted]/[completed]/[failed]
+     above stay the all-kinds totals (existing dashboards keep working);
+     the scan_* counters carve out the time-varying scan share, and the
+     snapshot derives the constant-coefficient share by subtraction. *)
+  scan_submitted : Counter.t;
+  scan_completed : Counter.t;
+  scan_failed : Counter.t;
   queue_wait : Histogram.t;
   plan_build : Histogram.t;
   exec : Histogram.t;
@@ -155,6 +162,9 @@ let create () =
     session_checkpoints = Counter.create ();
     session_recoveries = Counter.create ();
     session_fastforwards = Counter.create ();
+    scan_submitted = Counter.create ();
+    scan_completed = Counter.create ();
+    scan_failed = Counter.create ();
     queue_wait = Histogram.create ();
     plan_build = Histogram.create ();
     exec = Histogram.create ();
@@ -190,6 +200,17 @@ let snapshot_json ?pool ?tuning t =
       counter "session_checkpoints" t.session_checkpoints;
       counter "session_recoveries" t.session_recoveries;
       counter "session_fastforwards" t.session_fastforwards;
+      (let ssub = Counter.get t.scan_submitted
+       and scomp = Counter.get t.scan_completed
+       and sfail = Counter.get t.scan_failed in
+       Printf.sprintf
+         "  \"kinds\": { \"recurrence\": { \"submitted\": %d, \
+          \"completed\": %d, \"failed\": %d }, \"scan\": { \"submitted\": \
+          %d, \"completed\": %d, \"failed\": %d } }"
+         (Counter.get t.submitted - ssub)
+         (Counter.get t.completed - scomp)
+         (Counter.get t.failed - sfail)
+         ssub scomp sfail);
       histogram "queue_wait" t.queue_wait;
       histogram "plan_build" t.plan_build;
       histogram "exec" t.exec;

@@ -80,6 +80,12 @@ type t = {
   session_recoveries : Counter.t;  (** session checkpoint restorations *)
   session_fastforwards : Counter.t;
       (** companion-matrix skip-aheads (gap processing and recovery) *)
+  scan_submitted : Counter.t;
+      (** time-varying scan requests entering {!Serve.Make.submit_scan};
+          also counted in [submitted], so the constant-coefficient share
+          is the difference *)
+  scan_completed : Counter.t; (** scan requests that returned [Ok] *)
+  scan_failed : Counter.t;    (** scan requests that returned [Failed] *)
   queue_wait : Histogram.t;   (** admission to execution start *)
   plan_build : Histogram.t;   (** plan-cache miss fill time *)
   exec : Histogram.t;         (** backend execution time *)
@@ -89,7 +95,10 @@ type t = {
 val create : unit -> t
 
 val snapshot_json : ?pool:Plr_exec.Pool.t -> ?tuning:string -> t -> string
-(** One JSON object with every counter, every histogram, and — when
+(** One JSON object with every counter, every histogram, a ["kinds"]
+    block attributing submitted/completed/failed to the request kind
+    (["recurrence"] = the all-kinds totals minus the scan share,
+    ["scan"] = the scan_* counters), and — when
     [pool] is given — the pool's {!Plr_exec.Pool.stats}.  [tuning]
     (when non-empty) is echoed as a ["tuning"] field: the active
     schedule tuning and its source (cached | searched |

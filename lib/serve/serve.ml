@@ -77,6 +77,7 @@ module Make (S : Plr_util.Scalar.S) = struct
   module G = Guard.Make (S)
   module Session = Session.Make (S)
   module TC = Tune.Cpu (S)
+  module Sc = Plr_scan.Scan.Make (S)
 
   type entry = {
     stability : Stability.report;
@@ -86,6 +87,11 @@ module Make (S : Plr_util.Scalar.S) = struct
     tuning_source : Tune.cpu_source;
     jit : G.JB.t option;
   }
+
+  (* Time-varying scan requests have no signature to key a factor plan
+     on; the cacheable state is the schedule shape, bucketed by request
+     length so a steady mix of similar lengths shares one entry. *)
+  type scan_entry = { schunk : int; swindow : int }
 
   (* Per-signature circuit breaker.  [Closed] counts consecutive faulty
      pooled outcomes (guard degradations and failures); at the threshold
@@ -115,6 +121,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     pool_ : Pool.t;
     metrics : Metrics.t;
     cache : entry Plan_cache.t;
+    scan_cache : scan_entry Plan_cache.t;
     inflight : int Atomic.t;
     exec_lock : Mutex.t; (* serializes jobs that occupy the pool *)
     batch_lock : Mutex.t;
@@ -135,6 +142,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       pool_;
       metrics = Metrics.create ();
       cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      scan_cache = Plan_cache.create ~capacity:config.cache_capacity ();
       inflight = Atomic.make 0;
       exec_lock = Mutex.create ();
       batch_lock = Mutex.create ();
@@ -701,4 +709,130 @@ module Make (S : Plr_util.Scalar.S) = struct
   let session ?checkpoint_every t s =
     Session.create ~pool:t.pool_ ~opts:t.config.opts ~metrics:t.metrics
       ?checkpoint_every s
+
+  (* ----------------------------------------- time-varying scan requests *)
+
+  let scan_bucket n =
+    let b = ref 1 in
+    while !b < n do
+      b := !b * 2
+    done;
+    !b
+
+  let scan_key n = Printf.sprintf "scan|%s|%d" S.ctype (scan_bucket n)
+
+  let scan_entry_for t n =
+    let entry, hit =
+      Plan_cache.find_or_add t.scan_cache (scan_key n) (fun () ->
+          let domains = Pool.size t.pool_ in
+          {
+            schunk =
+              Plr_scan.Scan.default_chunk_size ~domains (scan_bucket n);
+            swindow = Plr_scan.Scan.default_window ~pool_size:domains;
+          })
+    in
+    Metrics.Counter.incr
+      (if hit then t.metrics.Metrics.plan_hits
+       else t.metrics.Metrics.plan_misses);
+    entry
+
+  let scan_guarded t y =
+    match (t.config.guard, scan_non_finite y) with
+    | true, Some i ->
+        Error (Failed (Printf.sprintf "non-finite value at index %d" i))
+    | _ -> Ok y
+
+  (* One admitted scan attempt: small requests evaluate on the calling
+     domain (the serial chain *is* the reference at these lengths); large
+     ones take the pooled look-back engine under [exec_lock], with the
+     deadline armed as a mid-flight cancellation token.  A carry fault
+     the engine detects ({!Plr_scan.Scan.Fault_detected}) degrades to the
+     serial evaluator — loud, counted, never silent. *)
+  let scan_attempt ~t0 ?deadline t entry a b =
+    if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
+      Atomic.decr t.inflight;
+      Error Overloaded
+    end
+    else
+      Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
+      let n = Array.length a in
+      if deadline_passed deadline then Error Deadline_exceeded
+      else if n <= t.config.parallel_threshold then begin
+        Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
+        let e0 = now () in
+        let r =
+          match Sc.serial a b with
+          | exception e -> Error (Failed (Printexc.to_string e))
+          | y -> scan_guarded t y
+        in
+        Metrics.Histogram.observe t.metrics.Metrics.exec (now () -. e0);
+        r
+      end
+      else begin
+        let cancel =
+          match deadline with
+          | None -> Cancel.none
+          | Some d -> Cancel.create ~deadline:d ()
+        in
+        exec_serialized ~t0 ?deadline t (fun () ->
+            match
+              Sc.run ~cancel ~pool:t.pool_ ~chunk_size:entry.schunk
+                ~window:entry.swindow a b
+            with
+            | y -> scan_guarded t y
+            | exception Cancel.Cancelled ->
+                Metrics.Counter.incr t.metrics.Metrics.cancelled_midflight;
+                Error Deadline_exceeded
+            | exception Plr_scan.Scan.Fault_detected _ ->
+                Metrics.Counter.incr t.metrics.Metrics.degraded;
+                (match Sc.serial a b with
+                | y -> scan_guarded t y
+                | exception e -> Error (Failed (Printexc.to_string e)))
+            | exception e -> Error (Failed (Printexc.to_string e)))
+      end
+
+  let submit_scan ?deadline t a b =
+    let t0 = now () in
+    Metrics.Counter.incr t.metrics.Metrics.submitted;
+    Metrics.Counter.incr t.metrics.Metrics.scan_submitted;
+    let flow = if Trace.enabled () then Trace.next_flow_id () else 0 in
+    Trace.begin_span2 Trace.Scan "scan.request" (Array.length a) flow;
+    Trace.flow_start Trace.Scan "scan.flow" flow;
+    Trace.set_ambient_flow flow;
+    let r =
+      if Array.length a <> Array.length b then
+        Error (Failed "coefficient streams differ in length")
+      else begin
+        let n = Array.length a in
+        let entry = scan_entry_for t n in
+        let key = scan_key n in
+        let rec go attempt =
+          let r = scan_attempt ~t0 ?deadline t entry a b in
+          if
+            attempt < t.config.retries && retryable r
+            && not (deadline_passed deadline)
+          then begin
+            Metrics.Counter.incr t.metrics.Metrics.retries;
+            Trace.instant Trace.Scan "scan.retry" attempt (error_code r);
+            let d = backoff_delay t ~key ~attempt in
+            let d =
+              match deadline with None -> d | Some dl -> min d (dl -. now ())
+            in
+            if d > 0.0 then Unix.sleepf d;
+            go (attempt + 1)
+          end
+          else r
+        in
+        go 0
+      end
+    in
+    classify_result t r;
+    (match r with
+    | Ok _ -> Metrics.Counter.incr t.metrics.Metrics.scan_completed
+    | Error (Failed _) -> Metrics.Counter.incr t.metrics.Metrics.scan_failed
+    | Error _ -> ());
+    Metrics.Histogram.observe t.metrics.Metrics.total (now () -. t0);
+    Trace.set_ambient_flow 0;
+    Trace.end_span ();
+    r
 end

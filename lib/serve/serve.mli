@@ -181,4 +181,20 @@ module Make (S : Plr_util.Scalar.S) : sig
   val session : ?checkpoint_every:int -> t -> S.t Signature.t -> Session.t
   (** A sticky streaming session on this server's pool, options, and
       metrics — see {!Session.Make.create}. *)
+
+  val submit_scan :
+    ?deadline:float -> t -> S.t array -> S.t array -> (S.t array, error) result
+  (** [submit_scan t a b] serves one time-varying recurrence request
+      [y[i] = a[i]*y[i-1] + b[i]] through {!Plr_scan.Scan}.  The request
+      lifecycle mirrors {!submit}: admission control against
+      [config.max_inflight], deadlines enforced before execution and
+      mid-flight at chunk boundaries, retries with deterministic backoff,
+      the shared latency histograms, and per-kind attribution in the
+      metrics snapshot ({!Metrics.t.scan_submitted} etc.).  Schedule
+      knobs come from a scan-specific plan-cache entry bucketed by
+      request length.  Requests at or below [config.parallel_threshold]
+      evaluate serially on the calling domain; larger ones run the
+      pooled look-back engine, and an engine-detected carry fault
+      degrades — loudly, counted in {!Metrics.t.degraded} — to the
+      serial evaluator. *)
 end

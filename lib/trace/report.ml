@@ -36,10 +36,7 @@ let percentile sorted p =
 let rows (events : Trace.event list) =
   let table : (int * string, acc) Hashtbl.t = Hashtbl.create 32 in
   let get cat name =
-    let key = (Trace.(match cat with
-      | Factors -> 0 | Engine -> 1 | Pool -> 2 | Multicore -> 3
-      | Guard -> 4 | Serve -> 5 | Jit -> 6 | App -> 7), name)
-    in
+    let key = (Trace.cat_to_int cat, name) in
     match Hashtbl.find_opt table key with
     | Some a -> a
     | None ->

@@ -1,4 +1,4 @@
-type cat = Factors | Engine | Pool | Multicore | Guard | Serve | Jit | App
+type cat = Factors | Engine | Pool | Multicore | Guard | Serve | Jit | App | Scan
 
 let cat_name = function
   | Factors -> "factors"
@@ -9,6 +9,7 @@ let cat_name = function
   | Serve -> "serve"
   | Jit -> "jit"
   | App -> "app"
+  | Scan -> "scan"
 
 let cat_to_int = function
   | Factors -> 0
@@ -19,6 +20,7 @@ let cat_to_int = function
   | Serve -> 5
   | Jit -> 6
   | App -> 7
+  | Scan -> 8
 
 let cat_of_int = function
   | 0 -> Factors
@@ -28,6 +30,7 @@ let cat_of_int = function
   | 4 -> Guard
   | 5 -> Serve
   | 6 -> Jit
+  | 8 -> Scan
   | _ -> App
 
 type kind = Begin | End | Instant | Flow_start | Flow_finish

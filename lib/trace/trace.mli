@@ -34,9 +34,14 @@ type cat =
   | Serve  (** request lifecycle ([Plr_serve.Serve]) *)
   | Jit  (** native code generation + dispatch ([Plr_jit]) *)
   | App  (** CLI / bench drivers and anything above the libraries *)
+  | Scan  (** time-varying affine scans ([Plr_scan]) *)
 
 val cat_name : cat -> string
 (** Lower-case category label used by the exporters ("factors", …). *)
+
+val cat_to_int : cat -> int
+(** Stable small-int encoding of [cat] (used for table keys and the
+    binary ring encoding); {!cat_name} is the display form. *)
 
 type kind = Begin | End | Instant | Flow_start | Flow_finish
 

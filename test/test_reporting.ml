@@ -125,7 +125,7 @@ let test_perf_write_json () =
       (match Plr_trace.Json.member "schema" j with
       | Some s ->
           check_bool "schema tag" true
-            (Plr_trace.Json.str s = Some "plr-bench-5")
+            (Plr_trace.Json.str s = Some "plr-bench-6")
       | None -> Alcotest.fail "missing schema field");
       (match Plr_trace.Json.member "rows" j with
       | Some rows ->

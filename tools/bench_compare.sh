@@ -20,7 +20,10 @@
 # (multicore-tuned vs multicore) per suite.  When it carries plr-bench-5
 # `jit` rows, a third table reports the native-JIT deltas (jit vs the
 # best non-jit parallel variant) per suite; older runs print a notice
-# instead.
+# instead.  When it carries plr-bench-6 scan suites ("scan",
+# "scan-sparse"), a fourth table reports the run-length fast path's
+# deltas (sparse vs serial) per scan suite; plr-bench-5 and older runs
+# print a notice instead.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -156,6 +159,35 @@ jq -r -n --slurpfile new "$fresh" '
   { if (n == 0) printf "%-14s %26s %12s %10s %8s\n", "suite", "best non-jit", "jit", "delta", "speedup"
     n = 1; printf "%-14s %26s %12s %10s %8s\n", $1, $2, $3, $4, $5 }
   END { if (n == 0) print "(no jit rows in the fresh run — pre-plr-bench-5 build, no C toolchain, or PLR_JIT=off)" }
+'
+
+# Scan fast-path deltas (plr-bench-6 suites only): for the time-varying
+# scan suites, compare the run-length sparse fast path against the
+# serial reference chain (both measured in the caller-owned-dst steady
+# state), so the speedup column is the fast path's honest headline on
+# dense ("scan") and 90%-identity ("scan-sparse") inputs.
+echo
+echo "bench_compare: scan sparse fast path vs serial reference (median ns/elem)"
+jq -r -n --slurpfile new "$fresh" '
+  def metric: .median_ns_per_elem // .ns_per_elem;
+  ($new[0].rows
+     | map(select((.suite | startswith("scan")) and .variant == "serial"))
+     | map({key: .suite, value: metric}) | from_entries) as $ser
+  | $new[0].rows[]
+  | select((.suite | startswith("scan")) and .variant == "sparse")
+  | ($ser[.suite] // null) as $s
+  | metric as $m
+  | if $s == null then empty
+    else
+      [.suite, ($s | tostring), ($m | tostring),
+       (($s / $m * 100 | round) / 100 | tostring) + "x"]
+    end
+  | @tsv
+' | awk -F'\t' '
+  BEGIN { n = 0 }
+  { if (n == 0) printf "%-14s %12s %12s %8s\n", "suite", "serial", "sparse", "speedup"
+    n = 1; printf "%-14s %12s %12s %8s\n", $1, $2, $3, $4 }
+  END { if (n == 0) print "(no scan rows in the fresh run — pre-plr-bench-6 build)" }
 '
 
 echo
