@@ -662,7 +662,10 @@ let cmd_chaos_serve ?domains ~trials ~seed () =
   let serve_trials = max 1 (trials / 10) in
   let serve = Resilience.serve_campaign ?domains ~trials:serve_trials ~seed () in
   Format.printf "%-10s @[<v>%a@]@." "serve" Resilience.pp_summary serve;
-  let merged = Resilience.merge session serve in
+  let shard_trials = max 1 (trials / 10) in
+  let shard = Resilience.shard_campaign ?domains ~trials:shard_trials ~seed () in
+  Format.printf "%-10s @[<v>%a@]@." "shard" Resilience.pp_summary shard;
+  let merged = Resilience.merge (Resilience.merge session serve) shard in
   if not (Resilience.ok merged) then begin
     Printf.eprintf "plr: %d chaos trial(s) failed\n"
       (List.length merged.Resilience.failures);
@@ -671,6 +674,18 @@ let cmd_chaos_serve ?domains ~trials ~seed () =
   if merged.Resilience.recoveries = 0 then begin
     Printf.eprintf
       "plr: no session recovery was exercised — the campaign proved nothing\n";
+    exit 1
+  end;
+  if merged.Resilience.steals = 0 then begin
+    Printf.eprintf
+      "plr: no cross-shard steal was exercised — the shard campaign proved \
+       nothing\n";
+    exit 1
+  end;
+  if merged.Resilience.migrations = 0 then begin
+    Printf.eprintf
+      "plr: no session migration was exercised — the shard campaign proved \
+       nothing\n";
     exit 1
   end
 
@@ -935,13 +950,17 @@ module Serve_f32 = Plr_serve.Serve.Make (Scalar.F32)
 module Load_f32 = Plr_serve.Load.Make (Scalar.F32)
 
 let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
-    autotune domains seed json_path =
+    autotune shards steal_threshold open_loop slo_ms domains seed json_path =
   require_positive "--clients" clients;
   require_positive "--depth" depth;
   require_positive "--seed" seed;
+  require_positive "--shards" shards;
+  require_positive "--steal-threshold" steal_threshold;
   require_positive_opt "--domains" domains;
   require_positive_float "--seconds" seconds;
   require_positive_float "--deadline-ms" deadline_ms;
+  require_positive_float "--slo" slo_ms;
+  Option.iter (require_positive_float "--open-loop") open_loop;
   require_non_negative_float "--zipf" zipf;
   let config =
     {
@@ -950,9 +969,12 @@ let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
       batching = not no_batch;
       guard = not no_guard;
       autotune;
+      shards;
+      steal_threshold;
     }
   in
   let server = Serve_f32.create ~config ?domains () in
+  Fun.protect ~finally:(fun () -> Serve_f32.shutdown server) @@ fun () ->
   (* The paper's Table 1 workload, all on the float32 pipeline (the
      integer-domain entries have integral coefficients, which round
      exactly). *)
@@ -963,7 +985,14 @@ let cmd_serve_bench clients seconds zipf deadline_ms depth no_batch no_guard
           Signature.map Plr_util.F32.round e.Table1.signature ))
       Table1.all
   in
-  let r = Load_f32.run ~clients ~seconds ~zipf ~deadline_ms ~seed ~server mix in
+  let r =
+    match open_loop with
+    | Some rps ->
+        Load_f32.run_open ~clients ~rps ~seconds ~zipf ~deadline_ms ~slo_ms
+          ~seed ~server mix
+    | None ->
+        Load_f32.run ~clients ~seconds ~zipf ~deadline_ms ~seed ~server mix
+  in
   Plr_serve.Load.render Format.std_formatter r;
   match json_path with
   | None -> ()
@@ -1394,6 +1423,32 @@ let serve_bench_cmd =
                  in the tuning registry and reused by every later request \
                  of the same shape.")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Independent server shards (each with its own domain pool, \
+                 plan-cache partition, and queue); requests route to a home \
+                 shard by signature affinity, with bounded work stealing \
+                 between shards.  1 (the default) is the historical \
+                 single-pool server.")
+  in
+  let steal_threshold =
+    Arg.(value & opt int 2 & info [ "steal-threshold" ] ~docv:"K"
+           ~doc:"Home-shard queue depth at which a pooled request may be \
+                 stolen by an idler shard.  Irrelevant with one shard.")
+  in
+  let open_loop =
+    Arg.(value & opt (some float) None & info [ "open-loop" ] ~docv:"RPS"
+           ~doc:"Run an open-loop benchmark at $(docv) scheduled arrivals \
+                 per second instead of the closed loop: arrivals do not \
+                 wait for responses and latency is measured from each \
+                 request's intended arrival instant (the \
+                 coordinated-omission fix).")
+  in
+  let slo =
+    Arg.(value & opt float 50.0 & info [ "slo" ] ~docv:"MS"
+           ~doc:"Open-loop goodput SLO in milliseconds: completions within \
+                 $(docv) of their intended arrival count as goodput.")
+  in
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S"
            ~doc:"Base seed for the load generator's draws.")
@@ -1403,24 +1458,28 @@ let serve_bench_cmd =
            ~doc:"Also write the report as machine-readable JSON to $(docv).")
   in
   let run clients seconds zipf deadline_ms depth no_batch no_guard autotune
-      domains seed json trace_path =
+      shards steal_threshold open_loop slo domains seed json trace_path =
     wrap (fun () ->
         with_trace trace_path (fun () ->
             cmd_serve_bench clients seconds zipf deadline_ms depth no_batch
-              no_guard autotune domains seed json))
+              no_guard autotune shards steal_threshold open_loop slo domains
+              seed json))
   in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:
-         "Closed-loop load benchmark of the serving layer: $(b,--clients) \
-          domains draw Table 1 signatures with Zipf-skewed popularity and \
-          submit them through the shared plan cache, batcher, and guard, \
-          printing throughput, latency percentiles, and the full metrics \
-          snapshot.")
+         "Load benchmark of the serving layer: clients draw Table 1 \
+          signatures with Zipf-skewed popularity and submit them through \
+          the sharded plan cache, batcher, and guard, printing throughput, \
+          latency percentiles, and the full metrics snapshot.  Closed-loop \
+          by default; $(b,--open-loop) switches to a fixed arrival \
+          schedule with goodput-under-SLO reporting, and $(b,--shards) \
+          runs the signature-affinity sharded server.")
     Term.(
       ret
         (const run $ clients $ seconds $ zipf $ deadline_ms $ depth $ no_batch
-        $ no_guard $ autotune $ domains_arg $ seed $ json $ trace_arg))
+        $ no_guard $ autotune $ shards $ steal_threshold $ open_loop $ slo
+        $ domains_arg $ seed $ json $ trace_arg))
 
 let scan_cmd =
   let n =

@@ -125,6 +125,8 @@ type t = {
   session_checkpoints : Counter.t;
   session_recoveries : Counter.t;
   session_fastforwards : Counter.t;
+  session_migrations : Counter.t;
+  steals : Counter.t;
   (* Per-request-kind attribution.  [submitted]/[completed]/[failed]
      above stay the all-kinds totals (existing dashboards keep working);
      the scan_* counters carve out the time-varying scan share, and the
@@ -162,6 +164,8 @@ let create () =
     session_checkpoints = Counter.create ();
     session_recoveries = Counter.create ();
     session_fastforwards = Counter.create ();
+    session_migrations = Counter.create ();
+    steals = Counter.create ();
     scan_submitted = Counter.create ();
     scan_completed = Counter.create ();
     scan_failed = Counter.create ();
@@ -171,7 +175,7 @@ let create () =
     total = Histogram.create ();
   }
 
-let snapshot_json ?pool ?tuning t =
+let snapshot_json ?pool ?tuning ?shards t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   let counter name c = Printf.sprintf "  \"%s\": %d" name (Counter.get c) in
@@ -200,6 +204,8 @@ let snapshot_json ?pool ?tuning t =
       counter "session_checkpoints" t.session_checkpoints;
       counter "session_recoveries" t.session_recoveries;
       counter "session_fastforwards" t.session_fastforwards;
+      counter "session_migrations" t.session_migrations;
+      counter "steals" t.steals;
       (let ssub = Counter.get t.scan_submitted
        and scomp = Counter.get t.scan_completed
        and sfail = Counter.get t.scan_failed in
@@ -219,6 +225,9 @@ let snapshot_json ?pool ?tuning t =
     @ (match tuning with
       | None | Some "" -> []
       | Some s -> [ Printf.sprintf "  \"tuning\": %S" s ])
+    @ (match shards with
+      | None | Some "" -> []
+      | Some s -> [ Printf.sprintf "  \"shards\": %s" s ])
     @ (match pool with
       | None -> []
       | Some p ->

@@ -80,6 +80,12 @@ type t = {
   session_recoveries : Counter.t;  (** session checkpoint restorations *)
   session_fastforwards : Counter.t;
       (** companion-matrix skip-aheads (gap processing and recovery) *)
+  session_migrations : Counter.t;
+      (** sticky sessions moved to another shard's pool (checkpoint +
+          journal replay on the destination) *)
+  steals : Counter.t;
+      (** pooled requests executed on a shard other than their affinity
+          home because the home queue exceeded the steal threshold *)
   scan_submitted : Counter.t;
       (** time-varying scan requests entering {!Serve.Make.submit_scan};
           also counted in [submitted], so the constant-coefficient share
@@ -94,12 +100,16 @@ type t = {
 
 val create : unit -> t
 
-val snapshot_json : ?pool:Plr_exec.Pool.t -> ?tuning:string -> t -> string
+val snapshot_json :
+  ?pool:Plr_exec.Pool.t -> ?tuning:string -> ?shards:string -> t -> string
 (** One JSON object with every counter, every histogram, a ["kinds"]
     block attributing submitted/completed/failed to the request kind
     (["recurrence"] = the all-kinds totals minus the scan share,
     ["scan"] = the scan_* counters), and — when
-    [pool] is given — the pool's {!Plr_exec.Pool.stats}.  [tuning]
+    [pool] is given — the pool's {!Plr_exec.Pool.stats}.  [shards]
+    (when non-empty) is a pre-rendered JSON array of per-shard stat
+    objects (queue depth, steals in/out, migrations, affinity hit rate —
+    see {!Serve.Make.shard_stats}) echoed as a ["shards"] field.  [tuning]
     (when non-empty) is echoed as a ["tuning"] field: the active
     schedule tuning and its source (cached | searched |
     heuristic-fallback), so serve-bench snapshots are attributable to

@@ -13,6 +13,8 @@ type summary = {
   checkpoints : int;
   retries : int;
   breaker_trips : int;
+  steals : int;
+  migrations : int;
   bitwise_ok : int;
   failures : (int * string) list;
 }
@@ -28,6 +30,8 @@ let empty trials =
     checkpoints = 0;
     retries = 0;
     breaker_trips = 0;
+    steals = 0;
+    migrations = 0;
     bitwise_ok = 0;
     failures = [];
   }
@@ -36,9 +40,10 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "%d trials (%d with injected faults): %d bitwise-identical, %d \
      recoveries, %d fast-forwards, %d checkpoints, %d retries, %d breaker \
-     trips, %d failures"
+     trips, %d steals, %d migrations, %d failures"
     s.trials s.faults_injected s.bitwise_ok s.recoveries s.fastforwards
-    s.checkpoints s.retries s.breaker_trips (List.length s.failures);
+    s.checkpoints s.retries s.breaker_trips s.steals s.migrations
+    (List.length s.failures);
   List.iter
     (fun (seed, msg) -> Format.fprintf ppf "@,  seed %d: %s" seed msg)
     s.failures
@@ -262,6 +267,136 @@ let serve_campaign ?pool ?domains ?(trials = 20) ?(config = serve_config)
   done;
   { !acc with failures = List.rev !acc.failures }
 
+(* One shard trial: a 2-shard server hammered from two domains with
+   every request homed (by affinity) on the same shard — with the steal
+   threshold at 1, overlapping pooled requests get stolen by the idle
+   shard — while the main thread streams a sticky session through the
+   same signature, explicitly migrating it between shards mid-stream
+   with state faults injected around the moves.  Every hammer response
+   and every session chunk must be bitwise identical to the offline
+   serial pass: a steal or migration that loses or skews state cannot
+   hide. *)
+let shard_trial ?domains ~(config : Serve.config) seed =
+  let gen = Splitmix.create seed in
+  let s = random_signature gen in
+  let n = Splitmix.int_in gen ~lo:600 ~hi:1200 in
+  let x =
+    Array.init n (fun _ -> S.of_int (Splitmix.int_in gen ~lo:(-9) ~hi:9))
+  in
+  let expected = Serial.full s x in
+  let server = Serve_.create ~config ?domains () in
+  Fun.protect ~finally:(fun () -> Serve_.shutdown server) @@ fun () ->
+  let k = max 1 (Signature.order s) in
+  let m = max (Signature.order s) (min config.chunk_size n) in
+  let chunks = (n + m - 1) / m in
+  let bad = Atomic.make None in
+  let note msg = ignore (Atomic.compare_and_set bad None (Some msg)) in
+  let reqs_per_domain = 12 in
+  let hammer d () =
+    for i = 0 to reqs_per_domain - 1 do
+      (* A quarter of the hammer requests carry a guaranteed carry
+         corruption: steals must not dodge the guard. *)
+      let faults =
+        if i land 3 = 0 then
+          Some
+            (Faults.of_events
+               [
+                 {
+                   Faults.kind = Faults.Corrupt_carry;
+                   chunk = i mod max 1 (chunks - 1);
+                   lane = i mod k;
+                   delay = 1;
+                 };
+               ])
+        else None
+      in
+      match Serve_.submit ?faults server s x with
+      | Ok y ->
+          if y <> expected then
+            note
+              (Printf.sprintf "hammer domain %d request %d diverged from serial"
+                 d i)
+      | Error e ->
+          note
+            (Printf.sprintf "hammer domain %d request %d failed: %s" d i
+               (Serve.error_to_string e))
+    done
+  in
+  let doms = Array.init 2 (fun d -> Domain.spawn (hammer d)) in
+  (* The sticky session rides alongside the hammer on the same
+     signature, moved across shards mid-stream. *)
+  let sn = 400 in
+  let sx =
+    Array.init sn (fun _ -> S.of_int (Splitmix.int_in gen ~lo:(-9) ~hi:9))
+  in
+  let sexpected = Serial.full s sx in
+  let session = Serve_.session ~checkpoint_every:48 server s in
+  let home = Serve_.shard_of_signature server s in
+  let other = (home + 1) mod Serve_.shard_count server in
+  let chunk_len = sn / 4 in
+  let do_chunk ?fault i =
+    let cx = Array.sub sx (i * chunk_len) chunk_len in
+    let y = Serve_.Session.process ?fault session cx in
+    Array.iteri
+      (fun j v ->
+        if not (S.equal v sexpected.((i * chunk_len) + j)) then
+          note
+            (Printf.sprintf "session chunk %d diverged at absolute index %d" i
+               ((i * chunk_len) + j)))
+      y
+  in
+  (try
+     do_chunk 0;
+     Serve_.migrate_session server session ~shard:other;
+     do_chunk ~fault:Session.Corrupt_state 1;
+     do_chunk 2;
+     Serve_.migrate_session server session ~shard:home;
+     do_chunk ~fault:(random_fault gen) 3
+   with e -> note (Printexc.to_string e));
+  Array.iter Domain.join doms;
+  let st = Serve_.Session.stats session in
+  let mts = Serve_.metrics server in
+  ( st,
+    Metrics.Counter.get mts.Metrics.steals,
+    Metrics.Counter.get mts.Metrics.session_migrations,
+    Atomic.get bad )
+
+let shard_config =
+  {
+    serve_config with
+    Serve.shards = 2;
+    steal_threshold = 1;
+    max_inflight = 128;
+  }
+
+let shard_campaign ?domains ?(trials = 6) ?(config = shard_config) ~seed () =
+  let acc = ref (empty trials) in
+  for i = 0 to trials - 1 do
+    let trial_seed = seed + (1000 * i) in
+    let a = !acc in
+    match shard_trial ?domains ~config trial_seed with
+    | st, steals, migrations, bad ->
+        acc :=
+          {
+            a with
+            faults_injected = a.faults_injected + 1;
+            recoveries = a.recoveries + st.Session_.recoveries;
+            fastforwards = a.fastforwards + st.Session_.fastforwards;
+            checkpoints = a.checkpoints + st.Session_.checkpoints;
+            steals = a.steals + steals;
+            migrations = a.migrations + migrations;
+            bitwise_ok = (a.bitwise_ok + if bad = None then 1 else 0);
+            failures =
+              (match bad with
+              | None -> a.failures
+              | Some msg -> (trial_seed, msg) :: a.failures);
+          }
+    | exception e ->
+        acc :=
+          { a with failures = (trial_seed, Printexc.to_string e) :: a.failures }
+  done;
+  { !acc with failures = List.rev !acc.failures }
+
 let merge a b =
   {
     trials = a.trials + b.trials;
@@ -271,6 +406,8 @@ let merge a b =
     checkpoints = a.checkpoints + b.checkpoints;
     retries = a.retries + b.retries;
     breaker_trips = a.breaker_trips + b.breaker_trips;
+    steals = a.steals + b.steals;
+    migrations = a.migrations + b.migrations;
     bitwise_ok = a.bitwise_ok + b.bitwise_ok;
     failures = a.failures @ b.failures;
   }

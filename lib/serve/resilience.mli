@@ -15,6 +15,8 @@ type summary = {
   checkpoints : int;  (** session snapshots taken *)
   retries : int;  (** serve-layer retry attempts *)
   breaker_trips : int;  (** circuit-breaker open transitions *)
+  steals : int;  (** pooled executions work-stolen across shards *)
+  migrations : int;  (** explicit session migrations across shards *)
   bitwise_ok : int;  (** trials bitwise identical to the serial pass *)
   failures : (int * string) list;  (** (trial seed, what went wrong) *)
 }
@@ -47,5 +49,23 @@ val serve_campaign :
     submits must trip the signature's breaker, traffic while open is
     short-circuited to serial, and a clean probe after the cooldown must
     close it — with every response bitwise identical to serial. *)
+
+val shard_config : Serve.config
+(** The shard campaign's configuration: 2 shards, steal threshold 1
+    (any overlap steals), on top of {!serve_config}'s aggressive
+    thresholds. *)
+
+val shard_campaign :
+  ?domains:int ->
+  ?trials:int -> ?config:Serve.config -> seed:int -> unit -> summary
+(** [trials] (default 6) steal-vs-migration races: each trial hammers a
+    2-shard server from two domains with every request affinity-homed
+    on one shard (so the idle shard steals), a quarter of them carrying
+    injected carry corruptions, while a sticky session on the same
+    signature is explicitly migrated between shards mid-stream with
+    state faults injected around the moves.  Every response and every
+    session chunk must be bitwise identical to the offline serial pass.
+    [domains] sizes each shard's private pool; the summary's [steals]
+    and [migrations] report the cross-shard traffic observed. *)
 
 val merge : summary -> summary -> summary

@@ -39,6 +39,8 @@ type config = {
   breaker_cooldown : float;
   autotune : bool;
   tune_budget : int;
+  shards : int;
+  steal_threshold : int;
 }
 
 let default_config =
@@ -60,7 +62,25 @@ let default_config =
     breaker_cooldown = 5e-2;
     autotune = false;
     tune_budget = 8;
+    shards = 1;
+    steal_threshold = 2;
   }
+
+(* Signature-affinity routing wants the same key to land on the same
+   shard in every process (tests, replays, paired runs), so the router
+   hashes the canonical cache-key string itself with FNV-1a rather than
+   relying on [Hashtbl.hash]'s unspecified mixing. *)
+let fnv1a s =
+  (* The 64-bit offset basis, assembled in halves: the literal itself
+     does not fit OCaml's 63-bit int.  Wrap-around on the multiply is
+     fine — the hash only needs determinism, not the exact FNV value. *)
+  let h = ref ((0xcbf29ce4 lsl 32) lor 0x84222325) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
 
 let now () = Unix.gettimeofday ()
 
@@ -116,14 +136,35 @@ module Make (S : Plr_util.Scalar.S) = struct
     mutable sealed : bool;
   }
 
+  (* One shard: a private pool, a plan-cache partition (compiled
+     factor plans, tunings, and JIT state stay hot per shard), its own
+     exec lock, and the queue-depth signal the router and the stealing
+     policy read.  The remaining fields are bookkeeping counters for the
+     per-shard metrics export. *)
+  type shard = {
+    sindex : int;
+    spool : Pool.t;
+    scache : entry Plan_cache.t;
+    sscan_cache : scan_entry Plan_cache.t;
+    sexec_lock : Mutex.t; (* serializes jobs that occupy this shard's pool *)
+    queue_depth : int Atomic.t;
+        (* pooled requests queued on or holding [sexec_lock] right now *)
+    routed : int Atomic.t; (* requests whose affinity home is this shard *)
+    completed_on : int Atomic.t; (* requests whose final [Ok] ran here *)
+    pooled_home : int Atomic.t; (* pooled executions that stayed home *)
+    steals_in : int Atomic.t;
+    steals_out : int Atomic.t;
+    migrations_in : int Atomic.t;
+  }
+
   type t = {
     config : config;
-    pool_ : Pool.t;
+    shards_ : shard array; (* length [max 1 config.shards] *)
+    owned_pools : bool;
+        (* true when [create] built the shard pools itself (shards > 1)
+           and [shutdown] should close them *)
     metrics : Metrics.t;
-    cache : entry Plan_cache.t;
-    scan_cache : scan_entry Plan_cache.t;
     inflight : int Atomic.t;
-    exec_lock : Mutex.t; (* serializes jobs that occupy the pool *)
     batch_lock : Mutex.t;
     batches : (string, batch) Hashtbl.t;
     breaker_lock : Mutex.t;
@@ -133,18 +174,47 @@ module Make (S : Plr_util.Scalar.S) = struct
            snapshot's attribution line *)
   }
 
+  let make_shard ~config sindex spool =
+    {
+      sindex;
+      spool;
+      scache = Plan_cache.create ~capacity:config.cache_capacity ();
+      sscan_cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      sexec_lock = Mutex.create ();
+      queue_depth = Atomic.make 0;
+      routed = Atomic.make 0;
+      completed_on = Atomic.make 0;
+      pooled_home = Atomic.make 0;
+      steals_in = Atomic.make 0;
+      steals_out = Atomic.make 0;
+      migrations_in = Atomic.make 0;
+    }
+
   let create ?(config = default_config) ?pool ?domains () =
-    let pool_ =
-      match pool with Some p -> p | None -> Pool.get ?domains ()
+    let nshards = max 1 config.shards in
+    let shards_, owned_pools =
+      if nshards = 1 then
+        (* The single-shard server keeps the historical behaviour: share
+           the process-wide registry pool (or the caller's). *)
+        let p = match pool with Some p -> p | None -> Pool.get ?domains () in
+        ([| make_shard ~config 0 p |], false)
+      else begin
+        (* N shards need N disjoint pools; the size-keyed [Pool.get]
+           registry would alias them into one.  The server creates (and
+           owns) private pools — [shutdown] closes them. *)
+        if pool <> None then
+          invalid_arg "Serve.create: ?pool cannot be shared across shards > 1";
+        ( Array.init nshards (fun i ->
+              make_shard ~config i (Pool.create ?domains ())),
+          true )
+      end
     in
     {
       config;
-      pool_;
+      shards_;
+      owned_pools;
       metrics = Metrics.create ();
-      cache = Plan_cache.create ~capacity:config.cache_capacity ();
-      scan_cache = Plan_cache.create ~capacity:config.cache_capacity ();
       inflight = Atomic.make 0;
-      exec_lock = Mutex.create ();
       batch_lock = Mutex.create ();
       batches = Hashtbl.create 16;
       breaker_lock = Mutex.create ();
@@ -153,15 +223,79 @@ module Make (S : Plr_util.Scalar.S) = struct
     }
 
   let config t = t.config
-  let pool t = t.pool_
+  let pool t = t.shards_.(0).spool
   let metrics t = t.metrics
+  let shard_count t = Array.length t.shards_
+
+  let shutdown t =
+    if t.owned_pools then
+      Array.iter (fun sh -> Pool.shutdown sh.spool) t.shards_
 
   let cache_stats t =
-    (Plan_cache.hits t.cache, Plan_cache.misses t.cache,
-     Plan_cache.evictions t.cache)
+    Array.fold_left
+      (fun (h, m, e) sh ->
+        ( h + Plan_cache.hits sh.scache,
+          m + Plan_cache.misses sh.scache,
+          e + Plan_cache.evictions sh.scache ))
+      (0, 0, 0) t.shards_
+
+  type shard_stat = {
+    shard : int;
+    pool_size : int;
+    depth : int;
+    st_routed : int;
+    st_completed : int;
+    st_pooled_home : int;
+    st_steals_in : int;
+    st_steals_out : int;
+    st_migrations_in : int;
+    st_plan_hits : int;
+    st_plan_misses : int;
+  }
+
+  let shard_stats t =
+    Array.map
+      (fun sh ->
+        {
+          shard = sh.sindex;
+          pool_size = Pool.size sh.spool;
+          depth = Atomic.get sh.queue_depth;
+          st_routed = Atomic.get sh.routed;
+          st_completed = Atomic.get sh.completed_on;
+          st_pooled_home = Atomic.get sh.pooled_home;
+          st_steals_in = Atomic.get sh.steals_in;
+          st_steals_out = Atomic.get sh.steals_out;
+          st_migrations_in = Atomic.get sh.migrations_in;
+          st_plan_hits =
+            Plan_cache.hits sh.scache + Plan_cache.hits sh.sscan_cache;
+          st_plan_misses =
+            Plan_cache.misses sh.scache + Plan_cache.misses sh.sscan_cache;
+        })
+      t.shards_
+
+  let shards_json t =
+    let one st =
+      (* Affinity hit rate: pooled executions that ran on their home
+         shard, over all pooled executions routed there. *)
+      let pooled = st.st_pooled_home + st.st_steals_out in
+      let affinity =
+        if pooled = 0 then 1.0
+        else float_of_int st.st_pooled_home /. float_of_int pooled
+      in
+      Printf.sprintf
+        "{ \"shard\": %d, \"pool_size\": %d, \"queue_depth\": %d, \
+         \"routed\": %d, \"completed_on\": %d, \"pooled_home\": %d, \
+         \"steals_in\": %d, \"steals_out\": %d, \"migrations_in\": %d, \
+         \"affinity_hit_rate\": %.4g, \"plan_hits\": %d, \"plan_misses\": %d }"
+        st.shard st.pool_size st.depth st.st_routed st.st_completed
+        st.st_pooled_home st.st_steals_in st.st_steals_out
+        st.st_migrations_in affinity st.st_plan_hits st.st_plan_misses
+    in
+    Printf.sprintf "[ %s ]"
+      (String.concat ", " (Array.to_list (Array.map one (shard_stats t))))
 
   let snapshot_json t =
-    Metrics.snapshot_json ~pool:t.pool_
+    Metrics.snapshot_json ~pool:(pool t) ~shards:(shards_json t)
       ?tuning:
         (match Atomic.get t.last_tuning with "" -> None | s -> Some s)
       t.metrics
@@ -175,11 +309,51 @@ module Make (S : Plr_util.Scalar.S) = struct
     Format.asprintf "%s|%a|%s" S.ctype Opts.pp t.config.opts
       (Signature.to_string S.to_string s)
 
+  (* Affinity routing: the canonical key string hashes to a home shard,
+     so a signature's plans, tunings, and JIT state concentrate on one
+     partition and every process routes identically. *)
+  let home_shard t key = t.shards_.(fnv1a key mod Array.length t.shards_)
+  let shard_of_signature t s = (home_shard t (cache_key t s)).sindex
+
+  (* Bounded one-hop stealing: only when the home queue is at or over the
+     threshold, and only to the shallowest strictly-shallower shard.
+     Sticky sessions are exempt — they move via [migrate_session] only. *)
+  let pick_exec_shard t home =
+    if Array.length t.shards_ = 1 then home
+    else begin
+      let depth = Atomic.get home.queue_depth in
+      if depth < t.config.steal_threshold then home
+      else begin
+        let best = ref home and best_depth = ref depth in
+        Array.iter
+          (fun sh ->
+            let d = Atomic.get sh.queue_depth in
+            if d < !best_depth then begin
+              best := sh;
+              best_depth := d
+            end)
+          t.shards_;
+        !best
+      end
+    end
+
+  (* Record the routing outcome for a pooled execution and return the
+     shard that will run it.  A steal re-resolves the plan on the thief
+     (each shard owns its cache partition), which the callers do. *)
+  let note_exec_shard t home exec_sh =
+    if exec_sh != home then begin
+      Metrics.Counter.incr t.metrics.Metrics.steals;
+      Atomic.incr home.steals_out;
+      Atomic.incr exec_sh.steals_in;
+      Trace.instant Trace.Serve "serve.steal" home.sindex exec_sh.sindex
+    end
+    else Atomic.incr home.pooled_home
+
   (* Matches the multicore backend's bound so a cache hit compiles to the
      exact plan the engine would have built for itself. *)
   let cpu_max_period = 64
 
-  let compile_entry t ~n (s : S.t Signature.t) =
+  let compile_entry t sh ~n (s : S.t Signature.t) =
     let cfg = t.config in
     let k = Signature.order s in
     let stability = Stability.analyze (Signature.map S.to_float s) in
@@ -189,7 +363,7 @@ module Make (S : Plr_util.Scalar.S) = struct
        attribution line record which one this entry got. *)
     let tuning, tuning_source =
       if cfg.autotune then
-        TC.get_or_search ~opts:cfg.opts ~budget:cfg.tune_budget ~pool:t.pool_
+        TC.get_or_search ~opts:cfg.opts ~budget:cfg.tune_budget ~pool:sh.spool
           ~n s
       else
         match Tune.Registry.find (TC.key ~n s) with
@@ -197,10 +371,10 @@ module Make (S : Plr_util.Scalar.S) = struct
         | None ->
             ( {
                 Tune.chunk_size = cfg.chunk_size;
-                domains = Pool.size t.pool_;
+                domains = Pool.size sh.spool;
                 window =
                   Plr_multicore.Multicore.default_window
-                    ~pool_size:(Pool.size t.pool_);
+                    ~pool_size:(Pool.size sh.spool);
               },
               Tune.Heuristic )
     in
@@ -243,7 +417,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     let jit = G.JB.prepare ~mode:`Async ~fplan:plan s in
     { stability; plan; serial_cutoff; tuning; tuning_source; jit }
 
-  let plan_for ?n t s =
+  let plan_on ?n t sh key s =
     (* [n] sizes the tuning lookup; entries are cached per signature, so
        the first request's length picks the bucket (serving mixes are
        homogeneous per signature in practice).  The default is the first
@@ -251,18 +425,21 @@ module Make (S : Plr_util.Scalar.S) = struct
     let n =
       match n with Some n -> n | None -> t.config.parallel_threshold + 1
     in
-    let key = cache_key t s in
-    match Plan_cache.find t.cache key with
+    match Plan_cache.find sh.scache key with
     | Some e ->
         Metrics.Counter.incr t.metrics.Metrics.plan_hits;
         (e, true)
     | None ->
         Metrics.Counter.incr t.metrics.Metrics.plan_misses;
         let t0 = now () in
-        let e = compile_entry t ~n s in
+        let e = compile_entry t sh ~n s in
         Metrics.Histogram.observe t.metrics.Metrics.plan_build (now () -. t0);
-        Plan_cache.add t.cache key e;
+        Plan_cache.add sh.scache key e;
         (e, false)
+
+  let plan_for ?n t s =
+    let key = cache_key t s in
+    plan_on ?n t (home_shard t key) key s
 
   let deadline_passed = function
     | None -> false
@@ -408,7 +585,7 @@ module Make (S : Plr_util.Scalar.S) = struct
      [`Clean] for an undegraded success, [`Faulty] for a degradation or
      failure, [`Neutral] for a mid-flight cancellation (the caller's
      deadline, not an engine fault). *)
-  let exec_pooled ?faults ?(cancel = Cancel.none) t entry s x =
+  let exec_pooled ?faults ?(cancel = Cancel.none) t sh entry s x =
     let cfg = t.config in
     (* The entry's tuning supplies the schedule knobs; its plan was
        compiled to cover the tuned chunk size, so no recompile here. *)
@@ -423,7 +600,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       if cfg.guard then begin
         let mc =
           G.multicore_runner ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel
-            ~pool:t.pool_ ~chunk_size ~window ()
+            ~pool:sh.spool ~chunk_size ~window ()
         in
         (* JIT-first under the guard: a ready, verified native kernel
            answers (still subject to the guard's own checks below);
@@ -450,7 +627,7 @@ module Make (S : Plr_util.Scalar.S) = struct
         | None -> (
             match
               M.run ~opts:cfg.opts ?faults ~plan:entry.plan ~cancel
-                ~pool:t.pool_ ~chunk_size ~window s x
+                ~pool:sh.spool ~chunk_size ~window s x
             with
             | y -> (Ok y, `Clean)
             | exception Cancel.Cancelled -> raise Cancel.Cancelled
@@ -463,15 +640,23 @@ module Make (S : Plr_util.Scalar.S) = struct
         Metrics.Counter.incr t.metrics.Metrics.cancelled_midflight;
         (Error Deadline_exceeded, `Neutral)
 
-  (* Requests that occupy the pool serialize on [exec_lock]; the wait is
-     the request's queue time.  The deadline is re-checked after the
-     wait: a request that missed it is dropped before touching the pool. *)
-  let exec_serialized ~t0 ?deadline t f =
+  (* Requests that occupy a shard's pool serialize on its [sexec_lock];
+     the wait is the request's queue time.  [queue_depth] brackets the
+     whole occupancy (queued + executing) — it is the congestion signal
+     the router's steal decision reads.  The deadline is re-checked after
+     the wait: a request that missed it is dropped before touching the
+     pool. *)
+  let exec_serialized ~t0 ?deadline t sh f =
+    Atomic.incr sh.queue_depth;
+    Fun.protect ~finally:(fun () -> Atomic.decr sh.queue_depth) @@ fun () ->
+    Trace.begin_span2 Trace.Serve "serve.shard.exec" sh.sindex
+      (Atomic.get sh.queue_depth);
+    Fun.protect ~finally:Trace.end_span @@ fun () ->
     Trace.begin_span Trace.Serve "serve.queue";
-    Mutex.lock t.exec_lock;
+    Mutex.lock sh.sexec_lock;
     Trace.end_span ();
     Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.exec_lock) @@ fun () ->
+    Fun.protect ~finally:(fun () -> Mutex.unlock sh.sexec_lock) @@ fun () ->
     if deadline_passed deadline then Error Deadline_exceeded
     else begin
       let e0 = now () in
@@ -489,7 +674,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     | Some _ -> ()
     | None -> Atomic.set slot.cell (Some r)
 
-  let run_batch t b =
+  let run_batch t sh b =
     let slots = Array.of_list (List.rev b.slots) in
     Metrics.Counter.incr t.metrics.Metrics.batches;
     Metrics.Counter.add t.metrics.Metrics.batched_requests (Array.length slots);
@@ -517,7 +702,7 @@ module Make (S : Plr_util.Scalar.S) = struct
           (fun slot -> fill_slot slot (Error (Failed "batch aborted")))
           slots;
         Trace.end_span ())
-    @@ fun () -> Pool.run t.pool_ ~tasks:(Array.length slots) body
+    @@ fun () -> Pool.run sh.spool ~tasks:(Array.length slots) body
 
   let await_slot ~t0 t slot =
     let hard_limit = Float.max 30.0 (1000.0 *. t.config.batch_window) in
@@ -541,7 +726,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     Trace.end_span ();
     r
 
-  let submit_batched ~t0 ?deadline t key s x =
+  let submit_batched ~t0 ?deadline t sh key s x =
     let slot =
       { input = x; slot_deadline = deadline; cell = Atomic.make None }
     in
@@ -583,8 +768,8 @@ module Make (S : Plr_util.Scalar.S) = struct
         | Some b' when b' == b -> Hashtbl.remove t.batches key
         | _ -> ());
         Mutex.unlock t.batch_lock;
-        exec_serialized ~t0 t (fun () ->
-            run_batch t b;
+        exec_serialized ~t0 t sh (fun () ->
+            run_batch t sh b;
             Ok [||])
         |> ignore;
         (match Atomic.get slot.cell with
@@ -603,8 +788,10 @@ module Make (S : Plr_util.Scalar.S) = struct
   (* One admitted attempt: admission control, then routing — batched,
      local-serial, breaker-shorted serial, or pooled (with the breaker
      verdict folded back in and the deadline armed as a mid-flight
-     cancellation token). *)
-  let attempt_once ~t0 ?deadline ?faults t key s x =
+     cancellation token).  [home] is the request's affinity shard;
+     [served] reports which shard actually executed the attempt (differs
+     from [home] exactly when the pooled path stole). *)
+  let attempt_once ~t0 ?deadline ?faults ~served t home key s x =
     if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
       Atomic.decr t.inflight;
       Error Overloaded
@@ -612,7 +799,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     else
       Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
       let n = Array.length x in
-      let entry, _hit = plan_for ~n t s in
+      let entry, _hit = plan_on ~n t home key s in
       let local () =
         Metrics.Histogram.observe t.metrics.Metrics.queue_wait (now () -. t0);
         let e0 = now () in
@@ -627,8 +814,8 @@ module Make (S : Plr_util.Scalar.S) = struct
       if deadline_passed deadline then Error Deadline_exceeded
       else if
         t.config.batching && n <= t.config.batch_threshold
-        && Pool.size t.pool_ > 1
-      then submit_batched ~t0 ?deadline t key s x
+        && Pool.size home.spool > 1
+      then submit_batched ~t0 ?deadline t home key s x
       else if n <= entry.serial_cutoff then
         if deadline_passed deadline then Error Deadline_exceeded else local ()
       else begin
@@ -637,13 +824,24 @@ module Make (S : Plr_util.Scalar.S) = struct
             Metrics.Counter.incr t.metrics.Metrics.breaker_shorted;
             local ()
         | `Pooled ->
+            let exec_sh = pick_exec_shard t home in
+            note_exec_shard t home exec_sh;
+            served := exec_sh;
+            (* A stolen request re-resolves its plan on the thief: each
+               shard keeps its own cache partition warm. *)
+            let entry =
+              if exec_sh == home then entry
+              else fst (plan_on ~n t exec_sh key s)
+            in
             let cancel =
               match deadline with
               | None -> Cancel.none
               | Some d -> Cancel.create ~deadline:d ()
             in
-            exec_serialized ~t0 ?deadline t (fun () ->
-                let r, verdict = exec_pooled ?faults ~cancel t entry s x in
+            exec_serialized ~t0 ?deadline t exec_sh (fun () ->
+                let r, verdict =
+                  exec_pooled ?faults ~cancel t exec_sh entry s x
+                in
                 breaker_report t key verdict;
                 r)
       end
@@ -680,8 +878,13 @@ module Make (S : Plr_util.Scalar.S) = struct
     Trace.flow_start Trace.Serve "serve.flow" flow;
     Trace.set_ambient_flow flow;
     let key = cache_key t s in
+    let home = home_shard t key in
+    Atomic.incr home.routed;
+    Trace.instant Trace.Serve "serve.shard.route" home.sindex
+      (Atomic.get home.queue_depth);
+    let served = ref home in
     let rec go attempt faults =
-      let r = attempt_once ~t0 ?deadline ?faults t key s x in
+      let r = attempt_once ~t0 ?deadline ?faults ~served t home key s x in
       if
         attempt < t.config.retries && retryable r
         && not (deadline_passed deadline)
@@ -701,14 +904,27 @@ module Make (S : Plr_util.Scalar.S) = struct
     in
     let r = go 0 faults in
     classify_result t r;
+    (match r with Ok _ -> Atomic.incr !served.completed_on | Error _ -> ());
     Metrics.Histogram.observe t.metrics.Metrics.total (now () -. t0);
     Trace.set_ambient_flow 0;
     Trace.end_span ();
     r
 
   let session ?checkpoint_every t s =
-    Session.create ~pool:t.pool_ ~opts:t.config.opts ~metrics:t.metrics
+    (* Sticky state lives on the signature's home shard — the same place
+       plain requests for that signature land. *)
+    let home = home_shard t (cache_key t s) in
+    Session.create ~pool:home.spool ~opts:t.config.opts ~metrics:t.metrics
       ?checkpoint_every s
+
+  let migrate_session t session ~shard =
+    if shard < 0 || shard >= Array.length t.shards_ then
+      invalid_arg "Serve.migrate_session: shard index out of range";
+    let sh = t.shards_.(shard) in
+    let before = (Session.stats session).Session.migrations in
+    Session.migrate session ~pool:sh.spool;
+    if (Session.stats session).Session.migrations > before then
+      Atomic.incr sh.migrations_in
 
   (* ----------------------------------------- time-varying scan requests *)
 
@@ -721,10 +937,10 @@ module Make (S : Plr_util.Scalar.S) = struct
 
   let scan_key n = Printf.sprintf "scan|%s|%d" S.ctype (scan_bucket n)
 
-  let scan_entry_for t n =
+  let scan_entry_for t sh n =
     let entry, hit =
-      Plan_cache.find_or_add t.scan_cache (scan_key n) (fun () ->
-          let domains = Pool.size t.pool_ in
+      Plan_cache.find_or_add sh.sscan_cache (scan_key n) (fun () ->
+          let domains = Pool.size sh.spool in
           {
             schunk =
               Plr_scan.Scan.default_chunk_size ~domains (scan_bucket n);
@@ -748,7 +964,7 @@ module Make (S : Plr_util.Scalar.S) = struct
      deadline armed as a mid-flight cancellation token.  A carry fault
      the engine detects ({!Plr_scan.Scan.Fault_detected}) degrades to the
      serial evaluator — loud, counted, never silent. *)
-  let scan_attempt ~t0 ?deadline t entry a b =
+  let scan_attempt ~t0 ?deadline ~served t home entry a b =
     if Atomic.fetch_and_add t.inflight 1 >= t.config.max_inflight then begin
       Atomic.decr t.inflight;
       Error Overloaded
@@ -769,14 +985,20 @@ module Make (S : Plr_util.Scalar.S) = struct
         r
       end
       else begin
+        let exec_sh = pick_exec_shard t home in
+        note_exec_shard t home exec_sh;
+        served := exec_sh;
+        let entry =
+          if exec_sh == home then entry else scan_entry_for t exec_sh n
+        in
         let cancel =
           match deadline with
           | None -> Cancel.none
           | Some d -> Cancel.create ~deadline:d ()
         in
-        exec_serialized ~t0 ?deadline t (fun () ->
+        exec_serialized ~t0 ?deadline t exec_sh (fun () ->
             match
-              Sc.run ~cancel ~pool:t.pool_ ~chunk_size:entry.schunk
+              Sc.run ~cancel ~pool:exec_sh.spool ~chunk_size:entry.schunk
                 ~window:entry.swindow a b
             with
             | y -> scan_guarded t y
@@ -799,15 +1021,21 @@ module Make (S : Plr_util.Scalar.S) = struct
     Trace.begin_span2 Trace.Scan "scan.request" (Array.length a) flow;
     Trace.flow_start Trace.Scan "scan.flow" flow;
     Trace.set_ambient_flow flow;
+    let served = ref t.shards_.(0) in
     let r =
       if Array.length a <> Array.length b then
         Error (Failed "coefficient streams differ in length")
       else begin
         let n = Array.length a in
-        let entry = scan_entry_for t n in
         let key = scan_key n in
+        let home = home_shard t key in
+        Atomic.incr home.routed;
+        Trace.instant Trace.Serve "serve.shard.route" home.sindex
+          (Atomic.get home.queue_depth);
+        served := home;
+        let entry = scan_entry_for t home n in
         let rec go attempt =
-          let r = scan_attempt ~t0 ?deadline t entry a b in
+          let r = scan_attempt ~t0 ?deadline ~served t home entry a b in
           if
             attempt < t.config.retries && retryable r
             && not (deadline_passed deadline)
@@ -828,7 +1056,9 @@ module Make (S : Plr_util.Scalar.S) = struct
     in
     classify_result t r;
     (match r with
-    | Ok _ -> Metrics.Counter.incr t.metrics.Metrics.scan_completed
+    | Ok _ ->
+        Atomic.incr !served.completed_on;
+        Metrics.Counter.incr t.metrics.Metrics.scan_completed
     | Error (Failed _) -> Metrics.Counter.incr t.metrics.Metrics.scan_failed
     | Error _ -> ());
     Metrics.Histogram.observe t.metrics.Metrics.total (now () -. t0);

@@ -1,7 +1,22 @@
-(** The concurrent serving layer: many clients, one shared domain pool.
+(** The concurrent serving layer: many clients, [config.shards]
+    independent shards.
 
     [Serve.Make (S)] turns the existing engines into a multi-client
-    service.  Each {!Make.submit} call
+    service.  The server is an array of {b shards}; each shard owns a
+    private domain pool, a plan-cache partition, and an execution queue.
+    Requests route to a {b home shard} by a stable FNV-1a hash of their
+    canonical cache key (signature × options × scalar), so a signature's
+    compiled plans, measured tunings, and JIT kernels concentrate on one
+    partition and stay hot.  When a home shard's queue depth reaches
+    [config.steal_threshold] and another shard's queue is strictly
+    shallower, the pooled execution is {b stolen} by the shallowest
+    shard (re-resolving its plan there); sticky sessions are never
+    stolen — they move only through the explicit
+    {!Make.migrate_session}, which replays state via the checkpoint
+    recovery path.  The default [shards = 1] preserves the historical
+    single-pool behaviour exactly.
+
+    Each {!Make.submit} call
 
     + passes {b admission control}: beyond [max_inflight] concurrently
       admitted requests the call is rejected with {!Overloaded} instead
@@ -100,6 +115,16 @@ type config = {
   tune_budget : int;
       (** candidate configurations an autotune search may measure
           (default 8) *)
+  shards : int;
+      (** independent shards (pool + plan-cache partition + queue) the
+          server runs; 1 (the default) shares the registry pool and
+          keeps the historical single-pool behaviour, [> 1] creates
+          that many private pools owned by the server (close them with
+          {!Make.shutdown}) *)
+  steal_threshold : int;
+      (** home-shard queue depth at which a pooled request may be
+          stolen by the shallowest strictly-shallower shard (default
+          2); irrelevant when [shards = 1] *)
 }
 
 val default_config : config
@@ -131,11 +156,51 @@ module Make (S : Plr_util.Scalar.S) : sig
   }
 
   val create : ?config:config -> ?pool:Pool.t -> ?domains:int -> unit -> t
-  (** [pool] defaults to the {!Pool.get} registry pool for [domains]. *)
+  (** With [config.shards = 1] (the default), [pool] defaults to the
+      {!Pool.get} registry pool for [domains].  With [config.shards > 1]
+      the server creates one private [domains]-sized pool per shard and
+      owns them — call {!shutdown} when done.
+      @raise Invalid_argument if [pool] is given alongside
+      [config.shards > 1] (one shared pool contradicts sharding). *)
+
+  val shutdown : t -> unit
+  (** Close the shard pools this server created ([config.shards > 1]).
+      A no-op on servers sharing the registry pool or a caller's pool.
+      The server must be idle; submitting after shutdown is an error. *)
 
   val config : t -> config
   val pool : t -> Pool.t
+  (** Shard 0's pool (the only pool when [shards = 1]). *)
+
   val metrics : t -> Metrics.t
+
+  val shard_count : t -> int
+  (** [max 1 config.shards]. *)
+
+  val shard_of_signature : t -> S.t Signature.t -> int
+  (** The signature's home shard index under affinity routing — stable
+      across processes (FNV-1a of the canonical cache key). *)
+
+  type shard_stat = {
+    shard : int;  (** shard index *)
+    pool_size : int;
+    depth : int;  (** pooled requests queued or executing right now *)
+    st_routed : int;  (** requests whose affinity home is this shard *)
+    st_completed : int;  (** requests whose final [Ok] executed here *)
+    st_pooled_home : int;  (** pooled executions that stayed home *)
+    st_steals_in : int;  (** pooled executions stolen {e to} this shard *)
+    st_steals_out : int;  (** pooled executions stolen {e from} it *)
+    st_migrations_in : int;  (** sessions migrated onto this shard *)
+    st_plan_hits : int;  (** this partition's plan-cache hits (both kinds) *)
+    st_plan_misses : int;
+  }
+
+  val shard_stats : t -> shard_stat array
+  (** One row per shard.  Invariants under a quiescent server:
+      [Σ st_routed] = all validly-routed submissions, [Σ st_completed] =
+      {!Metrics.t.completed}, and [Σ st_steals_in = Σ st_steals_out =]
+      {!Metrics.t.steals}. *)
+
 
   val cache_key : t -> S.t Signature.t -> string
   (** The canonical cache key: scalar domain, factor options, and the
@@ -173,14 +238,26 @@ module Make (S : Plr_util.Scalar.S) : sig
   (** [(hits, misses, evictions)] of the plan cache. *)
 
   val snapshot_json : t -> string
-  (** {!Metrics.snapshot_json} with this server's pool stats and the
-      most recently applied schedule tuning (with its source) included. *)
+  (** {!Metrics.snapshot_json} with this server's pool stats, the
+      per-shard stat rows (queue depth, steals in/out, migrations,
+      affinity hit rate), and the most recently applied schedule tuning
+      (with its source) included. *)
 
   module Session : module type of Session.Make (S)
 
   val session : ?checkpoint_every:int -> t -> S.t Signature.t -> Session.t
-  (** A sticky streaming session on this server's pool, options, and
-      metrics — see {!Session.Make.create}. *)
+  (** A sticky streaming session on the signature's home shard (the
+      server's pool, options, and metrics) — see
+      {!Session.Make.create}. *)
+
+  val migrate_session : t -> Session.t -> shard:int -> unit
+  (** Explicitly move a sticky session to [shard]'s pool — the only way
+      session state changes shards (work stealing skips sessions).  The
+      move reuses the recovery path (checkpoint restore + journal replay
+      on the destination pool), so it is state-preserving by
+      construction: outputs after the move are bitwise what they would
+      have been without it.  A no-op when the session is already there.
+      @raise Invalid_argument on an out-of-range shard index. *)
 
   val submit_scan :
     ?deadline:float -> t -> S.t array -> S.t array -> (S.t array, error) result

@@ -28,6 +28,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     fastforwards : int;
     detected : int;
     replayed : int;
+    migrations : int;
   }
 
   type t = {
@@ -35,7 +36,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     pure : S.t Signature.t; (* (1 : feedback), for the local solves *)
     k : int;
     taps : int;
-    pool : Pool.t;
+    mutable pool : Pool.t; (* reassigned only by [migrate] *)
     opts : Plr_factors.Opts.t;
     metrics : Metrics.t option;
     checkpoint_every : int;
@@ -54,6 +55,7 @@ module Make (S : Plr_util.Scalar.S) = struct
     mutable n_fastforwards : int;
     mutable n_detected : int;
     mutable n_replayed : int;
+    mutable n_migrations : int;
   }
 
   (* Engine-fault injections run with this fixed chunk size (the chaos
@@ -109,6 +111,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       n_fastforwards = 0;
       n_detected = 0;
       n_replayed = 0;
+      n_migrations = 0;
     }
 
   let signature t = t.signature
@@ -123,6 +126,7 @@ module Make (S : Plr_util.Scalar.S) = struct
       fastforwards = t.n_fastforwards;
       detected = t.n_detected;
       replayed = t.n_replayed;
+      migrations = t.n_migrations;
     }
 
   let metric t f = match t.metrics with None -> () | Some m -> f m
@@ -343,6 +347,28 @@ module Make (S : Plr_util.Scalar.S) = struct
     t.journal <- seg :: t.journal;
     maybe_checkpoint t;
     t.digest <- live_digest t
+
+  (* ---------------------------------------------------------- migration *)
+
+  (* Move the session to another pool (in the serving layer: another
+     shard).  Sticky sessions are never *stolen* — their state words live
+     on the owning shard — so a move is explicit and runs the recovery
+     path: restore the last checkpoint and replay the journal on the
+     destination pool.  Replay is the exact original code path, so the
+     rebuilt state is bit-identical to the pre-migration state and the
+     stream's outputs are unaffected. *)
+  let migrate t ~pool =
+    if pool == t.pool then ()
+    else begin
+      Trace.begin_span2 Trace.Serve "session.migrate" t.pos
+        (List.length t.journal);
+      Fun.protect ~finally:Trace.end_span @@ fun () ->
+      t.pool <- pool;
+      recover t;
+      t.digest <- live_digest t;
+      t.n_migrations <- t.n_migrations + 1;
+      metric t (fun m -> Metrics.Counter.incr m.Metrics.session_migrations)
+    end
 
   let process ?fault t x =
     let fault_seed = enter t fault in

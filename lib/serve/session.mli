@@ -47,6 +47,7 @@ module Make (S : Plr_util.Scalar.S) : sig
     fastforwards : int;  (** companion skip-aheads (gaps + recoveries) *)
     detected : int;  (** faults detected (digest mismatch or engine) *)
     replayed : int;  (** data elements re-processed across recoveries *)
+    migrations : int;  (** pool moves performed by {!migrate} *)
   }
 
   val create :
@@ -79,6 +80,18 @@ module Make (S : Plr_util.Scalar.S) : sig
 
   val inject : t -> fault -> unit
   (** Arm [fault] for the next {!process}/{!skip} call. *)
+
+  val migrate : t -> pool:Plr_exec.Pool.t -> unit
+  (** Move the session to [pool] (in the serving layer: another shard).
+      Sticky sessions are never work-stolen — a move is explicit and
+      reuses the recovery path: the last checkpoint is restored and the
+      journal replayed on the destination pool, so the rebuilt state is
+      bit-identical to the pre-migration state and subsequent outputs
+      are unaffected.  A no-op when [pool] is already the session's
+      pool.  Counted in {!stats.migrations} (and
+      {!Metrics.t.session_migrations} when the session carries metrics);
+      emits a [session.migrate] trace span.
+      @raise Failure if the last checkpoint fails its digest check. *)
 
   val checkpoint_now : t -> unit
   (** Force a snapshot at the current position (empties the journal). *)

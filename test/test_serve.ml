@@ -254,12 +254,66 @@ let test_load_loop () =
   Alcotest.(check int) "every request accounted" r.Load.requests
     (r.Load.ok + r.Load.rejected + r.Load.deadline_missed + r.Load.failed);
   Alcotest.(check int) "no failures" 0 r.Load.failed;
+  Alcotest.(check string) "closed mode" "closed" r.Load.mode;
+  Alcotest.(check int) "closed-loop goodput = completions" r.Load.ok
+    r.Load.under_slo;
   let json = Load.to_json ~meta:{|{ "git": "test" }|} r in
   List.iter
     (fun needle ->
       if not (contains ~needle json) then
         Alcotest.failf "JSON missing %s" needle)
-    [ {|"schema": "plr-serve-bench-1"|}; {|"meta"|}; {|"p99_ms"|}; {|"metrics"|} ]
+    [ {|"schema": "plr-serve-bench-2"|}; {|"meta"|}; {|"p99_ms"|};
+      {|"metrics"|}; {|"mode": "closed"|}; {|"slo_ms": null|};
+      {|"goodput_rps"|}; {|"shards": 1|} ]
+
+(* The open-loop schedule is a pure function of its arguments: the same
+   seed must replay the identical workload (that is what makes paired
+   A/B serving runs comparable), and a different seed must not. *)
+let test_open_schedule_determinism () =
+  let mk seed =
+    Load.open_schedule ~seed ~rps:400.0 ~seconds:1.5 ~nsig:5 ~nsizes:3
+      ~zipf:1.1 ()
+  in
+  let a = mk 42 and b = mk 42 and c = mk 43 in
+  Alcotest.(check int) "length = round(rps*seconds)" 600 (Array.length a);
+  Alcotest.(check bool) "same seed, identical schedule" true (a = b);
+  Alcotest.(check bool) "different seed, different draws" true (a <> c);
+  (* Arrival instants are the fixed grid i/rps regardless of seed. *)
+  Array.iteri
+    (fun i (off, si, sz) ->
+      Alcotest.(check (float 1e-9)) "offset" (float_of_int i /. 400.0) off;
+      if si < 0 || si >= 5 then Alcotest.failf "signature index %d" si;
+      if sz < 0 || sz >= 3 then Alcotest.failf "size index %d" sz)
+    c;
+  (match Load.open_schedule ~seed:1 ~rps:0.0 ~seconds:1.0 ~nsig:1 ~nsizes:1
+           ~zipf:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rps = 0 must be rejected")
+
+let test_open_loop () =
+  let server = Srv_i.create ~domains:2 () in
+  let r =
+    Load_i.run_open ~clients:2 ~rps:300.0 ~seconds:0.4 ~sizes:[| 128; 1024 |]
+      ~seed:3 ~server
+      [ ("ps", int_sig [| 1 |] [| 1 |]); ("order2", int_sig [| 1 |] [| 2; -1 |]) ]
+  in
+  (* Open loop: the request count is the schedule's, not the server's —
+     every scheduled arrival is submitted even if the server is slow. *)
+  Alcotest.(check int) "every scheduled arrival submitted" 120 r.Load.requests;
+  Alcotest.(check string) "open mode" "open" r.Load.mode;
+  Alcotest.(check int) "every request accounted" r.Load.requests
+    (r.Load.ok + r.Load.rejected + r.Load.deadline_missed + r.Load.failed);
+  Alcotest.(check int) "no failures" 0 r.Load.failed;
+  Alcotest.(check (float 1e-9)) "offered rate echoed" 300.0 r.Load.offered_rps;
+  if r.Load.under_slo > r.Load.ok then
+    Alcotest.fail "goodput cannot exceed completions";
+  let json = Load.to_json r in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle json) then
+        Alcotest.failf "JSON missing %s" needle)
+    [ {|"mode": "open"|}; {|"offered_rps": 300|}; {|"slo_ms": 50|};
+      {|"under_slo"|}; {|"goodput_rps"|} ]
 
 (* ------------------------------------------------------------ metrics *)
 
@@ -293,6 +347,167 @@ let test_snapshot_json () =
     [ {|"submitted": 1|}; {|"completed": 1|}; {|"plan_cache_misses": 1|};
       {|"pool"|}; {|"queue_wait"|} ]
 
+(* ------------------------------------------------------------- shards *)
+
+(* 2 shards, steal threshold 1, pooled-size requests of one signature:
+   everything homes on one shard, so any overlap sends work to the idle
+   shard.  Plain requests may be stolen freely — their results must stay
+   bitwise identical to serial — while the sticky session alongside is
+   never stolen, only explicitly migrated, and must not lose state
+   across forced migrations. *)
+let shard_test_config =
+  {
+    Serve.default_config with
+    Serve.shards = 2;
+    steal_threshold = 1;
+    parallel_threshold = 256;
+    chunk_size = 64;
+    batching = false;
+  }
+
+let test_steal_vs_sticky_session () =
+  let server = Srv_i.create ~config:shard_test_config ~domains:1 () in
+  Fun.protect ~finally:(fun () -> Srv_i.shutdown server) @@ fun () ->
+  let s = int_sig [| 1 |] [| 2; -1 |] in
+  let x = random_input 17 600 in
+  let want = Si.full s x in
+  let reqs = 40 in
+  let hammer () =
+    let bad = ref 0 in
+    for _ = 1 to reqs do
+      (match Srv_i.submit server s x with
+      | Ok y -> if y <> want then incr bad
+      | Error _ -> incr bad)
+    done;
+    !bad
+  in
+  (* Both hammers in spawned domains so their pooled requests genuinely
+     overlap (any overlap through threshold 1 steals); the sticky
+     session streams on this thread alongside them, force-migrated
+     between shards mid-stream. *)
+  let hammer_doms = Array.init 2 (fun _ -> Domain.spawn hammer) in
+  let sx = random_input 23 400 in
+  let swant = Si.full s sx in
+  let session = Srv_i.session ~checkpoint_every:48 server s in
+  let home = Srv_i.shard_of_signature server s in
+  let away = (home + 1) mod Srv_i.shard_count server in
+  let got = ref [] in
+  for c = 0 to 3 do
+    if c = 1 then Srv_i.migrate_session server session ~shard:away;
+    if c = 3 then Srv_i.migrate_session server session ~shard:home;
+    got := Srv_i.Session.process session (Array.sub sx (c * 100) 100) :: !got
+  done;
+  let bad =
+    Array.fold_left (fun a d -> a + Domain.join d) 0 hammer_doms
+  in
+  Alcotest.(check int) "stolen plain requests bitwise identical" 0 bad;
+  (* Deterministic steal, independent of scheduler luck: occupy the home
+     shard with one long pooled request, wait until its queue depth is
+     visible, then submit — the router must divert to the idle shard,
+     and the stolen response must still be bitwise identical. *)
+  let big = random_input 29 1_000_000 in
+  let big_want = Si.full s big in
+  let blocker = Domain.spawn (fun () -> Srv_i.submit server s big) in
+  let give_up = Unix.gettimeofday () +. 30.0 in
+  while
+    (Srv_i.shard_stats server).(home).Srv_i.depth = 0
+    && Unix.gettimeofday () < give_up
+  do
+    Domain.cpu_relax ()
+  done;
+  (match Srv_i.submit server s x with
+  | Ok y ->
+      Alcotest.(check (array int)) "stolen while home busy, still bitwise"
+        want y
+  | Error e -> Alcotest.failf "steal submit: %s" (Serve.error_to_string e));
+  (match Domain.join blocker with
+  | Ok y -> Alcotest.(check (array int)) "blocker response bitwise" big_want y
+  | Error e -> Alcotest.failf "blocker: %s" (Serve.error_to_string e));
+  Alcotest.(check (array int)) "session unaffected by forced migrations"
+    swant
+    (Array.concat (List.rev !got));
+  let st = Srv_i.Session.stats session in
+  Alcotest.(check int) "both migrations performed" 2 st.Srv_i.Session.migrations;
+  let m = Srv_i.metrics server in
+  if Metrics.Counter.get m.Metrics.steals = 0 then
+    Alcotest.fail "80 overlapping pooled requests through threshold 1 must steal";
+  Alcotest.(check int) "migrations counted in metrics" 2
+    (Metrics.Counter.get m.Metrics.session_migrations)
+
+(* Per-shard rows must reconcile with the global counters under a
+   concurrent mixed hammer (plain requests across the local and pooled
+   paths, plus scans). *)
+let test_shard_metrics_sum () =
+  let server = Srv_i.create ~config:shard_test_config ~domains:1 () in
+  Fun.protect ~finally:(fun () -> Srv_i.shutdown server) @@ fun () ->
+  let sigs =
+    [| int_sig [| 1 |] [| 1 |]; int_sig [| 1 |] [| 2; -1 |];
+       int_sig [| 1 |] [| 0; 1 |] |]
+  in
+  let hammer idx () =
+    let g = Plr_util.Splitmix.create (900 + idx) in
+    for r = 1 to 30 do
+      let s = sigs.(Plr_util.Splitmix.int_in g ~lo:0 ~hi:2) in
+      let n = if r land 1 = 0 then 120 else 600 in
+      ignore (Srv_i.submit server s (random_input (idx * 100 + r) n));
+      if r land 7 = 0 then begin
+        let a = Array.make 500 1 and b = Array.make 500 2 in
+        ignore (Srv_i.submit_scan server a b)
+      end
+    done
+  in
+  let d = Domain.spawn (hammer 1) in
+  hammer 0 ();
+  Domain.join d;
+  let m = Srv_i.metrics server in
+  let stats = Srv_i.shard_stats server in
+  let sum f = Array.fold_left (fun a st -> a + f st) 0 stats in
+  Alcotest.(check int) "routed rows sum to submitted"
+    (Metrics.Counter.get m.Metrics.submitted)
+    (sum (fun st -> st.Srv_i.st_routed));
+  Alcotest.(check int) "completed rows sum to completed"
+    (Metrics.Counter.get m.Metrics.completed)
+    (sum (fun st -> st.Srv_i.st_completed));
+  Alcotest.(check int) "steals-in rows sum to the steals counter"
+    (Metrics.Counter.get m.Metrics.steals)
+    (sum (fun st -> st.Srv_i.st_steals_in));
+  Alcotest.(check int) "steals-out rows sum to the steals counter"
+    (Metrics.Counter.get m.Metrics.steals)
+    (sum (fun st -> st.Srv_i.st_steals_out));
+  Alcotest.(check int) "quiescent queues" 0
+    (sum (fun st -> st.Srv_i.depth));
+  let json = Srv_i.snapshot_json server in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle json) then
+        Alcotest.failf "snapshot missing %s" needle)
+    [ {|"shards": [|}; {|"affinity_hit_rate"|}; {|"steals_in"|};
+      {|"migrations_in"|} ]
+
+let test_shard_affinity_stable () =
+  (* Affinity is a pure function of the key: two servers with the same
+     configuration route every signature identically. *)
+  let a = Srv_i.create ~config:shard_test_config ~domains:1 () in
+  let b = Srv_i.create ~config:shard_test_config ~domains:1 () in
+  Fun.protect ~finally:(fun () -> Srv_i.shutdown a; Srv_i.shutdown b)
+  @@ fun () ->
+  let sigs =
+    [ int_sig [| 1 |] [| 1 |]; int_sig [| 1 |] [| 2; -1 |];
+      int_sig [| 1 |] [| 0; 1 |]; int_sig [| 1 |] [| 3; -3; 1 |] ]
+  in
+  List.iter
+    (fun s ->
+      let ha = Srv_i.shard_of_signature a s in
+      Alcotest.(check int) "same route on both servers" ha
+        (Srv_i.shard_of_signature b s);
+      if ha < 0 || ha >= Srv_i.shard_count a then
+        Alcotest.failf "home shard %d out of range" ha)
+    sigs;
+  (* One shared pool contradicts shards > 1. *)
+  match Srv_i.create ~config:shard_test_config ~pool:(Srv_i.pool a) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "?pool with shards > 1 must be rejected"
+
 (* ------------------------------------------------------- CLI exit = 2 *)
 
 let plr_exe = "../bin/plr.exe"
@@ -314,6 +529,12 @@ let test_cli_flag_errors () =
     check_exit2 "serve-bench bad zipf" (plr_exe ^ " serve-bench --zipf=-1");
     check_exit2 "serve-bench bad deadline"
       (plr_exe ^ " serve-bench --deadline-ms 0");
+    check_exit2 "serve-bench bad shards" (plr_exe ^ " serve-bench --shards 0");
+    check_exit2 "serve-bench bad steal threshold"
+      (plr_exe ^ " serve-bench --steal-threshold 0");
+    check_exit2 "serve-bench bad open-loop rate"
+      (plr_exe ^ " serve-bench --open-loop 0");
+    check_exit2 "serve-bench bad slo" (plr_exe ^ " serve-bench --slo 0");
     (* Type-level parse errors never reach our code: cmdliner reports
        them itself with its documented CLI-error status. *)
     let code =
@@ -342,7 +563,17 @@ let () =
             test_chaos_alongside_traffic ] );
       ( "load",
         [ Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
-          Alcotest.test_case "closed loop" `Quick test_load_loop ] );
+          Alcotest.test_case "closed loop" `Quick test_load_loop;
+          Alcotest.test_case "open schedule determinism" `Quick
+            test_open_schedule_determinism;
+          Alcotest.test_case "open loop" `Quick test_open_loop ] );
+      ( "shards",
+        [ Alcotest.test_case "steal vs sticky session" `Quick
+            test_steal_vs_sticky_session;
+          Alcotest.test_case "per-shard metrics sum" `Quick
+            test_shard_metrics_sum;
+          Alcotest.test_case "affinity stable" `Quick
+            test_shard_affinity_stable ] );
       ( "metrics",
         [ Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "snapshot json" `Quick test_snapshot_json ] );

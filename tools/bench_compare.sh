@@ -190,5 +190,50 @@ jq -r -n --slurpfile new "$fresh" '
   END { if (n == 0) print "(no scan rows in the fresh run — pre-plr-bench-6 build)" }
 '
 
+# Serving comparison (plr-serve-bench-2): the working-tree
+# BENCH_SERVE.json (written by `plr serve-bench --json`) against the
+# committed baseline.  plr-serve-bench-1 baselines (closed-loop only: no
+# mode/goodput/shards fields) degrade gracefully — a notice plus a
+# comparison over the shared fields (throughput_rps, p99_ms) instead of
+# an error.  A missing fresh file is a notice and a skip, not a failure:
+# the scan/JIT tables above do not depend on the serving layer.
+echo
+if [ ! -f BENCH_SERVE.json ]; then
+  echo "bench_compare: no working-tree BENCH_SERVE.json; skipping serve comparison" >&2
+  echo "bench_compare: (generate one with: dune exec bin/plr.exe -- serve-bench --json BENCH_SERVE.json)" >&2
+elif ! git show HEAD:BENCH_SERVE.json >"$tmpdir/serve_base.json" 2>/dev/null; then
+  echo "bench_compare: no committed BENCH_SERVE.json baseline; skipping serve comparison" >&2
+else
+  bschema=$(jq -r '.schema // "?"' "$tmpdir/serve_base.json")
+  fschema=$(jq -r '.schema // "?"' BENCH_SERVE.json)
+  echo "bench_compare: serve baseline schema $bschema, fresh schema $fschema"
+  if [ "$bschema" = "plr-serve-bench-1" ]; then
+    echo "bench_compare: notice: baseline predates open-loop/shards (plr-serve-bench-1);" >&2
+    echo "bench_compare: comparing shared fields only (throughput_rps, p99_ms)" >&2
+  fi
+  echo "bench_compare: serve fresh vs baseline (shards-vs-baseline; higher rps / lower ms = better)"
+  jq -r -n --slurpfile base "$tmpdir/serve_base.json" --slurpfile new BENCH_SERVE.json '
+    def fmt(v): if v == null then "-" else (v | tostring) end;
+    def pct(b; f):
+      if b == null or f == null or b == 0 then "-"
+      else (((f - b) / b * 100 * 100 | round) / 100 | tostring) + "%" end;
+    $base[0] as $b | $new[0] as $f
+    | [["mode",           fmt($b.mode // "closed"), fmt($f.mode // "closed"), "-"],
+       ["shards",         fmt($b.shards),           fmt($f.shards),           "-"],
+       ["offered_rps",    fmt($b.offered_rps),      fmt($f.offered_rps),      "-"],
+       ["throughput_rps", fmt($b.throughput_rps),   fmt($f.throughput_rps),
+        pct($b.throughput_rps; $f.throughput_rps)],
+       ["goodput_rps",    fmt($b.goodput_rps),      fmt($f.goodput_rps),
+        pct($b.goodput_rps; $f.goodput_rps)],
+       ["p99_ms",         fmt($b.p99_ms),           fmt($f.p99_ms),
+        pct($b.p99_ms; $f.p99_ms)],
+       ["steals",         fmt($b.steals),           fmt($f.steals),           "-"]]
+    | .[] | select(.[1] != "-" or .[2] != "-") | @tsv
+  ' | awk -F'\t' '
+    BEGIN { printf "%-18s %14s %14s %10s\n", "field", "baseline", "fresh", "delta" }
+    { printf "%-18s %14s %14s %10s\n", $1, $2, $3, $4 }
+  '
+fi
+
 echo
 echo "bench_compare: done (informational only; never fails the build)"

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Keep the documentation honest, fatally:
+#
+#  1. Span taxonomy: every span/event name listed in the table of
+#     docs/observability.md must be recorded somewhere under lib/ as a
+#     string literal — a documented span that no code emits is drift.
+#  2. CLI examples: every `plr …` line inside a fenced code block of
+#     README.md and docs/*.md must run, verbatim, with exit code 0.
+#     (Plain `dune build` / `dune runtest` / `bench/main.exe` example
+#     lines are exercised by their own CI steps and are skipped here —
+#     this script owns the `plr` surface the docs promise.)
+#
+# Usage: tools/docs_smoke.sh
+# Exits nonzero listing every missing span and every failing example.
+set -u
+
+cd "$(dirname "$0")/.."
+repo=$(pwd)
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+fail=0
+
+# --- 1. documented spans must exist in lib/ -------------------------------
+# Rows of the "Span taxonomy" table: backticked tokens containing a dot
+# in the second column are span names (a0/a1, B/E etc. never match).
+spans=$(awk '/^## Span taxonomy/{t=1; next} /^## /{t=0} t && /^\|/' \
+          docs/observability.md \
+        | cut -d'|' -f3 \
+        | grep -o '`[a-z0-9_]*\.[a-z0-9_.]*`' \
+        | tr -d '`' | sort -u)
+[ -n "$spans" ] || { echo "docs_smoke: no spans parsed from docs/observability.md" >&2; exit 1; }
+
+nspans=0
+for s in $spans; do
+  nspans=$((nspans + 1))
+  if ! grep -rqF "\"$s\"" lib/; then
+    echo "docs_smoke: FAIL: span \`$s\` is documented in docs/observability.md but never recorded under lib/" >&2
+    fail=1
+  fi
+done
+echo "docs_smoke: $nspans documented span names checked against lib/"
+
+# --- 2. doc CLI examples must run as written ------------------------------
+# Collect `plr …` lines from fenced code blocks (both the bare `plr`
+# spelling and the full `dune exec bin/plr.exe --` spelling), then run
+# each from a scratch directory so -o/--json/--trace artifacts never
+# land in the repository.
+examples="$tmpdir/examples.txt"
+for f in README.md docs/*.md; do
+  awk '/^```/{inblock = !inblock; next} inblock' "$f" \
+    | grep -E '^(plr |dune exec bin/plr\.exe)' || true
+done >"$examples"
+
+total=$(grep -c . "$examples" || true)
+echo "docs_smoke: $total CLI examples to run"
+n=0
+while IFS= read -r line; do
+  [ -n "$line" ] || continue
+  n=$((n + 1))
+  case $line in
+    plr\ *) cmd="dune exec --root \"$repo\" bin/plr.exe -- ${line#plr }" ;;
+    *)      cmd=$(printf '%s' "$line" \
+                  | sed "s|dune exec bin/plr.exe|dune exec --root \"$repo\" bin/plr.exe|") ;;
+  esac
+  if (cd "$tmpdir" && eval "$cmd" >"$tmpdir/out.log" 2>&1); then
+    echo "docs_smoke: ok [$n/$total]: $line"
+  else
+    echo "docs_smoke: FAIL [$n/$total]: $line" >&2
+    sed 's/^/docs_smoke:   | /' "$tmpdir/out.log" | tail -5 >&2
+    fail=1
+  fi
+done <"$examples"
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs_smoke: FAILED — the documentation promises things the build does not keep" >&2
+  exit 1
+fi
+echo "docs_smoke: all spans recorded, all examples ran"
